@@ -1,0 +1,33 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches: aligned table output
+// and paper-reference annotations.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace focus::bench {
+
+/// Print the bench banner: which figure, what the paper reports.
+inline void banner(const std::string& figure, const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Print one row with printf formatting.
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+/// Print a short note line.
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+}  // namespace focus::bench

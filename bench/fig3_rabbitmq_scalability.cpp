@@ -1,0 +1,136 @@
+// Fig. 3 — RabbitMQ scalability test (§III-A).
+//
+// Paper setup: one RabbitMQ server (4 vCPU), 100 consumers on 100 queues,
+// producers each publishing five 1 KB messages per second. Producers sweep
+// 1 k -> 8 k. Reported: message latency stays low then explodes around 6 k
+// producers; broker CPU crosses 50 % by ~2 k producers.
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "mq/broker.hpp"
+#include "mq/client.hpp"
+#include "net/sim_transport.hpp"
+
+using namespace focus;
+
+namespace {
+
+struct KiloByteBody final : net::Payload {
+  std::size_t wire_size() const override { return 1024; }
+};
+
+struct Point {
+  int producers;
+  double p50_ms;
+  double p99_ms;
+  double cpu_pct;
+  double delivered_rate;
+};
+
+Point run_point(int producers) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  net::SimTransport transport(simulator, topology, Rng(300 + producers));
+
+  const NodeId broker_node{1};
+  topology.place(broker_node, Region::AppEdge);
+  mq::Broker broker(simulator, transport,
+                    net::Address{broker_node, 70});
+
+  // 100 consumers on 100 queues (the paper's drain configuration).
+  constexpr int kConsumers = 100;
+  std::vector<std::unique_ptr<mq::MqClient>> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    const NodeId id{static_cast<std::uint32_t>(10 + c)};
+    topology.place(id, Region::AppEdge);
+    consumers.push_back(
+        std::make_unique<mq::MqClient>(transport, net::Address{id, 50},
+                                       broker.address()));
+    consumers.back()->subscribe("q" + std::to_string(c), mq::QueueMode::WorkQueue,
+                                [](const std::string&, const auto&) {});
+  }
+  simulator.run_for(1 * kSecond);
+
+  // Producers: five 1 KB messages per second each, spread over the queues.
+  // One shared timer batches sends to keep the event count tractable.
+  Rng rng(77);
+  auto body = std::make_shared<const KiloByteBody>();
+  std::vector<std::unique_ptr<mq::MqClient>> producer_clients;
+  constexpr int kProducerEndpoints = 64;  // stand-ins carrying the load
+  for (int p = 0; p < kProducerEndpoints; ++p) {
+    const NodeId id{static_cast<std::uint32_t>(1000 + p)};
+    topology.place(id, Region::AppEdge);
+    producer_clients.push_back(std::make_unique<mq::MqClient>(
+        transport, net::Address{id, 50}, broker.address()));
+  }
+  // Connection-count overhead is per-producer in the cost model; register
+  // the real producer population with the broker via one subscribe each.
+  // (The paper's producers each hold a connection.)
+  const double msgs_per_sec = producers * 5.0;
+  const Duration tick = 10 * kMillisecond;
+  const double msgs_per_tick = msgs_per_sec * to_seconds(tick);
+  double carry = 0;
+  simulator.every(tick, [&] {
+    carry += msgs_per_tick;
+    while (carry >= 1.0) {
+      carry -= 1.0;
+      auto& client = producer_clients[rng.index(producer_clients.size())];
+      client->publish("q" + std::to_string(rng.uniform_int(0, kConsumers - 1)),
+                      body);
+    }
+  });
+  // Model the connection housekeeping of the full producer population.
+  for (int i = 0; i < producers; ++i) {
+    // A synthetic connection: one tiny message is enough for the broker to
+    // count it (cheaper than simulating thousands of live endpoints).
+    net::Address addr{NodeId{static_cast<std::uint32_t>(100000 + i)}, 50};
+    auto payload = std::make_shared<mq::SubscribePayload>();
+    payload->queue = "conn";  // connection registration
+    payload->mode = mq::QueueMode::WorkQueue;
+    transport.send(net::Message{addr, broker.address(), mq::kSubscribe,
+                                std::move(payload)});
+  }
+
+  // Paper: measurements taken 30 s into the test.
+  simulator.run_for(10 * kSecond);  // warm up
+  const double cpu0 = broker.stats().message_cpu_us;
+  const auto delivered0 = broker.stats().delivered;
+  // Reset latency samples for the measurement window.
+  const_cast<mq::BrokerStats&>(broker.stats()).broker_latency_ms.clear();
+  const SimTime t0 = simulator.now();
+  simulator.run_for(20 * kSecond);
+  const Duration window = simulator.now() - t0;
+
+  Point point;
+  point.producers = producers;
+  point.p50_ms = broker.stats().broker_latency_ms.percentile(50);
+  point.p99_ms = broker.stats().broker_latency_ms.percentile(99);
+  point.cpu_pct = 100.0 * broker.utilization(cpu0, window);
+  point.delivered_rate =
+      static_cast<double>(broker.stats().delivered - delivered0) /
+      to_seconds(window);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 3 — RabbitMQ latency & CPU vs number of producers",
+      "latency flat then explodes ~6k producers; CPU crosses 50% by ~2k");
+
+  bench::row("%10s %12s %12s %10s %14s", "producers", "p50(ms)", "p99(ms)",
+             "cpu(%)", "delivered/s");
+  for (int producers : {1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000}) {
+    const Point p = run_point(producers);
+    bench::row("%10d %12.2f %12.2f %10.1f %14.0f", p.producers, p.p50_ms,
+               p.p99_ms, p.cpu_pct, p.delivered_rate);
+  }
+  bench::note("expected shape: low flat latency through ~5k producers, then a");
+  bench::note("queueing blow-up as offered load crosses broker capacity; CPU");
+  bench::note("grows roughly linearly and saturates at the same knee.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 7b — average query latency vs system size at 40 queries/s (§X-B).
+//
+// Paper: RabbitMQ (queries broadcast through the broker, nodes respond) is
+// faster than FOCUS below ~1k nodes, then saturates and its latency
+// explodes; FOCUS latency stays roughly constant because directed pulls
+// touch only the candidate p2p groups.
+
+#include <memory>
+
+#include "baselines/mq_finder.hpp"
+#include "bench_util.hpp"
+#include "harness/scenario.hpp"
+
+using namespace focus;
+
+namespace {
+
+constexpr double kQps = 40.0;
+constexpr Duration kWarmup = 2 * kSecond;
+constexpr Duration kWindow = 10 * kSecond;
+
+harness::QueryGen placement_gen() {
+  return [](Rng& rng) { return harness::make_placement_query(rng, 50); };
+}
+
+struct Point {
+  double mean_ms;
+  double p99_ms;
+  std::uint64_t completed;
+};
+
+Point measure_focus(std::size_t nodes) {
+  harness::TestbedConfig config;
+  config.num_nodes = nodes;
+  config.seed = 700 + nodes;
+  harness::Testbed bed(config);
+  bed.start();
+  bed.settle(30 * kSecond);
+  harness::FocusFinder finder(bed);
+  auto load = harness::run_query_load(bed.simulator(), bed.transport(), finder,
+                                      placement_gen(), kQps, kWarmup, kWindow,
+                                      /*seed=*/9);
+  return {load.latency_ms.mean(), load.latency_ms.percentile(99), load.completed};
+}
+
+Point measure_rabbitmq(std::size_t nodes) {
+  // Paper setup: the RabbitMQ deployment is single-region (one EC2 region),
+  // dedicated broker, no background consumers.
+  harness::WorldConfig config;
+  config.num_nodes = nodes;
+  config.seed = 700 + nodes;
+  harness::World world(config);
+  // Single-region placement for the MQ comparison.
+  for (std::size_t i = 0; i < nodes; ++i) {
+    world.transport().topology().place(
+        NodeId{harness::kAgentBase + static_cast<std::uint32_t>(i)}, Region::Ohio);
+  }
+  world.transport().topology().place(world.server_node(), Region::Ohio);
+  mq::CostModel dedicated;
+  dedicated.baseline_utilization = 0.05;  // no 100-consumer background load
+  baselines::MqSubFinder finder(world.simulator(), world.transport(),
+                                world.server_node(), world.server_node(),
+                                world.sim_nodes(), baselines::BaselineConfig{},
+                                Rng(1), dedicated);
+  auto load = harness::run_query_load(world.simulator(), world.transport(),
+                                      finder, placement_gen(), kQps, kWarmup,
+                                      kWindow, /*seed=*/9);
+  return {load.latency_ms.mean(), load.latency_ms.percentile(99), load.completed};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 7b — query latency at 40 queries/s vs number of nodes",
+      "RabbitMQ faster below ~1k nodes, then saturates; FOCUS stays flat");
+
+  bench::row("%7s | %14s %14s | %14s %14s", "nodes", "focus mean(ms)",
+             "focus p99(ms)", "mq mean(ms)", "mq p99(ms)");
+  for (std::size_t nodes : {200u, 400u, 800u, 1200u, 1600u, 2000u}) {
+    const Point focus_point = measure_focus(nodes);
+    const Point mq_point = measure_rabbitmq(nodes);
+    bench::row("%7zu | %14.1f %14.1f | %14.1f %14.1f", nodes,
+               focus_point.mean_ms, focus_point.p99_ms, mq_point.mean_ms,
+               mq_point.p99_ms);
+  }
+  bench::note("expected shape: the crossover — RabbitMQ wins at small N (a");
+  bench::note("broker hop is cheaper than gossip convergence), FOCUS wins past");
+  bench::note("the broker's capacity knee (~1k nodes at 40 qps), where MQ");
+  bench::note("latency explodes while FOCUS stays ~flat.");
+  return 0;
+}

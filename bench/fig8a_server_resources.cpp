@@ -1,0 +1,70 @@
+// Fig. 8a — CPU and RAM usage of the FOCUS server while processing the
+// trace replay (§X-D).
+//
+// Paper: on a 4-vCPU / 16 GB VM the FOCUS server stays lightweight — around
+// 10% utilisation managing 1600+ nodes, RAM well under 2 GB. (The related
+//-work section contrasts this with Kubernetes needing 36 vCPUs / 60 GB to
+// manage 500 nodes.)
+
+#include "bench_util.hpp"
+#include "harness/scenario.hpp"
+#include "trace/replayer.hpp"
+
+using namespace focus;
+
+namespace {
+
+struct Point {
+  double cpu_pct;
+  double ram_gb;
+  std::size_t groups;
+};
+
+Point run_point(std::size_t nodes, const std::vector<trace::PlacementEvent>& tr) {
+  harness::TestbedConfig config;
+  config.num_nodes = nodes;
+  config.seed = 8800 + nodes;
+  harness::Testbed bed(config);
+  bed.start();
+  bed.settle(30 * kSecond);
+
+  harness::FocusFinder finder(bed);
+  const double busy0 = bed.service().busy_cpu_us();
+  const SimTime t0 = bed.simulator().now();
+
+  trace::ReplayConfig replay;
+  replay.acceleration = 15000.0;
+  replay.max_events = 500;
+  replay.drain = 5 * kSecond;
+  trace::replay_trace(bed.simulator(), tr, finder, replay);
+
+  Point point;
+  point.cpu_pct =
+      100.0 * bed.service().utilization(busy0, bed.simulator().now() - t0);
+  point.ram_gb = bed.service().ram_gb();
+  point.groups = bed.service().dgm().group_count();
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 8a — FOCUS server CPU & RAM while replaying the trace",
+      "~10% CPU of a 4-vCPU VM and <2 GB RAM at 1600 nodes");
+
+  trace::TraceConfig tc;
+  tc.events = 20'000;
+  tc.seed = 88;
+  const auto tr = trace::generate_chameleon_trace(tc);
+
+  bench::row("%7s %10s %10s %9s", "nodes", "cpu(%)", "ram(GB)", "groups");
+  for (std::size_t nodes : {100u, 200u, 400u, 800u, 1200u, 1600u}) {
+    const Point p = run_point(nodes, tr);
+    bench::row("%7zu %10.1f %10.2f %9zu", nodes, p.cpu_pct, p.ram_gb, p.groups);
+  }
+  bench::note("expected shape: CPU grows slowly and stays ~10% at 1600 nodes;");
+  bench::note("RAM = JVM/Cassandra baseline plus ~90 KB of table state per");
+  bench::note("node — an order of magnitude below push-based controllers.");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Fig. 8b — bandwidth overhead on node agents (§X-D).
+//
+// Paper: a node in a p2p group consumes < 2 KB/s during normal operation
+// (membership gossip) even in 400+ member groups; while serving one query
+// per second the node that receives the query (the coordinator collecting
+// member states) consumes ~10 KB/s in a 100-member group, rising to
+// ~50 KB/s at 400 members.
+
+#include "bench_util.hpp"
+#include "harness/scenario.hpp"
+
+using namespace focus;
+
+namespace {
+
+struct Point {
+  double idle_kbps;       ///< an average member, no queries
+  double coordinator_kbps;///< the query-receiving member at 1 query/s
+};
+
+Point run_point(std::size_t group_size) {
+  // Build a fleet whose ram values all share one bucket, giving a single
+  // large ram group; other attributes spread normally.
+  harness::TestbedConfig config;
+  config.num_nodes = group_size;
+  config.seed = 880 + group_size;
+  config.agent.dynamics.frozen = true;
+  config.service.fork_threshold = static_cast<int>(group_size) + 10;
+  // Single-attribute schema: the paper's microbenchmark measures one p2p
+  // group in isolation (a node here belongs to exactly one group).
+  core::Schema schema;
+  schema.add({"ram_mb", core::AttrKind::Dynamic, 2048.0, 0.0, 16384.0});
+  config.service.schema = schema;
+  harness::Testbed bed(config);
+  for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+    bed.agent(i).resources().set_value(
+        "ram_mb", 4096.0 + static_cast<double>(i % 100));  // one bucket
+  }
+  bed.start();
+  bed.settle(60 * kSecond);
+  bed.run_for(5 * kSecond);
+
+  // Idle phase: measure a rank-and-file member (not a representative).
+  NodeId observer{};
+  for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+    if (bed.agent(i).rep_groups().empty()) {
+      observer = bed.agent(i).node();
+      break;
+    }
+  }
+  const auto idle0 = bed.transport().stats().of(observer);
+  bed.run_for(20 * kSecond);
+  const auto idle_delta = bed.transport().stats().of(observer) - idle0;
+  const double idle_kbps =
+      static_cast<double>(idle_delta.bytes_total()) / 1024.0 / 20.0;
+
+  // Query phase: issue queries one at a time; for each, snapshot the fleet,
+  // run the query, and charge the delta of whichever node coordinated it
+  // (FOCUS picks a random member per query, so the coordinator moves).
+  core::Query q;
+  q.where("ram_mb", 4096, 4196).take(10);
+  Histogram per_query_kb;
+  constexpr int kQueries = 8;
+  for (int round = 0; round < kQueries; ++round) {
+    std::map<NodeId, net::EndpointStats> before;
+    std::map<NodeId, std::uint64_t> coordinated_before;
+    for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+      before[bed.agent(i).node()] =
+          bed.transport().stats().of(bed.agent(i).node());
+      coordinated_before[bed.agent(i).node()] =
+          bed.agent(i).stats().queries_coordinated;
+    }
+    auto result = bed.query_and_wait(q, 10 * kSecond);
+    if (!result.ok()) {
+      bench::note("query failed: " + result.error().message);
+      continue;
+    }
+    for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+      if (bed.agent(i).stats().queries_coordinated >
+          coordinated_before[bed.agent(i).node()]) {
+        const auto delta = bed.transport().stats().of(bed.agent(i).node()) -
+                           before[bed.agent(i).node()];
+        per_query_kb.add(static_cast<double>(delta.bytes_total()) / 1024.0);
+        break;
+      }
+    }
+  }
+  const double coordinator_kbps = per_query_kb.mean();
+
+  return Point{idle_kbps, coordinator_kbps};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 8b — node-agent bandwidth: normal operation vs query serving",
+      "idle < 2 KB/s even at 400+ members; coordinator ~10 KB/s @100 -> "
+      "~50 KB/s @400 members at 1 query/s");
+
+  bench::row("%12s %14s %22s", "group-size", "idle (KB/s)",
+             "coordinator (KB/query)");
+  for (std::size_t size : {50u, 100u, 200u, 300u, 400u, 450u}) {
+    const Point p = run_point(size);
+    bench::row("%12zu %14.2f %22.1f", size, p.idle_kbps, p.coordinator_kbps);
+  }
+  bench::note("expected shape: idle bandwidth ~flat (SWIM probing is O(1) per");
+  bench::note("node); coordinator bandwidth grows linearly with group size");
+  bench::note("(every member sends its state), matching 10->50 KB/s.");
+  return 0;
+}

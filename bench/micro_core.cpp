@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) of the building blocks: the simulation
+// kernel's event throughput, JSON round trips, group naming, query matching,
+// histogram percentiles, and the gossip buffers. These bound how large a
+// scenario the repository can simulate per CPU-second.
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "focus/api.hpp"
+#include "focus/group_naming.hpp"
+#include "gossip/broadcast.hpp"
+#include "sim/simulator.hpp"
+
+using namespace focus;
+
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      simulator.schedule_at(i % 97, [&sink] { ++sink; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_SimulatorPeriodicTick(benchmark::State& state) {
+  sim::Simulator simulator;
+  int sink = 0;
+  simulator.every(10, [&sink] { ++sink; });
+  for (auto _ : state) {
+    simulator.run_for(10 * 1000);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorPeriodicTick);
+
+void BM_JsonParse(benchmark::State& state) {
+  const std::string doc = R"({"attributes":[{"name":"ram_mb","lower":4096},)"
+                          R"({"name":"vcpus","lower":2}],"limit":10,)"
+                          R"("freshness_ms":500,"location":"us-east-2"})";
+  for (auto _ : state) {
+    auto parsed = Json::parse(doc);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * doc.size()));
+}
+BENCHMARK(BM_JsonParse);
+
+void BM_JsonDump(benchmark::State& state) {
+  core::Query query;
+  query.where_at_least("ram_mb", 4096).where_at_least("vcpus", 2).take(10);
+  const Json doc = core::to_json(query);
+  for (auto _ : state) {
+    auto text = doc.dump();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_JsonDump);
+
+void BM_GroupNameRoundTrip(benchmark::State& state) {
+  core::GroupKey key{"ram_mb", 4096, Region::Oregon, 2};
+  for (auto _ : state) {
+    auto parsed = core::GroupKey::parse(key.to_name());
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_GroupNameRoundTrip);
+
+void BM_QueryMatch(benchmark::State& state) {
+  core::Query query;
+  query.where_at_least("ram_mb", 2048).where_at_most("cpu_usage", 50).take(10);
+  core::NodeState node;
+  node.dynamic_values = {
+      {"cpu_usage", 30}, {"disk_gb", 12}, {"ram_mb", 4096}, {"vcpus", 4}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.matches(node));
+  }
+}
+BENCHMARK(BM_QueryMatch);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) histogram.add(rng.uniform(0, 1000));
+  for (auto _ : state) {
+    histogram.add(rng.uniform(0, 1000));  // invalidates the sorted cache
+    benchmark::DoNotOptimize(histogram.percentile(99));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_PiggybackBuffer(benchmark::State& state) {
+  for (auto _ : state) {
+    gossip::PiggybackBuffer buffer;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      gossip::MemberUpdate update;
+      update.node = NodeId{i};
+      buffer.add(update, 6);
+    }
+    while (buffer.pending() > 0) {
+      benchmark::DoNotOptimize(buffer.take(8));
+    }
+  }
+}
+BENCHMARK(BM_PiggybackBuffer);
+
+void BM_EventBufferDedup(benchmark::State& state) {
+  gossip::EventBuffer buffer;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    // One new event plus three duplicate sightings: the gossip steady state.
+    const gossip::EventId id{NodeId{1}, ++seq};
+    buffer.add(id, "q", nullptr, 0);
+    benchmark::DoNotOptimize(buffer.add(id, "q", nullptr, 0));
+    benchmark::DoNotOptimize(buffer.add(id, "q", nullptr, 0));
+    benchmark::DoNotOptimize(buffer.add(id, "q", nullptr, 0));
+  }
+}
+BENCHMARK(BM_EventBufferDedup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Periodic monitoring with FOCUS (Table I "Hot Spot Detection" and the §II-A
+// aspiration: "find hosts with a high cache miss rate, indicating that VMs
+// should be migrated"). A monitoring loop polls FOCUS every few seconds for
+// overloaded hosts, picks migration destinations among idle hosts in the
+// same region, and demonstrates the freshness knob: the scanning query
+// tolerates 2 s staleness (cache-friendly), the migration-target query is
+// realtime.
+
+#include <cstdio>
+
+#include "harness/testbed.hpp"
+
+using namespace focus;
+
+int main() {
+  harness::TestbedConfig config;
+  config.num_nodes = 64;
+  config.seed = 777;
+  config.agent.dynamics.volatility = 0.01;  // lively load changes
+  harness::Testbed bed(config);
+  bed.start();
+  if (!bed.settle()) {
+    std::printf("deployment did not settle\n");
+    return 1;
+  }
+
+  std::printf("monitoring %zu hosts for hot spots (cpu >= 75%%)\n\n",
+              bed.num_agents());
+
+  int migrations_planned = 0;
+  for (int round = 1; round <= 6; ++round) {
+    bed.run_for(5 * kSecond);
+
+    // The periodic scan tolerates 2 s of staleness: repeat scans within the
+    // window are served from the FOCUS cache without touching any host.
+    core::Query hot;
+    hot.where_at_least("cpu_usage", 75).fresh_within(2 * kSecond);
+    auto hot_result = bed.query_and_wait(hot);
+    if (!hot_result.ok()) {
+      std::printf("round %d: scan failed: %s\n", round,
+                  hot_result.error().message.c_str());
+      continue;
+    }
+    // The dashboard widget re-reads the same scan moments later: within the
+    // 2 s freshness budget FOCUS serves it from the cache.
+    auto confirm = bed.query_and_wait(hot);
+    std::printf("round %d: %zu hot host(s) [scan: %s %.0f ms; re-read: %s %.0f ms]\n",
+                round, hot_result.value().entries.size(),
+                core::to_string(hot_result.value().source),
+                to_millis(hot_result.value().latency()),
+                confirm.ok() ? core::to_string(confirm.value().source) : "error",
+                confirm.ok() ? to_millis(confirm.value().latency()) : 0.0);
+
+    for (const auto& hot_host : hot_result.value().entries) {
+      // Migration targets must be found with realtime freshness: idle hosts
+      // in the same region with plenty of headroom.
+      core::Query target;
+      target.where_at_most("cpu_usage", 25)
+          .where_at_least("ram_mb", 4096)
+          .in_region(hot_host.region)
+          .take(1);
+      auto target_result = bed.query_and_wait(target);
+      if (target_result.ok() && !target_result.value().entries.empty()) {
+        const auto& destination = target_result.value().entries.front();
+        std::printf("    migrate a VM: %s (cpu=%.0f%%) -> %s (cpu=%.0f%%) in %s\n",
+                    to_string(hot_host.node).c_str(),
+                    hot_host.values.at("cpu_usage"),
+                    to_string(destination.node).c_str(),
+                    destination.values.at("cpu_usage"),
+                    to_string(hot_host.region));
+        ++migrations_planned;
+      } else {
+        std::printf("    %s is hot but %s has no idle host right now\n",
+                    to_string(hot_host.node).c_str(), to_string(hot_host.region));
+      }
+    }
+  }
+
+  const auto& cache = bed.service().router().cache();
+  std::printf("\nplanned %d migrations; cache served %llu of %llu lookups\n",
+              migrations_planned, static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.hits() + cache.misses()));
+
+  // Better still: a materialized view (§XII extension). Instead of polling,
+  // subscribe once; nodes push membership changes the moment their state
+  // crosses the threshold.
+  std::printf("\nswitching to a materialized hot-host view...\n");
+  std::uint64_t view_id = 0;
+  std::size_t view_members = 0;
+  int enters = 0, leaves = 0;
+  core::Query hot_view;
+  hot_view.where_at_least("cpu_usage", 75);
+  bed.client().subscribe_view(
+      hot_view,
+      [&](std::uint64_t id, std::vector<core::ResultEntry> initial) {
+        view_id = id;
+        view_members = initial.size();
+      },
+      [&](const core::ViewUpdate& update) {
+        update.entered ? ++enters : ++leaves;
+      });
+  bed.run_for(2 * kSecond);
+  std::printf("view %llu seeded with %zu hot hosts\n",
+              static_cast<unsigned long long>(view_id), view_members);
+  bed.run_for(30 * kSecond);
+  std::printf("over the next 30s the view streamed %d enters / %d leaves —\n"
+              "no polling, no per-read fan-out; cost scales with churn only\n",
+              enters, leaves);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: bring up a FOCUS deployment with 40 geo-distributed nodes,
+// issue a few queries through the public API, and print the results —
+// including the JSON form a REST integrator would exchange.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "focus/api.hpp"
+#include "harness/testbed.hpp"
+
+using namespace focus;
+
+namespace {
+
+void show(const char* title, const Result<core::QueryResult>& result) {
+  std::printf("\n== %s\n", title);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.error().message.c_str());
+    return;
+  }
+  const auto& r = result.value();
+  std::printf("source=%s latency=%.1fms groups_queried=%d matches=%zu\n",
+              core::to_string(r.source), to_millis(r.latency()),
+              r.groups_queried, r.entries.size());
+  for (std::size_t i = 0; i < r.entries.size() && i < 5; ++i) {
+    const auto& e = r.entries[i];
+    std::printf("  %-10s %-14s", to_string(e.node).c_str(), to_string(e.region));
+    for (const auto& [attr, value] : e.values) {
+      std::printf(" %s=%.0f", attr.c_str(), value);
+    }
+    std::printf("\n");
+  }
+  if (r.entries.size() > 5) std::printf("  ... and %zu more\n", r.entries.size() - 5);
+}
+
+}  // namespace
+
+int main() {
+  // 1. Deploy: FOCUS service + 40 node agents over four regions.
+  harness::TestbedConfig config;
+  config.num_nodes = 40;
+  config.seed = 2026;
+  harness::Testbed bed(config);
+  bed.start();
+  if (!bed.settle()) {
+    std::printf("deployment did not settle\n");
+    return 1;
+  }
+  std::printf("deployed %zu nodes; FOCUS manages %zu attribute groups\n",
+              bed.num_agents(), bed.service().dgm().group_count());
+
+  // 2. A VM-placement style query: hosts with >= 4 GB free RAM and >= 2
+  //    vCPUs, at most 10 results.
+  core::Query placement;
+  placement.where_at_least("ram_mb", 4096).where_at_least("vcpus", 2).take(10);
+  show("placement: ram>=4096MB AND vcpus>=2, limit 10",
+       bed.query_and_wait(placement));
+
+  // 3. The same query again, allowing 5 s of staleness: served from cache.
+  core::Query cached = placement;
+  cached.fresh_within(5 * kSecond);
+  show("same query, freshness=5000ms (cache hit)", bed.query_and_wait(cached));
+
+  // 4. A hot-spot query scoped to one region.
+  core::Query hotspots;
+  hotspots.where_at_least("cpu_usage", 75).in_region(Region::Oregon);
+  show("hot spots: cpu_usage>=75% in us-west-2", bed.query_and_wait(hotspots));
+
+  // 5. The JSON wire form of the placement query (what a REST caller sends).
+  std::printf("\n== JSON form of the placement query\n%s\n",
+              core::to_json(placement).pretty().c_str());
+  return 0;
+}

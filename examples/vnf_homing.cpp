@@ -1,0 +1,144 @@
+// ONAP vCPE homing (§II-B, §V-B, Fig. 4 / Table II): home a residential
+// vCPE service by (1) finding a vGMux instance with spare slice capacity
+// whose VLAN tag matches the customer VPN, and (2) finding a provider-edge
+// cloud site with SRIOV + the right KVM version and enough instantaneous
+// capacity to spin up the customer's dedicated vG.
+//
+// In FOCUS terms, both sites and service instances are just "nodes" with
+// static attributes (ownership, hardware capabilities, VLAN tags) and
+// dynamic attributes (slice capacity, available vCPU/memory/bandwidth), so
+// the entire homing decision is two queries.
+
+#include <cstdio>
+
+#include "focus/api.hpp"
+#include "harness/testbed.hpp"
+
+using namespace focus;
+
+namespace {
+
+/// Attribute schema for the NFV estate: cloud sites and vGMux instances.
+core::Schema nfv_schema() {
+  core::Schema schema;
+  // Site capacity attributes (Table II "Site capacity").
+  schema.add({"avail_vcpu", core::AttrKind::Dynamic, 16, 0, 128});
+  schema.add({"avail_mem_gb", core::AttrKind::Dynamic, 64, 0, 512});
+  schema.add({"upstream_gbps", core::AttrKind::Dynamic, 10, 0, 100});
+  // Service capacity attributes (Table II "Service capacity").
+  schema.add({"free_slices", core::AttrKind::Dynamic, 16, 0, 128});
+  // Static attributes (Table II "Sites", "Site attributes", "Service
+  // attributes").
+  schema.add({"kind", core::AttrKind::Static});        // "site" | "vgmux"
+  schema.add({"owner", core::AttrKind::Static});       // "provider" | "partner"
+  schema.add({"sriov", core::AttrKind::Static});
+  schema.add({"kvm_version", core::AttrKind::Static});
+  schema.add({"vlan_tag", core::AttrKind::Static});
+  return schema;
+}
+
+void print_candidates(const char* what, const Result<core::QueryResult>& result) {
+  std::printf("\n%s\n", what);
+  if (!result.ok()) {
+    std::printf("  error: %s\n", result.error().message.c_str());
+    return;
+  }
+  std::printf("  %zu candidate(s), served from %s in %.0f ms\n",
+              result.value().entries.size(),
+              core::to_string(result.value().source),
+              to_millis(result.value().latency()));
+  for (const auto& entry : result.value().entries) {
+    std::printf("   - %-9s in %-13s", to_string(entry.node).c_str(),
+                to_string(entry.region));
+    for (const auto& [attr, value] : entry.values) {
+      std::printf("  %s=%.0f", attr.c_str(), value);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  harness::TestbedConfig config;
+  config.num_nodes = 48;  // 24 PE sites + 24 vGMux instances
+  config.seed = 4242;
+  config.service.schema = nfv_schema();
+  config.agent.dynamics.volatility = 0.002;  // capacities drift slowly
+  harness::Testbed bed(config);
+
+  // Model the estate: even agents are PE cloud sites, odd agents are vGMux
+  // service instances. Static attributes describe hardware and tenancy.
+  for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+    auto& resources = bed.agent(i).resources();
+    if (i % 2 == 0) {
+      resources.set_static({
+          {"kind", "site"},
+          {"owner", i % 4 == 0 ? "provider" : "partner"},
+          {"sriov", i % 6 == 0 ? "yes" : "no"},
+          {"kvm_version", i % 3 == 0 ? "22" : "20"},
+      });
+    } else {
+      resources.set_static({
+          {"kind", "vgmux"},
+          {"owner", "provider"},
+          {"vlan_tag", "vpn-" + std::to_string(i % 5)},
+      });
+    }
+  }
+  bed.start();
+  if (!bed.settle()) {
+    std::printf("deployment did not settle\n");
+    return 1;
+  }
+  std::printf("NFV estate deployed: %zu sites + %zu vGMux instances, %zu groups\n",
+              bed.num_agents() / 2, bed.num_agents() / 2,
+              bed.service().dgm().group_count());
+
+  // Homing a vCPE for customer VPN "vpn-2" (Fig. 4b policies):
+  //
+  // Constraint 1+2 (static): a provider-owned vGMux whose VLAN tag matches
+  // the customer VPN. Constraint (dynamic): it must have a free slice.
+  core::Query vgmux_query;
+  vgmux_query.where_static("kind", "vgmux")
+      .where_static("owner", "provider")
+      .where_static("vlan_tag", "vpn-2")
+      .where_at_least("free_slices", 1)
+      .take(3);
+  print_candidates("1) vGMux with a matching VLAN tag and a free slice:",
+                   bed.query_and_wait(vgmux_query));
+
+  // Constraint 3 (static hardware) + instantaneous site capacity (dynamic):
+  // an SRIOV-capable provider site running KVM 22 with capacity for the vG.
+  core::Query site_query;
+  site_query.where_static("kind", "site")
+      .where_static("sriov", "yes")
+      .where_static("kvm_version", "22")
+      .where_at_least("avail_vcpu", 8)
+      .where_at_least("avail_mem_gb", 16)
+      .where_at_least("upstream_gbps", 5)
+      .take(3);
+  print_candidates("2) PE sites with SRIOV + KVM 22 and capacity for the vG:",
+                   bed.query_and_wait(site_query));
+
+  // The same homing query an ONAP client would POST as JSON:
+  std::printf("\nJSON form of the site query (the REST body an ONAP homing\n"
+              "service would send to FOCUS):\n%s\n",
+              core::to_json(site_query).pretty().c_str());
+
+  // Operational twist: the service designer relaxes to any region but wants
+  // results no staler than 2 s — repeated homing decisions hit the cache.
+  core::Query relaxed = site_query;
+  relaxed.fresh_within(2 * kSecond);
+  auto first = bed.query_and_wait(relaxed);
+  auto second = bed.query_and_wait(relaxed);
+  if (first.ok() && second.ok()) {
+    std::printf("repeat homing decision: first from %s (%.0f ms), "
+                "second from %s (%.0f ms)\n",
+                core::to_string(first.value().source),
+                to_millis(first.value().latency()),
+                core::to_string(second.value().source),
+                to_millis(second.value().latency()));
+  }
+  return 0;
+}

@@ -1,0 +1,399 @@
+#include "agent/node_manager.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace focus::agent {
+
+using namespace focus::core;
+
+namespace {
+/// Command port of every node agent (p2p agents use ports >= 100).
+constexpr std::uint16_t kCommandPort = 1;
+}  // namespace
+
+NodeManager::NodeManager(sim::Simulator& simulator, net::Transport& transport,
+                         NodeId node, Region region, net::Address focus_south,
+                         const core::Schema& schema, AgentConfig config, Rng rng)
+    : simulator_(simulator),
+      transport_(transport),
+      command_addr_{node, kCommandPort},
+      focus_south_(focus_south),
+      schema_(schema),
+      config_(config),
+      rng_(std::move(rng)),
+      resources_(schema, node, region, rng_.fork(), config.dynamics),
+      p2p_(simulator, transport, node, region, config.gossip, rng_.fork()) {}
+
+NodeManager::~NodeManager() {
+  if (running_) stop();
+}
+
+void NodeManager::start() {
+  running_ = true;
+  *alive_flag_ = true;
+  transport_.bind(command_addr_, [this, alive = alive_flag_](const net::Message& m) {
+    if (*alive) on_command(m);
+  });
+  resources_.step(simulator_.now());
+  send_register();
+
+  const auto phase = [this](Duration interval) {
+    return static_cast<Duration>(rng_.uniform(0.0, static_cast<double>(interval)));
+  };
+  poll_timer_ = simulator_.every(
+      config_.poll_interval, [this, alive = alive_flag_] { if (*alive) poll(); },
+      phase(config_.poll_interval));
+  report_timer_ = simulator_.every(
+      config_.report_interval,
+      [this, alive = alive_flag_] { if (*alive) send_reports(); },
+      phase(config_.report_interval));
+  register_timer_ = simulator_.every(
+      config_.register_retry, [this, alive = alive_flag_] {
+        if (*alive && !registered_) send_register();
+      });
+}
+
+void NodeManager::stop() {
+  if (!running_) return;
+  for (const auto& [attr, membership] : p2p_.memberships()) {
+    auto payload = std::make_shared<LeftGroupPayload>();
+    payload->node = node();
+    payload->group = membership.group;
+    transport_.send(
+        net::Message{command_addr_, focus_south_, kLeftGroup, std::move(payload)});
+  }
+  p2p_.leave_all();
+  running_ = false;
+  *alive_flag_ = false;
+  transport_.unbind(command_addr_);
+  simulator_.cancel(poll_timer_);
+  simulator_.cancel(report_timer_);
+  simulator_.cancel(register_timer_);
+  for (auto& [id, collect] : collects_) simulator_.cancel(collect.window_timer);
+  collects_.clear();
+}
+
+void NodeManager::send_register() {
+  auto payload = std::make_shared<RegisterPayload>();
+  payload->state = resources_.state();
+  payload->command_addr = command_addr_;
+  transport_.send(net::Message{command_addr_, focus_south_, kRegister, std::move(payload)});
+  ++stats_.registrations_sent;
+}
+
+void NodeManager::on_command(const net::Message& msg) {
+  if (msg.kind == kRegisterAck) {
+    handle_register_ack(msg);
+  } else if (msg.kind == kSuggestAck) {
+    handle_suggest_ack(msg);
+  } else if (msg.kind == kRepAssign) {
+    handle_rep_assign(msg);
+  } else if (msg.kind == kGroupQuery) {
+    handle_group_query(msg);
+  } else if (msg.kind == kMemberState) {
+    handle_member_state(msg);
+  } else if (msg.kind == kNodeQuery) {
+    handle_node_query(msg);
+  } else if (msg.kind == kViewInstall) {
+    handle_view_install(msg);
+  }
+}
+
+void NodeManager::handle_register_ack(const net::Message& msg) {
+  if (registered_) return;  // duplicate ack from a retried registration
+  registered_ = true;
+  const auto& ack = msg.as<RegisterAckPayload>();
+  for (const auto& suggestion : ack.suggestions) join_suggested(suggestion);
+}
+
+void NodeManager::join_suggested(const core::GroupSuggestion& suggestion) {
+  const std::string attr = suggestion.attr;
+  p2p_.join(suggestion, [this, alive = alive_flag_, attr](
+                            const gossip::EventPayload& event) {
+    if (*alive) on_gossip_event(attr, event);
+  });
+  auto payload = std::make_shared<JoinedPayload>();
+  payload->node = node();
+  payload->region = resources_.state().region;
+  payload->group = suggestion.group;
+  payload->p2p_addr = p2p_.membership(attr)->agent->address();
+  transport_.send(net::Message{command_addr_, focus_south_, kJoined, std::move(payload)});
+}
+
+void NodeManager::poll() {
+  resources_.step(simulator_.now());
+  evaluate_views();
+  if (!registered_) return;
+  const SimTime now = simulator_.now();
+  for (const auto& [attr, value] : resources_.state().dynamic_values) {
+    const auto* membership = p2p_.membership(attr);
+    const bool out_of_range =
+        membership != nullptr && !membership->range.contains(value);
+    const bool missing = membership == nullptr && schema_.find(attr) != nullptr &&
+                         schema_.find(attr)->kind == AttrKind::Dynamic;
+    auto pending = pending_suggestions_.find(attr);
+    const bool already_pending =
+        pending != pending_suggestions_.end() &&
+        now - pending->second < config_.register_retry;
+    if ((out_of_range || missing) && !already_pending) {
+      request_suggestion(attr, value);
+    }
+  }
+}
+
+void NodeManager::request_suggestion(const std::string& attr, double value) {
+  pending_suggestions_[attr] = simulator_.now();
+  auto payload = std::make_shared<SuggestRequestPayload>();
+  payload->node = node();
+  payload->region = resources_.state().region;
+  payload->command_addr = command_addr_;
+  payload->attr = attr;
+  payload->value = value;
+  transport_.send(net::Message{command_addr_, focus_south_, kSuggest, std::move(payload)});
+}
+
+void NodeManager::handle_suggest_ack(const net::Message& msg) {
+  const auto& ack = msg.as<SuggestAckPayload>();
+  const auto& suggestion = ack.suggestion;
+  if (suggestion.group.empty()) return;  // service had no schema for the attr
+  pending_suggestions_.erase(suggestion.attr);
+
+  const auto* current = p2p_.membership(suggestion.attr);
+  if (current != nullptr && current->group == suggestion.group) {
+    // Already in this group. If FOCUS supplied entry points this is a merge
+    // suggestion (bootstrap-island healing): gossip-join the existing mesh.
+    if (!suggestion.entry_points.empty()) {
+      current->agent->join(suggestion.entry_points);
+    }
+    return;
+  }
+  if (current != nullptr) {
+    auto payload = std::make_shared<LeftGroupPayload>();
+    payload->node = node();
+    payload->group = current->group;
+    transport_.send(
+        net::Message{command_addr_, focus_south_, kLeftGroup, std::move(payload)});
+    rep_groups_.erase(current->group);
+    last_reported_.erase(current->group);
+  }
+  join_suggested(suggestion);
+  ++stats_.group_moves;
+}
+
+void NodeManager::handle_rep_assign(const net::Message& msg) {
+  const auto& assign = msg.as<RepAssignPayload>();
+  if (assign.assign) {
+    if (p2p_.agent_for_group(assign.group) != nullptr) {
+      rep_groups_.insert(assign.group);
+    }
+  } else {
+    rep_groups_.erase(assign.group);
+    last_reported_.erase(assign.group);
+    last_full_report_.erase(assign.group);
+  }
+}
+
+void NodeManager::send_reports() {
+  if (!registered_) return;
+  const SimTime now = simulator_.now();
+  for (auto it = rep_groups_.begin(); it != rep_groups_.end();) {
+    const std::string& group = *it;
+    gossip::GroupAgent* agent = p2p_.agent_for_group(group);
+    if (agent == nullptr) {
+      last_reported_.erase(group);
+      last_full_report_.erase(group);
+      it = rep_groups_.erase(it);
+      continue;
+    }
+
+    std::map<NodeId, MemberRecord> current;
+    current[node()] = MemberRecord{node(), agent->address(),
+                                   resources_.state().region};
+    for (const auto& member : agent->alive_members()) {
+      current[member.id] = MemberRecord{member.id, member.addr, member.region};
+    }
+
+    auto payload = std::make_shared<GroupReportPayload>();
+    payload->group = group;
+    const bool want_full =
+        !config_.delta_reports || last_reported_.count(group) == 0 ||
+        now - last_full_report_[group] >= config_.full_report_interval;
+    if (want_full) {
+      payload->full = true;
+      for (const auto& [id, rec] : current) payload->members.push_back(rec);
+      last_full_report_[group] = now;
+    } else {
+      payload->full = false;
+      const auto& last = last_reported_[group];
+      for (const auto& [id, rec] : current) {
+        if (last.count(id) == 0) payload->members.push_back(rec);
+      }
+      for (const auto& [id, rec] : last) {
+        if (current.count(id) == 0) payload->departed.push_back(id);
+      }
+      if (payload->members.empty() && payload->departed.empty()) {
+        last_reported_[group] = std::move(current);
+        ++it;
+        continue;  // nothing changed; skip the upload
+      }
+    }
+    last_reported_[group] = std::move(current);
+    transport_.send(
+        net::Message{command_addr_, focus_south_, kGroupReport, std::move(payload)});
+    ++stats_.reports_sent;
+    ++it;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query handling
+
+void NodeManager::handle_group_query(const net::Message& msg) {
+  const auto& gq = msg.as<GroupQueryPayload>();
+  gossip::GroupAgent* agent = p2p_.agent_for_group(gq.group);
+  if (agent == nullptr) {
+    // We moved out of the group between the router's snapshot and now;
+    // answer empty so the router does not wait for the timeout.
+    auto payload = std::make_shared<GroupResponsePayload>();
+    payload->query_id = gq.query_id;
+    payload->group = gq.group;
+    payload->complete = false;
+    transport_.send(
+        net::Message{command_addr_, gq.reply_to, kGroupResponse, std::move(payload)});
+    return;
+  }
+
+  const std::uint64_t collect_id = next_collect_id_++;
+  Collect collect;
+  collect.query_id = gq.query_id;
+  collect.group = gq.group;
+  collect.query = gq.query;
+  collect.reply_to = gq.reply_to;
+  collect.expected = agent->alive_count();
+  const Duration window =
+      gq.collect_window > 0 ? gq.collect_window : 1 * kSecond;
+  collect.window_timer =
+      simulator_.schedule_after(window, [this, alive = alive_flag_, collect_id] {
+        if (*alive) finish_collect(collect_id, /*window_expired=*/true);
+      });
+  collects_.emplace(collect_id, std::move(collect));
+  ++stats_.queries_coordinated;
+
+  auto body = std::make_shared<GroupQueryEventPayload>();
+  body->collect_id = collect_id;
+  body->query = gq.query;
+  body->coordinator = command_addr_;
+  agent->broadcast(kQueryEventTopic, std::move(body), /*deliver_locally=*/true);
+}
+
+void NodeManager::on_gossip_event(const std::string& attr,
+                                  const gossip::EventPayload& event) {
+  (void)attr;
+  if (event.topic != kQueryEventTopic || !event.body) return;
+  const auto& body = static_cast<const GroupQueryEventPayload&>(*event.body);
+  if (body.coordinator == command_addr_) {
+    // Our own event delivered locally: record our state without a self-send.
+    auto it = collects_.find(body.collect_id);
+    if (it != collects_.end()) {
+      it->second.heard[node()] = resources_.state();
+      if (it->second.heard.size() >= it->second.expected) {
+        finish_collect(body.collect_id, /*window_expired=*/false);
+      }
+    }
+    return;
+  }
+  send_member_state(body.collect_id, body.coordinator);
+  ++stats_.member_responses;
+}
+
+void NodeManager::send_member_state(std::uint64_t collect_id,
+                                    const net::Address& coordinator) {
+  auto payload = std::make_shared<MemberStatePayload>();
+  payload->query_id = collect_id;
+  payload->state = resources_.state();
+  transport_.send(
+      net::Message{command_addr_, coordinator, kMemberState, std::move(payload)});
+}
+
+void NodeManager::handle_member_state(const net::Message& msg) {
+  const auto& ms = msg.as<MemberStatePayload>();
+  auto it = collects_.find(ms.query_id);
+  if (it == collects_.end()) return;  // straggler after the window closed
+  Collect& collect = it->second;
+  collect.heard[ms.state.node] = ms.state;
+  if (collect.heard.size() >= collect.expected) {
+    finish_collect(ms.query_id, /*window_expired=*/false);
+  }
+}
+
+void NodeManager::finish_collect(std::uint64_t collect_id, bool window_expired) {
+  auto it = collects_.find(collect_id);
+  if (it == collects_.end()) return;
+  Collect& collect = it->second;
+  simulator_.cancel(collect.window_timer);
+
+  auto payload = std::make_shared<GroupResponsePayload>();
+  payload->query_id = collect.query_id;
+  payload->group = collect.group;
+  payload->members_heard = collect.heard.size();
+  payload->complete = !window_expired;
+  for (const auto& [id, state] : collect.heard) {
+    if (!collect.query.matches(state)) continue;
+    ResultEntry entry;
+    entry.node = id;
+    entry.region = state.region;
+    entry.values = state.dynamic_values;
+    entry.timestamp = state.timestamp;
+    payload->entries.push_back(std::move(entry));
+    if (collect.query.limit > 0 &&
+        static_cast<int>(payload->entries.size()) >= collect.query.limit) {
+      break;  // bound the response size by the query limit
+    }
+  }
+  transport_.send(
+      net::Message{command_addr_, collect.reply_to, kGroupResponse, std::move(payload)});
+  collects_.erase(it);
+}
+
+void NodeManager::handle_view_install(const net::Message& msg) {
+  const auto& install = msg.as<core::ViewInstallPayload>();
+  for (const auto& id : install.withdraw) views_.erase(id);
+  for (const auto& spec : install.install) {
+    auto [it, inserted] = views_.try_emplace(spec.view_id);
+    it->second.query = spec.query;
+    if (inserted) it->second.matching = false;
+  }
+  // Evaluate immediately: a node that already matches a just-installed view
+  // must announce itself (the seed query may have raced past it).
+  evaluate_views();
+}
+
+void NodeManager::evaluate_views() {
+  const core::NodeState& state = resources_.state();
+  for (auto& [id, view] : views_) {
+    const bool now_matching = view.query.matches(state);
+    if (now_matching == view.matching) continue;
+    view.matching = now_matching;
+    auto payload = std::make_shared<core::ViewEventPayload>();
+    payload->view_id = id;
+    payload->entered = now_matching;
+    payload->state = state;
+    transport_.send(
+        net::Message{command_addr_, focus_south_, core::kViewEvent, std::move(payload)});
+    ++stats_.view_events_sent;
+  }
+}
+
+void NodeManager::handle_node_query(const net::Message& msg) {
+  const auto& nq = msg.as<NodeQueryPayload>();
+  auto payload = std::make_shared<NodeStatePayload>();
+  payload->query_id = nq.query_id;
+  payload->state = resources_.state();
+  transport_.send(
+      net::Message{command_addr_, nq.reply_to, kNodeState, std::move(payload)});
+  ++stats_.direct_pulls_answered;
+}
+
+}  // namespace focus::agent

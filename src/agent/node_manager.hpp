@@ -1,0 +1,147 @@
+#pragma once
+// The node manager (§VIII-B): registers the node with FOCUS, keeps its
+// attribute values fresh, moves the node between groups when values leave
+// their group ranges, serves queries as group member or coordinator, acts as
+// a group representative when assigned, and answers direct pulls while
+// transitioning.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "agent/p2p_agent.hpp"
+#include "agent/resources.hpp"
+#include "focus/messages.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::agent {
+
+/// Node-manager tunables. The reporting settings must agree with the FOCUS
+/// service configuration (the harness sets both from one place).
+struct AgentConfig {
+  Duration poll_interval = 1 * kSecond;     ///< attribute refresh cadence
+  ResourceDynamics dynamics;                ///< value random-walk behaviour
+  Duration register_retry = 2 * kSecond;    ///< re-send registration if unacked
+  Duration report_interval = 2 * kSecond;   ///< representative upload cadence
+  bool delta_reports = false;               ///< differential rep reports
+  Duration full_report_interval = 60 * kSecond;
+  gossip::Config gossip;                    ///< per-group gossip parameters
+};
+
+/// Node-manager statistics.
+struct NodeManagerStats {
+  std::uint64_t registrations_sent = 0;
+  std::uint64_t group_moves = 0;
+  std::uint64_t queries_coordinated = 0;
+  std::uint64_t member_responses = 0;
+  std::uint64_t view_events_sent = 0;
+  std::uint64_t reports_sent = 0;
+  std::uint64_t direct_pulls_answered = 0;
+};
+
+/// The per-node FOCUS agent (node manager + p2p agent pair).
+class NodeManager {
+ public:
+  NodeManager(sim::Simulator& simulator, net::Transport& transport, NodeId node,
+              Region region, net::Address focus_south, const core::Schema& schema,
+              AgentConfig config, Rng rng);
+  ~NodeManager();
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  /// Register with FOCUS and start periodic polling.
+  void start();
+
+  /// Graceful shutdown: leave every group, stop timers.
+  void stop();
+
+  /// True once FOCUS acknowledged registration.
+  bool registered() const noexcept { return registered_; }
+
+  /// The command address FOCUS uses to reach this agent.
+  const net::Address& command_addr() const noexcept { return command_addr_; }
+  NodeId node() const noexcept { return command_addr_.node; }
+
+  ResourceModel& resources() noexcept { return resources_; }
+  const ResourceModel& resources() const noexcept { return resources_; }
+  P2PAgent& p2p() noexcept { return p2p_; }
+  const P2PAgent& p2p() const noexcept { return p2p_; }
+
+  /// Groups this node currently represents.
+  const std::set<std::string>& rep_groups() const noexcept { return rep_groups_; }
+
+  const NodeManagerStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Collect {
+    std::uint64_t query_id = 0;  ///< router/client id to echo back
+    std::string group;
+    core::Query query;
+    net::Address reply_to;
+    std::size_t expected = 0;
+    std::map<NodeId, core::NodeState> heard;
+    sim::TimerId window_timer = 0;
+  };
+
+  void on_command(const net::Message& msg);
+  void handle_register_ack(const net::Message& msg);
+  void handle_suggest_ack(const net::Message& msg);
+  void handle_rep_assign(const net::Message& msg);
+  void handle_group_query(const net::Message& msg);
+  void handle_member_state(const net::Message& msg);
+  void handle_node_query(const net::Message& msg);
+  void handle_view_install(const net::Message& msg);
+  void evaluate_views();
+
+  void join_suggested(const core::GroupSuggestion& suggestion);
+  void on_gossip_event(const std::string& attr, const gossip::EventPayload& event);
+  void poll();
+  void send_register();
+  void request_suggestion(const std::string& attr, double value);
+  void send_reports();
+  void finish_collect(std::uint64_t collect_id, bool window_expired);
+  void send_member_state(std::uint64_t collect_id, const net::Address& coordinator);
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  net::Address command_addr_;
+  net::Address focus_south_;
+  const core::Schema& schema_;
+  AgentConfig config_;
+  Rng rng_;
+  ResourceModel resources_;
+  P2PAgent p2p_;
+
+  bool running_ = false;
+  bool registered_ = false;
+  sim::TimerId poll_timer_ = 0;
+  sim::TimerId report_timer_ = 0;
+  sim::TimerId register_timer_ = 0;
+  std::shared_ptr<bool> alive_flag_ = std::make_shared<bool>(false);
+
+  /// Attributes awaiting a suggestion ack, with request time (for retry).
+  std::map<std::string, SimTime> pending_suggestions_;
+  std::set<std::string> rep_groups_;
+  /// Last membership uploaded per group (delta-report bookkeeping).
+  std::map<std::string, std::map<NodeId, core::MemberRecord>> last_reported_;
+  std::map<std::string, SimTime> last_full_report_;
+
+  std::unordered_map<std::uint64_t, Collect> collects_;
+  std::uint64_t next_collect_id_ = 1;
+
+  /// Installed materialized-view predicates and the last reported match
+  /// state for each (the node-side half of the event triggers).
+  struct InstalledView {
+    core::Query query;
+    bool matching = false;
+  };
+  std::map<std::uint64_t, InstalledView> views_;
+
+  NodeManagerStats stats_;
+};
+
+}  // namespace focus::agent

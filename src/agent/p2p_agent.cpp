@@ -1,0 +1,64 @@
+#include "agent/p2p_agent.hpp"
+
+namespace focus::agent {
+
+P2PAgent::P2PAgent(sim::Simulator& simulator, net::Transport& transport,
+                   NodeId node, Region region, gossip::Config config, Rng rng)
+    : simulator_(simulator),
+      transport_(transport),
+      node_(node),
+      region_(region),
+      config_(config),
+      rng_(std::move(rng)) {}
+
+gossip::GroupAgent& P2PAgent::join(const core::GroupSuggestion& suggestion,
+                                   gossip::GroupAgent::EventHandler on_event) {
+  leave_attr(suggestion.attr);
+
+  const net::Address addr{node_, next_port_++};
+  auto agent = std::make_unique<gossip::GroupAgent>(
+      simulator_, transport_, addr, region_, config_, rng_.fork());
+  agent->set_event_handler(std::move(on_event));
+  agent->start();
+  if (!suggestion.entry_points.empty()) {
+    agent->join(suggestion.entry_points);
+  }
+
+  Membership membership;
+  membership.attr = suggestion.attr;
+  membership.group = suggestion.group;
+  membership.range = suggestion.range;
+  membership.agent = std::move(agent);
+  auto [it, inserted] =
+      memberships_.insert_or_assign(suggestion.attr, std::move(membership));
+  (void)inserted;
+  return *it->second.agent;
+}
+
+std::string P2PAgent::leave_attr(const std::string& attr) {
+  auto it = memberships_.find(attr);
+  if (it == memberships_.end()) return {};
+  std::string group = it->second.group;
+  it->second.agent->leave();
+  memberships_.erase(it);
+  return group;
+}
+
+void P2PAgent::leave_all() {
+  for (auto& [attr, membership] : memberships_) membership.agent->leave();
+  memberships_.clear();
+}
+
+gossip::GroupAgent* P2PAgent::agent_for_group(const std::string& group) {
+  for (auto& [attr, membership] : memberships_) {
+    if (membership.group == group) return membership.agent.get();
+  }
+  return nullptr;
+}
+
+const P2PAgent::Membership* P2PAgent::membership(const std::string& attr) const {
+  auto it = memberships_.find(attr);
+  return it == memberships_.end() ? nullptr : &it->second;
+}
+
+}  // namespace focus::agent

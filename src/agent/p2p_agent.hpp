@@ -1,0 +1,64 @@
+#pragma once
+// The node's p2p side (§VIII-B "p2p Agents"): one gossip GroupAgent per
+// joined attribute group, each bound to its own port.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "focus/messages.hpp"
+#include "gossip/swim.hpp"
+
+namespace focus::agent {
+
+/// Manages the gossip agents for every group this node belongs to.
+class P2PAgent {
+ public:
+  /// One group membership.
+  struct Membership {
+    std::string attr;
+    std::string group;
+    core::GroupRange range;
+    std::unique_ptr<gossip::GroupAgent> agent;
+  };
+
+  P2PAgent(sim::Simulator& simulator, net::Transport& transport, NodeId node,
+           Region region, gossip::Config config, Rng rng);
+
+  /// Start an agent for the suggested group and join via its entry points
+  /// (an empty entry-point list means "start the group", §VIII-B).
+  /// Replaces any existing membership for the same attribute.
+  gossip::GroupAgent& join(const core::GroupSuggestion& suggestion,
+                           gossip::GroupAgent::EventHandler on_event);
+
+  /// Leave the group tracking `attr` (graceful gossip leave + destroy).
+  /// Returns the group name left, or empty when there was none.
+  std::string leave_attr(const std::string& attr);
+
+  /// Leave every group (shutdown).
+  void leave_all();
+
+  /// Agent for a group name; nullptr when not a member.
+  gossip::GroupAgent* agent_for_group(const std::string& group);
+
+  /// Membership for an attribute; nullptr when none.
+  const Membership* membership(const std::string& attr) const;
+
+  /// All memberships keyed by attribute.
+  const std::map<std::string, Membership>& memberships() const noexcept {
+    return memberships_;
+  }
+
+ private:
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  NodeId node_;
+  Region region_;
+  gossip::Config config_;
+  Rng rng_;
+  std::map<std::string, Membership> memberships_;  // keyed by attribute
+  std::uint16_t next_port_ = 100;
+};
+
+}  // namespace focus::agent

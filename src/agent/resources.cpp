@@ -1,0 +1,42 @@
+#include "agent/resources.hpp"
+
+#include <algorithm>
+
+namespace focus::agent {
+
+ResourceModel::ResourceModel(const core::Schema& schema, NodeId node,
+                             Region region, Rng rng, ResourceDynamics dynamics)
+    : schema_(schema), rng_(std::move(rng)), dynamics_(dynamics) {
+  state_.node = node;
+  state_.region = region;
+  for (const auto& attr : schema_.dynamic_attrs()) {
+    state_.dynamic_values[attr.name] =
+        rng_.uniform(attr.min_value, attr.max_value);
+  }
+}
+
+void ResourceModel::set_static(std::map<std::string, std::string> values) {
+  state_.static_values = std::move(values);
+}
+
+void ResourceModel::set_value(const std::string& attr, double value) {
+  state_.dynamic_values[attr] = value;
+}
+
+void ResourceModel::step(SimTime now) {
+  state_.timestamp = now;
+  if (dynamics_.frozen) return;
+  for (const auto& attr : schema_.dynamic_attrs()) {
+    auto it = state_.dynamic_values.find(attr.name);
+    if (it == state_.dynamic_values.end()) continue;
+    const double span = attr.max_value - attr.min_value;
+    const double step = rng_.uniform(-1.0, 1.0) * dynamics_.volatility * span;
+    double v = it->second + step;
+    // Reflect at the domain boundaries so values do not pile up at the edges.
+    if (v < attr.min_value) v = 2 * attr.min_value - v;
+    if (v > attr.max_value) v = 2 * attr.max_value - v;
+    it->second = std::clamp(v, attr.min_value, attr.max_value);
+  }
+}
+
+}  // namespace focus::agent

@@ -1,0 +1,58 @@
+#pragma once
+// Simulated resource collection. On a real host the node manager shells out
+// to OS tools / libvirt (§VIII-B, §IX); here a bounded random walk drives
+// each dynamic attribute so group churn resembles the paper's testbed (which
+// injected a randomness factor into consolidated agents for the same reason,
+// §X-A).
+
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "focus/attribute.hpp"
+
+namespace focus::agent {
+
+/// How node resources evolve.
+struct ResourceDynamics {
+  /// Step size per poll as a fraction of each attribute's domain. With the
+  /// default 1 s poll, a value crosses a typical bucket boundary every
+  /// couple of minutes — the churn regime of a busy cloud host.
+  double volatility = 0.003;
+  /// When true, values never change after initialization (tests, baselines
+  /// that need steady state).
+  bool frozen = false;
+};
+
+/// Per-node attribute values with bounded-random-walk dynamics.
+class ResourceModel {
+ public:
+  /// Initializes every dynamic attribute to a uniform random value in its
+  /// domain.
+  ResourceModel(const core::Schema& schema, NodeId node, Region region, Rng rng,
+                ResourceDynamics dynamics = {});
+
+  /// Set static attributes (arch, hypervisor, project id, ...).
+  void set_static(std::map<std::string, std::string> values);
+
+  /// Pin one dynamic attribute to a value (examples/tests).
+  void set_value(const std::string& attr, double value);
+
+  /// Advance the random walk one poll step and stamp `now`.
+  void step(SimTime now);
+
+  /// Current snapshot.
+  const core::NodeState& state() const noexcept { return state_; }
+
+  /// Mutable dynamics knobs.
+  ResourceDynamics& dynamics() noexcept { return dynamics_; }
+
+ private:
+  const core::Schema& schema_;
+  Rng rng_;
+  ResourceDynamics dynamics_;
+  core::NodeState state_;
+};
+
+}  // namespace focus::agent

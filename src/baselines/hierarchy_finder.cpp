@@ -1,0 +1,257 @@
+#include "baselines/hierarchy_finder.hpp"
+
+#include <cassert>
+
+#include "baselines/push_finder.hpp"  // filter_states
+
+namespace focus::baselines {
+
+namespace {
+constexpr std::uint16_t kNodePort = 50;
+constexpr std::uint16_t kServerPort = 60;
+constexpr std::uint16_t kManagerPort = 61;
+constexpr const char* kStatePush = "base.push";
+constexpr const char* kBatch = "base.batch";
+constexpr const char* kSubsetQuery = "base.subset_query";
+constexpr const char* kSubsetResp = "base.subset_resp";
+
+/// Prefer a manager in the node's own region; fall back to round-robin.
+std::size_t pick_manager(const std::vector<ManagerNode>& managers, Region region,
+                         std::size_t node_index) {
+  std::size_t same_region = managers.size();
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < managers.size(); ++i) {
+    if (managers[i].region == region) {
+      if (seen == node_index % 4) {  // spread within region's managers
+        return i;
+      }
+      same_region = i;
+      ++seen;
+    }
+  }
+  if (same_region < managers.size()) return same_region;
+  return node_index % managers.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AggregatingFinder
+
+AggregatingFinder::AggregatingFinder(sim::Simulator& simulator,
+                                     net::Transport& transport, NodeId server,
+                                     std::vector<SimNode> nodes,
+                                     std::vector<ManagerNode> managers,
+                                     BaselineConfig config, Rng rng)
+    : simulator_(simulator),
+      transport_(transport),
+      server_addr_{server, kServerPort},
+      nodes_(std::move(nodes)),
+      config_(config),
+      rng_(std::move(rng)) {
+  assert(!managers.empty());
+  for (const auto& m : managers) managers_.push_back(Manager{m, {}});
+
+  transport_.bind(server_addr_, [this](const net::Message& m) { on_server(m); });
+
+  // Managers buffer incoming pushes and flush batches periodically.
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    const net::Address addr{managers_[i].info.id, kManagerPort};
+    transport_.bind(addr, [this, i](const net::Message& m) {
+      if (m.kind != kStatePush) return;
+      managers_[i].buffer.push_back(m.as<StatePushPayload>().state);
+    });
+    const auto phase = static_cast<Duration>(
+        rng_.uniform(0.0, static_cast<double>(config_.manager_flush)));
+    timers_.push_back(simulator_.every(
+        config_.manager_flush,
+        [this, i, addr] {
+          if (managers_[i].buffer.empty()) return;
+          auto payload = std::make_shared<AggregateBatchPayload>();
+          payload->states = std::move(managers_[i].buffer);
+          payload->padded_bytes_each = config_.state_bytes;
+          managers_[i].buffer.clear();
+          transport_.send(net::Message{addr, server_addr_, kBatch, std::move(payload)});
+        },
+        phase));
+  }
+
+  // Nodes push to their manager.
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const SimNode node = nodes_[n];
+    const net::Address node_addr{node.id, kNodePort};
+    transport_.bind(node_addr, [](const net::Message&) {});
+    const std::size_t mgr = pick_manager(managers, node.region, n);
+    const net::Address mgr_addr{managers_[mgr].info.id, kManagerPort};
+    const auto phase = static_cast<Duration>(
+        rng_.uniform(0.0, static_cast<double>(config_.push_interval)));
+    timers_.push_back(simulator_.every(
+        config_.push_interval,
+        [this, node, node_addr, mgr_addr] {
+          auto payload = std::make_shared<StatePushPayload>();
+          payload->state = node.model->state();
+          payload->padded_bytes = config_.state_bytes;
+          transport_.send(net::Message{node_addr, mgr_addr, kStatePush, std::move(payload)});
+        },
+        phase));
+  }
+}
+
+AggregatingFinder::~AggregatingFinder() {
+  transport_.unbind(server_addr_);
+  for (const auto& m : managers_) transport_.unbind({m.info.id, kManagerPort});
+  for (const auto& n : nodes_) transport_.unbind({n.id, kNodePort});
+  for (auto timer : timers_) simulator_.cancel(timer);
+}
+
+void AggregatingFinder::on_server(const net::Message& msg) {
+  if (msg.kind != kBatch) return;
+  const auto& batch = msg.as<AggregateBatchPayload>();
+  ++batches_received_;
+  for (const auto& state : batch.states) {
+    table_[state.node] = state;
+    ++states_received_;
+  }
+}
+
+void AggregatingFinder::find(const core::Query& query, Callback cb) {
+  std::vector<std::pair<NodeId, core::NodeState>> states;
+  states.reserve(table_.size());
+  for (const auto& [id, state] : table_) states.emplace_back(id, state);
+  core::QueryResult result;
+  result.issued_at = simulator_.now();
+  result.completed_at = simulator_.now();
+  result.source = core::ResponseSource::Store;
+  result.entries = filter_states(states, query);
+  cb(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// SubsettingFinder
+
+SubsettingFinder::SubsettingFinder(sim::Simulator& simulator,
+                                   net::Transport& transport, NodeId server,
+                                   std::vector<SimNode> nodes,
+                                   std::vector<ManagerNode> managers,
+                                   BaselineConfig config, Rng rng)
+    : simulator_(simulator),
+      transport_(transport),
+      server_addr_{server, kServerPort},
+      nodes_(std::move(nodes)),
+      managers_(std::move(managers)),
+      config_(config),
+      rng_(std::move(rng)) {
+  assert(!managers_.empty());
+  manager_tables_.resize(managers_.size());
+
+  transport_.bind(server_addr_, [this](const net::Message& m) { on_server(m); });
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    transport_.bind({managers_[i].id, kManagerPort},
+                    [this, i](const net::Message& m) { on_manager(i, m); });
+  }
+
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const SimNode node = nodes_[n];
+    const net::Address node_addr{node.id, kNodePort};
+    transport_.bind(node_addr, [](const net::Message&) {});
+    const std::size_t mgr = pick_manager(managers_, node.region, n);
+    const net::Address mgr_addr{managers_[mgr].id, kManagerPort};
+    const auto phase = static_cast<Duration>(
+        rng_.uniform(0.0, static_cast<double>(config_.push_interval)));
+    timers_.push_back(simulator_.every(
+        config_.push_interval,
+        [this, node, node_addr, mgr_addr] {
+          auto payload = std::make_shared<StatePushPayload>();
+          payload->state = node.model->state();
+          payload->padded_bytes = config_.state_bytes;
+          transport_.send(net::Message{node_addr, mgr_addr, kStatePush, std::move(payload)});
+        },
+        phase));
+  }
+}
+
+SubsettingFinder::~SubsettingFinder() {
+  transport_.unbind(server_addr_);
+  for (const auto& m : managers_) transport_.unbind({m.id, kManagerPort});
+  for (const auto& n : nodes_) transport_.unbind({n.id, kNodePort});
+  for (auto timer : timers_) simulator_.cancel(timer);
+  for (auto& [id, pending] : pending_) simulator_.cancel(pending.timeout_timer);
+}
+
+void SubsettingFinder::on_manager(std::size_t index, const net::Message& msg) {
+  if (msg.kind == kStatePush) {
+    const auto& push = msg.as<StatePushPayload>();
+    manager_tables_[index][push.state.node] = push.state;
+    return;
+  }
+  if (msg.kind != kSubsetQuery) return;
+  const auto& sq = msg.as<SubsetQueryPayload>();
+  auto payload = std::make_shared<SubsetResponsePayload>();
+  payload->id = sq.id;
+  payload->padded_bytes_each = config_.state_bytes;
+  for (const auto& [id, state] : manager_tables_[index]) {
+    if (sq.query.matches(state)) payload->matches.push_back(state);
+  }
+  transport_.send(net::Message{msg.to, msg.from, kSubsetResp, std::move(payload)});
+}
+
+void SubsettingFinder::find(const core::Query& query, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  Pending pending;
+  pending.query = query;
+  pending.cb = std::move(cb);
+  pending.issued_at = simulator_.now();
+  pending.awaiting = managers_.size();
+  pending.timeout_timer = simulator_.schedule_after(
+      config_.pull_timeout, [this, id] { finish(id, /*timed_out=*/true); });
+  pending_.emplace(id, std::move(pending));
+
+  for (const auto& manager : managers_) {
+    auto payload = std::make_shared<SubsetQueryPayload>();
+    payload->id = id;
+    payload->query = query;
+    transport_.send(net::Message{server_addr_, {manager.id, kManagerPort},
+                                 kSubsetQuery, std::move(payload)});
+  }
+}
+
+void SubsettingFinder::on_server(const net::Message& msg) {
+  if (msg.kind != kSubsetResp) return;
+  const auto& resp = msg.as<SubsetResponsePayload>();
+  auto it = pending_.find(resp.id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  for (const auto& state : resp.matches) {
+    if (pending.seen.insert(state.node).second) {
+      pending.states.emplace_back(state.node, state);
+    }
+  }
+  if (--pending.awaiting == 0) finish(resp.id, /*timed_out=*/false);
+}
+
+void SubsettingFinder::finish(std::uint64_t id, bool timed_out) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  simulator_.cancel(pending.timeout_timer);
+
+  core::QueryResult result;
+  result.issued_at = pending.issued_at;
+  result.completed_at = simulator_.now();
+  result.source = core::ResponseSource::Direct;
+  result.timed_out = timed_out;
+  result.entries = filter_states(pending.states, pending.query);
+  Callback cb = std::move(pending.cb);
+  pending_.erase(it);
+  cb(std::move(result));
+}
+
+std::size_t SubsettingFinder::manager_for(std::size_t node_index) const {
+  return node_index % managers_.size();
+}
+
+std::size_t AggregatingFinder::manager_for(std::size_t node_index) const {
+  return node_index % managers_.size();
+}
+
+}  // namespace focus::baselines

@@ -1,0 +1,109 @@
+#pragma once
+// Hierarchical baselines (§III-B-2, Fig. 2c/2d):
+//  * AggregatingFinder — a layer of aggregators batches node pushes before
+//    forwarding to the server. Reduces the server's event rate, not its
+//    bandwidth.
+//  * SubsettingFinder — nodes push to subset managers; the server pulls all
+//    managers on each query and each returns its matching nodes' full state.
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/node_finder.hpp"
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::baselines {
+
+/// A hierarchy middle-layer node (aggregator or subset manager).
+struct ManagerNode {
+  NodeId id;
+  Region region = Region::AppEdge;
+};
+
+/// Aggregating hierarchy (Fig. 2c).
+class AggregatingFinder final : public NodeFinder {
+ public:
+  AggregatingFinder(sim::Simulator& simulator, net::Transport& transport,
+                    NodeId server, std::vector<SimNode> nodes,
+                    std::vector<ManagerNode> managers, BaselineConfig config,
+                    Rng rng);
+  ~AggregatingFinder() override;
+
+  void find(const core::Query& query, Callback cb) override;
+  NodeId server_node() const override { return server_addr_.node; }
+  std::string name() const override { return "hierarchy-aggregating"; }
+
+  /// Batches the server received (tests: event-rate reduction).
+  std::uint64_t batches_received() const noexcept { return batches_received_; }
+  /// Individual states contained in those batches.
+  std::uint64_t states_received() const noexcept { return states_received_; }
+
+ private:
+  struct Manager {
+    ManagerNode info;
+    std::vector<core::NodeState> buffer;
+  };
+
+  void on_server(const net::Message& msg);
+  std::size_t manager_for(std::size_t node_index) const;
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  net::Address server_addr_;
+  std::vector<SimNode> nodes_;
+  std::vector<Manager> managers_;
+  BaselineConfig config_;
+  Rng rng_;
+  std::unordered_map<NodeId, core::NodeState> table_;
+  std::vector<sim::TimerId> timers_;
+  std::uint64_t batches_received_ = 0;
+  std::uint64_t states_received_ = 0;
+};
+
+/// Sub-setting hierarchy (Fig. 2d).
+class SubsettingFinder final : public NodeFinder {
+ public:
+  SubsettingFinder(sim::Simulator& simulator, net::Transport& transport,
+                   NodeId server, std::vector<SimNode> nodes,
+                   std::vector<ManagerNode> managers, BaselineConfig config,
+                   Rng rng);
+  ~SubsettingFinder() override;
+
+  void find(const core::Query& query, Callback cb) override;
+  NodeId server_node() const override { return server_addr_.node; }
+  std::string name() const override { return "hierarchy-subsetting"; }
+
+ private:
+  struct Pending {
+    core::Query query;
+    Callback cb;
+    SimTime issued_at = 0;
+    std::vector<std::pair<NodeId, core::NodeState>> states;
+    std::set<NodeId> seen;
+    std::size_t awaiting = 0;
+    sim::TimerId timeout_timer = 0;
+  };
+
+  void on_server(const net::Message& msg);
+  void on_manager(std::size_t index, const net::Message& msg);
+  void finish(std::uint64_t id, bool timed_out);
+  std::size_t manager_for(std::size_t node_index) const;
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  net::Address server_addr_;
+  std::vector<SimNode> nodes_;
+  std::vector<ManagerNode> managers_;
+  /// Each manager's table of its subset's latest states.
+  std::vector<std::unordered_map<NodeId, core::NodeState>> manager_tables_;
+  BaselineConfig config_;
+  Rng rng_;
+  std::vector<sim::TimerId> timers_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace focus::baselines

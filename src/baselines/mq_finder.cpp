@@ -1,0 +1,170 @@
+#include "baselines/mq_finder.hpp"
+
+#include "baselines/push_finder.hpp"  // filter_states
+
+namespace focus::baselines {
+
+namespace {
+constexpr std::uint16_t kNodePort = 50;
+constexpr std::uint16_t kServerPort = 60;
+constexpr std::uint16_t kBrokerPort = 70;
+constexpr const char* kStateQueue = "node-state";
+constexpr const char* kQueryQueue = "queries";
+constexpr const char* kResponseQueue = "responses";
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MqPubFinder
+
+MqPubFinder::MqPubFinder(sim::Simulator& simulator, net::Transport& transport,
+                         NodeId server, NodeId broker_node,
+                         std::vector<SimNode> nodes, BaselineConfig config,
+                         Rng rng, mq::CostModel broker_cost)
+    : simulator_(simulator),
+      transport_(transport),
+      server_(server),
+      nodes_(std::move(nodes)),
+      config_(config),
+      rng_(std::move(rng)) {
+  broker_ = std::make_unique<mq::Broker>(simulator_, transport_,
+                                         net::Address{broker_node, kBrokerPort},
+                                         broker_cost);
+  server_client_ = std::make_unique<mq::MqClient>(
+      transport_, net::Address{server_, kServerPort}, broker_->address());
+  server_client_->subscribe(
+      kStateQueue, mq::QueueMode::WorkQueue,
+      [this](const std::string&, const std::shared_ptr<const net::Payload>& body) {
+        const auto& push = static_cast<const StatePushPayload&>(*body);
+        table_[push.state.node] = push.state;
+      });
+
+  for (const auto& node : nodes_) {
+    node_clients_.push_back(std::make_unique<mq::MqClient>(
+        transport_, net::Address{node.id, kNodePort}, broker_->address()));
+    mq::MqClient* client = node_clients_.back().get();
+    const auto phase = static_cast<Duration>(
+        rng_.uniform(0.0, static_cast<double>(config_.push_interval)));
+    timers_.push_back(simulator_.every(
+        config_.push_interval,
+        [this, node, client] {
+          auto payload = std::make_shared<StatePushPayload>();
+          payload->state = node.model->state();
+          payload->padded_bytes = config_.state_bytes;
+          client->publish(kStateQueue, std::move(payload));
+        },
+        phase));
+  }
+}
+
+MqPubFinder::~MqPubFinder() {
+  for (auto timer : timers_) simulator_.cancel(timer);
+}
+
+void MqPubFinder::find(const core::Query& query, Callback cb) {
+  std::vector<std::pair<NodeId, core::NodeState>> states;
+  states.reserve(table_.size());
+  for (const auto& [id, state] : table_) states.emplace_back(id, state);
+  core::QueryResult result;
+  result.issued_at = simulator_.now();
+  result.completed_at = simulator_.now();
+  result.source = core::ResponseSource::Store;
+  result.entries = filter_states(states, query);
+  cb(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// MqSubFinder
+
+MqSubFinder::MqSubFinder(sim::Simulator& simulator, net::Transport& transport,
+                         NodeId server, NodeId broker_node,
+                         std::vector<SimNode> nodes, BaselineConfig config,
+                         Rng rng, mq::CostModel broker_cost)
+    : simulator_(simulator),
+      transport_(transport),
+      server_(server),
+      nodes_(std::move(nodes)),
+      config_(config),
+      rng_(std::move(rng)) {
+  broker_ = std::make_unique<mq::Broker>(simulator_, transport_,
+                                         net::Address{broker_node, kBrokerPort},
+                                         broker_cost);
+  server_client_ = std::make_unique<mq::MqClient>(
+      transport_, net::Address{server_, kServerPort}, broker_->address());
+  server_client_->subscribe(
+      kResponseQueue, mq::QueueMode::WorkQueue,
+      [this](const std::string&, const std::shared_ptr<const net::Payload>& body) {
+        on_response(body);
+      });
+
+  for (const auto& node : nodes_) {
+    node_clients_.push_back(std::make_unique<mq::MqClient>(
+        transport_, net::Address{node.id, kNodePort}, broker_->address()));
+    mq::MqClient* client = node_clients_.back().get();
+    client->subscribe(
+        kQueryQueue, mq::QueueMode::Fanout,
+        [node, client, this](const std::string&,
+                             const std::shared_ptr<const net::Payload>& body) {
+          const auto& q = static_cast<const MqQueryPayload&>(*body);
+          auto response = std::make_shared<MqResponsePayload>();
+          response->id = q.id;
+          response->state = node.model->state();
+          response->padded_bytes = config_.state_bytes;
+          client->publish(kResponseQueue, std::move(response));
+        });
+  }
+}
+
+MqSubFinder::~MqSubFinder() {
+  for (auto& [id, pending] : pending_) simulator_.cancel(pending.timeout_timer);
+}
+
+void MqSubFinder::find(const core::Query& query, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  Pending pending;
+  pending.query = query;
+  pending.cb = std::move(cb);
+  pending.issued_at = simulator_.now();
+  pending.expected = nodes_.size();
+  pending.timeout_timer = simulator_.schedule_after(
+      config_.pull_timeout, [this, id] { finish(id, /*timed_out=*/true); });
+  pending_.emplace(id, std::move(pending));
+
+  auto payload = std::make_shared<MqQueryPayload>();
+  payload->id = id;
+  payload->query = query;
+  server_client_->publish(kQueryQueue, std::move(payload));
+  if (nodes_.empty()) finish(id, /*timed_out=*/false);
+}
+
+void MqSubFinder::on_response(const std::shared_ptr<const net::Payload>& body) {
+  const auto& resp = static_cast<const MqResponsePayload&>(*body);
+  auto it = pending_.find(resp.id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (pending.seen.insert(resp.state.node).second) {
+    pending.states.emplace_back(resp.state.node, resp.state);
+  }
+  if (pending.states.size() >= pending.expected) {
+    finish(resp.id, /*timed_out=*/false);
+  }
+}
+
+void MqSubFinder::finish(std::uint64_t id, bool timed_out) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  simulator_.cancel(pending.timeout_timer);
+  if (timed_out) ++timeouts_;
+
+  core::QueryResult result;
+  result.issued_at = pending.issued_at;
+  result.completed_at = simulator_.now();
+  result.source = core::ResponseSource::Direct;
+  result.timed_out = timed_out;
+  result.entries = filter_states(pending.states, pending.query);
+  Callback cb = std::move(pending.cb);
+  pending_.erase(it);
+  cb(std::move(result));
+}
+
+}  // namespace focus::baselines

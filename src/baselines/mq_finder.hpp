@@ -1,0 +1,94 @@
+#pragma once
+// Message-queue baselines (§X-B): node finding through a RabbitMQ-style
+// broker in the two configurations the paper measures.
+//  * MqPubFinder  — nodes periodically publish their state; the server
+//    consumes and answers queries from its table ("pub").
+//  * MqSubFinder  — nodes subscribe for queries; the server broadcasts each
+//    query through the broker and nodes publish responses back ("sub").
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/node_finder.hpp"
+#include "common/rng.hpp"
+#include "mq/broker.hpp"
+#include "mq/client.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::baselines {
+
+/// Publish-mode MQ finder (push through the broker).
+class MqPubFinder final : public NodeFinder {
+ public:
+  MqPubFinder(sim::Simulator& simulator, net::Transport& transport, NodeId server,
+              NodeId broker_node, std::vector<SimNode> nodes,
+              BaselineConfig config, Rng rng, mq::CostModel broker_cost = {});
+  ~MqPubFinder() override;
+
+  void find(const core::Query& query, Callback cb) override;
+  NodeId server_node() const override { return server_; }
+  std::string name() const override { return "rabbitmq-pub"; }
+
+  const mq::Broker& broker() const noexcept { return *broker_; }
+
+ private:
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  NodeId server_;
+  std::vector<SimNode> nodes_;
+  BaselineConfig config_;
+  Rng rng_;
+  std::unique_ptr<mq::Broker> broker_;
+  std::unique_ptr<mq::MqClient> server_client_;
+  std::vector<std::unique_ptr<mq::MqClient>> node_clients_;
+  std::unordered_map<NodeId, core::NodeState> table_;
+  std::vector<sim::TimerId> timers_;
+};
+
+/// Subscribe-mode MQ finder (query broadcast through the broker).
+class MqSubFinder final : public NodeFinder {
+ public:
+  MqSubFinder(sim::Simulator& simulator, net::Transport& transport, NodeId server,
+              NodeId broker_node, std::vector<SimNode> nodes,
+              BaselineConfig config, Rng rng, mq::CostModel broker_cost = {});
+  ~MqSubFinder() override;
+
+  void find(const core::Query& query, Callback cb) override;
+  NodeId server_node() const override { return server_; }
+  std::string name() const override { return "rabbitmq-sub"; }
+
+  const mq::Broker& broker() const noexcept { return *broker_; }
+  std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  struct Pending {
+    core::Query query;
+    Callback cb;
+    SimTime issued_at = 0;
+    std::vector<std::pair<NodeId, core::NodeState>> states;
+    std::set<NodeId> seen;
+    std::size_t expected = 0;
+    sim::TimerId timeout_timer = 0;
+  };
+
+  void on_response(const std::shared_ptr<const net::Payload>& body);
+  void finish(std::uint64_t id, bool timed_out);
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  NodeId server_;
+  std::vector<SimNode> nodes_;
+  BaselineConfig config_;
+  Rng rng_;
+  std::unique_ptr<mq::Broker> broker_;
+  std::unique_ptr<mq::MqClient> server_client_;
+  std::vector<std::unique_ptr<mq::MqClient>> node_clients_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace focus::baselines

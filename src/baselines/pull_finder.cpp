@@ -1,0 +1,95 @@
+#include "baselines/pull_finder.hpp"
+
+namespace focus::baselines {
+
+namespace {
+constexpr std::uint16_t kNodePort = 50;
+constexpr std::uint16_t kServerPort = 60;
+constexpr const char* kPullReq = "base.pull_req";
+constexpr const char* kPullResp = "base.pull_resp";
+}  // namespace
+
+PullFinder::PullFinder(sim::Simulator& simulator, net::Transport& transport,
+                       NodeId server, std::vector<SimNode> nodes,
+                       BaselineConfig config)
+    : simulator_(simulator),
+      transport_(transport),
+      server_addr_{server, kServerPort},
+      nodes_(std::move(nodes)),
+      config_(config) {
+  transport_.bind(server_addr_, [this](const net::Message& m) { on_server(m); });
+  for (const auto& node : nodes_) {
+    transport_.bind({node.id, kNodePort},
+                    [this, node](const net::Message& m) { on_node(node, m); });
+  }
+}
+
+PullFinder::~PullFinder() {
+  transport_.unbind(server_addr_);
+  for (const auto& node : nodes_) transport_.unbind({node.id, kNodePort});
+  for (auto& [id, pending] : pending_) simulator_.cancel(pending.timeout_timer);
+}
+
+void PullFinder::find(const core::Query& query, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  Pending pending;
+  pending.query = query;
+  pending.cb = std::move(cb);
+  pending.issued_at = simulator_.now();
+  pending.expected = nodes_.size();
+  pending.timeout_timer = simulator_.schedule_after(
+      config_.pull_timeout, [this, id] { finish(id, /*timed_out=*/true); });
+  pending_.emplace(id, std::move(pending));
+
+  for (const auto& node : nodes_) {
+    auto payload = std::make_shared<PullRequestPayload>();
+    payload->id = id;
+    transport_.send(net::Message{server_addr_, {node.id, kNodePort}, kPullReq,
+                                 std::move(payload)});
+  }
+  if (nodes_.empty()) finish(id, /*timed_out=*/false);
+}
+
+void PullFinder::on_node(const SimNode& node, const net::Message& msg) {
+  if (msg.kind != kPullReq) return;
+  const auto& req = msg.as<PullRequestPayload>();
+  auto payload = std::make_shared<PullResponsePayload>();
+  payload->id = req.id;
+  payload->state = node.model->state();
+  payload->padded_bytes = config_.state_bytes;
+  transport_.send(net::Message{msg.to, msg.from, kPullResp, std::move(payload)});
+}
+
+void PullFinder::on_server(const net::Message& msg) {
+  if (msg.kind != kPullResp) return;
+  const auto& resp = msg.as<PullResponsePayload>();
+  auto it = pending_.find(resp.id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (pending.seen.insert(resp.state.node).second) {
+    pending.states.emplace_back(resp.state.node, resp.state);
+  }
+  if (pending.states.size() >= pending.expected) {
+    finish(resp.id, /*timed_out=*/false);
+  }
+}
+
+void PullFinder::finish(std::uint64_t id, bool timed_out) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  simulator_.cancel(pending.timeout_timer);
+  if (timed_out) ++timeouts_;
+
+  core::QueryResult result;
+  result.issued_at = pending.issued_at;
+  result.completed_at = simulator_.now();
+  result.source = core::ResponseSource::Direct;
+  result.timed_out = timed_out;
+  result.entries = filter_states(pending.states, pending.query);
+  Callback cb = std::move(pending.cb);
+  pending_.erase(it);
+  cb(std::move(result));
+}
+
+}  // namespace focus::baselines

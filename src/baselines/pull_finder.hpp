@@ -1,0 +1,56 @@
+#pragma once
+// Naive pull (Fig. 2b): the server polls every node on each query. Fresh
+// results, but O(N) traffic per query and response-synchronisation pressure
+// at the server (the Borg model, §III-B-1).
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/node_finder.hpp"
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::baselines {
+
+/// Pull-based node finder.
+class PullFinder final : public NodeFinder {
+ public:
+  PullFinder(sim::Simulator& simulator, net::Transport& transport, NodeId server,
+             std::vector<SimNode> nodes, BaselineConfig config);
+  ~PullFinder() override;
+
+  void find(const core::Query& query, Callback cb) override;
+  NodeId server_node() const override { return server_addr_.node; }
+  std::string name() const override { return "naive-pull"; }
+
+  /// Pulls that hit the timeout before all nodes answered (tests).
+  std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  struct Pending {
+    core::Query query;
+    Callback cb;
+    SimTime issued_at = 0;
+    std::vector<std::pair<NodeId, core::NodeState>> states;
+    std::set<NodeId> seen;
+    std::size_t expected = 0;
+    sim::TimerId timeout_timer = 0;
+  };
+
+  void on_server(const net::Message& msg);
+  void on_node(const SimNode& node, const net::Message& msg);
+  void finish(std::uint64_t id, bool timed_out);
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  net::Address server_addr_;
+  std::vector<SimNode> nodes_;
+  BaselineConfig config_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace focus::baselines

@@ -1,0 +1,92 @@
+#include "baselines/push_finder.hpp"
+
+namespace focus::baselines {
+
+namespace {
+constexpr std::uint16_t kNodePort = 50;
+constexpr std::uint16_t kServerPort = 60;
+constexpr const char* kStatePush = "base.push";
+constexpr const char* kStateAck = "base.ack";
+}  // namespace
+
+std::vector<core::ResultEntry> filter_states(
+    const std::vector<std::pair<NodeId, core::NodeState>>& states,
+    const core::Query& query) {
+  std::vector<core::ResultEntry> out;
+  for (const auto& [id, state] : states) {
+    if (!query.matches(state)) continue;
+    core::ResultEntry entry;
+    entry.node = id;
+    entry.region = state.region;
+    entry.values = state.dynamic_values;
+    entry.timestamp = state.timestamp;
+    out.push_back(std::move(entry));
+    if (query.limit > 0 && static_cast<int>(out.size()) >= query.limit) break;
+  }
+  return out;
+}
+
+PushFinder::PushFinder(sim::Simulator& simulator, net::Transport& transport,
+                       NodeId server, std::vector<SimNode> nodes,
+                       BaselineConfig config, Rng rng, bool with_acks)
+    : simulator_(simulator),
+      transport_(transport),
+      server_addr_{server, kServerPort},
+      nodes_(std::move(nodes)),
+      config_(config),
+      rng_(std::move(rng)),
+      with_acks_(with_acks) {
+  transport_.bind(server_addr_, [this](const net::Message& m) { on_server(m); });
+  for (const auto& node : nodes_) {
+    const net::Address addr{node.id, kNodePort};
+    transport_.bind(addr, [](const net::Message&) { /* acks are fire-and-forget */ });
+    const auto phase = static_cast<Duration>(
+        rng_.uniform(0.0, static_cast<double>(config_.push_interval)));
+    timers_.push_back(simulator_.every(
+        config_.push_interval,
+        [this, node, addr] {
+          auto payload = std::make_shared<StatePushPayload>();
+          payload->state = node.model->state();
+          payload->padded_bytes = config_.state_bytes;
+          transport_.send(net::Message{addr, server_addr_, kStatePush, std::move(payload)});
+        },
+        phase));
+  }
+}
+
+PushFinder::~PushFinder() {
+  transport_.unbind(server_addr_);
+  for (const auto& node : nodes_) transport_.unbind({node.id, kNodePort});
+  for (auto timer : timers_) simulator_.cancel(timer);
+}
+
+void PushFinder::on_server(const net::Message& msg) {
+  if (msg.kind != kStatePush) return;
+  const auto& push = msg.as<StatePushPayload>();
+  table_[push.state.node] = push.state;
+  received_at_[push.state.node] = simulator_.now();
+  ++updates_received_;
+  if (with_acks_) {
+    transport_.send(net::make_message<AckPayload>(server_addr_, msg.from, kStateAck));
+  }
+}
+
+void PushFinder::find(const core::Query& query, Callback cb) {
+  std::vector<std::pair<NodeId, core::NodeState>> states;
+  states.reserve(table_.size());
+  for (const auto& [id, state] : table_) states.emplace_back(id, state);
+  core::QueryResult result;
+  result.issued_at = simulator_.now();
+  result.completed_at = simulator_.now();
+  result.source = core::ResponseSource::Store;
+  result.entries = filter_states(states, query);
+  cb(std::move(result));
+}
+
+Duration PushFinder::staleness_of(NodeId node) const {
+  auto it = received_at_.find(node);
+  if (it == received_at_.end()) return -1;
+  return simulator_.now() - it->second;
+}
+
+}  // namespace focus::baselines

@@ -1,0 +1,53 @@
+#pragma once
+// Naive push (Fig. 2a): every node periodically pushes its full state to the
+// central server, which answers queries from its local (possibly stale)
+// table. The OpenStack/Kubernetes model.
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/node_finder.hpp"
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::baselines {
+
+/// Push-based node finder.
+class PushFinder final : public NodeFinder {
+ public:
+  /// `with_acks`: the server acknowledges each push (HTTP-style request/
+  /// response), as real push deployments do.
+  PushFinder(sim::Simulator& simulator, net::Transport& transport, NodeId server,
+             std::vector<SimNode> nodes, BaselineConfig config, Rng rng,
+             bool with_acks = true);
+  ~PushFinder() override;
+
+  void find(const core::Query& query, Callback cb) override;
+  NodeId server_node() const override { return server_addr_.node; }
+  std::string name() const override { return "naive-push"; }
+
+  /// State updates received by the server (tests).
+  std::uint64_t updates_received() const noexcept { return updates_received_; }
+
+  /// Age of the freshest stored state for `node`; -1 when never seen.
+  /// Exposes the staleness that push-based systems inherently carry.
+  Duration staleness_of(NodeId node) const;
+
+ private:
+  void on_server(const net::Message& msg);
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  net::Address server_addr_;
+  std::vector<SimNode> nodes_;
+  BaselineConfig config_;
+  Rng rng_;
+  bool with_acks_;
+  std::unordered_map<NodeId, core::NodeState> table_;
+  std::unordered_map<NodeId, SimTime> received_at_;
+  std::vector<sim::TimerId> timers_;
+  std::uint64_t updates_received_ = 0;
+};
+
+}  // namespace focus::baselines

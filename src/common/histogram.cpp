@@ -1,0 +1,76 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace focus {
+
+void Histogram::add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value with at least p% of samples <= it.
+  const auto n = sorted_.size();
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return sorted_[rank - 1];
+}
+
+double Histogram::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << percentile(50)
+     << " p99=" << percentile(99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace focus

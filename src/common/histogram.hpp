@@ -1,0 +1,59 @@
+#pragma once
+// Value-recording histogram with exact percentiles, used by every benchmark
+// and by the metrics layer to report latency distributions.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace focus {
+
+/// Collects double-valued samples and answers distribution queries.
+/// Samples are stored exactly (evaluation-scale runs record at most a few
+/// hundred thousand samples), so percentiles are exact rather than
+/// approximated.
+class Histogram {
+ public:
+  /// Record one sample.
+  void add(double value);
+
+  /// Number of recorded samples.
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Arithmetic mean; 0 when empty.
+  double mean() const;
+
+  /// Smallest / largest recorded sample; 0 when empty.
+  double min() const;
+  double max() const;
+
+  /// Exact percentile via nearest-rank on the sorted samples.
+  /// p is in [0, 100]; p=50 is the median.
+  double percentile(double p) const;
+
+  /// Sum of all samples.
+  double sum() const noexcept { return sum_; }
+
+  /// Population standard deviation; 0 when fewer than two samples.
+  double stddev() const;
+
+  /// Merge another histogram's samples into this one.
+  void merge(const Histogram& other);
+
+  /// Drop all samples.
+  void clear();
+
+  /// One-line summary "n=.. mean=.. p50=.. p99=.. max=.." for logs.
+  std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt cache
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+}  // namespace focus

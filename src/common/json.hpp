@@ -1,0 +1,105 @@
+#pragma once
+// Self-contained JSON value type with a parser and writer. FOCUS exposes a
+// REST/JSON API in the paper; this module gives the API layer a faithful
+// wire format without external dependencies.
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace focus {
+
+/// A JSON document: null, bool, number, string, array, or object.
+/// Numbers are stored as double (sufficient for all FOCUS payloads; attribute
+/// values are bounded well below 2^53).
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  /// Constructs null.
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT: implicit by design
+  Json(bool b) : value_(b) {}  // NOLINT
+  Json(double d) : value_(d) {}  // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(std::uint32_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}  // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}  // NOLINT
+  Json(Array a) : value_(std::move(a)) {}  // NOLINT
+  Json(Object o) : value_(std::move(o)) {}  // NOLINT
+
+  /// Factory helpers for explicit construction of containers.
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  /// Type predicates.
+  bool is_null() const noexcept { return std::holds_alternative<std::monostate>(value_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors. Preconditions: matching is_*() is true.
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(std::get<double>(value_)); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  Array& as_array() { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+
+  /// Lenient typed reads with fallbacks (for tolerant API parsing).
+  double number_or(double fallback) const { return is_number() ? as_number() : fallback; }
+  std::string string_or(std::string fallback) const {
+    return is_string() ? as_string() : std::move(fallback);
+  }
+  bool bool_or(bool fallback) const { return is_bool() ? as_bool() : fallback; }
+
+  /// Object field access; converts null to object on first write.
+  Json& operator[](const std::string& key);
+  /// Read-only field access; returns a shared null when the key is absent or
+  /// this value is not an object.
+  const Json& operator[](const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+  /// Append to an array; converts null to array on first push.
+  void push_back(Json element);
+
+  /// Number of elements (array), fields (object) or 0.
+  std::size_t size() const noexcept;
+
+  /// Structural equality.
+  bool operator==(const Json& other) const = default;
+
+  /// Serialize to a compact JSON string.
+  std::string dump() const;
+
+  /// Serialize with 2-space indentation (docs/examples).
+  std::string pretty() const;
+
+  /// Parse a JSON document. Returns InvalidArgument on malformed input.
+  static Result<Json> parse(std::string_view text);
+
+  /// Approximate wire size in bytes of the compact encoding. Used by the
+  /// network model to charge bandwidth for JSON payloads.
+  std::size_t wire_size() const { return dump().size(); }
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::monostate, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace focus

@@ -1,0 +1,53 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace focus {
+namespace {
+
+LogLevel parse_level(std::string_view s) {
+  if (s == "trace") return LogLevel::Trace;
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  return LogLevel::Off;
+}
+
+LogLevel initial_level() {
+  const char* env = std::getenv("FOCUS_LOG");
+  return env ? parse_level(env) : LogLevel::Off;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::set_level(LogLevel level) { level_ref() = level; }
+
+LogLevel Logger::level() { return level_ref(); }
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  std::clog << "[" << level_name(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace focus

@@ -1,0 +1,39 @@
+#pragma once
+// Minimal leveled logger. Silent by default (benches and tests produce a lot
+// of simulated traffic); enable with Logger::set_level or FOCUS_LOG env var.
+
+#include <sstream>
+#include <string>
+
+namespace focus {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-wide logger configuration and sink.
+class Logger {
+ public:
+  /// Set the minimum level that is emitted.
+  static void set_level(LogLevel level);
+
+  /// Current minimum level. Initialized from the FOCUS_LOG environment
+  /// variable on first use ("trace".."error"); defaults to Off.
+  static LogLevel level();
+
+  /// Emit one line (used by the LOG macro below).
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+};
+
+}  // namespace focus
+
+/// Log a message at `lvl` (a focus::LogLevel member name) for `component`.
+/// Usage: FOCUS_LOG(Info, "dgm", "forked group " << name);
+#define FOCUS_LOG(lvl, component, expr)                                      \
+  do {                                                                       \
+    if (::focus::Logger::level() <= ::focus::LogLevel::lvl) {                \
+      std::ostringstream focus_log_os_;                                     \
+      focus_log_os_ << expr;                                                 \
+      ::focus::Logger::write(::focus::LogLevel::lvl, (component),            \
+                             focus_log_os_.str());                           \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,31 @@
+#include "common/metrics.hpp"
+
+namespace focus {
+
+void Metrics::add(const std::string& name, double delta) { values_[name] += delta; }
+
+void Metrics::set(const std::string& name, double value) { values_[name] = value; }
+
+double Metrics::get(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool Metrics::has(const std::string& name) const { return values_.count(name) > 0; }
+
+void Metrics::observe(const std::string& name, double sample) {
+  histograms_[name].add(sample);
+}
+
+const Histogram& Metrics::histogram(const std::string& name) const {
+  static const Histogram kEmpty;
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? kEmpty : it->second;
+}
+
+void Metrics::clear() {
+  values_.clear();
+  histograms_.clear();
+}
+
+}  // namespace focus

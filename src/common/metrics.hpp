@@ -1,0 +1,51 @@
+#pragma once
+// Named counters, gauges and histograms. Each scenario owns a Metrics
+// registry; components record into it and benches/tests read it out.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.hpp"
+
+namespace focus {
+
+/// Registry of named metrics. Keys are flat dotted strings, e.g.
+/// "focus.queries.cache_hit" or "net.server.bytes_rx".
+class Metrics {
+ public:
+  /// Add `delta` to the named counter (creating it at 0 on first touch).
+  void add(const std::string& name, double delta = 1.0);
+
+  /// Set the named gauge to an absolute value.
+  void set(const std::string& name, double value);
+
+  /// Current value of a counter/gauge; 0 when never touched.
+  double get(const std::string& name) const;
+
+  /// True when the counter/gauge has been touched.
+  bool has(const std::string& name) const;
+
+  /// Record a sample into the named histogram.
+  void observe(const std::string& name, double sample);
+
+  /// Read-only access to a named histogram (empty histogram if absent).
+  const Histogram& histogram(const std::string& name) const;
+
+  /// All counter/gauge values (for dumping in benches).
+  const std::map<std::string, double>& values() const noexcept { return values_; }
+
+  /// All histograms.
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// Reset every metric.
+  void clear();
+
+ private:
+  std::map<std::string, double> values_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace focus

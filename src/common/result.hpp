@@ -1,0 +1,89 @@
+#pragma once
+// Lightweight Result<T> for recoverable errors (exceptions are reserved for
+// programming errors, per the project style).
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace focus {
+
+/// Error category for recoverable failures across the FOCUS service and its
+/// substrates.
+enum class Errc {
+  Ok = 0,
+  NotFound,        ///< key / group / node does not exist
+  Timeout,         ///< operation exceeded its deadline
+  Unavailable,     ///< target endpoint down or quorum unreachable
+  InvalidArgument, ///< malformed query / registration / JSON
+  AlreadyExists,   ///< duplicate registration or queue declaration
+  Overloaded,      ///< component shed the request (e.g. broker saturated)
+};
+
+/// Human-readable name of an error code.
+inline const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::Ok: return "ok";
+    case Errc::NotFound: return "not-found";
+    case Errc::Timeout: return "timeout";
+    case Errc::Unavailable: return "unavailable";
+    case Errc::InvalidArgument: return "invalid-argument";
+    case Errc::AlreadyExists: return "already-exists";
+    case Errc::Overloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+/// An error code plus a short context message.
+struct Error {
+  Errc code = Errc::Ok;
+  std::string message;
+};
+
+/// Minimal expected-like result type: either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT
+
+  /// True when the result holds a value.
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Access the value; precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Access the error; precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value if ok, otherwise the provided fallback.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience constructor for error results.
+inline Error make_error(Errc code, std::string message = {}) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace focus

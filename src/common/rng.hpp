@@ -1,0 +1,85 @@
+#pragma once
+// Seeded random number generation. Every scenario owns one Rng; components
+// that need independent streams fork() child generators so that adding a
+// component never perturbs the draws seen by another.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace focus {
+
+/// Deterministic random source built on mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedf0c5u) : engine_(seed) {}
+
+  /// Derive an independent child generator; used to give each node/agent its
+  /// own stream.
+  Rng fork() { return Rng(engine_()); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed duration with the given mean (for Poisson
+  /// arrival processes).
+  double exponential(double mean) {
+    assert(mean > 0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal draw.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Pick a uniformly random element index for a container of size n.
+  std::size_t index(std::size_t n) {
+    assert(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Pick a uniformly random element from a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[index(v.size())];
+  }
+
+  /// Shuffle a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Sample up to k distinct elements from v (order randomized).
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& v, std::size_t k) {
+    std::vector<T> pool = v;
+    shuffle(pool);
+    if (pool.size() > k) pool.resize(k);
+    return pool;
+  }
+
+  /// Raw 64-bit draw (used for hashing-style decisions).
+  std::uint64_t next_u64() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace focus

@@ -1,0 +1,197 @@
+#include "focus/api.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace focus::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Result<Region> region_from_json_name(const std::string& name) {
+  for (auto r : {Region::Ohio, Region::Canada, Region::Oregon, Region::California,
+                 Region::AppEdge}) {
+    if (name == focus::to_string(r)) return r;
+  }
+  return make_error(Errc::InvalidArgument, "unknown region: " + name);
+}
+
+Json to_json(const Query& query) {
+  Json doc = Json::object();
+  Json attrs = Json::array();
+  for (const auto& term : query.terms) {
+    Json t = Json::object();
+    t["name"] = term.attr;
+    if (std::isfinite(term.lower)) t["lower"] = term.lower;
+    if (std::isfinite(term.upper)) t["upper"] = term.upper;
+    attrs.push_back(std::move(t));
+  }
+  doc["attributes"] = std::move(attrs);
+  Json statics = Json::array();
+  for (const auto& term : query.static_terms) {
+    Json t = Json::object();
+    t["name"] = term.attr;
+    t["value"] = term.value;
+    statics.push_back(std::move(t));
+  }
+  doc["static"] = std::move(statics);
+  if (query.location) doc["location"] = focus::to_string(*query.location);
+  doc["limit"] = query.limit;
+  doc["freshness_ms"] = to_millis(query.freshness);
+  return doc;
+}
+
+Result<Query> query_from_json(const Json& doc) {
+  if (!doc.is_object()) {
+    return make_error(Errc::InvalidArgument, "query must be an object");
+  }
+  Query query;
+  const Json& attrs = doc["attributes"];
+  if (attrs.is_array()) {
+    for (const auto& t : attrs.as_array()) {
+      if (!t.is_object() || !t["name"].is_string()) {
+        return make_error(Errc::InvalidArgument, "attribute term missing name");
+      }
+      QueryTerm term;
+      term.attr = t["name"].as_string();
+      term.lower = t["lower"].number_or(-kInf);
+      term.upper = t["upper"].number_or(kInf);
+      query.terms.push_back(std::move(term));
+    }
+  }
+  const Json& statics = doc["static"];
+  if (statics.is_array()) {
+    for (const auto& t : statics.as_array()) {
+      if (!t.is_object() || !t["name"].is_string() || !t["value"].is_string()) {
+        return make_error(Errc::InvalidArgument, "static term missing name/value");
+      }
+      query.static_terms.push_back(
+          StaticTerm{t["name"].as_string(), t["value"].as_string()});
+    }
+  }
+  if (doc.contains("location")) {
+    auto region = region_from_json_name(doc["location"].string_or(""));
+    if (!region.ok()) return region.error();
+    query.location = region.value();
+  }
+  query.limit = static_cast<int>(doc["limit"].number_or(0));
+  query.freshness =
+      static_cast<Duration>(doc["freshness_ms"].number_or(0) * kMillisecond);
+  return query;
+}
+
+Json to_json(const QueryResult& result) {
+  Json doc = Json::object();
+  doc["source"] = to_string(result.source);
+  doc["latency_ms"] = to_millis(result.latency());
+  doc["timed_out"] = result.timed_out;
+  doc["groups_queried"] = result.groups_queried;
+  Json nodes = Json::array();
+  for (const auto& entry : result.entries) {
+    Json n = Json::object();
+    n["node"] = focus::to_string(entry.node);
+    n["region"] = focus::to_string(entry.region);
+    n["timestamp_ms"] = to_millis(entry.timestamp);
+    Json values = Json::object();
+    for (const auto& [attr, value] : entry.values) values[attr] = value;
+    n["values"] = std::move(values);
+    nodes.push_back(std::move(n));
+  }
+  doc["nodes"] = std::move(nodes);
+  return doc;
+}
+
+namespace {
+
+Result<NodeId> node_id_from_string(const std::string& s) {
+  if (s.rfind("node-", 0) != 0) {
+    return make_error(Errc::InvalidArgument, "bad node id: " + s);
+  }
+  return NodeId{static_cast<std::uint32_t>(std::stoul(s.substr(5)))};
+}
+
+}  // namespace
+
+Result<QueryResult> result_from_json(const Json& doc) {
+  if (!doc.is_object()) {
+    return make_error(Errc::InvalidArgument, "result must be an object");
+  }
+  QueryResult result;
+  const std::string source = doc["source"].string_or("groups");
+  if (source == "cache") result.source = ResponseSource::Cache;
+  else if (source == "store") result.source = ResponseSource::Store;
+  else if (source == "direct") result.source = ResponseSource::Direct;
+  else result.source = ResponseSource::Groups;
+  result.timed_out = doc["timed_out"].bool_or(false);
+  result.groups_queried = static_cast<int>(doc["groups_queried"].number_or(0));
+  const Json& nodes = doc["nodes"];
+  if (nodes.is_array()) {
+    for (const auto& n : nodes.as_array()) {
+      ResultEntry entry;
+      auto id = node_id_from_string(n["node"].string_or(""));
+      if (!id.ok()) return id.error();
+      entry.node = id.value();
+      auto region = region_from_json_name(n["region"].string_or("app-edge"));
+      if (!region.ok()) return region.error();
+      entry.region = region.value();
+      entry.timestamp =
+          static_cast<SimTime>(n["timestamp_ms"].number_or(0) * kMillisecond);
+      if (n["values"].is_object()) {
+        for (const auto& [attr, value] : n["values"].as_object()) {
+          if (value.is_number()) entry.values[attr] = value.as_number();
+        }
+      }
+      result.entries.push_back(std::move(entry));
+    }
+  }
+  return result;
+}
+
+Json to_json(const NodeState& state) {
+  Json doc = Json::object();
+  doc["node"] = focus::to_string(state.node);
+  doc["region"] = focus::to_string(state.region);
+  doc["timestamp_ms"] = to_millis(state.timestamp);
+  Json dyn = Json::object();
+  for (const auto& [attr, value] : state.dynamic_values) dyn[attr] = value;
+  doc["dynamic"] = std::move(dyn);
+  Json stat = Json::object();
+  for (const auto& [attr, value] : state.static_values) stat[attr] = value;
+  doc["static"] = std::move(stat);
+  return doc;
+}
+
+Result<NodeState> node_state_from_json(const Json& doc) {
+  if (!doc.is_object()) {
+    return make_error(Errc::InvalidArgument, "node state must be an object");
+  }
+  NodeState state;
+  auto id = node_id_from_string(doc["node"].string_or(""));
+  if (!id.ok()) return id.error();
+  state.node = id.value();
+  auto region = region_from_json_name(doc["region"].string_or("app-edge"));
+  if (!region.ok()) return region.error();
+  state.region = region.value();
+  state.timestamp =
+      static_cast<SimTime>(doc["timestamp_ms"].number_or(0) * kMillisecond);
+  if (doc["dynamic"].is_object()) {
+    for (const auto& [attr, value] : doc["dynamic"].as_object()) {
+      if (!value.is_number()) {
+        return make_error(Errc::InvalidArgument, "dynamic value must be numeric");
+      }
+      state.dynamic_values[attr] = value.as_number();
+    }
+  }
+  if (doc["static"].is_object()) {
+    for (const auto& [attr, value] : doc["static"].as_object()) {
+      if (!value.is_string()) {
+        return make_error(Errc::InvalidArgument, "static value must be a string");
+      }
+      state.static_values[attr] = value.as_string();
+    }
+  }
+  return state;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,39 @@
+#pragma once
+// JSON encodings of the FOCUS API objects (§VIII: "The input and output of
+// each API call is JSON-formatted"). Used by integrating applications (see
+// examples/) and by round-trip tests; the simulated wire uses typed structs
+// whose wire sizes approximate these encodings.
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "focus/attribute.hpp"
+#include "focus/query.hpp"
+
+namespace focus::core {
+
+/// Encode a query:
+/// {"attributes":[{"name":..,"lower":..,"upper":..}],
+///  "static":[{"name":..,"value":..}],
+///  "location":.., "limit":.., "freshness_ms":..}
+Json to_json(const Query& query);
+
+/// Decode a query. Unknown fields are ignored; missing bounds default to
+/// unbounded. Returns InvalidArgument for structurally malformed documents.
+Result<Query> query_from_json(const Json& doc);
+
+/// Encode a result: {"source":..,"latency_ms":..,"nodes":[{...}]}
+Json to_json(const QueryResult& result);
+
+/// Decode a result.
+Result<QueryResult> result_from_json(const Json& doc);
+
+/// Encode a node state (registration body).
+Json to_json(const NodeState& state);
+
+/// Decode a node state.
+Result<NodeState> node_state_from_json(const Json& doc);
+
+/// Parse a region name ("us-east-2", ...) as used in the JSON encodings.
+Result<Region> region_from_json_name(const std::string& name);
+
+}  // namespace focus::core

@@ -1,0 +1,61 @@
+#include "focus/attribute.hpp"
+
+#include <algorithm>
+
+namespace focus::core {
+
+void Schema::add(AttributeSchema attr) {
+  auto& bucket = attr.kind == AttrKind::Dynamic ? dynamic_ : static_;
+  auto& other = attr.kind == AttrKind::Dynamic ? static_ : dynamic_;
+  std::erase_if(other, [&](const AttributeSchema& a) { return a.name == attr.name; });
+  for (auto& existing : bucket) {
+    if (existing.name == attr.name) {
+      existing = std::move(attr);
+      return;
+    }
+  }
+  bucket.push_back(std::move(attr));
+}
+
+const AttributeSchema* Schema::find(const std::string& name) const {
+  for (const auto& a : dynamic_) {
+    if (a.name == name) return &a;
+  }
+  for (const auto& a : static_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<AttributeSchema> Schema::all() const {
+  std::vector<AttributeSchema> out = dynamic_;
+  out.insert(out.end(), static_.begin(), static_.end());
+  return out;
+}
+
+Schema Schema::openstack_default() {
+  Schema s;
+  s.add({"cpu_usage", AttrKind::Dynamic, 25.0, 0.0, 100.0});
+  s.add({"vcpus", AttrKind::Dynamic, 2.0, 0.0, 8.0});
+  s.add({"ram_mb", AttrKind::Dynamic, 2048.0, 0.0, 16384.0});
+  s.add({"disk_gb", AttrKind::Dynamic, 5.0, 0.0, 40.0});
+  s.add({"arch", AttrKind::Static});
+  s.add({"hypervisor", AttrKind::Static});
+  s.add({"service_type", AttrKind::Static});
+  s.add({"project_id", AttrKind::Static});
+  return s;
+}
+
+std::optional<double> NodeState::dynamic_value(const std::string& attr) const {
+  auto it = dynamic_values.find(attr);
+  if (it == dynamic_values.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> NodeState::static_value(const std::string& attr) const {
+  auto it = static_values.find(attr);
+  if (it == static_values.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace focus::core

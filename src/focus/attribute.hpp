@@ -1,0 +1,72 @@
+#pragma once
+// Attribute model: the schema of queryable node attributes and a node's
+// current state snapshot (§V-A "Node Attributes").
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace focus::core {
+
+/// Whether an attribute's value changes at runtime. Dynamic attributes are
+/// tracked through p2p groups; static attributes live in the service's data
+/// store (§VII footnote 1).
+enum class AttrKind { Dynamic, Static };
+
+/// Declaration of one queryable attribute.
+struct AttributeSchema {
+  std::string name;
+  AttrKind kind = AttrKind::Dynamic;
+  /// Group bucket width for dynamic attributes: nodes whose value lies in
+  /// [k*cutoff, (k+1)*cutoff) share a group (§VII "group ranges").
+  double cutoff = 1.0;
+  /// Value domain, used for validation and by the simulated resource model.
+  double min_value = 0.0;
+  double max_value = 100.0;
+};
+
+/// The set of attributes a FOCUS deployment tracks.
+class Schema {
+ public:
+  /// Add an attribute declaration. Later declarations with the same name
+  /// replace earlier ones.
+  void add(AttributeSchema attr);
+
+  /// Look up a declaration; nullptr when unknown.
+  const AttributeSchema* find(const std::string& name) const;
+
+  /// All dynamic attributes (the ones that get p2p groups).
+  const std::vector<AttributeSchema>& dynamic_attrs() const noexcept { return dynamic_; }
+
+  /// All attribute declarations.
+  std::vector<AttributeSchema> all() const;
+
+  /// The paper's OpenStack evaluation schema (§X-A): CPU usage (cutoff 25%),
+  /// vCPUs (cutoff 2), free RAM in MB (cutoff 2048), free disk in GB
+  /// (cutoff 5), plus static attributes used in the examples.
+  static Schema openstack_default();
+
+ private:
+  std::vector<AttributeSchema> dynamic_;
+  std::vector<AttributeSchema> static_;
+};
+
+/// A node's current attribute snapshot, as reported by its node agent.
+struct NodeState {
+  NodeId node;
+  Region region = Region::AppEdge;
+  std::map<std::string, double> dynamic_values;
+  std::map<std::string, std::string> static_values;
+  SimTime timestamp = 0;
+
+  /// Value of a dynamic attribute; nullopt when the node does not report it.
+  std::optional<double> dynamic_value(const std::string& attr) const;
+
+  /// Value of a static attribute; nullopt when absent.
+  std::optional<std::string> static_value(const std::string& attr) const;
+};
+
+}  // namespace focus::core

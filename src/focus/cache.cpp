@@ -1,0 +1,50 @@
+#include "focus/cache.hpp"
+
+namespace focus::core {
+
+const QueryCache::Entry* QueryCache::lookup(const std::string& key, SimTime now,
+                                            Duration freshness) {
+  if (freshness <= 0) {
+    ++misses_;
+    return nullptr;
+  }
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  const Entry& entry = it->second->entry;
+  if (now - entry.fetched_at > freshness) {
+    ++misses_;
+    return nullptr;
+  }
+  // Move to front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return &lru_.front().entry;
+}
+
+void QueryCache::insert(const std::string& key, QueryResult result, SimTime now) {
+  if (max_entries_ == 0) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->entry = Entry{std::move(result), now};
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{key, Entry{std::move(result), now}});
+  map_[key] = lru_.begin();
+  if (map_.size() > max_entries_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void QueryCache::clear() {
+  lru_.clear();
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace focus::core

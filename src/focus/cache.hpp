@@ -1,0 +1,55 @@
+#pragma once
+// Query response cache (§VI "Optimizations"): responses are stored with the
+// timestamp they were fetched at; a later query may be served from cache when
+// the entry is younger than the query's freshness parameter.
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "focus/query.hpp"
+
+namespace focus::core {
+
+/// LRU cache of query results keyed by Query::cache_key().
+class QueryCache {
+ public:
+  explicit QueryCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// A cached response plus when it was fetched from the groups.
+  struct Entry {
+    QueryResult result;
+    SimTime fetched_at = 0;
+  };
+
+  /// Return the entry when one exists and is no staler than `freshness`
+  /// (freshness <= 0 demands realtime and always misses). Updates LRU order
+  /// and hit/miss counters.
+  const Entry* lookup(const std::string& key, SimTime now, Duration freshness);
+
+  /// Insert/replace the entry for `key`, evicting the least recently used
+  /// entry beyond capacity.
+  void insert(const std::string& key, QueryResult result, SimTime now);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::string key;
+    Entry entry;
+  };
+
+  std::size_t max_entries_;
+  std::list<Slot> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Slot>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace focus::core

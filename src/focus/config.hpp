@@ -1,0 +1,87 @@
+#pragma once
+// Configuration of the FOCUS service.
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "focus/attribute.hpp"
+#include "gossip/config.hpp"
+
+namespace focus::core {
+
+/// Tunables of the FOCUS service (Registrar + DGM + Query Router).
+struct ServiceConfig {
+  /// Attribute schema (defines dynamic-group cutoffs).
+  Schema schema = Schema::openstack_default();
+
+  /// Fork a group when the reported member count exceeds this (§VII "to keep
+  /// groups from growing indefinitely"). The paper observes groups
+  /// plateauing around 150 members.
+  int fork_threshold = 150;
+
+  /// Geo-split a group into per-region groups when it exceeds this size and
+  /// spans multiple regions (§VII). 0 disables geo-splitting.
+  int geo_split_threshold = 0;
+
+  /// Representatives per group uploading member lists (§VII). The paper's
+  /// deployment averaged one reporting representative per group (§X-B
+  /// footnote); failed representatives are replaced after representative_ttl.
+  int representatives_per_group = 1;
+
+  /// How often representatives upload group member lists.
+  Duration report_interval = 2 * kSecond;
+
+  /// When true, representatives upload differential reports (joins/leaves
+  /// since the last upload) with a periodic full resync — an extension over
+  /// the paper's full-list uploads (see ablation_cache bench & DESIGN.md).
+  bool delta_reports = false;
+
+  /// Full-list resync period when delta_reports is enabled.
+  Duration full_report_interval = 60 * kSecond;
+
+  /// A representative whose report is older than this is considered lost
+  /// and replaced.
+  Duration representative_ttl = 10 * kSecond;
+
+  /// Abort query processing after this long (§VIII-A-3) and answer with
+  /// whatever arrived.
+  Duration query_timeout = 3 * kSecond;
+
+  /// Extra slack added to the per-group response collection window beyond
+  /// the gossip convergence estimate.
+  Duration collect_margin = 200 * kMillisecond;
+
+  /// When > 0 and this many queries are in flight at the router, further
+  /// queries are delegated: the client is told which group members to
+  /// contact and aggregates responses itself (§VI "Optimizations").
+  int delegation_threshold = 0;
+
+  /// Maximum cached query responses (LRU beyond this).
+  std::size_t cache_max_entries = 4096;
+
+  /// Nodes stay in the transition table this long after asking for group
+  /// suggestions, unless a group report confirms membership first (§VII).
+  Duration transition_ttl = 10 * kSecond;
+
+  /// Ablation switch (bench/ablation_smallest_group): when true the router
+  /// sends multi-constraint queries to the candidate groups of EVERY term
+  /// instead of only the smallest term's groups (§VI warns this degenerates
+  /// toward querying the whole system).
+  bool route_all_terms = false;
+
+  /// Gossip protocol parameters handed to node agents at registration.
+  gossip::Config gossip;
+
+  /// Estimated time for an event to reach a whole group of `size` members:
+  /// one dissemination round per epidemic doubling-by-fanout, plus slack.
+  /// Used to size response collection windows.
+  Duration collect_window(std::size_t size) const {
+    const double n = static_cast<double>(size < 2 ? 2 : size);
+    const double fanout = gossip.fanout < 2 ? 2.0 : static_cast<double>(gossip.fanout);
+    const auto rounds = static_cast<Duration>(std::ceil(std::log(n) / std::log(fanout)));
+    return (rounds + 2) * gossip.interval + collect_margin;
+  }
+};
+
+}  // namespace focus::core

@@ -1,0 +1,363 @@
+#include "focus/dgm.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace focus::core {
+
+namespace {
+/// Maximum entry points included in a suggestion.
+constexpr std::size_t kMaxEntryPoints = 8;
+/// A full group reopens to new members once it shrinks below this fraction
+/// of the fork threshold (hysteresis so membership does not flap).
+constexpr double kReopenFraction = 0.9;
+}  // namespace
+
+std::size_t Dgm::GroupInfo::effective_size(SimTime now) const {
+  std::size_t pending = 0;
+  for (const auto& [node, expiry] : pending_joins) {
+    if (expiry > now && members.count(node) == 0) ++pending;
+  }
+  return members.size() + pending;
+}
+
+std::set<Region> Dgm::GroupInfo::regions() const {
+  std::set<Region> out;
+  for (const auto& [id, rec] : members) out.insert(rec.region);
+  return out;
+}
+
+Dgm::Dgm(sim::Simulator& simulator, net::Transport& transport,
+         net::Address south_addr, const ServiceConfig& config,
+         const Registrar& registrar, store::Cluster& store, Rng rng)
+    : simulator_(simulator),
+      transport_(transport),
+      south_addr_(south_addr),
+      config_(config),
+      registrar_(registrar),
+      store_(store),
+      rng_(std::move(rng)) {}
+
+bool Dgm::geo_split_active(const std::string& attr, double bucket_lo) const {
+  return geo_split_buckets_.count({attr, bucket_lo}) > 0;
+}
+
+Dgm::GroupInfo& Dgm::get_or_create(const GroupKey& key, const AttributeSchema& attr) {
+  const std::string name = key.to_name();
+  auto it = groups_.find(name);
+  if (it != groups_.end()) return it->second;
+  GroupInfo info;
+  info.key = key;
+  info.name = name;
+  info.range = range_of(key, attr);
+  info.created_at = simulator_.now();
+  ++stats_.groups_created;
+  if (key.fork > 0) ++stats_.forks_created;
+  auto [inserted, ok] = groups_.emplace(name, std::move(info));
+  (void)ok;
+  FOCUS_LOG(Debug, "dgm", "created group " << name);
+  return inserted->second;
+}
+
+GroupSuggestion Dgm::suggest(NodeId node, Region region,
+                             const net::Address& command_addr,
+                             const AttributeSchema& attr, double value) {
+  ++stats_.suggestions;
+  transition_[node] =
+      TransitionEntry{command_addr, simulator_.now() + config_.transition_ttl};
+
+  GroupKey key = group_for(attr, value);
+  if (config_.geo_split_threshold > 0 && geo_split_active(attr.name, key.bucket_lo)) {
+    key.region = region;
+  }
+
+  // Walk fork indices until a group with capacity is found (or created).
+  for (int fork = 0;; ++fork) {
+    key.fork = fork;
+    const std::string name = key.to_name();
+    auto it = groups_.find(name);
+    if (it == groups_.end()) {
+      GroupInfo& group = get_or_create(key, attr);
+      group.pending_joins[node] = simulator_.now() + config_.transition_ttl;
+      GroupSuggestion suggestion;
+      suggestion.attr = attr.name;
+      suggestion.group = group.name;
+      suggestion.range = group.range;
+      // No entry points: the node starts the group and reports back.
+      return suggestion;
+    }
+    GroupInfo& group = it->second;
+    const bool full = static_cast<int>(group.effective_size(simulator_.now())) >=
+                      config_.fork_threshold;
+    if (!group.accepting || full) continue;
+
+    group.pending_joins[node] = simulator_.now() + config_.transition_ttl;
+    GroupSuggestion suggestion;
+    suggestion.attr = attr.name;
+    suggestion.group = group.name;
+    suggestion.range = group.range;
+    std::vector<net::Address> points;
+    points.reserve(group.members.size());
+    for (const auto& [id, rec] : group.members) {
+      if (id != node) points.push_back(rec.p2p_addr);
+    }
+    suggestion.entry_points = rng_.sample(points, kMaxEntryPoints);
+    return suggestion;
+  }
+}
+
+void Dgm::on_joined(const JoinedPayload& joined) {
+  auto key = GroupKey::parse(joined.group);
+  if (!key) {
+    FOCUS_LOG(Warn, "dgm", "joined unparseable group " << joined.group);
+    return;
+  }
+  const AttributeSchema* attr = config_.schema.find(key->attr);
+  if (attr == nullptr) return;
+  GroupInfo& group = get_or_create(*key, *attr);
+  group.members[joined.node] =
+      MemberRecord{joined.node, joined.p2p_addr, joined.region};
+  group.member_seen[joined.node] = simulator_.now();
+  group.pending_joins.erase(joined.node);
+
+  // Bootstrap-race healing: two nodes registering concurrently can both be
+  // told to *start* the same group, producing disconnected gossip islands.
+  // Whenever a join lands in a group that already has other members, send
+  // the joiner a merge suggestion pointing at them; a gossip join into the
+  // existing mesh unifies the islands.
+  if (group.members.size() >= 2) {
+    const NodeEntry* entry = registrar_.find(joined.node);
+    if (entry != nullptr) {
+      auto ack = std::make_shared<SuggestAckPayload>();
+      ack->suggestion.attr = group.key.attr;
+      ack->suggestion.group = group.name;
+      ack->suggestion.range = group.range;
+      std::vector<net::Address> points;
+      for (const auto& [id, rec] : group.members) {
+        if (id != joined.node) points.push_back(rec.p2p_addr);
+      }
+      ack->suggestion.entry_points = rng_.sample(points, kMaxEntryPoints);
+      transport_.send(net::Message{south_addr_, entry->command_addr, kSuggestAck,
+                                   std::move(ack)});
+    }
+  }
+  ensure_reps(group);
+  update_policies(group);
+}
+
+void Dgm::on_left(const LeftGroupPayload& left) {
+  auto it = groups_.find(left.group);
+  if (it == groups_.end()) return;
+  GroupInfo& group = it->second;
+  group.members.erase(left.node);
+  group.member_seen.erase(left.node);
+  group.pending_joins.erase(left.node);
+  std::erase(group.reps, left.node);
+  ensure_reps(group);
+  update_policies(group);
+}
+
+void Dgm::on_report(const GroupReportPayload& report) {
+  ++stats_.reports_processed;
+  auto key = GroupKey::parse(report.group);
+  if (!key) return;
+  const AttributeSchema* attr = config_.schema.find(key->attr);
+  if (attr == nullptr) return;
+  GroupInfo& group = get_or_create(*key, *attr);
+
+  const SimTime now = simulator_.now();
+  if (report.full) {
+    // A full report is authoritative, except for members confirmed recently
+    // via another path (join / other rep): a new joiner may not have reached
+    // this representative's gossip view yet.
+    const Duration grace = 3 * config_.report_interval;
+    std::map<NodeId, MemberRecord> merged;
+    for (const auto& rec : report.members) merged[rec.node] = rec;
+    for (const auto& [id, rec] : group.members) {
+      if (merged.count(id) > 0) continue;
+      auto seen = group.member_seen.find(id);
+      if (seen != group.member_seen.end() && now - seen->second < grace) {
+        merged[id] = rec;
+      } else {
+        group.member_seen.erase(id);
+      }
+    }
+    group.members = std::move(merged);
+    for (const auto& rec : report.members) group.member_seen[rec.node] = now;
+  } else {
+    for (const auto& rec : report.members) {
+      group.members[rec.node] = rec;
+      group.member_seen[rec.node] = now;
+    }
+    for (const auto& node : report.departed) {
+      group.members.erase(node);
+      group.member_seen.erase(node);
+    }
+  }
+  group.last_report = now;
+
+  // A node appearing in a group update is no longer transitioning (§VII).
+  for (const auto& rec : report.members) {
+    transition_.erase(rec.node);
+    group.pending_joins.erase(rec.node);
+  }
+
+  // Representatives that are no longer members lose the role.
+  std::erase_if(group.reps, [&group](NodeId id) {
+    return group.members.count(id) == 0;
+  });
+  ensure_reps(group);
+  update_policies(group);
+  persist_group(group);
+}
+
+void Dgm::update_policies(GroupInfo& group) {
+  const auto size = static_cast<int>(group.members.size());
+  if (group.accepting && size > config_.fork_threshold) {
+    group.accepting = false;
+    FOCUS_LOG(Debug, "dgm", "group " << group.name << " full at " << size);
+  } else if (!group.accepting &&
+             size < static_cast<int>(kReopenFraction *
+                                     static_cast<double>(config_.fork_threshold))) {
+    group.accepting = true;
+  }
+
+  if (config_.geo_split_threshold > 0 && !group.key.region &&
+      size > config_.geo_split_threshold && group.regions().size() > 1) {
+    const auto bucket = std::make_pair(group.key.attr, group.key.bucket_lo);
+    if (geo_split_buckets_.insert(bucket).second) {
+      ++stats_.geo_splits;
+      FOCUS_LOG(Info, "dgm", "geo-splitting bucket " << group.name);
+    }
+  }
+}
+
+void Dgm::ensure_reps(GroupInfo& group) {
+  if (group.members.empty()) {
+    group.reps.clear();
+    return;
+  }
+  while (static_cast<int>(group.reps.size()) < config_.representatives_per_group &&
+         group.reps.size() < group.members.size()) {
+    // Random member that is not already a representative — randomized
+    // selection spreads the reporting load (§VII).
+    std::vector<NodeId> eligible;
+    for (const auto& [id, rec] : group.members) {
+      if (std::find(group.reps.begin(), group.reps.end(), id) == group.reps.end()) {
+        eligible.push_back(id);
+      }
+    }
+    if (eligible.empty()) break;
+    const NodeId chosen = rng_.pick(eligible);
+    group.reps.push_back(chosen);
+    send_rep_assign(group, chosen, true);
+  }
+}
+
+void Dgm::send_rep_assign(const GroupInfo& group, NodeId node, bool assign) {
+  const NodeEntry* entry = registrar_.find(node);
+  if (entry == nullptr) return;
+  auto payload = std::make_shared<RepAssignPayload>();
+  payload->group = group.name;
+  payload->assign = assign;
+  transport_.send(
+      net::Message{south_addr_, entry->command_addr, kRepAssign, std::move(payload)});
+  ++stats_.rep_assignments;
+}
+
+void Dgm::persist_group(const GroupInfo& group) {
+  std::map<std::string, Json> columns;
+  columns["size"] = static_cast<double>(group.members.size());
+  columns["range_lo"] = group.range.lo;
+  columns["range_hi"] = group.range.hi;
+  Json members = Json::array();
+  for (const auto& [id, rec] : group.members) {
+    Json m = Json::object();
+    m["node"] = focus::to_string(id);
+    m["port"] = static_cast<double>(rec.p2p_addr.port);
+    m["region"] = focus::to_string(rec.region);
+    members.push_back(std::move(m));
+  }
+  columns["members"] = std::move(members);
+  store_.put("groups", group.name, std::move(columns), [](Result<bool> r) {
+    if (!r.ok()) {
+      FOCUS_LOG(Warn, "dgm", "group persist failed: " << r.error().message);
+    }
+  });
+}
+
+Dgm::Candidates Dgm::candidate_groups(const QueryTerm& term,
+                                      std::optional<Region> location) const {
+  Candidates out;
+  for (const auto& [name, group] : groups_) {
+    if (group.key.attr != term.attr) continue;
+    if (group.members.empty()) continue;
+    if (!group.range.intersects(term.lower, term.upper)) continue;
+    // Geo-scoped groups outside the requested location cannot match; global
+    // groups may still contain in-location nodes, so they stay in.
+    if (location && group.key.region && *group.key.region != *location) continue;
+    out.groups.push_back(&group);
+    out.total_members += group.members.size();
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, net::Address>> Dgm::transition_nodes() const {
+  std::vector<std::pair<NodeId, net::Address>> out;
+  out.reserve(transition_.size());
+  for (const auto& [node, entry] : transition_) {
+    out.emplace_back(node, entry.command_addr);
+  }
+  return out;
+}
+
+void Dgm::maintenance() {
+  const SimTime now = simulator_.now();
+  std::erase_if(transition_,
+                [now](const auto& kv) { return kv.second.expires_at <= now; });
+  for (auto& [name, group] : groups_) {
+    std::erase_if(group.pending_joins,
+                  [now](const auto& kv) { return kv.second <= now; });
+  }
+
+  // Representatives whose reports went stale are replaced (churn handling,
+  // §VII: "In a group that has a high churn rate, more representative nodes
+  // and/or more frequent updates are required").
+  for (auto& [name, group] : groups_) {
+    if (group.members.empty()) continue;
+    if (group.last_report < 0 ||
+        now - group.last_report <= config_.representative_ttl) {
+      continue;
+    }
+    for (NodeId rep : group.reps) send_rep_assign(group, rep, false);
+    group.reps.clear();
+    ensure_reps(group);
+    group.last_report = now;  // give the new reps a full TTL to report
+  }
+}
+
+void Dgm::clear_state() {
+  groups_.clear();
+  transition_.clear();
+  geo_split_buckets_.clear();
+}
+
+const Dgm::GroupInfo* Dgm::group(const std::string& name) const {
+  auto it = groups_.find(name);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+double Dgm::mean_group_size() const {
+  std::size_t total = 0;
+  std::size_t populated = 0;
+  for (const auto& [name, group] : groups_) {
+    if (group.members.empty()) continue;
+    total += group.members.size();
+    ++populated;
+  }
+  return populated == 0 ? 0.0
+                        : static_cast<double>(total) / static_cast<double>(populated);
+}
+
+}  // namespace focus::core

@@ -1,0 +1,144 @@
+#pragma once
+// The Dynamic Groups Manager (§VII, §VIII-A-2): suggests groups to nodes,
+// tracks group membership through representative reports, forks groups that
+// exceed the size threshold, geo-splits groups that span regions, and keeps
+// the transition table of nodes between groups.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "focus/config.hpp"
+#include "focus/messages.hpp"
+#include "focus/registrar.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "store/kvstore.hpp"
+
+namespace focus::core {
+
+/// DGM statistics for tests and benches.
+struct DgmStats {
+  std::uint64_t suggestions = 0;
+  std::uint64_t groups_created = 0;
+  std::uint64_t forks_created = 0;
+  std::uint64_t geo_splits = 0;
+  std::uint64_t reports_processed = 0;
+  std::uint64_t rep_assignments = 0;
+};
+
+/// Group membership bookkeeping and group lifecycle policy.
+class Dgm {
+ public:
+  /// Everything the DGM knows about one group.
+  struct GroupInfo {
+    GroupKey key;
+    std::string name;
+    GroupRange range;
+    std::map<NodeId, MemberRecord> members;
+    /// When each member was last confirmed (join or report). Recent members
+    /// survive a full report that omits them: a freshly joined node may not
+    /// have reached the reporting representative's gossip view yet.
+    std::map<NodeId, SimTime> member_seen;
+    std::vector<NodeId> reps;     ///< assigned representatives
+    SimTime last_report = -1;  ///< -1 until the first report arrives
+    SimTime created_at = 0;
+    /// False once the group exceeded the fork threshold; new nodes are then
+    /// steered to a forked instance.
+    bool accepting = true;
+    /// Nodes the DGM recently steered here that have not yet been confirmed
+    /// by a join or report. Counted toward capacity so a registration burst
+    /// cannot overshoot the fork threshold (keyed by expiry time).
+    std::map<NodeId, SimTime> pending_joins;
+
+    /// Members plus unexpired pending joins (capacity check input).
+    std::size_t effective_size(SimTime now) const;
+
+    /// Regions present among members.
+    std::set<Region> regions() const;
+  };
+
+  Dgm(sim::Simulator& simulator, net::Transport& transport,
+      net::Address south_addr, const ServiceConfig& config,
+      const Registrar& registrar, store::Cluster& store, Rng rng);
+
+  /// Produce a group suggestion for (node, attr, value): an existing group
+  /// with capacity, or a newly created (possibly forked / geo-scoped) group
+  /// the node must start. Also records the node in the transition table.
+  GroupSuggestion suggest(NodeId node, Region region,
+                          const net::Address& command_addr,
+                          const AttributeSchema& attr, double value);
+
+  /// Node confirmed it joined/started `group` with its p2p agent at
+  /// `p2p_addr`. First member of a rep-less group becomes a representative.
+  void on_joined(const JoinedPayload& joined);
+
+  /// Node announced leaving a group.
+  void on_left(const LeftGroupPayload& left);
+
+  /// Representative uploaded a member list (full or delta).
+  void on_report(const GroupReportPayload& report);
+
+  /// Candidate groups for one query term.
+  struct Candidates {
+    std::vector<const GroupInfo*> groups;
+    std::size_t total_members = 0;
+  };
+  Candidates candidate_groups(const QueryTerm& term,
+                              std::optional<Region> location) const;
+
+  /// Nodes currently in transition (queried directly, §VII).
+  std::vector<std::pair<NodeId, net::Address>> transition_nodes() const;
+
+  /// Periodic upkeep: expire transition entries, replace representatives
+  /// whose reports went stale.
+  void maintenance();
+
+  /// Drop all in-memory state (simulates DGM failover; reports repopulate
+  /// the primary tables, §VIII-A-2 "failure recovery comes naturally").
+  void clear_state();
+
+  /// Lookups.
+  const GroupInfo* group(const std::string& name) const;
+  const std::map<std::string, GroupInfo>& groups() const noexcept { return groups_; }
+  std::size_t group_count() const noexcept { return groups_.size(); }
+  std::size_t transition_count() const noexcept { return transition_.size(); }
+
+  /// Mean members per group with at least one member.
+  double mean_group_size() const;
+
+  const DgmStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct TransitionEntry {
+    net::Address command_addr;
+    SimTime expires_at = 0;
+  };
+
+  GroupInfo& get_or_create(const GroupKey& key, const AttributeSchema& attr);
+  void ensure_reps(GroupInfo& group);
+  void send_rep_assign(const GroupInfo& group, NodeId node, bool assign);
+  void persist_group(const GroupInfo& group);
+  void update_policies(GroupInfo& group);
+  bool geo_split_active(const std::string& attr, double bucket_lo) const;
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  net::Address south_addr_;
+  const ServiceConfig& config_;
+  const Registrar& registrar_;
+  store::Cluster& store_;
+  Rng rng_;
+
+  std::map<std::string, GroupInfo> groups_;
+  std::unordered_map<NodeId, TransitionEntry> transition_;
+  /// (attr, bucket_lo) pairs where geo-splitting is in force.
+  std::set<std::pair<std::string, double>> geo_split_buckets_;
+  DgmStats stats_;
+};
+
+}  // namespace focus::core

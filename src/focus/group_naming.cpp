@@ -1,0 +1,95 @@
+#include "focus/group_naming.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace focus::core {
+
+namespace {
+
+std::string format_bound(double v) {
+  char buf[32];
+  if (v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", v);
+  }
+  return buf;
+}
+
+std::optional<Region> region_from_name(const std::string& s) {
+  for (auto r : {Region::Ohio, Region::Canada, Region::Oregon, Region::California,
+                 Region::AppEdge}) {
+    if (s == focus::to_string(r)) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string GroupKey::to_name() const {
+  std::string name = attr + "." + format_bound(bucket_lo);
+  if (region) {
+    name += "@";
+    name += focus::to_string(*region);
+  }
+  if (fork > 0) {
+    name += "#" + std::to_string(fork);
+  }
+  return name;
+}
+
+std::optional<GroupKey> GroupKey::parse(const std::string& name) {
+  GroupKey key;
+  std::string rest = name;
+
+  // Fork suffix.
+  if (auto hash = rest.rfind('#'); hash != std::string::npos) {
+    const std::string fork_str = rest.substr(hash + 1);
+    if (fork_str.empty()) return std::nullopt;
+    char* end = nullptr;
+    key.fork = static_cast<int>(std::strtol(fork_str.c_str(), &end, 10));
+    if (end == nullptr || *end != '\0' || key.fork < 0) return std::nullopt;
+    rest = rest.substr(0, hash);
+  }
+
+  // Region suffix.
+  if (auto at = rest.rfind('@'); at != std::string::npos) {
+    auto region = region_from_name(rest.substr(at + 1));
+    if (!region) return std::nullopt;
+    key.region = region;
+    rest = rest.substr(0, at);
+  }
+
+  // attr.bucket — the bucket is everything after the LAST dot, so attribute
+  // names may themselves contain dots.
+  const auto dot = rest.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= rest.size()) {
+    return std::nullopt;
+  }
+  key.attr = rest.substr(0, dot);
+  char* end = nullptr;
+  const std::string bucket = rest.substr(dot + 1);
+  key.bucket_lo = std::strtod(bucket.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return key;
+}
+
+double bucket_lower(double value, double cutoff) {
+  if (cutoff <= 0) return value;
+  return std::floor(value / cutoff) * cutoff;
+}
+
+GroupKey group_for(const AttributeSchema& attr, double value) {
+  GroupKey key;
+  key.attr = attr.name;
+  key.bucket_lo = bucket_lower(value, attr.cutoff);
+  return key;
+}
+
+GroupRange range_of(const GroupKey& key, const AttributeSchema& attr) {
+  return GroupRange{key.bucket_lo, key.bucket_lo + attr.cutoff};
+}
+
+}  // namespace focus::core

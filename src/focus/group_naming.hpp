@@ -1,0 +1,60 @@
+#pragma once
+// Deterministic group naming (§VIII-A-2): a group's identity is derived from
+// its attribute, value bucket, optional geographic scope, and fork index, so
+// that any component can compute the name of the group a value belongs to.
+//
+// Examples (cutoff 2048 for ram_mb):
+//   "ram_mb.4096"               global group for values in [4096, 6144)
+//   "ram_mb.4096@us-west-2"     the same bucket geo-split to Oregon
+//   "ram_mb.4096#2"             third fork of the global bucket
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "focus/attribute.hpp"
+
+namespace focus::core {
+
+/// Half-open value range [lo, hi) covered by a group.
+struct GroupRange {
+  double lo = 0;
+  double hi = 0;
+
+  /// True when `value` falls inside the range.
+  bool contains(double value) const { return value >= lo && value < hi; }
+
+  /// True when the range intersects the closed interval [lower, upper].
+  bool intersects(double lower, double upper) const {
+    return lower < hi && upper >= lo;
+  }
+
+  bool operator==(const GroupRange&) const = default;
+};
+
+/// Structured identity of an attribute group.
+struct GroupKey {
+  std::string attr;
+  double bucket_lo = 0;               ///< lower bound of the value bucket
+  std::optional<Region> region;       ///< set when the group is geo-split
+  int fork = 0;                       ///< size-based fork index (0 = original)
+
+  /// Render the deterministic group name.
+  std::string to_name() const;
+
+  /// Parse a name back into a key; nullopt on malformed input.
+  static std::optional<GroupKey> parse(const std::string& name);
+
+  bool operator==(const GroupKey&) const = default;
+};
+
+/// Lower bound of the bucket containing `value` for the given cutoff.
+double bucket_lower(double value, double cutoff);
+
+/// The group key a value maps to for an attribute (global scope, fork 0).
+GroupKey group_for(const AttributeSchema& attr, double value);
+
+/// Value range covered by a group of the given key.
+GroupRange range_of(const GroupKey& key, const AttributeSchema& attr);
+
+}  // namespace focus::core

@@ -1,0 +1,101 @@
+#include "focus/query.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace focus::core {
+
+bool Query::matches(const NodeState& state) const {
+  if (location && state.region != *location) return false;
+  for (const auto& term : terms) {
+    const auto value = state.dynamic_value(term.attr);
+    if (!value || !term.matches(*value)) return false;
+  }
+  for (const auto& term : static_terms) {
+    const auto value = state.static_value(term.attr);
+    if (!value || *value != term.value) return false;
+  }
+  return true;
+}
+
+std::string Query::cache_key() const {
+  // Terms are order-insensitive: sort a rendered copy.
+  std::vector<std::string> parts;
+  parts.reserve(terms.size() + static_terms.size() + 1);
+  for (const auto& t : terms) {
+    std::ostringstream os;
+    os << "d:" << t.attr << ":" << t.lower << ":" << t.upper;
+    parts.push_back(os.str());
+  }
+  for (const auto& t : static_terms) {
+    parts.push_back("s:" + t.attr + ":" + t.value);
+  }
+  if (location) parts.push_back(std::string("loc:") + focus::to_string(*location));
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const auto& p : parts) {
+    key += p;
+    key += '|';
+  }
+  key += "lim:" + std::to_string(limit);
+  return key;
+}
+
+Query& Query::where(std::string attr, double lower, double upper) {
+  terms.push_back(QueryTerm{std::move(attr), lower, upper});
+  return *this;
+}
+
+Query& Query::where_at_least(std::string attr, double lower) {
+  terms.push_back(QueryTerm{std::move(attr), lower,
+                            std::numeric_limits<double>::infinity()});
+  return *this;
+}
+
+Query& Query::where_at_most(std::string attr, double upper) {
+  terms.push_back(QueryTerm{std::move(attr),
+                            -std::numeric_limits<double>::infinity(), upper});
+  return *this;
+}
+
+Query& Query::where_exactly(std::string attr, double value) {
+  terms.push_back(QueryTerm{std::move(attr), value, value});
+  return *this;
+}
+
+Query& Query::where_static(std::string attr, std::string value) {
+  static_terms.push_back(StaticTerm{std::move(attr), std::move(value)});
+  return *this;
+}
+
+Query& Query::in_region(Region r) {
+  location = r;
+  return *this;
+}
+
+Query& Query::take(int n) {
+  limit = n;
+  return *this;
+}
+
+Query& Query::fresh_within(Duration d) {
+  freshness = d;
+  return *this;
+}
+
+const char* to_string(ResponseSource s) {
+  switch (s) {
+    case ResponseSource::Cache: return "cache";
+    case ResponseSource::Groups: return "groups";
+    case ResponseSource::Store: return "store";
+    case ResponseSource::Direct: return "direct";
+  }
+  return "?";
+}
+
+bool QueryResult::contains(NodeId node) const {
+  return std::any_of(entries.begin(), entries.end(),
+                     [node](const ResultEntry& e) { return e.node == node; });
+}
+
+}  // namespace focus::core

@@ -1,0 +1,103 @@
+#pragma once
+// Query structures (§V-A "Query Structure"): attribute-oriented queries with
+// per-attribute bounds, a result limit, and a freshness parameter.
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "focus/attribute.hpp"
+
+namespace focus::core {
+
+/// One dynamic-attribute constraint: lower <= value <= upper (inclusive).
+/// Exact matches set lower == upper, mirroring the paper's query structure.
+struct QueryTerm {
+  std::string attr;
+  double lower = -std::numeric_limits<double>::infinity();
+  double upper = std::numeric_limits<double>::infinity();
+
+  /// True when `value` satisfies the bounds.
+  bool matches(double value) const { return value >= lower && value <= upper; }
+
+  bool operator==(const QueryTerm&) const = default;
+};
+
+/// One static-attribute constraint: exact text match.
+struct StaticTerm {
+  std::string attr;
+  std::string value;
+
+  bool operator==(const StaticTerm&) const = default;
+};
+
+/// A node-finding query. All terms are conjunctive (AND), which is the
+/// paper's model; OR queries are issued as multiple queries by callers.
+struct Query {
+  std::vector<QueryTerm> terms;         ///< dynamic numeric constraints
+  std::vector<StaticTerm> static_terms; ///< static exact-match constraints
+  std::optional<Region> location;       ///< restrict to one region
+  int limit = 0;                        ///< max results; 0 = unlimited
+  Duration freshness = 0;               ///< acceptable staleness; 0 = realtime
+
+  /// True when the node state satisfies every term. Nodes missing a
+  /// constrained attribute do not match.
+  bool matches(const NodeState& state) const;
+
+  /// True when the query has dynamic-attribute terms (and therefore must be
+  /// routed to p2p groups rather than the static store).
+  bool has_dynamic_terms() const noexcept { return !terms.empty(); }
+
+  /// Canonical cache key: identical queries (ignoring freshness/limit) map
+  /// to the same key, so a fresh cached result can satisfy a repeat query.
+  std::string cache_key() const;
+
+  /// Fluent builders for readable call sites.
+  Query& where(std::string attr, double lower, double upper);
+  Query& where_at_least(std::string attr, double lower);
+  Query& where_at_most(std::string attr, double upper);
+  Query& where_exactly(std::string attr, double value);
+  Query& where_static(std::string attr, std::string value);
+  Query& in_region(Region r);
+  Query& take(int n);
+  Query& fresh_within(Duration d);
+
+  bool operator==(const Query&) const = default;
+};
+
+/// Where a query answer came from (§X-D Fig. 8c distinguishes these).
+enum class ResponseSource { Cache, Groups, Store, Direct };
+
+/// Readable name of a response source.
+const char* to_string(ResponseSource s);
+
+/// One matching node in a query result.
+struct ResultEntry {
+  NodeId node;
+  Region region = Region::AppEdge;
+  std::map<std::string, double> values;  ///< the node's dynamic values
+  SimTime timestamp = 0;                 ///< when those values were read
+};
+
+/// A complete query answer.
+struct QueryResult {
+  std::vector<ResultEntry> entries;
+  ResponseSource source = ResponseSource::Groups;
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+  /// Groups the query was actually sent to (diagnostics / tests).
+  int groups_queried = 0;
+  /// True when the collection window expired before every member replied.
+  bool timed_out = false;
+
+  /// End-to-end latency of the query.
+  Duration latency() const { return completed_at - issued_at; }
+
+  /// True when `node` appears in the entries.
+  bool contains(NodeId node) const;
+};
+
+}  // namespace focus::core

@@ -1,0 +1,98 @@
+#include "focus/range_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "focus/group_naming.hpp"
+
+namespace focus::core {
+
+namespace {
+
+/// Population of the fullest bucket (as a fraction of the sample) for a
+/// candidate cutoff, plus how many buckets are populated.
+struct BucketShape {
+  double max_fraction = 0;
+  std::size_t populated = 0;
+};
+
+BucketShape shape_for(std::span<const double> samples, double lo, double hi,
+                      double cutoff) {
+  std::map<double, std::size_t> buckets;
+  for (double v : samples) {
+    const double clamped = std::clamp(v, lo, hi);
+    buckets[bucket_lower(clamped, cutoff)]++;
+  }
+  BucketShape shape;
+  shape.populated = buckets.size();
+  std::size_t max_count = 0;
+  for (const auto& [bucket, count] : buckets) max_count = std::max(max_count, count);
+  shape.max_fraction =
+      static_cast<double>(max_count) / static_cast<double>(samples.size());
+  return shape;
+}
+
+}  // namespace
+
+TunedCutoff tune_cutoff(const AttributeSchema& attr,
+                        std::span<const double> samples,
+                        const TunerConfig& config) {
+  TunedCutoff best;
+  best.cutoff = attr.cutoff;  // fall back to the configured cutoff
+  if (samples.empty()) return best;
+
+  const double span = attr.max_value - attr.min_value;
+  double best_error = std::numeric_limits<double>::infinity();
+
+  // Candidates: span / k for k = 1, factor, factor^2, ... up to max_buckets.
+  for (double buckets = 1; buckets <= static_cast<double>(config.max_buckets);
+       buckets *= config.candidate_factor) {
+    const double cutoff = span / buckets;
+    const BucketShape shape =
+        shape_for(samples, attr.min_value, attr.max_value, cutoff);
+    const double predicted_max =
+        shape.max_fraction * static_cast<double>(config.expected_nodes);
+    // Penalize overshooting the target (groups too big to converge fast)
+    // more than undershooting (more groups, but each stays cheap).
+    const double error = predicted_max > config.target_group_size
+                             ? (predicted_max - config.target_group_size) * 2
+                             : config.target_group_size - predicted_max;
+    if (error < best_error) {
+      best_error = error;
+      best.cutoff = cutoff;
+      best.predicted_max_group = predicted_max;
+      best.populated_buckets = shape.populated;
+    }
+  }
+  return best;
+}
+
+std::vector<TunedCutoff> tune_schema(
+    Schema& schema,
+    const std::vector<std::pair<std::string, std::vector<double>>>& samples,
+    const TunerConfig& config) {
+  std::vector<TunedCutoff> out;
+  for (const auto& attr : schema.dynamic_attrs()) {
+    const std::vector<double>* attr_samples = nullptr;
+    for (const auto& [name, values] : samples) {
+      if (name == attr.name) {
+        attr_samples = &values;
+        break;
+      }
+    }
+    if (attr_samples == nullptr || attr_samples->empty()) {
+      out.push_back(TunedCutoff{attr.cutoff, 0, 0});
+      continue;
+    }
+    const TunedCutoff tuned = tune_cutoff(attr, *attr_samples, config);
+    AttributeSchema updated = attr;
+    updated.cutoff = tuned.cutoff;
+    schema.add(updated);
+    out.push_back(tuned);
+  }
+  return out;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,57 @@
+#pragma once
+// Trace-driven group-range selection (§XII "Deciding the Right Group
+// Ranges": operators may pick cutoffs statically, randomly, heuristically or
+// trace-driven; the paper leaves a default data-driven mechanism as future
+// work). This module implements that mechanism: given a sample of observed
+// attribute values (from a trace or a live fleet) and a target group size,
+// pick the bucket cutoff whose *worst* bucket stays closest to the target —
+// biased groups are exactly what the paper warns "could form and harm
+// FOCUS's ability to efficiently answer queries".
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "focus/attribute.hpp"
+
+namespace focus::core {
+
+/// Inputs to cutoff selection.
+struct TunerConfig {
+  /// Desired members per group at the expected fleet size (defaults to the
+  /// fork threshold's sweet spot).
+  double target_group_size = 150;
+  /// Expected number of nodes the deployment will manage.
+  std::size_t expected_nodes = 1000;
+  /// Candidate cutoffs are powers of this factor spanning the domain.
+  double candidate_factor = 2.0;
+  /// Never produce more than this many buckets per attribute (each bucket
+  /// is a gossip group FOCUS must track).
+  std::size_t max_buckets = 64;
+};
+
+/// Result of tuning one attribute.
+struct TunedCutoff {
+  double cutoff = 0;
+  /// Predicted population of the fullest bucket at expected_nodes.
+  double predicted_max_group = 0;
+  /// Number of non-empty buckets the sample induces.
+  std::size_t populated_buckets = 0;
+};
+
+/// Choose a bucket cutoff for `attr` from sampled values.
+/// Requires a non-empty sample; values outside the attribute domain are
+/// clamped. Deterministic.
+TunedCutoff tune_cutoff(const AttributeSchema& attr,
+                        std::span<const double> samples,
+                        const TunerConfig& config = {});
+
+/// Tune every dynamic attribute of a schema in place, using per-attribute
+/// sample sets (attributes without samples keep their configured cutoff).
+/// Returns the tuned cutoffs in schema order for inspection.
+std::vector<TunedCutoff> tune_schema(
+    Schema& schema,
+    const std::vector<std::pair<std::string, std::vector<double>>>& samples,
+    const TunerConfig& config = {});
+
+}  // namespace focus::core

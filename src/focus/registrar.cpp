@@ -1,0 +1,113 @@
+#include "focus/registrar.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace focus::core {
+
+Registrar::Registrar(sim::Simulator& simulator, store::Cluster& store,
+                     const ServiceConfig& config)
+    : simulator_(simulator), store_(store), config_(config) {}
+
+int Registrar::register_node(const NodeState& state,
+                             const net::Address& command_addr) {
+  NodeEntry entry;
+  entry.node = state.node;
+  entry.region = state.region;
+  entry.command_addr = command_addr;
+  entry.static_values = state.static_values;
+  entry.registered_at = simulator_.now();
+  nodes_[state.node] = entry;
+
+  int writes = 0;
+  const std::string key = focus::to_string(state.node);
+
+  // "nodes" table: one row per node with its command address and region.
+  {
+    std::map<std::string, Json> columns;
+    columns["region"] = focus::to_string(state.region);
+    columns["command_port"] = static_cast<double>(command_addr.port);
+    store_.put("nodes", key, std::move(columns), [](Result<bool> r) {
+      if (!r.ok()) {
+        FOCUS_LOG(Warn, "registrar", "node row write failed: " << r.error().message);
+      }
+    });
+    ++writes;
+  }
+
+  // Per-static-attribute tables, each row also carrying the node's other
+  // static attributes (the paper's single-table multi-attribute trick).
+  for (const auto& [attr, value] : state.static_values) {
+    static_tables_[attr][state.node] = value;
+
+    std::map<std::string, Json> columns;
+    columns["value"] = value;
+    Json others = Json::object();
+    for (const auto& [other_attr, other_value] : state.static_values) {
+      if (other_attr != attr) others[other_attr] = other_value;
+    }
+    columns["attributes"] = std::move(others);
+    store_.put(table_name(attr), key, std::move(columns), [](Result<bool> r) {
+      if (!r.ok()) {
+        FOCUS_LOG(Warn, "registrar", "attr row write failed: " << r.error().message);
+      }
+    });
+    ++writes;
+  }
+  return writes;
+}
+
+int Registrar::deregister(NodeId node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return 0;
+  int writes = 0;
+  const std::string key = focus::to_string(node);
+  for (const auto& [attr, value] : it->second.static_values) {
+    static_tables_[attr].erase(node);
+    store_.erase(table_name(attr), key, [](Result<bool>) {});
+    ++writes;
+  }
+  store_.erase("nodes", key, [](Result<bool>) {});
+  ++writes;
+  nodes_.erase(it);
+  return writes;
+}
+
+const NodeEntry* Registrar::find(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<const NodeEntry*> Registrar::match_static(const Query& query) const {
+  std::vector<const NodeEntry*> out;
+  for (const auto& [id, entry] : nodes_) {
+    if (query.location && entry.region != *query.location) continue;
+    bool ok = true;
+    for (const auto& term : query.static_terms) {
+      auto it = entry.static_values.find(term.attr);
+      if (it == entry.static_values.end() || it->second != term.value) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::string Registrar::smallest_static_table(const Query& query) const {
+  std::string best;
+  std::size_t best_size = std::numeric_limits<std::size_t>::max();
+  for (const auto& term : query.static_terms) {
+    auto it = static_tables_.find(term.attr);
+    const std::size_t size = it == static_tables_.end() ? 0 : it->second.size();
+    if (size < best_size) {
+      best_size = size;
+      best = table_name(term.attr);
+    }
+  }
+  return best;
+}
+
+}  // namespace focus::core

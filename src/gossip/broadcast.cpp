@@ -1,0 +1,61 @@
+#include "gossip/broadcast.hpp"
+
+#include <algorithm>
+
+namespace focus::gossip {
+
+bool EventBuffer::add(EventId id, std::string topic,
+                      std::shared_ptr<const net::Payload> body,
+                      int retransmit_rounds) {
+  if (!seen_.insert(id).second) return false;
+  if (retransmit_rounds > 0) {
+    pending_.push_back(Entry{id, std::move(topic), std::move(body), retransmit_rounds});
+  }
+  return true;
+}
+
+std::vector<EventPayload> EventBuffer::take_round() {
+  std::vector<EventPayload> out;
+  out.reserve(pending_.size());
+  for (auto& entry : pending_) {
+    EventPayload p;
+    p.id = entry.id;
+    p.topic = entry.topic;
+    p.body = entry.body;
+    out.push_back(std::move(p));
+    --entry.rounds_left;
+  }
+  std::erase_if(pending_, [](const Entry& e) { return e.rounds_left <= 0; });
+  return out;
+}
+
+void PiggybackBuffer::add(const MemberUpdate& update, int copies) {
+  // A newer assertion about the same node replaces the buffered one: the
+  // protocol only needs the latest state to converge.
+  for (auto& entry : entries_) {
+    if (entry.update.node == update.node) {
+      entry.update = update;
+      entry.copies_left = copies;
+      return;
+    }
+  }
+  entries_.push_back(Entry{update, copies});
+}
+
+std::vector<MemberUpdate> PiggybackBuffer::take(std::size_t max) {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.copies_left > b.copies_left;
+                   });
+  std::vector<MemberUpdate> out;
+  const std::size_t n = std::min(max, entries_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(entries_[i].update);
+    --entries_[i].copies_left;
+  }
+  std::erase_if(entries_, [](const Entry& e) { return e.copies_left <= 0; });
+  return out;
+}
+
+}  // namespace focus::gossip

@@ -1,0 +1,74 @@
+#pragma once
+// Event dissemination bookkeeping: which user events and membership updates
+// this agent still owes the group, and which event ids it has already seen.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "gossip/messages.hpp"
+
+namespace focus::gossip {
+
+/// Buffer of user events pending retransmission plus a seen-set for
+/// deduplication. Used by GroupAgent; separated out for direct unit testing.
+class EventBuffer {
+ public:
+  /// Register an event. Returns false (and buffers nothing) when the event
+  /// id was already seen.
+  bool add(EventId id, std::string topic,
+           std::shared_ptr<const net::Payload> body, int retransmit_rounds);
+
+  /// True when the id has been seen before (delivered or buffered).
+  bool seen(EventId id) const { return seen_.count(id) > 0; }
+
+  /// Events that still have transmission budget this round. Calling this
+  /// consumes one round of budget from each returned event.
+  std::vector<EventPayload> take_round();
+
+  /// Events currently buffered for retransmission.
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Total distinct events ever seen.
+  std::size_t seen_count() const noexcept { return seen_.size(); }
+
+ private:
+  struct Entry {
+    EventId id;
+    std::string topic;
+    std::shared_ptr<const net::Payload> body;
+    int rounds_left = 0;
+  };
+
+  std::deque<Entry> pending_;
+  std::unordered_set<EventId> seen_;
+};
+
+/// Buffer of membership updates pending piggybacking. Each update is
+/// attached to outgoing protocol messages until its copy budget is spent.
+/// Newer assertions about a node supersede older buffered ones.
+class PiggybackBuffer {
+ public:
+  /// Queue an update for dissemination with the given copy budget.
+  void add(const MemberUpdate& update, int copies);
+
+  /// Take up to `max` updates to attach to one outgoing message, consuming
+  /// one copy from each. Updates with the most remaining copies go first
+  /// (freshest information spreads fastest).
+  std::vector<MemberUpdate> take(std::size_t max);
+
+  /// Updates still holding budget.
+  std::size_t pending() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    MemberUpdate update;
+    int copies_left = 0;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace focus::gossip

@@ -1,0 +1,55 @@
+#pragma once
+// Tunables for the SWIM-style gossip protocol. Defaults mirror the paper's
+// Serf configuration: fanout 4, gossip interval 100 ms (§VIII-B), which the
+// paper notes converges a 400-node group in ~0.6 s.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace focus::gossip {
+
+/// Gossip protocol parameters (one instance per group agent).
+struct Config {
+  /// Dissemination period: one event-forwarding round per interval (the
+  /// paper's 100 ms "gossip interval").
+  Duration interval = 100 * kMillisecond;
+
+  /// Failure-detection period: one SWIM probe per probe_interval (Serf's
+  /// default probe cadence; decoupled from event dissemination so idle
+  /// groups stay cheap).
+  Duration probe_interval = 1 * kSecond;
+
+  /// Number of random members each buffered event/update is forwarded to
+  /// per round (the paper's "gossip fanout").
+  int fanout = 4;
+
+  /// Members asked to probe indirectly when a direct ping times out.
+  int indirect_probes = 3;
+
+  /// Wait for a direct ack before falling back to indirect probing. Must
+  /// comfortably exceed the worst round trip in the deployment (the widest
+  /// WAN path here is ~70 ms RTT) or healthy members get suspected.
+  Duration ping_timeout = 150 * kMillisecond;
+
+  /// A suspected member is declared dead after this long without refutation.
+  Duration suspicion_timeout = 2 * kSecond;
+
+  /// Each membership update is piggybacked on outgoing protocol messages at
+  /// most this many times (SWIM uses O(log n); a constant suffices at the
+  /// paper's group sizes and keeps overhead analyzable).
+  int piggyback_copies = 6;
+
+  /// Maximum membership updates attached to one protocol message.
+  std::size_t max_piggyback = 8;
+
+  /// Retransmission budget for user events: each event is forwarded to
+  /// `fanout` members in each of this many rounds.
+  int event_retransmit_rounds = 3;
+
+  /// Anti-entropy: exchange full member lists with one random peer this
+  /// often. Heals partitions that piggybacking misses.
+  Duration sync_interval = 30 * kSecond;
+};
+
+}  // namespace focus::gossip

@@ -1,0 +1,122 @@
+#pragma once
+// Wire payloads of the gossip protocol.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace focus::gossip {
+
+/// Liveness state of a member as disseminated by the protocol.
+enum class MemberState : std::uint8_t { Alive, Suspect, Dead, Left };
+
+/// Readable name of a member state.
+inline const char* to_string(MemberState s) {
+  switch (s) {
+    case MemberState::Alive: return "alive";
+    case MemberState::Suspect: return "suspect";
+    case MemberState::Dead: return "dead";
+    case MemberState::Left: return "left";
+  }
+  return "?";
+}
+
+/// One membership assertion: "node N at address A is in state S with
+/// incarnation I". ~26 bytes on the wire (ids, address, state, incarnation).
+struct MemberUpdate {
+  NodeId node;
+  net::Address addr;
+  Region region = Region::AppEdge;
+  MemberState state = MemberState::Alive;
+  std::uint32_t incarnation = 0;
+
+  static constexpr std::size_t kWireBytes = 26;
+};
+
+/// Direct or indirect probe. `reply_to` routes the ack (for indirect probes
+/// it is the original prober, so relays need no per-probe state).
+struct PingPayload final : net::Payload {
+  std::uint64_t seq = 0;
+  net::Address reply_to;
+  std::vector<MemberUpdate> updates;
+
+  std::size_t wire_size() const override {
+    return 14 + updates.size() * MemberUpdate::kWireBytes;
+  }
+};
+
+/// Probe acknowledgement.
+struct AckPayload final : net::Payload {
+  std::uint64_t seq = 0;
+  std::vector<MemberUpdate> updates;
+
+  std::size_t wire_size() const override {
+    return 8 + updates.size() * MemberUpdate::kWireBytes;
+  }
+};
+
+/// Request to probe `target` on behalf of `reply_to`.
+struct PingReqPayload final : net::Payload {
+  std::uint64_t seq = 0;
+  net::Address reply_to;
+  net::Address target;
+  std::vector<MemberUpdate> updates;
+
+  std::size_t wire_size() const override {
+    return 20 + updates.size() * MemberUpdate::kWireBytes;
+  }
+};
+
+/// Join request carrying the joiner's identity.
+struct JoinPayload final : net::Payload {
+  MemberUpdate self;
+
+  std::size_t wire_size() const override { return MemberUpdate::kWireBytes; }
+};
+
+/// Join response / anti-entropy exchange: a full member list.
+struct MemberListPayload final : net::Payload {
+  std::vector<MemberUpdate> members;
+  bool reply_expected = false;  ///< true on the first half of a sync exchange
+
+  std::size_t wire_size() const override {
+    return 2 + members.size() * MemberUpdate::kWireBytes;
+  }
+};
+
+/// Globally unique id of a user event: origin node plus origin-local seq.
+struct EventId {
+  NodeId origin;
+  std::uint64_t seq = 0;
+
+  constexpr auto operator<=>(const EventId&) const = default;
+};
+
+/// Application-level event disseminated epidemically through the group
+/// (FOCUS uses this to spread queries). The body is an opaque payload owned
+/// by the application layer.
+struct EventPayload final : net::Payload {
+  EventId id;
+  std::string topic;
+  std::shared_ptr<const net::Payload> body;
+  std::vector<MemberUpdate> updates;  ///< membership piggyback rides here too
+
+  std::size_t wire_size() const override {
+    return 16 + topic.size() + (body ? body->wire_size() : 0) +
+           updates.size() * MemberUpdate::kWireBytes;
+  }
+};
+
+}  // namespace focus::gossip
+
+template <>
+struct std::hash<focus::gossip::EventId> {
+  std::size_t operator()(const focus::gossip::EventId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.origin.value) << 32) ^ id.seq);
+  }
+};

@@ -1,0 +1,536 @@
+#include "gossip/swim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace focus::gossip {
+
+namespace {
+constexpr const char* kPing = "swim.ping";
+constexpr const char* kAck = "swim.ack";
+constexpr const char* kPingReq = "swim.ping_req";
+constexpr const char* kJoin = "swim.join";
+constexpr const char* kMemberList = "swim.member_list";
+constexpr const char* kEvent = "swim.event";
+
+// Tombstones (Dead/Left members) are garbage collected after this long so
+// stale piggybacks cannot resurrect them, but the map stays bounded.
+constexpr Duration kTombstoneTtl = 60 * kSecond;
+}  // namespace
+
+GroupAgent::GroupAgent(sim::Simulator& simulator, net::Transport& transport,
+                       net::Address self, Region region, Config config, Rng rng)
+    : simulator_(simulator),
+      transport_(transport),
+      self_(self),
+      region_(region),
+      config_(config),
+      rng_(std::move(rng)) {}
+
+GroupAgent::~GroupAgent() {
+  if (running_) {
+    *alive_flag_ = false;
+    transport_.unbind(self_);
+    simulator_.cancel(tick_timer_);
+    simulator_.cancel(probe_timer_);
+    simulator_.cancel(sync_timer_);
+  }
+}
+
+void GroupAgent::start() {
+  assert(!running_);
+  running_ = true;
+  *alive_flag_ = true;
+  transport_.bind(self_, [this, alive = alive_flag_](const net::Message& msg) {
+    if (*alive) on_message(msg);
+  });
+  // Desynchronize agents: first tick lands at a random phase of the interval
+  // so thousands of agents do not probe in lockstep.
+  const Duration phase = static_cast<Duration>(
+      rng_.uniform(0.0, static_cast<double>(config_.interval)));
+  tick_timer_ = simulator_.every(
+      config_.interval, [this, alive = alive_flag_] { if (*alive) tick(); }, phase);
+  probe_timer_ = simulator_.every(
+      config_.probe_interval,
+      [this, alive = alive_flag_] { if (*alive) probe_round(); },
+      static_cast<Duration>(rng_.uniform(0.0, static_cast<double>(config_.probe_interval))));
+  sync_timer_ = simulator_.every(
+      config_.sync_interval,
+      [this, alive = alive_flag_] { if (*alive) sync_round(); },
+      static_cast<Duration>(rng_.uniform(0.0, static_cast<double>(config_.sync_interval))));
+}
+
+void GroupAgent::join(std::span<const net::Address> entry_points) {
+  assert(running_);
+  for (const auto& entry : entry_points) {
+    if (entry == self_) continue;
+    auto msg = net::make_message<JoinPayload>(self_, entry, kJoin);
+    const_cast<JoinPayload&>(msg.as<JoinPayload>()).self = self_update(MemberState::Alive);
+    transport_.send(std::move(msg));
+  }
+}
+
+void GroupAgent::leave() {
+  if (!running_) return;
+  // Tell a few peers directly; they disseminate the Left state for us.
+  const MemberUpdate left = self_update(MemberState::Left);
+  for (const auto& addr : random_alive_addresses(static_cast<std::size_t>(config_.fanout))) {
+    auto payload = std::make_shared<AckPayload>();
+    payload->seq = 0;
+    payload->updates.push_back(left);
+    transport_.send(net::Message{self_, addr, kAck, std::move(payload)});
+  }
+  running_ = false;
+  *alive_flag_ = false;
+  transport_.unbind(self_);
+  simulator_.cancel(tick_timer_);
+  simulator_.cancel(probe_timer_);
+  simulator_.cancel(sync_timer_);
+}
+
+void GroupAgent::broadcast(std::string topic,
+                           std::shared_ptr<const net::Payload> body,
+                           bool deliver_locally) {
+  assert(running_);
+  EventPayload event;
+  event.id = EventId{self_.node, next_event_seq_++};
+  event.topic = std::move(topic);
+  event.body = std::move(body);
+  ++counters_.events_originated;
+  // Register with one round of budget already consumed: we transmit the
+  // first round immediately for latency, later rounds ride on ticks.
+  events_.add(event.id, event.topic, event.body,
+              config_.event_retransmit_rounds - 1);
+  for (const auto& addr : random_alive_addresses(static_cast<std::size_t>(config_.fanout))) {
+    auto payload = std::make_shared<EventPayload>(event);
+    payload->updates = piggyback_.take(config_.max_piggyback);
+    transport_.send(net::Message{self_, addr, kEvent, std::move(payload)});
+  }
+  if (deliver_locally && event_handler_) {
+    ++counters_.events_delivered;
+    event_handler_(event);
+  }
+}
+
+std::vector<GroupAgent::MemberInfo> GroupAgent::alive_members() const {
+  std::vector<MemberInfo> out;
+  out.reserve(members_.size());
+  for (const auto& [id, info] : members_) {
+    if (info.state == MemberState::Alive || info.state == MemberState::Suspect) {
+      out.push_back(info);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MemberInfo& a, const MemberInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+std::size_t GroupAgent::alive_count() const {
+  std::size_t n = 1;  // self
+  for (const auto& [id, info] : members_) {
+    if (info.state == MemberState::Alive || info.state == MemberState::Suspect) ++n;
+  }
+  return n;
+}
+
+const GroupAgent::MemberInfo* GroupAgent::member(NodeId id) const {
+  auto it = members_.find(id);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol rounds
+
+void GroupAgent::tick() { dissemination_round(); }
+
+void GroupAgent::probe_round() {
+  // Garbage-collect expired tombstones (piggybacked on the slow timer).
+  const SimTime gc_now = simulator_.now();
+  std::erase_if(members_, [gc_now](const auto& kv) {
+    const MemberInfo& m = kv.second;
+    return (m.state == MemberState::Dead || m.state == MemberState::Left) &&
+           gc_now - m.since > kTombstoneTtl;
+  });
+  // SWIM round-robin probing over a shuffled member list: every member is
+  // probed within n intervals, giving a deterministic detection bound.
+  std::vector<const MemberInfo*> alive = alive_ptrs();
+  if (alive.empty()) return;
+  if (probe_index_ >= probe_order_.size()) refresh_probe_order();
+  while (probe_index_ < probe_order_.size()) {
+    auto it = members_.find(probe_order_[probe_index_++]);
+    if (it == members_.end()) continue;
+    if (it->second.state != MemberState::Alive &&
+        it->second.state != MemberState::Suspect) {
+      continue;
+    }
+    start_probe(it->second);
+    return;
+  }
+}
+
+void GroupAgent::refresh_probe_order() {
+  probe_order_.clear();
+  for (const auto& [id, info] : members_) {
+    if (info.state == MemberState::Alive || info.state == MemberState::Suspect) {
+      probe_order_.push_back(id);
+    }
+  }
+  rng_.shuffle(probe_order_);
+  probe_index_ = 0;
+}
+
+void GroupAgent::start_probe(const MemberInfo& target) {
+  const std::uint64_t seq = next_seq_++;
+  outstanding_.emplace(seq, OutstandingPing{target.id, false});
+  send_ping(target.addr, seq, self_);
+  ++counters_.pings_sent;
+
+  const NodeId target_id = target.id;
+  const net::Address target_addr = target.addr;
+  // Stage 1: direct timeout -> indirect probes through k random peers.
+  simulator_.schedule_after(config_.ping_timeout, [this, alive = alive_flag_, seq,
+                                                   target_id, target_addr] {
+    if (!*alive) return;
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;  // acked
+    it->second.indirect_sent = true;
+    for (const auto& helper :
+         random_alive_addresses(static_cast<std::size_t>(config_.indirect_probes))) {
+      if (helper == target_addr) continue;
+      auto payload = std::make_shared<PingReqPayload>();
+      payload->seq = seq;
+      payload->reply_to = self_;
+      payload->target = target_addr;
+      payload->updates = piggyback_.take(config_.max_piggyback);
+      transport_.send(net::Message{self_, helper, kPingReq, std::move(payload)});
+      ++counters_.indirect_probes_sent;
+    }
+    // Stage 2: end of protocol period without any ack -> suspect.
+    simulator_.schedule_after(
+        config_.interval, [this, alive2 = alive_flag_, seq, target_id] {
+          if (!*alive2) return;
+          auto it2 = outstanding_.find(seq);
+          if (it2 == outstanding_.end()) return;
+          outstanding_.erase(it2);
+          suspect_member(target_id);
+        });
+  });
+}
+
+void GroupAgent::send_ping(const net::Address& target, std::uint64_t seq,
+                           const net::Address& reply_to) {
+  auto payload = std::make_shared<PingPayload>();
+  payload->seq = seq;
+  payload->reply_to = reply_to;
+  payload->updates = piggyback_.take(config_.max_piggyback);
+  transport_.send(net::Message{self_, target, kPing, std::move(payload)});
+}
+
+void GroupAgent::dissemination_round() {
+  for (auto& event : events_.take_round()) {
+    for (const auto& addr :
+         random_alive_addresses(static_cast<std::size_t>(config_.fanout))) {
+      auto payload = std::make_shared<EventPayload>(event);
+      payload->updates = piggyback_.take(config_.max_piggyback);
+      transport_.send(net::Message{self_, addr, kEvent, std::move(payload)});
+      ++counters_.events_forwarded;
+    }
+  }
+}
+
+void GroupAgent::sync_round() {
+  // Anti-entropy: push-pull full member list with one random peer.
+  auto addrs = random_alive_addresses(1);
+  if (addrs.empty()) return;
+  auto payload = std::make_shared<MemberListPayload>();
+  payload->members = full_member_list();
+  payload->reply_expected = true;
+  transport_.send(net::Message{self_, addrs.front(), kMemberList, std::move(payload)});
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+
+void GroupAgent::on_message(const net::Message& msg) {
+  if (msg.kind == kPing) {
+    handle_ping(msg);
+  } else if (msg.kind == kAck) {
+    handle_ack(msg);
+  } else if (msg.kind == kPingReq) {
+    handle_ping_req(msg);
+  } else if (msg.kind == kJoin) {
+    handle_join(msg);
+  } else if (msg.kind == kMemberList) {
+    handle_member_list(msg);
+  } else if (msg.kind == kEvent) {
+    handle_event(msg);
+  }
+}
+
+void GroupAgent::handle_ping(const net::Message& msg) {
+  const auto& ping = msg.as<PingPayload>();
+  apply_updates(ping.updates);
+  auto payload = std::make_shared<AckPayload>();
+  payload->seq = ping.seq;
+  payload->updates = piggyback_.take(config_.max_piggyback);
+  transport_.send(net::Message{self_, ping.reply_to, kAck, std::move(payload)});
+  ++counters_.acks_sent;
+}
+
+void GroupAgent::handle_ack(const net::Message& msg) {
+  const auto& ack = msg.as<AckPayload>();
+  apply_updates(ack.updates);
+  if (ack.seq != 0) outstanding_.erase(ack.seq);
+}
+
+void GroupAgent::handle_ping_req(const net::Message& msg) {
+  const auto& req = msg.as<PingReqPayload>();
+  apply_updates(req.updates);
+  // Relay a ping whose ack goes straight back to the original prober; the
+  // relay itself keeps no per-probe state.
+  send_ping(req.target, req.seq, req.reply_to);
+}
+
+void GroupAgent::handle_join(const net::Message& msg) {
+  const auto& join = msg.as<JoinPayload>();
+  apply_update(join.self);
+  auto payload = std::make_shared<MemberListPayload>();
+  payload->members = full_member_list();
+  payload->reply_expected = false;
+  transport_.send(net::Message{self_, msg.from, kMemberList, std::move(payload)});
+}
+
+void GroupAgent::handle_member_list(const net::Message& msg) {
+  const auto& list = msg.as<MemberListPayload>();
+  apply_updates(list.members);
+  if (list.reply_expected) {
+    auto payload = std::make_shared<MemberListPayload>();
+    payload->members = full_member_list();
+    payload->reply_expected = false;
+    transport_.send(net::Message{self_, msg.from, kMemberList, std::move(payload)});
+  }
+}
+
+void GroupAgent::handle_event(const net::Message& msg) {
+  const auto& event = msg.as<EventPayload>();
+  apply_updates(event.updates);
+  if (!events_.add(event.id, event.topic, event.body,
+                   config_.event_retransmit_rounds)) {
+    return;  // duplicate
+  }
+  ++counters_.events_delivered;
+  if (event_handler_) event_handler_(event);
+}
+
+// ---------------------------------------------------------------------------
+// Membership state machine
+
+void GroupAgent::apply_updates(std::span<const MemberUpdate> updates) {
+  for (const auto& update : updates) apply_update(update);
+}
+
+void GroupAgent::apply_update(const MemberUpdate& update) {
+  if (update.node == self_.node) {
+    // Someone thinks we are suspect/dead: refute with a higher incarnation.
+    if ((update.state == MemberState::Suspect || update.state == MemberState::Dead) &&
+        update.incarnation >= incarnation_) {
+      incarnation_ = update.incarnation + 1;
+      ++counters_.refutations;
+      queue_update(self_update(MemberState::Alive));
+    }
+    return;
+  }
+
+  auto it = members_.find(update.node);
+  if (it == members_.end()) {
+    if (update.state == MemberState::Dead || update.state == MemberState::Left) {
+      return;  // no need to learn about nodes already gone
+    }
+    MemberInfo info;
+    info.id = update.node;
+    info.addr = update.addr;
+    info.region = update.region;
+    info.state = update.state;
+    info.incarnation = update.incarnation;
+    info.since = simulator_.now();
+    members_.emplace(update.node, info);
+    queue_update(update);
+    if (update.state == MemberState::Suspect) {
+      // Start the suspicion clock locally as well.
+      const NodeId id = update.node;
+      const std::uint32_t inc = update.incarnation;
+      simulator_.schedule_after(config_.suspicion_timeout,
+                                [this, alive = alive_flag_, id, inc] {
+                                  if (!*alive) return;
+                                  auto it2 = members_.find(id);
+                                  if (it2 != members_.end() &&
+                                      it2->second.state == MemberState::Suspect &&
+                                      it2->second.incarnation == inc) {
+                                    declare_dead(id, MemberState::Dead);
+                                  }
+                                });
+    }
+    return;
+  }
+
+  MemberInfo& info = it->second;
+  bool accepted = false;
+  switch (update.state) {
+    case MemberState::Alive:
+      // Alive overrides Suspect at the same incarnation only when newer.
+      if (update.incarnation > info.incarnation ||
+          (update.incarnation == info.incarnation && info.state == MemberState::Dead)) {
+        accepted = true;
+      } else if (update.incarnation == info.incarnation &&
+                 info.state == MemberState::Left) {
+        accepted = false;  // leave is final for that incarnation
+      } else if (update.incarnation == info.incarnation &&
+                 info.state == MemberState::Alive) {
+        info.addr = update.addr;  // benign refresh
+      }
+      break;
+    case MemberState::Suspect:
+      if (update.incarnation >= info.incarnation && info.state == MemberState::Alive) {
+        accepted = true;
+      }
+      break;
+    case MemberState::Dead:
+    case MemberState::Left:
+      if (update.incarnation >= info.incarnation &&
+          info.state != MemberState::Dead && info.state != MemberState::Left) {
+        accepted = true;
+      }
+      break;
+  }
+  if (!accepted) return;
+
+  info.state = update.state;
+  info.incarnation = update.incarnation;
+  info.addr = update.addr;
+  info.region = update.region;
+  info.since = simulator_.now();
+  queue_update(update);
+  if (update.state == MemberState::Suspect) {
+    const NodeId id = update.node;
+    const std::uint32_t inc = update.incarnation;
+    simulator_.schedule_after(config_.suspicion_timeout,
+                              [this, alive = alive_flag_, id, inc] {
+                                if (!*alive) return;
+                                auto it2 = members_.find(id);
+                                if (it2 != members_.end() &&
+                                    it2->second.state == MemberState::Suspect &&
+                                    it2->second.incarnation == inc) {
+                                  declare_dead(id, MemberState::Dead);
+                                }
+                              });
+  }
+}
+
+void GroupAgent::suspect_member(NodeId id) {
+  auto it = members_.find(id);
+  if (it == members_.end() || it->second.state != MemberState::Alive) return;
+  it->second.state = MemberState::Suspect;
+  it->second.since = simulator_.now();
+  ++counters_.suspicions_raised;
+  MemberUpdate update;
+  update.node = id;
+  update.addr = it->second.addr;
+  update.region = it->second.region;
+  update.state = MemberState::Suspect;
+  update.incarnation = it->second.incarnation;
+  queue_update(update);
+  const std::uint32_t inc = it->second.incarnation;
+  simulator_.schedule_after(config_.suspicion_timeout,
+                            [this, alive = alive_flag_, id, inc] {
+                              if (!*alive) return;
+                              auto it2 = members_.find(id);
+                              if (it2 != members_.end() &&
+                                  it2->second.state == MemberState::Suspect &&
+                                  it2->second.incarnation == inc) {
+                                declare_dead(id, MemberState::Dead);
+                              }
+                            });
+}
+
+void GroupAgent::declare_dead(NodeId id, MemberState terminal) {
+  auto it = members_.find(id);
+  if (it == members_.end()) return;
+  it->second.state = terminal;
+  it->second.since = simulator_.now();
+  ++counters_.members_declared_dead;
+  MemberUpdate update;
+  update.node = id;
+  update.addr = it->second.addr;
+  update.region = it->second.region;
+  update.state = terminal;
+  update.incarnation = it->second.incarnation;
+  queue_update(update);
+  FOCUS_LOG(Debug, "swim", to_string(self_.node) << " declares "
+                                                 << to_string(id) << " "
+                                                 << to_string(terminal));
+}
+
+void GroupAgent::queue_update(const MemberUpdate& update) {
+  piggyback_.add(update, config_.piggyback_copies);
+}
+
+MemberUpdate GroupAgent::self_update(MemberState state) const {
+  MemberUpdate u;
+  u.node = self_.node;
+  u.addr = self_;
+  u.region = region_;
+  u.state = state;
+  u.incarnation = incarnation_;
+  return u;
+}
+
+std::vector<MemberUpdate> GroupAgent::full_member_list() const {
+  std::vector<MemberUpdate> out;
+  out.reserve(members_.size() + 1);
+  out.push_back(self_update(MemberState::Alive));
+  for (const auto& [id, info] : members_) {
+    MemberUpdate u;
+    u.node = info.id;
+    u.addr = info.addr;
+    u.region = info.region;
+    u.state = info.state;
+    u.incarnation = info.incarnation;
+    out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<const GroupAgent::MemberInfo*> GroupAgent::alive_ptrs() const {
+  std::vector<const MemberInfo*> out;
+  out.reserve(members_.size());
+  for (const auto& [id, info] : members_) {
+    if (info.state == MemberState::Alive || info.state == MemberState::Suspect) {
+      out.push_back(&info);
+    }
+  }
+  return out;
+}
+
+std::vector<net::Address> GroupAgent::random_alive_addresses(std::size_t k) {
+  auto alive = alive_ptrs();
+  std::vector<net::Address> out;
+  if (alive.empty() || k == 0) return out;
+  // Partial Fisher-Yates over indices.
+  std::vector<std::size_t> idx(alive.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  const std::size_t n = std::min(k, idx.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.uniform_int(
+                0, static_cast<std::int64_t>(idx.size() - i) - 1));
+    std::swap(idx[i], idx[j]);
+    out.push_back(alive[idx[i]]->addr);
+  }
+  return out;
+}
+
+}  // namespace focus::gossip

@@ -1,0 +1,169 @@
+#pragma once
+// SWIM-style gossip group agent (the repo's stand-in for HashiCorp Serf).
+//
+// One GroupAgent instance is one membership in one attribute group: it
+// maintains the group's member list via piggybacked gossip, detects failures
+// with direct + indirect probing and a suspicion period, and disseminates
+// application events (FOCUS queries) epidemically.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gossip/broadcast.hpp"
+#include "gossip/config.hpp"
+#include "gossip/messages.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::gossip {
+
+/// Counters exposed for tests and overhead benchmarks.
+struct AgentCounters {
+  std::uint64_t pings_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t indirect_probes_sent = 0;
+  std::uint64_t events_originated = 0;
+  std::uint64_t events_delivered = 0;
+  std::uint64_t events_forwarded = 0;
+  std::uint64_t suspicions_raised = 0;
+  std::uint64_t members_declared_dead = 0;
+  std::uint64_t refutations = 0;
+};
+
+/// A member of one gossip group.
+class GroupAgent {
+ public:
+  /// What this agent believes about one peer.
+  struct MemberInfo {
+    NodeId id;
+    net::Address addr;
+    Region region = Region::AppEdge;
+    MemberState state = MemberState::Alive;
+    std::uint32_t incarnation = 0;
+    SimTime since = 0;  ///< when the current state was adopted
+  };
+
+  /// Invoked once per event delivered to this agent (origin included when it
+  /// requests local delivery).
+  using EventHandler = std::function<void(const EventPayload&)>;
+
+  GroupAgent(sim::Simulator& simulator, net::Transport& transport,
+             net::Address self, Region region, Config config, Rng rng);
+  ~GroupAgent();
+
+  GroupAgent(const GroupAgent&) = delete;
+  GroupAgent& operator=(const GroupAgent&) = delete;
+
+  /// Register the application event handler (may be set before start()).
+  void set_event_handler(EventHandler handler) { event_handler_ = std::move(handler); }
+
+  /// Bind the transport endpoint and start protocol timers. A started agent
+  /// with no peers is a 1-member group awaiting joins.
+  void start();
+
+  /// Send join requests to known group entry points. Safe to call with
+  /// addresses that are stale; any live one suffices.
+  void join(std::span<const net::Address> entry_points);
+
+  /// Gracefully leave: disseminate a Left assertion and stop the agent.
+  void leave();
+
+  /// True between start() and leave()/destruction.
+  bool running() const noexcept { return running_; }
+
+  /// Originate an application event to the whole group.
+  /// When `deliver_locally` is set the handler also fires on this agent.
+  void broadcast(std::string topic, std::shared_ptr<const net::Payload> body,
+                 bool deliver_locally = false);
+
+  /// Peers this agent currently believes alive (excluding self).
+  std::vector<MemberInfo> alive_members() const;
+
+  /// Alive group size including self.
+  std::size_t alive_count() const;
+
+  /// Believed state of one peer, or nullptr when unknown.
+  const MemberInfo* member(NodeId id) const;
+
+  /// This agent's bound address / node id / region.
+  const net::Address& address() const noexcept { return self_; }
+  NodeId id() const noexcept { return self_.node; }
+  Region region() const noexcept { return region_; }
+
+  /// Current incarnation number (grows only by refuting suspicion).
+  std::uint32_t incarnation() const noexcept { return incarnation_; }
+
+  /// Protocol statistics.
+  const AgentCounters& counters() const noexcept { return counters_; }
+
+  /// The protocol configuration in force.
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  void tick();
+  void probe_round();
+  void dissemination_round();
+  void sync_round();
+  void send_ping(const net::Address& target, std::uint64_t seq,
+                 const net::Address& reply_to);
+  void start_probe(const MemberInfo& target);
+  void on_message(const net::Message& msg);
+  void handle_ping(const net::Message& msg);
+  void handle_ack(const net::Message& msg);
+  void handle_ping_req(const net::Message& msg);
+  void handle_join(const net::Message& msg);
+  void handle_member_list(const net::Message& msg);
+  void handle_event(const net::Message& msg);
+  void apply_updates(std::span<const MemberUpdate> updates);
+  void apply_update(const MemberUpdate& update);
+  void suspect_member(NodeId id);
+  void declare_dead(NodeId id, MemberState terminal);
+  void queue_update(const MemberUpdate& update);
+  MemberUpdate self_update(MemberState state) const;
+  std::vector<MemberUpdate> full_member_list() const;
+  std::vector<const MemberInfo*> alive_ptrs() const;
+  std::vector<net::Address> random_alive_addresses(std::size_t k);
+  void refresh_probe_order();
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  net::Address self_;
+  Region region_;
+  Config config_;
+  Rng rng_;
+  EventHandler event_handler_;
+
+  std::unordered_map<NodeId, MemberInfo> members_;  // peers (never self)
+  std::vector<NodeId> probe_order_;
+  std::size_t probe_index_ = 0;
+
+  PiggybackBuffer piggyback_;
+  EventBuffer events_;
+
+  struct OutstandingPing {
+    NodeId target;
+    bool indirect_sent = false;
+  };
+  std::unordered_map<std::uint64_t, OutstandingPing> outstanding_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_event_seq_ = 1;
+  std::uint32_t incarnation_ = 0;
+
+  bool running_ = false;
+  sim::TimerId tick_timer_ = 0;
+  sim::TimerId probe_timer_ = 0;
+  sim::TimerId sync_timer_ = 0;
+  // Closures scheduled on the simulator check this flag so a destroyed or
+  // stopped agent never executes protocol logic.
+  std::shared_ptr<bool> alive_flag_ = std::make_shared<bool>(false);
+
+  AgentCounters counters_;
+};
+
+}  // namespace focus::gossip

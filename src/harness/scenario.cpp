@@ -1,0 +1,113 @@
+#include "harness/scenario.hpp"
+
+namespace focus::harness {
+
+World::World(WorldConfig config) : config_(std::move(config)) {
+  Rng rng(config_.seed);
+  transport_ = std::make_unique<net::SimTransport>(simulator_, topology_, rng.fork());
+  topology_.place(kServerNode, Region::AppEdge);
+  topology_.place(kBrokerNode, Region::AppEdge);
+  topology_.place(kAppNode, Region::AppEdge);
+
+  models_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    const NodeId id{kAgentBase + static_cast<std::uint32_t>(i)};
+    const Region region = region_of_index(i);
+    topology_.place(id, region);
+    models_.push_back(std::make_unique<agent::ResourceModel>(
+        config_.schema, id, region, rng.fork(), config_.dynamics));
+  }
+  step_timer_ = simulator_.every(config_.model_step, [this] {
+    const SimTime now = simulator_.now();
+    for (auto& model : models_) model->step(now);
+  });
+}
+
+std::vector<baselines::SimNode> World::sim_nodes() {
+  std::vector<baselines::SimNode> out;
+  out.reserve(models_.size());
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    out.push_back(baselines::SimNode{
+        NodeId{kAgentBase + static_cast<std::uint32_t>(i)}, region_of_index(i),
+        models_[i].get()});
+  }
+  return out;
+}
+
+std::vector<baselines::ManagerNode> World::managers(int count) {
+  std::vector<baselines::ManagerNode> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const NodeId id{kManagerBase + static_cast<std::uint32_t>(i)};
+    const Region region = region_of_index(static_cast<std::size_t>(i));
+    topology_.place(id, region);
+    out.push_back(baselines::ManagerNode{id, region});
+  }
+  return out;
+}
+
+core::Query make_placement_query(Rng& rng, int limit) {
+  core::Query query;
+  // Resource thresholds roughly matching the flavor menu; each draws a
+  // random requirement so candidate groups vary query to query.
+  const int num_terms = static_cast<int>(rng.uniform_int(1, 3));
+  std::vector<std::string> attrs = {"ram_mb", "disk_gb", "vcpus", "cpu_usage"};
+  rng.shuffle(attrs);
+  for (int i = 0; i < num_terms; ++i) {
+    const std::string& attr = attrs[static_cast<std::size_t>(i)];
+    if (attr == "ram_mb") {
+      const double need = 1024.0 * static_cast<double>(rng.uniform_int(1, 8));
+      query.where_at_least("ram_mb", need);
+    } else if (attr == "disk_gb") {
+      query.where_at_least("disk_gb", 5.0 * static_cast<double>(rng.uniform_int(1, 4)));
+    } else if (attr == "vcpus") {
+      query.where_at_least("vcpus", static_cast<double>(rng.uniform_int(1, 4)));
+    } else {
+      // Hot-spot style constraint: hosts that are not overloaded.
+      query.where_at_most("cpu_usage", 25.0 * static_cast<double>(rng.uniform_int(1, 3)));
+    }
+  }
+  query.limit = limit;
+  return query;
+}
+
+LoadResult run_query_load(sim::Simulator& simulator, net::SimTransport& transport,
+                          baselines::NodeFinder& finder, const QueryGen& gen,
+                          double qps, Duration warmup, Duration window,
+                          std::uint64_t seed) {
+  auto result = std::make_shared<LoadResult>();
+  auto rng = std::make_shared<Rng>(seed);
+  const auto interval = static_cast<Duration>(1e6 / qps);
+
+  simulator.run_for(warmup);
+  const net::EndpointStats start_stats = transport.stats().of(finder.server_node());
+  const SimTime window_start = simulator.now();
+  const SimTime window_end = window_start + window;
+
+  const sim::TimerId timer = simulator.every(interval, [&finder, gen, result, rng,
+                                                        &simulator] {
+    const core::Query query = gen(*rng);
+    ++result->issued;
+    const SimTime issued_at = simulator.now();
+    finder.find(query, [result, issued_at, &simulator](Result<core::QueryResult> r) {
+      ++result->completed;
+      if (!r.ok()) {
+        ++result->failed;
+        return;
+      }
+      result->latency_ms.add(to_millis(simulator.now() - issued_at));
+    });
+  });
+
+  simulator.run_until(window_end);
+  simulator.cancel(timer);
+  result->server_delta =
+      transport.stats().of(finder.server_node()) - start_stats;
+  result->window = window;
+  // Drain in-flight queries so latency tails are captured (drain traffic is
+  // excluded from the bandwidth window, matching a fixed measurement port).
+  simulator.run_for(5 * kSecond);
+  return *result;
+}
+
+}  // namespace focus::harness

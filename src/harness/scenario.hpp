@@ -1,0 +1,109 @@
+#pragma once
+// Scenario helpers shared by benches and tests:
+//  * World        — a simulator + transport + live resource models, the
+//                   substrate baselines run on (no finding system attached).
+//  * FocusFinder  — adapter presenting a FOCUS Testbed through the common
+//                   NodeFinder interface so every system runs one loop.
+//  * run_query_load — drive a NodeFinder at a fixed query rate over a
+//                   measurement window, recording latency and the server's
+//                   bandwidth (the Fig. 7a/7b methodology).
+//  * make_placement_query — the placement-style query mix used across the
+//                   evaluation.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/hierarchy_finder.hpp"
+#include "baselines/node_finder.hpp"
+#include "common/histogram.hpp"
+#include "harness/testbed.hpp"
+
+namespace focus::harness {
+
+/// World parameters.
+struct WorldConfig {
+  std::size_t num_nodes = 100;
+  std::uint64_t seed = 1;
+  core::Schema schema = core::Schema::openstack_default();
+  agent::ResourceDynamics dynamics;
+  Duration model_step = 1 * kSecond;  ///< resource random-walk cadence
+};
+
+/// A geo-distributed fleet of simulated nodes with live resource values and
+/// no node-finding system attached. Baselines are constructed on top.
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  net::SimTransport& transport() noexcept { return *transport_; }
+
+  /// The fleet view baselines consume.
+  std::vector<baselines::SimNode> sim_nodes();
+
+  /// Hierarchy middle-layer nodes (ids kManagerBase..), spread over regions.
+  std::vector<baselines::ManagerNode> managers(int count);
+
+  NodeId server_node() const { return kServerNode; }
+  NodeId broker_node() const { return kBrokerNode; }
+  std::size_t num_nodes() const noexcept { return models_.size(); }
+  agent::ResourceModel& model(std::size_t i) { return *models_.at(i); }
+
+ private:
+  WorldConfig config_;
+  sim::Simulator simulator_;
+  net::Topology topology_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::vector<std::unique_ptr<agent::ResourceModel>> models_;
+  sim::TimerId step_timer_ = 0;
+};
+
+/// Adapter: a FOCUS deployment as a NodeFinder.
+class FocusFinder final : public baselines::NodeFinder {
+ public:
+  explicit FocusFinder(Testbed& testbed) : testbed_(testbed) {}
+
+  void find(const core::Query& query, Callback cb) override {
+    testbed_.client().query(query, std::move(cb));
+  }
+  NodeId server_node() const override { return kServerNode; }
+  std::string name() const override { return "focus"; }
+
+ private:
+  Testbed& testbed_;
+};
+
+/// Query-load measurement outcome.
+struct LoadResult {
+  Histogram latency_ms;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  net::EndpointStats server_delta;  ///< server traffic during the window
+  Duration window = 0;
+
+  /// Server bandwidth (both directions) in KB/s over the window.
+  double server_kbps() const {
+    if (window <= 0) return 0;
+    return static_cast<double>(server_delta.bytes_total()) / 1024.0 /
+           to_seconds(window);
+  }
+};
+
+/// A query generator draws the next query (seeded, deterministic).
+using QueryGen = std::function<core::Query(Rng&)>;
+
+/// Placement-style query mix over the OpenStack schema: a lower-bounded
+/// resource requirement on 1-3 attributes with a limit, matching the shape
+/// of Table I / §IX queries.
+core::Query make_placement_query(Rng& rng, int limit = 50);
+
+/// Drive `finder` at `qps` for `window` (after `warmup`), measuring latency
+/// and the traffic delta at `finder.server_node()`.
+LoadResult run_query_load(sim::Simulator& simulator, net::SimTransport& transport,
+                          baselines::NodeFinder& finder, const QueryGen& gen,
+                          double qps, Duration warmup, Duration window,
+                          std::uint64_t seed);
+
+}  // namespace focus::harness

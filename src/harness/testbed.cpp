@@ -1,0 +1,102 @@
+#include "harness/testbed.hpp"
+
+namespace focus::harness {
+
+Region region_of_index(std::size_t i) {
+  switch (i % 4) {
+    case 0: return Region::Ohio;
+    case 1: return Region::Canada;
+    case 2: return Region::Oregon;
+    default: return Region::California;
+  }
+}
+
+void TestbedConfig::sync_agent_config() {
+  agent.gossip = service.gossip;
+  agent.report_interval = service.report_interval;
+  agent.delta_reports = service.delta_reports;
+  agent.full_report_interval = service.full_report_interval;
+}
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  config_.sync_agent_config();
+  Rng rng(config_.seed);
+
+  transport_ = std::make_unique<net::SimTransport>(simulator_, topology_, rng.fork());
+  transport_->set_loss_rate(config_.loss_rate);
+
+  topology_.place(kServerNode, Region::AppEdge);
+  topology_.place(kAppNode, Region::AppEdge);
+  topology_.place(kBrokerNode, Region::AppEdge);
+
+  store_ = std::make_unique<store::Cluster>(simulator_, config_.store,
+                                            rng.fork().next_u64());
+  service_ = std::make_unique<core::Service>(simulator_, *transport_, *store_,
+                                             kServerNode, config_.service,
+                                             core::ServerCostModel{},
+                                             rng.fork().next_u64());
+  client_ = std::make_unique<core::Client>(simulator_, *transport_,
+                                           net::Address{kAppNode, 10},
+                                           service_->north_addr());
+
+  agents_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    const NodeId id{kAgentBase + static_cast<std::uint32_t>(i)};
+    const Region region = region_of_index(i);
+    topology_.place(id, region);
+    agents_.push_back(std::make_unique<agent::NodeManager>(
+        simulator_, *transport_, id, region, service_->south_addr(),
+        config_.service.schema, config_.agent, rng.fork()));
+  }
+}
+
+Testbed::~Testbed() {
+  // Stop agents before the transport/service go away.
+  for (auto& agent : agents_) agent->stop();
+}
+
+void Testbed::start() {
+  for (auto& agent : agents_) agent->start();
+}
+
+bool Testbed::settle(Duration max) {
+  const SimTime deadline = simulator_.now() + max;
+  while (simulator_.now() < deadline) {
+    simulator_.run_for(500 * kMillisecond);
+    bool all_registered = true;
+    for (const auto& agent : agents_) {
+      if (!agent->registered()) {
+        all_registered = false;
+        break;
+      }
+    }
+    if (!all_registered) continue;
+    // Wait until the DGM has heard at least one report per populated group
+    // (i.e. groups know their members).
+    std::size_t known_members = 0;
+    for (const auto& [name, group] : service_->dgm().groups()) {
+      known_members += group.members.size();
+    }
+    const std::size_t expected =
+        agents_.size() * service_->config().schema.dynamic_attrs().size();
+    if (known_members >= expected * 9 / 10) return true;
+  }
+  return false;
+}
+
+Result<core::QueryResult> Testbed::query_and_wait(core::Query query,
+                                                  Duration max_wait) {
+  bool done = false;
+  Result<core::QueryResult> out = make_error(Errc::Timeout, "no response");
+  client_->query(std::move(query), [&](Result<core::QueryResult> r) {
+    out = std::move(r);
+    done = true;
+  });
+  const SimTime deadline = simulator_.now() + max_wait;
+  while (!done && simulator_.now() < deadline) {
+    simulator_.run_for(10 * kMillisecond);
+  }
+  return out;
+}
+
+}  // namespace focus::harness

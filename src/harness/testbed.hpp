@@ -1,0 +1,97 @@
+#pragma once
+// Testbed: builds a complete FOCUS deployment on the simulator — the service
+// (with its data store), N node agents spread over the paper's four regions,
+// and an application client at the app edge. Shared by integration tests,
+// benches and examples.
+
+#include <memory>
+#include <vector>
+
+#include "agent/node_manager.hpp"
+#include "focus/client.hpp"
+#include "focus/service.hpp"
+#include "net/sim_transport.hpp"
+#include "store/kvstore.hpp"
+
+namespace focus::harness {
+
+/// Node-id layout of a testbed world.
+inline constexpr NodeId kServerNode{0};
+inline constexpr NodeId kBrokerNode{1};
+inline constexpr NodeId kAppNode{2};
+inline constexpr std::uint32_t kManagerBase = 10;  ///< hierarchy managers
+inline constexpr std::uint32_t kAgentBase = 100;   ///< end nodes
+
+/// Region of the i-th end node: round-robin across the four data regions
+/// (mirrors the paper's even split across EC2 regions).
+Region region_of_index(std::size_t i);
+
+/// Testbed parameters.
+struct TestbedConfig {
+  std::size_t num_nodes = 100;
+  std::uint64_t seed = 1;
+  core::ServiceConfig service;
+  agent::AgentConfig agent;
+  store::ClusterConfig store;
+  double loss_rate = 0;
+
+  /// Keep the agent-side reporting settings in lockstep with the service
+  /// config (call after editing `service`).
+  void sync_agent_config();
+};
+
+/// A running FOCUS world.
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Start every node agent (they register and join groups). Does not run
+  /// the simulator; call run_for / settle afterwards.
+  void start();
+
+  /// Advance simulated time.
+  void run_for(Duration d) { simulator_.run_for(d); }
+
+  /// Run until every agent is registered and group reports have flowed at
+  /// least once (bounded by `max`). Returns true when settled.
+  bool settle(Duration max = 30 * kSecond);
+
+  /// Issue a query through the app client and run the simulator until the
+  /// response arrives (bounded by `max_wait`).
+  Result<core::QueryResult> query_and_wait(core::Query query,
+                                           Duration max_wait = 10 * kSecond);
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  net::SimTransport& transport() noexcept { return *transport_; }
+  net::Topology& topology() noexcept { return topology_; }
+  store::Cluster& store() noexcept { return *store_; }
+  core::Service& service() noexcept { return *service_; }
+  core::Client& client() noexcept { return *client_; }
+  agent::NodeManager& agent(std::size_t i) { return *agents_.at(i); }
+  std::size_t num_agents() const noexcept { return agents_.size(); }
+  std::vector<std::unique_ptr<agent::NodeManager>>& agents() noexcept {
+    return agents_;
+  }
+  const TestbedConfig& config() const noexcept { return config_; }
+
+  /// Traffic counters of the FOCUS server node.
+  net::EndpointStats server_stats() const {
+    return transport_->stats().of(kServerNode);
+  }
+
+ private:
+  TestbedConfig config_;
+  sim::Simulator simulator_;
+  net::Topology topology_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<store::Cluster> store_;
+  std::unique_ptr<core::Service> service_;
+  std::unique_ptr<core::Client> client_;
+  std::vector<std::unique_ptr<agent::NodeManager>> agents_;
+};
+
+}  // namespace focus::harness

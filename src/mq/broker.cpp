@@ -1,0 +1,108 @@
+#include "mq/broker.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace focus::mq {
+
+Broker::Broker(sim::Simulator& simulator, net::Transport& transport,
+               net::Address address, CostModel cost)
+    : simulator_(simulator), transport_(transport), address_(address), cost_(cost) {
+  transport_.bind(address_, [this](const net::Message& msg) { on_message(msg); });
+}
+
+Broker::~Broker() { transport_.unbind(address_); }
+
+void Broker::declare_queue(const std::string& name, QueueMode mode) {
+  auto [it, inserted] = queues_.try_emplace(name);
+  if (inserted) it->second.mode = mode;
+}
+
+void Broker::on_message(const net::Message& msg) {
+  connections_.insert(msg.from);
+  if (msg.kind == kPublish) {
+    handle_publish(msg);
+  } else if (msg.kind == kSubscribe) {
+    handle_subscribe(msg);
+  }
+}
+
+void Broker::handle_subscribe(const net::Message& msg) {
+  const auto& sub = msg.as<SubscribePayload>();
+  auto [it, inserted] = queues_.try_emplace(sub.queue);
+  if (inserted) it->second.mode = sub.mode;
+  auto& subs = it->second.subscribers;
+  if (std::find(subs.begin(), subs.end(), msg.from) == subs.end()) {
+    subs.push_back(msg.from);
+  }
+}
+
+SimTime Broker::service(double cpu_us) {
+  const SimTime now = simulator_.now();
+  const double capacity = cost_.message_capacity_us_per_sec(connections_.size());
+  // Wall-clock microseconds needed for cpu_us of message work at the
+  // broker's remaining parallel capacity.
+  const double wall_us = capacity <= 0
+                             ? static_cast<double>(max_backlog_)
+                             : cpu_us * 1e6 / capacity;
+  backlog_until_ = std::max(backlog_until_, now) + static_cast<SimTime>(wall_us);
+  stats_.message_cpu_us += cpu_us;
+  return backlog_until_;
+}
+
+void Broker::handle_publish(const net::Message& msg) {
+  const auto& pub = msg.as<PublishPayload>();
+  ++stats_.published;
+
+  auto it = queues_.find(pub.queue);
+  if (it == queues_.end() || it->second.subscribers.empty()) {
+    ++stats_.dropped_no_consumer;
+    return;
+  }
+
+  const SimTime now = simulator_.now();
+  if (backlog_until_ - now > max_backlog_) {
+    ++stats_.dropped_overload;
+    return;
+  }
+
+  Queue& queue = it->second;
+  std::vector<net::Address> targets;
+  if (queue.mode == QueueMode::WorkQueue) {
+    targets.push_back(queue.subscribers[queue.rr_next % queue.subscribers.size()]);
+    ++queue.rr_next;
+  } else {
+    targets = queue.subscribers;
+  }
+
+  const double cpu_us =
+      static_cast<double>(cost_.publish_cpu) +
+      static_cast<double>(cost_.deliver_cpu) * static_cast<double>(targets.size());
+  const SimTime done = service(cpu_us);
+  stats_.broker_latency_ms.add(to_millis(done - now));
+
+  for (const auto& target : targets) {
+    auto payload = std::make_shared<DeliverPayload>();
+    payload->queue = pub.queue;
+    payload->body = pub.body;
+    net::Message out{address_, target, kDeliver, std::move(payload)};
+    simulator_.schedule_at(done, [this, out = std::move(out)]() mutable {
+      transport_.send(std::move(out));
+      ++stats_.delivered;
+    });
+  }
+}
+
+double Broker::utilization(double window_start_cpu_us, Duration window) const {
+  if (window <= 0) return 0;
+  const double msg_cpu = stats_.message_cpu_us - window_start_cpu_us;
+  const double msg_util = msg_cpu / (static_cast<double>(cost_.cores) *
+                                     static_cast<double>(window));
+  return std::min(1.0, cost_.overhead_fraction(connections_.size()) + msg_util);
+}
+
+Duration Broker::current_backlog() const {
+  return std::max<Duration>(0, backlog_until_ - simulator_.now());
+}
+
+}  // namespace focus::mq

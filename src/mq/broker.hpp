@@ -1,0 +1,94 @@
+#pragma once
+// Message broker with a finite-capacity CPU model (the RabbitMQ stand-in).
+// Publishes are serviced in FIFO order against the broker's remaining CPU
+// capacity; queueing delay therefore emerges naturally and explodes when the
+// offered load crosses the capacity knee — the behaviour the paper measures
+// in Fig. 3 and exploits in Figs. 7a/7b.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+#include "mq/cost_model.hpp"
+#include "mq/messages.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::mq {
+
+/// Broker statistics for benches/tests.
+struct BrokerStats {
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_no_consumer = 0;
+  std::uint64_t dropped_overload = 0;
+  double message_cpu_us = 0;  ///< accumulated CPU spent on message work
+  Histogram broker_latency_ms;  ///< publish arrival -> delivery handoff
+};
+
+/// A simulated message broker bound to one transport address.
+class Broker {
+ public:
+  Broker(sim::Simulator& simulator, net::Transport& transport,
+         net::Address address, CostModel cost = {});
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Declare a queue explicitly (subscribing implicitly declares too).
+  void declare_queue(const std::string& name, QueueMode mode);
+
+  /// Address clients publish/subscribe to.
+  const net::Address& address() const noexcept { return address_; }
+
+  /// Number of distinct client addresses ever seen (connection count for
+  /// the overhead model).
+  std::size_t connections() const noexcept { return connections_.size(); }
+
+  /// Utilisation in [0,1] over a window: overhead fraction plus message
+  /// work done between `window_start` (previous cpu snapshot) and now.
+  /// Callers snapshot stats().message_cpu_us at window start.
+  double utilization(double window_start_cpu_us, Duration window) const;
+
+  /// Backlog of queued-but-unserviced CPU work, in microseconds of delay a
+  /// newly arriving message would experience.
+  Duration current_backlog() const;
+
+  const BrokerStats& stats() const noexcept { return stats_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+
+  /// Messages whose queueing delay would exceed this are shed (counted in
+  /// dropped_overload). Default 120 simulated seconds.
+  void set_max_backlog(Duration d) { max_backlog_ = d; }
+
+ private:
+  struct Queue {
+    QueueMode mode = QueueMode::WorkQueue;
+    std::vector<net::Address> subscribers;
+    std::size_t rr_next = 0;
+  };
+
+  void on_message(const net::Message& msg);
+  void handle_publish(const net::Message& msg);
+  void handle_subscribe(const net::Message& msg);
+  /// Advance the virtual CPU backlog by `cpu_us` of message work and return
+  /// the simulated completion time.
+  SimTime service(double cpu_us);
+
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  net::Address address_;
+  CostModel cost_;
+  std::unordered_map<std::string, Queue> queues_;
+  std::unordered_set<net::Address> connections_;
+  BrokerStats stats_;
+  SimTime backlog_until_ = 0;  ///< virtual time the CPU frees up
+  Duration max_backlog_ = 120 * kSecond;
+};
+
+}  // namespace focus::mq

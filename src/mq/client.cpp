@@ -1,0 +1,38 @@
+#include "mq/client.hpp"
+
+namespace focus::mq {
+
+MqClient::MqClient(net::Transport& transport, net::Address self, net::Address broker)
+    : transport_(transport), self_(self), broker_(broker) {
+  transport_.bind(self_, [this](const net::Message& msg) { on_message(msg); });
+}
+
+MqClient::~MqClient() { transport_.unbind(self_); }
+
+void MqClient::publish(const std::string& queue,
+                       std::shared_ptr<const net::Payload> body) {
+  auto payload = std::make_shared<PublishPayload>();
+  payload->queue = queue;
+  payload->body = std::move(body);
+  transport_.send(net::Message{self_, broker_, kPublish, std::move(payload)});
+}
+
+void MqClient::subscribe(const std::string& queue, QueueMode mode,
+                         DeliveryHandler handler) {
+  handlers_[queue] = std::move(handler);
+  auto payload = std::make_shared<SubscribePayload>();
+  payload->queue = queue;
+  payload->mode = mode;
+  transport_.send(net::Message{self_, broker_, kSubscribe, std::move(payload)});
+}
+
+void MqClient::on_message(const net::Message& msg) {
+  if (msg.kind != kDeliver) return;
+  // AMQP-style explicit acknowledgement of the delivery.
+  transport_.send(net::Message{self_, broker_, kAck, std::make_shared<AckPayload>()});
+  const auto& deliver = msg.as<DeliverPayload>();
+  auto it = handlers_.find(deliver.queue);
+  if (it != handlers_.end()) it->second(deliver.queue, deliver.body);
+}
+
+}  // namespace focus::mq

@@ -1,0 +1,46 @@
+#pragma once
+// Client-side convenience wrapper for talking to a Broker: publish bodies,
+// subscribe to queues, dispatch deliveries to per-queue handlers.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "mq/messages.hpp"
+#include "net/transport.hpp"
+
+namespace focus::mq {
+
+/// One client connection to a broker, bound to its own transport address.
+class MqClient {
+ public:
+  /// Called for each delivery: (queue, body payload, full message).
+  using DeliveryHandler =
+      std::function<void(const std::string&, const std::shared_ptr<const net::Payload>&)>;
+
+  MqClient(net::Transport& transport, net::Address self, net::Address broker);
+  ~MqClient();
+
+  MqClient(const MqClient&) = delete;
+  MqClient& operator=(const MqClient&) = delete;
+
+  /// Publish `body` to `queue`.
+  void publish(const std::string& queue, std::shared_ptr<const net::Payload> body);
+
+  /// Subscribe to `queue` (declaring it with `mode` if new) and route its
+  /// deliveries to `handler`.
+  void subscribe(const std::string& queue, QueueMode mode, DeliveryHandler handler);
+
+  const net::Address& address() const noexcept { return self_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::Transport& transport_;
+  net::Address self_;
+  net::Address broker_;
+  std::unordered_map<std::string, DeliveryHandler> handlers_;
+};
+
+}  // namespace focus::mq

@@ -1,0 +1,57 @@
+#pragma once
+// Wire payloads of the message-queue substrate (AMQP-flavoured framing).
+
+#include <memory>
+#include <string>
+
+#include "net/message.hpp"
+
+namespace focus::mq {
+
+inline constexpr const char* kPublish = "mq.publish";
+inline constexpr const char* kDeliver = "mq.deliver";
+inline constexpr const char* kSubscribe = "mq.subscribe";
+inline constexpr const char* kAck = "mq.ack";
+
+/// Queue semantics.
+enum class QueueMode {
+  WorkQueue,  ///< competing consumers, round-robin delivery (classic queue)
+  Fanout,     ///< every subscriber receives every message (fanout exchange)
+};
+
+/// Client -> broker: publish `body` to `queue`.
+struct PublishPayload final : net::Payload {
+  std::string queue;
+  std::shared_ptr<const net::Payload> body;
+
+  std::size_t wire_size() const override {
+    // queue name + AMQP basic.publish framing + body
+    return queue.size() + 12 + (body ? body->wire_size() : 0);
+  }
+};
+
+/// Broker -> consumer: deliver a message from `queue`.
+struct DeliverPayload final : net::Payload {
+  std::string queue;
+  std::shared_ptr<const net::Payload> body;
+
+  std::size_t wire_size() const override {
+    return queue.size() + 12 + (body ? body->wire_size() : 0);
+  }
+};
+
+/// Consumer -> broker: basic.ack for one delivery.
+struct AckPayload final : net::Payload {
+  std::size_t wire_size() const override { return 14; }
+};
+
+/// Client -> broker: subscribe the sender to `queue`, creating it with
+/// `mode` when it does not exist yet.
+struct SubscribePayload final : net::Payload {
+  std::string queue;
+  QueueMode mode = QueueMode::WorkQueue;
+
+  std::size_t wire_size() const override { return queue.size() + 8; }
+};
+
+}  // namespace focus::mq

@@ -1,0 +1,82 @@
+#pragma once
+// Message envelope and payload model for the simulated network.
+//
+// A Message carries a typed payload (a struct derived from Payload) plus the
+// metadata the network model needs: source/destination addresses, a kind tag
+// for dispatch, and the number of bytes the message would occupy on the wire
+// (so bandwidth accounting matches what a real deployment would transmit).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace focus::net {
+
+/// A transport endpoint: node identity plus port. Components on the same
+/// node (e.g. one gossip agent per joined group) bind distinct ports.
+struct Address {
+  NodeId node;
+  std::uint16_t port = 0;
+
+  constexpr auto operator<=>(const Address&) const = default;
+};
+
+/// Render an Address as "node-<n>:<port>".
+inline std::string to_string(const Address& a) {
+  return to_string(a.node) + ":" + std::to_string(a.port);
+}
+
+/// Base class for message payloads. Payloads are immutable after send and
+/// shared by pointer so that fan-out (gossip) does not copy bodies.
+struct Payload {
+  virtual ~Payload() = default;
+
+  /// Bytes this payload would occupy serialized on the wire (excluding
+  /// transport headers). Implementations give realistic estimates: fixed
+  /// header fields plus per-entry costs.
+  virtual std::size_t wire_size() const = 0;
+};
+
+/// Per-message transport/framing overhead charged by the network model
+/// (UDP/IP or TCP segment headers plus app framing — one round number keeps
+/// the accounting legible).
+inline constexpr std::size_t kWireOverheadBytes = 60;
+
+/// A message in flight. Copyable (payload shared).
+struct Message {
+  Address from;
+  Address to;
+  std::string kind;                        ///< dispatch tag, e.g. "swim.ping"
+  std::shared_ptr<const Payload> payload;  ///< may be null for empty-body messages
+
+  /// Total accounted bytes: overhead plus payload body.
+  std::size_t wire_bytes() const {
+    return kWireOverheadBytes + (payload ? payload->wire_size() : 0);
+  }
+
+  /// Typed payload access. Precondition: the payload was constructed as T
+  /// (enforced by convention: `kind` identifies the payload type).
+  template <typename T>
+  const T& as() const {
+    return *static_cast<const T*>(payload.get());
+  }
+};
+
+/// Convenience: build a message with a freshly allocated payload.
+template <typename T, typename... Args>
+Message make_message(Address from, Address to, std::string kind, Args&&... args) {
+  return Message{from, to, std::move(kind),
+                 std::make_shared<const T>(T{std::forward<Args>(args)...})};
+}
+
+}  // namespace focus::net
+
+template <>
+struct std::hash<focus::net::Address> {
+  std::size_t operator()(const focus::net::Address& a) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(a.node.value) << 16) | a.port);
+  }
+};

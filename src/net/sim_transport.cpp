@@ -1,0 +1,68 @@
+#include "net/sim_transport.hpp"
+
+#include <utility>
+
+namespace focus::net {
+
+SimTransport::SimTransport(sim::Simulator& simulator, Topology& topology, Rng rng)
+    : simulator_(simulator), topology_(topology), rng_(std::move(rng)) {}
+
+void SimTransport::bind(const Address& addr, Handler handler) {
+  handlers_[addr] = std::move(handler);
+}
+
+void SimTransport::unbind(const Address& addr) { handlers_.erase(addr); }
+
+void SimTransport::set_node_down(NodeId node, bool down) {
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
+
+void SimTransport::send(Message msg) {
+  const std::size_t bytes = msg.wire_bytes();
+  if (down_.count(msg.from.node) > 0) {
+    return;  // a dead node transmits nothing
+  }
+  // Loopback (same-node) messages never touch the NIC: deliver almost
+  // immediately and charge no bandwidth. This matters for colocated
+  // deployments (e.g. a broker on the controller host).
+  if (msg.from.node == msg.to.node) {
+    simulator_.schedule_after(50, [this, m = std::move(msg)]() {
+      auto it = handlers_.find(m.to);
+      if (down_.count(m.to.node) > 0 || it == handlers_.end()) {
+        stats_.count_dropped();
+        return;
+      }
+      stats_.count_delivered();
+      Handler h = it->second;
+      h(m);
+    });
+    return;
+  }
+  stats_.record_tx(msg.from.node, bytes);
+  if (down_.count(msg.to.node) > 0 || (loss_rate_ > 0 && rng_.chance(loss_rate_))) {
+    stats_.count_dropped();
+    return;
+  }
+  const Duration latency =
+      topology_.sample_latency(msg.from.node, msg.to.node, rng_);
+  simulator_.schedule_after(latency, [this, bytes, m = std::move(msg)]() {
+    // Receiver may have died or unbound while the message was in flight; rx
+    // is charged only on actual delivery to a handler.
+    auto it = handlers_.find(m.to);
+    if (down_.count(m.to.node) > 0 || it == handlers_.end()) {
+      stats_.count_dropped();
+      return;
+    }
+    stats_.record_rx(m.to.node, bytes);
+    stats_.count_delivered();
+    // Copy the handler: it may unbind/rebind itself while running.
+    Handler h = it->second;
+    h(m);
+  });
+}
+
+}  // namespace focus::net

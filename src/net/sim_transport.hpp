@@ -1,0 +1,54 @@
+#pragma once
+// Simulated transport: delivers messages through the discrete-event kernel
+// with WAN latencies from the Topology and full bandwidth accounting.
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "net/stats.hpp"
+#include "net/topology.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::net {
+
+/// Transport implementation on top of sim::Simulator.
+///
+/// Supports failure injection: a node marked down neither sends nor
+/// receives; a configurable uniform loss rate models datagram loss.
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Simulator& simulator, Topology& topology, Rng rng);
+
+  void bind(const Address& addr, Handler handler) override;
+  void unbind(const Address& addr) override;
+  void send(Message msg) override;
+  SimTime now() const override { return simulator_.now(); }
+
+  /// Mark a node down (messages to/from it vanish) or back up.
+  void set_node_down(NodeId node, bool down);
+  bool is_node_down(NodeId node) const { return down_.count(node) > 0; }
+
+  /// Probability in [0,1) that any message is silently lost. Default 0.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  /// Traffic accounting (see NetStats).
+  NetStats& stats() noexcept { return stats_; }
+  const NetStats& stats() const noexcept { return stats_; }
+
+  /// The topology used for latency lookups (exposed so scenarios can place
+  /// nodes after construction).
+  Topology& topology() noexcept { return topology_; }
+
+ private:
+  sim::Simulator& simulator_;
+  Topology& topology_;
+  Rng rng_;
+  std::unordered_map<Address, Handler> handlers_;
+  std::unordered_set<NodeId> down_;
+  double loss_rate_ = 0;
+  NetStats stats_;
+};
+
+}  // namespace focus::net

@@ -1,0 +1,34 @@
+#include "net/stats.hpp"
+
+namespace focus::net {
+
+void NetStats::record_tx(NodeId from, std::size_t bytes) {
+  auto& tx = per_node_[from];
+  tx.bytes_tx += bytes;
+  tx.msgs_tx += 1;
+}
+
+void NetStats::record_rx(NodeId to, std::size_t bytes) {
+  auto& rx = per_node_[to];
+  rx.bytes_rx += bytes;
+  rx.msgs_rx += 1;
+}
+
+EndpointStats NetStats::of(NodeId node) const {
+  auto it = per_node_.find(node);
+  return it == per_node_.end() ? EndpointStats{} : it->second;
+}
+
+EndpointStats NetStats::total() const {
+  EndpointStats sum;
+  for (const auto& [node, stats] : per_node_) sum += stats;
+  return sum;
+}
+
+void NetStats::reset() {
+  per_node_.clear();
+  delivered_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace focus::net

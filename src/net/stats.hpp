@@ -1,0 +1,73 @@
+#pragma once
+// Per-node traffic accounting. The paper's headline metrics (Fig. 7a, 8b)
+// are bandwidth at specific endpoints; this module is where those numbers
+// come from.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace focus::net {
+
+/// Byte/message counters for one node (all ports combined).
+struct EndpointStats {
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t msgs_tx = 0;
+  std::uint64_t msgs_rx = 0;
+
+  /// Total bytes in either direction.
+  std::uint64_t bytes_total() const noexcept { return bytes_tx + bytes_rx; }
+
+  EndpointStats& operator+=(const EndpointStats& o) {
+    bytes_tx += o.bytes_tx;
+    bytes_rx += o.bytes_rx;
+    msgs_tx += o.msgs_tx;
+    msgs_rx += o.msgs_rx;
+    return *this;
+  }
+  /// Counter delta (for windowed rate measurements).
+  EndpointStats operator-(const EndpointStats& o) const {
+    return EndpointStats{bytes_tx - o.bytes_tx, bytes_rx - o.bytes_rx,
+                         msgs_tx - o.msgs_tx, msgs_rx - o.msgs_rx};
+  }
+};
+
+/// Traffic counters for every node that sent or received a message.
+class NetStats {
+ public:
+  /// Charge transmission (at send time; the sender pays even when the
+  /// message is later dropped).
+  void record_tx(NodeId from, std::size_t bytes);
+
+  /// Charge reception (at delivery to a bound handler).
+  void record_rx(NodeId to, std::size_t bytes);
+
+  /// Count one delivered message.
+  void count_delivered() { ++delivered_; }
+
+  /// Count one dropped message (down node, loss, or no listener).
+  void count_dropped() { ++dropped_; }
+
+  /// Counters for one node (zeroes when it never communicated).
+  EndpointStats of(NodeId node) const;
+
+  /// Sum of counters across all nodes.
+  EndpointStats total() const;
+
+  /// Messages delivered overall.
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  /// Messages dropped (destination down / unbound).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Zero all counters.
+  void reset();
+
+ private:
+  std::unordered_map<NodeId, EndpointStats> per_node_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace focus::net

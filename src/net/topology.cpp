@@ -1,0 +1,52 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+namespace focus::net {
+
+namespace {
+constexpr auto idx(Region r) { return static_cast<std::size_t>(r); }
+}  // namespace
+
+Topology::Topology() {
+  // One-way latencies in milliseconds, approximating public inter-region
+  // EC2 measurements for the paper's four North American regions. AppEdge
+  // (the FOCUS server / querying app) is modelled as close to Ohio.
+  constexpr double ms[kRegions][kRegions] = {
+      //            Ohio  Canada Oregon Calif  AppEdge
+      /* Ohio   */ {0.5,  13.0,  25.0,  25.0,  3.0},
+      /* Canada */ {13.0, 0.5,   30.0,  35.0,  14.0},
+      /* Oregon */ {25.0, 30.0,  0.5,   10.0,  26.0},
+      /* Calif  */ {25.0, 35.0,  10.0,  0.5,   26.0},
+      /* AppEdge*/ {3.0,  14.0,  26.0,  26.0,  0.2},
+  };
+  for (std::size_t a = 0; a < kRegions; ++a) {
+    for (std::size_t b = 0; b < kRegions; ++b) {
+      latency_[a][b] = static_cast<Duration>(ms[a][b] * kMillisecond);
+    }
+  }
+}
+
+void Topology::place(NodeId node, Region region) { placement_[node] = region; }
+
+Region Topology::region_of(NodeId node) const {
+  auto it = placement_.find(node);
+  return it == placement_.end() ? Region::AppEdge : it->second;
+}
+
+Duration Topology::base_latency(Region a, Region b) const {
+  return latency_[idx(a)][idx(b)];
+}
+
+Duration Topology::sample_latency(NodeId from, NodeId to, Rng& rng) const {
+  const Duration base = base_latency(region_of(from), region_of(to));
+  const double factor = rng.uniform(1.0 - jitter_, 1.0 + jitter_);
+  return std::max<Duration>(1, static_cast<Duration>(static_cast<double>(base) * factor));
+}
+
+void Topology::set_latency(Region a, Region b, Duration one_way) {
+  latency_[idx(a)][idx(b)] = one_way;
+  latency_[idx(b)][idx(a)] = one_way;
+}
+
+}  // namespace focus::net

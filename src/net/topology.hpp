@@ -1,0 +1,48 @@
+#pragma once
+// Wide-area topology model: which region each node lives in and the one-way
+// latency between regions. Values approximate the paper's EC2 testbed
+// (Ohio, Canada, Oregon, California) plus an "app edge" region hosting the
+// FOCUS service and the querying application.
+
+#include <array>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace focus::net {
+
+/// Region placement and inter-region latency.
+class Topology {
+ public:
+  /// Builds the default WAN latency matrix (see topology.cpp for values).
+  Topology();
+
+  /// Record the region of a node. Nodes default to Region::AppEdge.
+  void place(NodeId node, Region region);
+
+  /// Region of a node (AppEdge when never placed).
+  Region region_of(NodeId node) const;
+
+  /// Deterministic mean one-way latency between two regions (microseconds).
+  Duration base_latency(Region a, Region b) const;
+
+  /// Sampled one-way latency between two nodes: base latency plus
+  /// multiplicative jitter drawn from `rng`.
+  Duration sample_latency(NodeId from, NodeId to, Rng& rng) const;
+
+  /// Override one region-pair latency (tests / what-if scenarios).
+  /// Sets both directions.
+  void set_latency(Region a, Region b, Duration one_way);
+
+  /// Fractional jitter: sampled latency is base * U(1-j, 1+j). Default 0.1.
+  void set_jitter(double fraction) { jitter_ = fraction; }
+
+ private:
+  static constexpr int kRegions = 5;
+  std::array<std::array<Duration, kRegions>, kRegions> latency_{};
+  std::unordered_map<NodeId, Region> placement_;
+  double jitter_ = 0.1;
+};
+
+}  // namespace focus::net

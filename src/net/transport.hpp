@@ -1,0 +1,35 @@
+#pragma once
+// Transport abstraction. Protocol code (gossip, FOCUS, brokers, baselines)
+// sends messages and binds handlers through this interface and never learns
+// whether it runs on a simulator or a real datagram socket.
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace focus::net {
+
+/// Message delivery service.
+class Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  virtual ~Transport() = default;
+
+  /// Register a handler for messages addressed to `addr`. Rebinding an
+  /// address replaces the previous handler.
+  virtual void bind(const Address& addr, Handler handler) = 0;
+
+  /// Remove the handler for `addr`; subsequent messages are dropped.
+  virtual void unbind(const Address& addr) = 0;
+
+  /// Send a message (asynchronous, at-most-once, may be dropped when the
+  /// destination is down or unbound — datagram semantics, like Serf's UDP).
+  virtual void send(Message msg) = 0;
+
+  /// Current time as seen by protocol code.
+  virtual SimTime now() const = 0;
+};
+
+}  // namespace focus::net

@@ -1,0 +1,78 @@
+#include "openstack/placement.hpp"
+
+namespace focus::openstack {
+
+std::vector<Flavor> standard_flavors() {
+  // Disk requirements sized to the evaluation schema's free-disk domain
+  // (0-40 GB free per host).
+  return {
+      {"m1.tiny", 512, 1, 1},     {"m1.small", 2048, 5, 1},
+      {"m1.medium", 4096, 10, 2}, {"m1.large", 8192, 20, 4},
+      {"c1.compute", 4096, 10, 4},
+  };
+}
+
+PlacementRequest PlacementRequest::for_flavor(const Flavor& flavor, int limit) {
+  PlacementRequest request;
+  request.limit = limit;
+  request.resources["ram_mb"] = flavor.ram_mb;
+  request.resources["disk_gb"] = flavor.disk_gb;
+  request.resources["vcpus"] = static_cast<double>(flavor.vcpus);
+  return request;
+}
+
+core::Query to_query(const PlacementRequest& request) {
+  core::Query query;
+  for (const auto& [resource, minimum] : request.resources) {
+    query.where_at_least(resource, minimum);
+  }
+  query.limit = request.limit;
+  return query;
+}
+
+namespace {
+
+std::vector<Candidate> entries_to_candidates(
+    const std::vector<core::ResultEntry>& entries, int limit) {
+  std::vector<Candidate> out;
+  out.reserve(entries.size());
+  for (const auto& entry : entries) {
+    Candidate c;
+    c.host = entry.node;
+    c.region = entry.region;
+    c.available = entry.values;
+    out.push_back(std::move(c));
+    if (limit > 0 && static_cast<int>(out.size()) >= limit) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+void DbAllocationCandidates::get_by_requests(const PlacementRequest& request,
+                                             Callback cb) {
+  const core::Query query = to_query(request);
+  finder_.find(query, [cb = std::move(cb), limit = request.limit](
+                          Result<core::QueryResult> result) {
+    if (!result.ok()) {
+      cb(result.error());
+      return;
+    }
+    cb(entries_to_candidates(result.value().entries, limit));
+  });
+}
+
+void FocusAllocationCandidates::get_by_requests(const PlacementRequest& request,
+                                                Callback cb) {
+  const core::Query query = to_query(request);
+  client_.query(query, [cb = std::move(cb), limit = request.limit](
+                           Result<core::QueryResult> result) {
+    if (!result.ok()) {
+      cb(result.error());
+      return;
+    }
+    cb(entries_to_candidates(result.value().entries, limit));
+  });
+}
+
+}  // namespace focus::openstack

@@ -1,0 +1,94 @@
+#pragma once
+// Miniature model of the OpenStack Nova placement path (§IX, Fig. 6): a
+// scheduler asks the Placement service for allocation candidates; the
+// Placement service resolves them either from the central database kept
+// fresh by push/MQ updates (stock OpenStack) or from FOCUS (the paper's
+// integration — one call site swapped).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/node_finder.hpp"
+#include "focus/client.hpp"
+#include "focus/query.hpp"
+
+namespace focus::openstack {
+
+/// A VM flavor (instance size).
+struct Flavor {
+  std::string name;
+  double ram_mb = 0;
+  double disk_gb = 0;
+  int vcpus = 0;
+};
+
+/// The standard flavor menu used by examples/benches.
+std::vector<Flavor> standard_flavors();
+
+/// OpenStack's placement request object: `struct{ int limit, dict resources }`
+/// (§IX "Finding Nodes for VM Placement").
+struct PlacementRequest {
+  int limit = 10;
+  std::map<std::string, double> resources;  ///< minimum required resources
+
+  /// Build a request for one flavor.
+  static PlacementRequest for_flavor(const Flavor& flavor, int limit = 10);
+};
+
+/// Convert a placement request into a FOCUS query: each resource becomes a
+/// lower-bounded term on the matching dynamic attribute.
+core::Query to_query(const PlacementRequest& request);
+
+/// One allocation candidate returned to the scheduler.
+struct Candidate {
+  NodeId host;
+  Region region = Region::AppEdge;
+  std::map<std::string, double> available;
+};
+
+/// The `AllocationCandidates.get_by_requests` seam (§IX): the single
+/// interface the paper swaps between DB-backed and FOCUS-backed resolution.
+class AllocationCandidates {
+ public:
+  using Callback = std::function<void(Result<std::vector<Candidate>>)>;
+
+  virtual ~AllocationCandidates() = default;
+
+  /// Resolve candidates for `request`; `cb` fires exactly once.
+  virtual void get_by_requests(const PlacementRequest& request, Callback cb) = 0;
+
+  /// Implementation name ("db" / "focus") for reports.
+  virtual std::string backend() const = 0;
+};
+
+/// Stock OpenStack: candidates come from the central database fed by nodes
+/// pushing status through the message queue (any push-style NodeFinder).
+class DbAllocationCandidates final : public AllocationCandidates {
+ public:
+  explicit DbAllocationCandidates(baselines::NodeFinder& finder)
+      : finder_(finder) {}
+
+  void get_by_requests(const PlacementRequest& request, Callback cb) override;
+  std::string backend() const override { return "db"; }
+
+ private:
+  baselines::NodeFinder& finder_;
+};
+
+/// The paper's integration: `cands = fc_obj.query(requests, limit)` — the DB
+/// call replaced with one FOCUS query.
+class FocusAllocationCandidates final : public AllocationCandidates {
+ public:
+  explicit FocusAllocationCandidates(core::Client& client) : client_(client) {}
+
+  void get_by_requests(const PlacementRequest& request, Callback cb) override;
+  std::string backend() const override { return "focus"; }
+
+ private:
+  core::Client& client_;
+};
+
+}  // namespace focus::openstack

@@ -1,0 +1,30 @@
+#include "openstack/scheduler.hpp"
+
+namespace focus::openstack {
+
+void Scheduler::select_destinations(const PlacementRequest& request, Callback cb) {
+  ++stats_.requests;
+  // Step 2 of Fig. 6: verify the request, then call the Placement API's
+  // allocation_candidates, which resolves via get_by_requests (steps 3-4).
+  if (request.limit <= 0 || request.resources.empty()) {
+    ++stats_.errors;
+    cb(make_error(Errc::InvalidArgument, "placement request needs limit and resources"));
+    return;
+  }
+  placement_.get_by_requests(
+      request, [this, cb = std::move(cb)](Result<std::vector<Candidate>> result) {
+        if (!result.ok()) {
+          ++stats_.errors;
+          cb(std::move(result));
+          return;
+        }
+        if (result.value().empty()) {
+          ++stats_.unsatisfied;
+        } else {
+          ++stats_.satisfied;
+        }
+        cb(std::move(result));
+      });
+}
+
+}  // namespace focus::openstack

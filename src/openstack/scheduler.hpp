@@ -1,0 +1,41 @@
+#pragma once
+// The Nova scheduler side of Fig. 6: `select_destinations` verifies the
+// request and asks the Placement service for allocation candidates, then
+// picks the destinations to spawn VMs on.
+
+#include <memory>
+
+#include "openstack/placement.hpp"
+
+namespace focus::openstack {
+
+/// Scheduler statistics.
+struct SchedulerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t satisfied = 0;   ///< at least one candidate found
+  std::uint64_t unsatisfied = 0; ///< no host could take the VM
+  std::uint64_t errors = 0;
+};
+
+/// The scheduler entry point used by the dashboard / CLI (step 1 in Fig. 6).
+class Scheduler {
+ public:
+  using Callback = std::function<void(Result<std::vector<Candidate>>)>;
+
+  /// `placement` is the Placement service backend (DB-backed or
+  /// FOCUS-backed); the scheduler is agnostic — that is the integration
+  /// point the paper demonstrates.
+  explicit Scheduler(AllocationCandidates& placement) : placement_(placement) {}
+
+  /// Find up to `request.limit` destination hosts for a VM with the given
+  /// resource requirements.
+  void select_destinations(const PlacementRequest& request, Callback cb);
+
+  const SchedulerStats& stats() const noexcept { return stats_; }
+
+ private:
+  AllocationCandidates& placement_;
+  SchedulerStats stats_;
+};
+
+}  // namespace focus::openstack

@@ -1,0 +1,81 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace focus::sim {
+
+TimerId Simulator::schedule_at(SimTime t, Task task) {
+  const TimerId id = next_id_++;
+  tasks_.emplace(id, std::make_shared<Task>(std::move(task)));
+  queue_.push(QueueEntry{std::max(t, now_), next_seq_++, id});
+  return id;
+}
+
+TimerId Simulator::schedule_after(Duration delay, Task task) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(task));
+}
+
+TimerId Simulator::every(Duration interval, Task task, Duration first_delay) {
+  assert(interval > 0);
+  const TimerId id = next_id_++;
+  tasks_.emplace(id, std::make_shared<Task>(std::move(task)));
+  periodic_.emplace(id, interval);
+  const Duration delay = first_delay >= 0 ? first_delay : interval;
+  queue_.push(QueueEntry{now_ + delay, next_seq_++, id});
+  return id;
+}
+
+void Simulator::cancel(TimerId id) {
+  tasks_.erase(id);
+  periodic_.erase(id);
+  // Stale queue entries are skipped lazily in step().
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = tasks_.find(entry.id);
+    if (it == tasks_.end()) continue;  // cancelled
+    now_ = entry.time;
+    auto periodic_it = periodic_.find(entry.id);
+    if (periodic_it != periodic_.end()) {
+      // Re-arm before running so the task may cancel itself. Hold the task
+      // by shared_ptr: the map can rehash if the task schedules new events.
+      queue_.push(QueueEntry{now_ + periodic_it->second, next_seq_++, entry.id});
+      ++executed_;
+      const std::shared_ptr<Task> task = it->second;
+      (*task)();
+    } else {
+      const std::shared_ptr<Task> task = std::move(it->second);
+      tasks_.erase(it);
+      ++executed_;
+      (*task)();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    if (tasks_.find(queue_.top().id) == tasks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t) break;
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace focus::sim

@@ -1,0 +1,90 @@
+#pragma once
+// Deterministic discrete-event simulation kernel. Every distributed component
+// in this repository (gossip agents, the FOCUS service, brokers, baselines)
+// executes on top of this kernel: components schedule closures at simulated
+// times and the kernel runs them in (time, sequence) order.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace focus::sim {
+
+/// Identifies a scheduled (cancellable) event or periodic task.
+using TimerId = std::uint64_t;
+
+/// Discrete-event scheduler with a virtual clock.
+///
+/// Events scheduled for the same instant run in scheduling order, which makes
+/// runs bit-reproducible. The kernel is single-threaded by design; see
+/// DESIGN.md ("Determinism").
+class Simulator {
+ public:
+  using Task = std::function<void()>;
+
+  /// Current simulated time (microseconds since scenario start).
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `task` to run at absolute simulated time `t` (clamped to now).
+  /// Returns an id usable with cancel().
+  TimerId schedule_at(SimTime t, Task task);
+
+  /// Schedule `task` to run `delay` microseconds from now.
+  TimerId schedule_after(Duration delay, Task task);
+
+  /// Run `task` every `interval` microseconds, starting `interval` from now
+  /// (or at `first_delay` when given). The task keeps firing until cancelled.
+  TimerId every(Duration interval, Task task, Duration first_delay = -1);
+
+  /// Cancel a pending timer or periodic task. Cancelling an already-fired
+  /// one-shot timer or an unknown id is a harmless no-op.
+  void cancel(TimerId id);
+
+  /// Process the single next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty (careful: periodic tasks never drain).
+  void run();
+
+  /// Run all events with time <= t, then advance the clock to exactly t.
+  void run_until(SimTime t);
+
+  /// Run for `d` microseconds of simulated time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Number of scheduled (not yet cancelled) events.
+  std::size_t pending() const noexcept { return tasks_.size(); }
+
+  /// Total events executed so far (for kernel benchmarks).
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    TimerId id;
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  // Tasks are held behind shared_ptr so a firing periodic task survives map
+  // rehash (tasks may schedule new events) without deep-copying the callable.
+  std::unordered_map<TimerId, std::shared_ptr<Task>> tasks_;
+  // Periodic tasks keep their interval here; the queue entry is re-armed
+  // after each firing under the same TimerId.
+  std::unordered_map<TimerId, Duration> periodic_;
+};
+
+}  // namespace focus::sim

@@ -1,0 +1,76 @@
+#include "trace/chameleon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace focus::trace {
+
+std::vector<FlavorWeight> chameleon_flavor_mix() {
+  return {
+      {{"m1.tiny", 512, 1, 1}, 0.10},
+      {{"m1.small", 2048, 5, 1}, 0.35},
+      {{"m1.medium", 4096, 10, 2}, 0.30},
+      {{"m1.large", 8192, 20, 4}, 0.17},
+      {{"m1.xlarge", 12288, 30, 6}, 0.08},
+  };
+}
+
+namespace {
+
+/// Relative arrival rate at trace time t: diurnal sinusoid plus a weekend
+/// dip, never below 10 % of peak.
+double rate_factor(SimTime t, const TraceConfig& config) {
+  const double day_fraction =
+      static_cast<double>(t % (24 * kHour)) / static_cast<double>(24 * kHour);
+  // Peak mid-day, trough at night.
+  double factor = 1.0 + config.diurnal_amplitude *
+                            std::sin(2.0 * 3.14159265358979 * (day_fraction - 0.25));
+  const auto day_index = static_cast<int>(t / (24 * kHour)) % 7;
+  if (day_index >= 5) factor *= config.weekend_factor;
+  return std::max(0.1, factor);
+}
+
+}  // namespace
+
+std::vector<PlacementEvent> generate_chameleon_trace(const TraceConfig& config) {
+  Rng rng(config.seed);
+  const auto mix = chameleon_flavor_mix();
+  double total_weight = 0;
+  for (const auto& fw : mix) total_weight += fw.weight;
+
+  // Conditional non-homogeneous Poisson sampling by thinning: draw candidate
+  // instants uniformly over the span and accept proportionally to the local
+  // rate factor. Exactly `events` arrivals, correctly modulated.
+  const double max_factor = 1.0 + config.diurnal_amplitude;
+
+  std::vector<PlacementEvent> out;
+  out.reserve(config.events);
+  while (out.size() < config.events) {
+    const auto t = static_cast<SimTime>(
+        rng.uniform(0.0, static_cast<double>(config.span)));
+    if (!rng.chance(rate_factor(t, config) / max_factor)) continue;
+
+    double pick = rng.uniform(0.0, total_weight);
+    const FlavorWeight* chosen = &mix.back();
+    for (const auto& fw : mix) {
+      if (pick < fw.weight) {
+        chosen = &fw;
+        break;
+      }
+      pick -= fw.weight;
+    }
+
+    PlacementEvent event;
+    event.at = t;
+    event.request =
+        openstack::PlacementRequest::for_flavor(chosen->flavor, config.limit);
+    out.push_back(std::move(event));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlacementEvent& a, const PlacementEvent& b) {
+              return a.at < b.at;
+            });
+  return out;
+}
+
+}  // namespace focus::trace

@@ -1,0 +1,43 @@
+#pragma once
+// Synthetic stand-in for the Chameleon cloud trace (§X-C): ~75 K OpenStack
+// KVM VM-placement events over ten months. The paper uses the trace as an
+// arrival process plus a resource-request mix; this generator reproduces
+// those statistics (Poisson arrivals with diurnal/weekly modulation, a
+// realistic flavor mix) so the identical query path is exercised.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "openstack/placement.hpp"
+
+namespace focus::trace {
+
+/// One VM placement event from the (synthetic) trace.
+struct PlacementEvent {
+  SimTime at = 0;  ///< trace time (before acceleration)
+  openstack::PlacementRequest request;
+};
+
+/// Generator parameters.
+struct TraceConfig {
+  std::size_t events = 75'000;
+  Duration span = 300LL * 24 * kHour;  ///< ~10 months
+  std::uint64_t seed = 42;
+  int limit = 10;              ///< placement candidates per event
+  double diurnal_amplitude = 0.5;  ///< day/night arrival-rate swing
+  double weekend_factor = 0.6;     ///< weekend arrival-rate multiplier
+};
+
+/// Generate a sorted synthetic trace.
+std::vector<PlacementEvent> generate_chameleon_trace(const TraceConfig& config);
+
+/// The flavor mix used by the generator (weighted toward small instances,
+/// as in public OpenStack traces). Exposed for tests.
+struct FlavorWeight {
+  openstack::Flavor flavor;
+  double weight = 1.0;
+};
+std::vector<FlavorWeight> chameleon_flavor_mix();
+
+}  // namespace focus::trace

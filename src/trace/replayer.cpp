@@ -1,0 +1,48 @@
+#include "trace/replayer.hpp"
+
+#include <memory>
+
+#include "openstack/placement.hpp"
+
+namespace focus::trace {
+
+ReplayResult replay_trace(sim::Simulator& simulator,
+                          const std::vector<PlacementEvent>& trace,
+                          baselines::NodeFinder& finder,
+                          const ReplayConfig& config) {
+  auto result = std::make_shared<ReplayResult>();
+  const std::size_t count = config.max_events == 0
+                                ? trace.size()
+                                : std::min(config.max_events, trace.size());
+  if (count == 0) return *result;
+
+  const SimTime base = simulator.now();
+  SimTime last_at = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PlacementEvent& event = trace[i];
+    const auto offset =
+        static_cast<SimTime>(static_cast<double>(event.at) / config.acceleration);
+    last_at = base + offset;
+    simulator.schedule_at(base + offset, [&finder, &event, result, &simulator] {
+      const core::Query query = openstack::to_query(event.request);
+      ++result->issued;
+      const SimTime issued_at = simulator.now();
+      finder.find(query, [result, issued_at, &simulator](
+                             Result<core::QueryResult> r) {
+        ++result->completed;
+        if (!r.ok()) {
+          ++result->failed;
+          return;
+        }
+        if (r.value().entries.empty()) ++result->empty_results;
+        result->latency_ms.add(to_millis(simulator.now() - issued_at));
+      });
+    });
+  }
+
+  simulator.run_until(last_at + config.drain);
+  result->replay_span = simulator.now() - base;
+  return *result;
+}
+
+}  // namespace focus::trace

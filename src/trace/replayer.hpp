@@ -1,0 +1,41 @@
+#pragma once
+// Trace replayer (§X-C): replays placement events against any node-finding
+// system at an accelerated rate (the paper uses 15 000x) and records
+// latency percentiles.
+
+#include <functional>
+#include <vector>
+
+#include "baselines/node_finder.hpp"
+#include "common/histogram.hpp"
+#include "sim/simulator.hpp"
+#include "trace/chameleon.hpp"
+
+namespace focus::trace {
+
+/// Replay parameters.
+struct ReplayConfig {
+  double acceleration = 15'000.0;  ///< trace time compression factor
+  std::size_t max_events = 0;      ///< 0 = all events
+  Duration drain = 5 * kSecond;    ///< extra simulated time to let responses land
+};
+
+/// Replay outcome.
+struct ReplayResult {
+  Histogram latency_ms;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t empty_results = 0;
+  Duration replay_span = 0;  ///< simulated time the replay occupied
+};
+
+/// Schedule every event of `trace` against `finder` and run the simulator
+/// until all responses arrived (or drained). Queries are issued at
+/// trace-time / acceleration.
+ReplayResult replay_trace(sim::Simulator& simulator,
+                          const std::vector<PlacementEvent>& trace,
+                          baselines::NodeFinder& finder,
+                          const ReplayConfig& config);
+
+}  // namespace focus::trace

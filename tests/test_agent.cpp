@@ -1,0 +1,286 @@
+// Tests for the node-agent side: resource model dynamics, p2p agent group
+// management, and node-manager behaviours (registration retry, group moves,
+// representative reporting, direct pulls).
+
+#include <gtest/gtest.h>
+
+#include "agent/node_manager.hpp"
+#include "harness/testbed.hpp"
+
+namespace focus::agent {
+namespace {
+
+using core::Schema;
+
+// ---------------------------------------------------------------------------
+// ResourceModel
+
+TEST(ResourceModel, InitializesWithinDomains) {
+  const Schema schema = Schema::openstack_default();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ResourceModel model(schema, NodeId{1}, Region::Ohio, Rng(seed));
+    for (const auto& attr : schema.dynamic_attrs()) {
+      const double v = *model.state().dynamic_value(attr.name);
+      EXPECT_GE(v, attr.min_value);
+      EXPECT_LE(v, attr.max_value);
+    }
+  }
+}
+
+TEST(ResourceModel, StepKeepsValuesInDomain) {
+  const Schema schema = Schema::openstack_default();
+  ResourceModel model(schema, NodeId{1}, Region::Ohio, Rng(2),
+                      ResourceDynamics{0.2, false});
+  for (int i = 0; i < 2000; ++i) {
+    model.step(i);
+    for (const auto& attr : schema.dynamic_attrs()) {
+      const double v = *model.state().dynamic_value(attr.name);
+      ASSERT_GE(v, attr.min_value) << attr.name;
+      ASSERT_LE(v, attr.max_value) << attr.name;
+    }
+  }
+}
+
+TEST(ResourceModel, FrozenValuesNeverChange) {
+  const Schema schema = Schema::openstack_default();
+  ResourceModel model(schema, NodeId{1}, Region::Ohio, Rng(3),
+                      ResourceDynamics{0.5, true});
+  const auto before = model.state().dynamic_values;
+  for (int i = 0; i < 50; ++i) model.step(i);
+  EXPECT_EQ(model.state().dynamic_values, before);
+  EXPECT_EQ(model.state().timestamp, 49);  // timestamp still advances
+}
+
+TEST(ResourceModel, VolatilityControlsMovement) {
+  const Schema schema = Schema::openstack_default();
+  auto drift = [&](double volatility) {
+    ResourceModel model(schema, NodeId{1}, Region::Ohio, Rng(4),
+                        ResourceDynamics{volatility, false});
+    const double start = *model.state().dynamic_value("ram_mb");
+    double total = 0;
+    double prev = start;
+    for (int i = 0; i < 200; ++i) {
+      model.step(i);
+      const double v = *model.state().dynamic_value("ram_mb");
+      total += std::abs(v - prev);
+      prev = v;
+    }
+    return total;
+  };
+  EXPECT_GT(drift(0.1), drift(0.005) * 2);
+}
+
+TEST(ResourceModel, SetValueAndStatics) {
+  const Schema schema = Schema::openstack_default();
+  ResourceModel model(schema, NodeId{1}, Region::Ohio, Rng(5));
+  model.set_value("ram_mb", 1234);
+  model.set_static({{"arch", "x86"}});
+  EXPECT_EQ(*model.state().dynamic_value("ram_mb"), 1234);
+  EXPECT_EQ(*model.state().static_value("arch"), "x86");
+}
+
+// ---------------------------------------------------------------------------
+// NodeManager behaviours on a running testbed
+
+harness::TestbedConfig frozen_config(std::size_t nodes, std::uint64_t seed = 5) {
+  harness::TestbedConfig config;
+  config.num_nodes = nodes;
+  config.seed = seed;
+  config.agent.dynamics.frozen = true;
+  return config;
+}
+
+TEST(NodeManager, MembershipRangesContainLiveValues) {
+  harness::Testbed bed(frozen_config(16));
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+  for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+    for (const auto& [attr, membership] : bed.agent(i).p2p().memberships()) {
+      const double v = *bed.agent(i).resources().state().dynamic_value(attr);
+      EXPECT_TRUE(membership.range.contains(v))
+          << attr << "=" << v << " outside " << membership.group;
+    }
+  }
+}
+
+TEST(NodeManager, ValueDriftTriggersGroupMove) {
+  harness::Testbed bed(frozen_config(12));
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+
+  auto& agent = bed.agent(0);
+  const std::string old_group = agent.p2p().membership("ram_mb")->group;
+  const double old_value = *agent.resources().state().dynamic_value("ram_mb");
+  // Force the value into a different bucket.
+  const double new_value = old_value < 8192 ? old_value + 8192 : old_value - 8192;
+  agent.resources().set_value("ram_mb", new_value);
+  bed.run_for(5 * kSecond);
+
+  const auto* membership = agent.p2p().membership("ram_mb");
+  ASSERT_NE(membership, nullptr);
+  EXPECT_NE(membership->group, old_group);
+  EXPECT_TRUE(membership->range.contains(new_value));
+  EXPECT_GE(agent.stats().group_moves, 1u);
+
+  // The DGM's view reflects the move after the next reports.
+  bed.run_for(10 * kSecond);
+  const auto* new_info = bed.service().dgm().group(membership->group);
+  ASSERT_NE(new_info, nullptr);
+  EXPECT_TRUE(new_info->members.count(agent.node()));
+  const auto* old_info = bed.service().dgm().group(old_group);
+  if (old_info != nullptr) {
+    EXPECT_FALSE(old_info->members.count(agent.node()));
+  }
+}
+
+TEST(NodeManager, RegistrationRetriesWhileServiceUnreachable) {
+  harness::TestbedConfig config = frozen_config(3);
+  harness::Testbed bed(config);
+  // Take the server down before agents start; they must keep retrying.
+  bed.transport().set_node_down(harness::kServerNode, true);
+  bed.start();
+  bed.run_for(6 * kSecond);
+  EXPECT_FALSE(bed.agent(0).registered());
+  EXPECT_GE(bed.agent(0).stats().registrations_sent, 2u);
+
+  bed.transport().set_node_down(harness::kServerNode, false);
+  bed.run_for(10 * kSecond);
+  EXPECT_TRUE(bed.agent(0).registered());
+}
+
+TEST(NodeManager, RepresentativesReportTheirGroups) {
+  harness::Testbed bed(frozen_config(16));
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+  bed.run_for(5 * kSecond);
+
+  std::size_t reps = 0, reports = 0;
+  for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+    reps += bed.agent(i).rep_groups().size();
+    reports += bed.agent(i).stats().reports_sent;
+  }
+  EXPECT_GT(reps, 0u);
+  EXPECT_GT(reports, 0u);
+  // Every group has at least one assigned representative among the agents.
+  for (const auto& [name, group] : bed.service().dgm().groups()) {
+    if (group.members.empty()) continue;
+    EXPECT_FALSE(group.reps.empty()) << name;
+  }
+}
+
+TEST(NodeManager, DirectPullAnswersWithCurrentState) {
+  harness::Testbed bed(frozen_config(4));
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+
+  // Issue a direct node query (the transition-table path) by hand.
+  auto& agent = bed.agent(2);
+  core::NodeState received;
+  bool got = false;
+  const net::Address probe{NodeId{900}, 5};
+  bed.transport().bind(probe, [&](const net::Message& m) {
+    ASSERT_EQ(m.kind, core::kNodeState);
+    received = m.as<core::NodeStatePayload>().state;
+    got = true;
+  });
+  auto payload = std::make_shared<core::NodeQueryPayload>();
+  payload->query_id = 77;
+  payload->reply_to = probe;
+  bed.transport().send(
+      net::Message{probe, agent.command_addr(), core::kNodeQuery, std::move(payload)});
+  bed.run_for(1 * kSecond);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(received.node, agent.node());
+  EXPECT_EQ(received.dynamic_values, agent.resources().state().dynamic_values);
+  EXPECT_GE(agent.stats().direct_pulls_answered, 1u);
+}
+
+TEST(NodeManager, StopLeavesGroupsGracefully) {
+  harness::Testbed bed(frozen_config(10));
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+
+  const NodeId leaving = bed.agent(3).node();
+  bed.agent(3).stop();
+  bed.run_for(10 * kSecond);
+
+  for (const auto& [name, group] : bed.service().dgm().groups()) {
+    EXPECT_FALSE(group.members.count(leaving)) << name;
+  }
+  // Queries no longer return the stopped node.
+  core::Query q;
+  q.where_at_least("ram_mb", 0);
+  auto result = bed.query_and_wait(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().contains(leaving));
+  EXPECT_EQ(result.value().entries.size(), 9u);
+}
+
+TEST(NodeManager, GroupQueryForUnknownGroupAnswersEmpty) {
+  harness::Testbed bed(frozen_config(4));
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+
+  bool got = false;
+  const net::Address probe{NodeId{900}, 5};
+  bed.transport().bind(probe, [&](const net::Message& m) {
+    ASSERT_EQ(m.kind, core::kGroupResponse);
+    const auto& resp = m.as<core::GroupResponsePayload>();
+    EXPECT_FALSE(resp.complete);
+    EXPECT_TRUE(resp.entries.empty());
+    got = true;
+  });
+  auto payload = std::make_shared<core::GroupQueryPayload>();
+  payload->query_id = 5;
+  payload->group = "ram_mb.999999";  // not a group this node belongs to
+  payload->reply_to = probe;
+  payload->collect_window = 500 * kMillisecond;
+  bed.transport().send(net::Message{probe, bed.agent(0).command_addr(),
+                                    core::kGroupQuery, std::move(payload)});
+  bed.run_for(2 * kSecond);
+  EXPECT_TRUE(got);
+}
+
+TEST(P2PAgent, JoinReplacesMembershipForAttr) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  net::SimTransport transport(simulator, topology, Rng(6));
+  P2PAgent p2p(simulator, transport, NodeId{1}, Region::Ohio, gossip::Config{},
+               Rng(7));
+
+  core::GroupSuggestion first;
+  first.attr = "ram_mb";
+  first.group = "ram_mb.0";
+  first.range = {0, 2048};
+  p2p.join(first, nullptr);
+  ASSERT_NE(p2p.agent_for_group("ram_mb.0"), nullptr);
+
+  core::GroupSuggestion second = first;
+  second.group = "ram_mb.2048";
+  second.range = {2048, 4096};
+  p2p.join(second, nullptr);
+  EXPECT_EQ(p2p.agent_for_group("ram_mb.0"), nullptr);
+  ASSERT_NE(p2p.agent_for_group("ram_mb.2048"), nullptr);
+  EXPECT_EQ(p2p.memberships().size(), 1u);
+
+  EXPECT_EQ(p2p.leave_attr("ram_mb"), "ram_mb.2048");
+  EXPECT_TRUE(p2p.memberships().empty());
+  EXPECT_EQ(p2p.leave_attr("ram_mb"), "");
+}
+
+TEST(P2PAgent, DistinctPortsPerGroup) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  net::SimTransport transport(simulator, topology, Rng(6));
+  P2PAgent p2p(simulator, transport, NodeId{1}, Region::Ohio, gossip::Config{},
+               Rng(7));
+  core::GroupSuggestion a{"ram_mb", "ram_mb.0", {0, 2048}, {}};
+  core::GroupSuggestion b{"vcpus", "vcpus.0", {0, 2}, {}};
+  p2p.join(a, nullptr);
+  p2p.join(b, nullptr);
+  EXPECT_NE(p2p.agent_for_group("ram_mb.0")->address().port,
+            p2p.agent_for_group("vcpus.0")->address().port);
+}
+
+}  // namespace
+}  // namespace focus::agent

@@ -1,0 +1,354 @@
+// Unit tests for FOCUS core value types: attributes, queries, group naming,
+// the response cache, and the JSON API encodings.
+
+#include <gtest/gtest.h>
+
+#include "focus/api.hpp"
+#include "focus/cache.hpp"
+#include "focus/group_naming.hpp"
+#include "focus/messages.hpp"
+
+namespace focus::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schema / NodeState
+
+TEST(Schema, OpenStackDefaultsMatchPaper) {
+  const Schema s = Schema::openstack_default();
+  ASSERT_NE(s.find("cpu_usage"), nullptr);
+  EXPECT_EQ(s.find("cpu_usage")->cutoff, 25.0);   // §X-A cutoffs
+  EXPECT_EQ(s.find("vcpus")->cutoff, 2.0);
+  EXPECT_EQ(s.find("ram_mb")->cutoff, 2048.0);
+  EXPECT_EQ(s.find("disk_gb")->cutoff, 5.0);
+  EXPECT_EQ(s.dynamic_attrs().size(), 4u);
+  EXPECT_EQ(s.find("arch")->kind, AttrKind::Static);
+  EXPECT_EQ(s.find("unknown"), nullptr);
+}
+
+TEST(Schema, AddReplacesByName) {
+  Schema s;
+  s.add({"x", AttrKind::Dynamic, 1.0, 0, 10});
+  s.add({"x", AttrKind::Dynamic, 2.0, 0, 10});
+  EXPECT_EQ(s.dynamic_attrs().size(), 1u);
+  EXPECT_EQ(s.find("x")->cutoff, 2.0);
+}
+
+TEST(Schema, KindChangeMovesAttribute) {
+  Schema s;
+  s.add({"x", AttrKind::Dynamic, 1.0, 0, 10});
+  s.add({"x", AttrKind::Static});
+  EXPECT_EQ(s.dynamic_attrs().size(), 0u);
+  EXPECT_EQ(s.find("x")->kind, AttrKind::Static);
+  EXPECT_EQ(s.all().size(), 1u);
+}
+
+TEST(NodeState, ValueLookups) {
+  NodeState state;
+  state.dynamic_values["ram_mb"] = 4096;
+  state.static_values["arch"] = "x86";
+  EXPECT_EQ(state.dynamic_value("ram_mb"), 4096);
+  EXPECT_EQ(state.dynamic_value("none"), std::nullopt);
+  EXPECT_EQ(state.static_value("arch"), "x86");
+  EXPECT_EQ(state.static_value("none"), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Query semantics
+
+NodeState sample_state() {
+  NodeState s;
+  s.node = NodeId{7};
+  s.region = Region::Oregon;
+  s.dynamic_values = {{"ram_mb", 4096}, {"vcpus", 2}, {"cpu_usage", 50}};
+  s.static_values = {{"arch", "x86"}, {"hypervisor", "qemu"}};
+  return s;
+}
+
+TEST(Query, BoundsAreInclusive) {
+  Query q;
+  q.where("ram_mb", 4096, 4096);
+  EXPECT_TRUE(q.matches(sample_state()));
+  q.terms.clear();
+  q.where("ram_mb", 4097, 9999);
+  EXPECT_FALSE(q.matches(sample_state()));
+}
+
+TEST(Query, ConjunctionAcrossTerms) {
+  Query q;
+  q.where_at_least("ram_mb", 2048).where_at_least("vcpus", 2);
+  EXPECT_TRUE(q.matches(sample_state()));
+  q.where_at_most("cpu_usage", 25);  // now fails: cpu is 50
+  EXPECT_FALSE(q.matches(sample_state()));
+}
+
+TEST(Query, MissingAttributeNeverMatches) {
+  Query q;
+  q.where_at_least("disk_gb", 1);
+  EXPECT_FALSE(q.matches(sample_state()));
+}
+
+TEST(Query, StaticTermsExactMatch) {
+  Query q;
+  q.where_static("arch", "x86");
+  EXPECT_TRUE(q.matches(sample_state()));
+  q.where_static("hypervisor", "xen");
+  EXPECT_FALSE(q.matches(sample_state()));
+}
+
+TEST(Query, LocationTerm) {
+  Query q;
+  q.in_region(Region::Oregon);
+  EXPECT_TRUE(q.matches(sample_state()));
+  q.in_region(Region::Ohio);
+  EXPECT_FALSE(q.matches(sample_state()));
+}
+
+TEST(Query, CacheKeyOrderInsensitive) {
+  Query a, b;
+  a.where_at_least("ram_mb", 2048).where_at_least("vcpus", 2);
+  b.where_at_least("vcpus", 2).where_at_least("ram_mb", 2048);
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+}
+
+TEST(Query, CacheKeyDistinguishesBoundsLimitLocation) {
+  Query a, b;
+  a.where_at_least("ram_mb", 2048);
+  b.where_at_least("ram_mb", 4096);
+  EXPECT_NE(a.cache_key(), b.cache_key());
+
+  Query c = a, d = a;
+  c.take(5);
+  d.take(10);
+  EXPECT_NE(c.cache_key(), d.cache_key());
+
+  Query e = a, f = a;
+  e.in_region(Region::Ohio);
+  EXPECT_NE(e.cache_key(), f.cache_key());
+}
+
+TEST(Query, FreshnessDoesNotChangeCacheKey) {
+  Query a, b;
+  a.where_at_least("ram_mb", 2048);
+  b.where_at_least("ram_mb", 2048);
+  b.fresh_within(5 * kSecond);
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+}
+
+TEST(QueryResult, ContainsAndLatency) {
+  QueryResult r;
+  r.issued_at = 100;
+  r.completed_at = 350;
+  r.entries.push_back(ResultEntry{NodeId{3}, Region::Ohio, {}, 0});
+  EXPECT_TRUE(r.contains(NodeId{3}));
+  EXPECT_FALSE(r.contains(NodeId{4}));
+  EXPECT_EQ(r.latency(), 250);
+}
+
+// ---------------------------------------------------------------------------
+// Group naming
+
+TEST(GroupNaming, BucketLower) {
+  EXPECT_EQ(bucket_lower(0, 25), 0);
+  EXPECT_EQ(bucket_lower(24.9, 25), 0);
+  EXPECT_EQ(bucket_lower(25, 25), 25);
+  EXPECT_EQ(bucket_lower(5000, 2048), 4096);
+}
+
+TEST(GroupNaming, NameFormat) {
+  GroupKey key{"ram_mb", 4096, std::nullopt, 0};
+  EXPECT_EQ(key.to_name(), "ram_mb.4096");
+  key.region = Region::Oregon;
+  EXPECT_EQ(key.to_name(), "ram_mb.4096@us-west-2");
+  key.fork = 2;
+  EXPECT_EQ(key.to_name(), "ram_mb.4096@us-west-2#2");
+}
+
+TEST(GroupNaming, ParseRoundTrip) {
+  for (const auto& name :
+       {"ram_mb.4096", "cpu_usage.75", "disk_gb.35#3",
+        "ram_mb.2048@ca-central-1", "vcpus.6@us-east-2#1"}) {
+    auto key = GroupKey::parse(name);
+    ASSERT_TRUE(key.has_value()) << name;
+    EXPECT_EQ(key->to_name(), name);
+  }
+}
+
+TEST(GroupNaming, ParseAttrWithDots) {
+  auto key = GroupKey::parse("net.rx.bytes.100");
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->attr, "net.rx.bytes");
+  EXPECT_EQ(key->bucket_lo, 100);
+}
+
+TEST(GroupNaming, ParseRejectsMalformed) {
+  EXPECT_FALSE(GroupKey::parse("").has_value());
+  EXPECT_FALSE(GroupKey::parse("noseparator").has_value());
+  EXPECT_FALSE(GroupKey::parse("attr.").has_value());
+  EXPECT_FALSE(GroupKey::parse(".5").has_value());
+  EXPECT_FALSE(GroupKey::parse("a.5@mars").has_value());
+  EXPECT_FALSE(GroupKey::parse("a.5#x").has_value());
+  EXPECT_FALSE(GroupKey::parse("a.xyz").has_value());
+}
+
+TEST(GroupNaming, PaperExampleDiskCutoff) {
+  // §VIII-A-2: "if the disk attribute cutoff is set to 10, then a group
+  // named disk.10GB will contain nodes that have between 10 and 20 GB".
+  AttributeSchema disk{"disk", AttrKind::Dynamic, 10.0, 0, 100};
+  const GroupKey key = group_for(disk, 13.0);
+  EXPECT_EQ(key.to_name(), "disk.10");
+  const GroupRange range = range_of(key, disk);
+  EXPECT_TRUE(range.contains(10));
+  EXPECT_TRUE(range.contains(19.99));
+  EXPECT_FALSE(range.contains(20));
+  EXPECT_FALSE(range.contains(9.99));
+}
+
+TEST(GroupRange, Intersection) {
+  GroupRange r{10, 20};
+  EXPECT_TRUE(r.intersects(15, 99));
+  EXPECT_TRUE(r.intersects(0, 10));     // touches lower bound (inclusive lo)
+  EXPECT_FALSE(r.intersects(20, 30));   // hi is exclusive
+  EXPECT_FALSE(r.intersects(0, 9.99));
+  EXPECT_TRUE(r.intersects(12, 13));
+}
+
+// ---------------------------------------------------------------------------
+// QueryCache
+
+TEST(QueryCache, FreshnessGatesHits) {
+  QueryCache cache(8);
+  QueryResult r;
+  r.entries.push_back(ResultEntry{NodeId{1}, Region::Ohio, {}, 0});
+  cache.insert("k", r, /*now=*/1000);
+
+  EXPECT_EQ(cache.lookup("k", 1000, 0), nullptr);       // realtime: never
+  EXPECT_NE(cache.lookup("k", 1500, 1000), nullptr);    // 0.5 old vs 1.0 ok
+  EXPECT_EQ(cache.lookup("k", 2500, 1000), nullptr);    // too stale
+  EXPECT_EQ(cache.lookup("missing", 1000, 1000), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(QueryCache, LruEviction) {
+  QueryCache cache(2);
+  cache.insert("a", {}, 0);
+  cache.insert("b", {}, 0);
+  EXPECT_NE(cache.lookup("a", 1, 100), nullptr);  // a is now most recent
+  cache.insert("c", {}, 0);                       // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.lookup("a", 1, 100), nullptr);
+  EXPECT_EQ(cache.lookup("b", 1, 100), nullptr);
+  EXPECT_NE(cache.lookup("c", 1, 100), nullptr);
+}
+
+TEST(QueryCache, ReinsertRefreshesTimestamp) {
+  QueryCache cache(4);
+  cache.insert("k", {}, 0);
+  cache.insert("k", {}, 5000);
+  EXPECT_NE(cache.lookup("k", 5500, 1000), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCache, ZeroCapacityNeverStores) {
+  QueryCache cache(0);
+  cache.insert("k", {}, 0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup("k", 1, 1000), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// JSON API round trips
+
+TEST(Api, QueryRoundTrip) {
+  Query q;
+  q.where("ram_mb", 2048, 8192)
+      .where_at_least("vcpus", 2)
+      .where_static("arch", "x86")
+      .in_region(Region::Canada)
+      .take(10)
+      .fresh_within(2 * kSecond);
+  auto parsed = query_from_json(to_json(q));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), q);
+}
+
+TEST(Api, QueryUnboundedTermsRoundTrip) {
+  Query q;
+  q.where_at_most("cpu_usage", 25);
+  auto parsed = query_from_json(to_json(q));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), q);
+  EXPECT_TRUE(parsed.value().terms[0].matches(-1e18));
+}
+
+TEST(Api, QueryFromHandWrittenJson) {
+  auto doc = Json::parse(R"({
+    "attributes": [{"name": "ram_mb", "lower": 4096}],
+    "static": [{"name": "service_type", "value": "compute"}],
+    "location": "us-west-2",
+    "limit": 5,
+    "freshness_ms": 1500
+  })");
+  ASSERT_TRUE(doc.ok());
+  auto q = query_from_json(doc.value());
+  ASSERT_TRUE(q.ok()) << q.error().message;
+  EXPECT_EQ(q.value().terms.size(), 1u);
+  EXPECT_EQ(q.value().static_terms.size(), 1u);
+  EXPECT_EQ(q.value().location, Region::Oregon);
+  EXPECT_EQ(q.value().limit, 5);
+  EXPECT_EQ(q.value().freshness, 1500 * kMillisecond);
+}
+
+TEST(Api, QueryRejectsBadDocuments) {
+  EXPECT_FALSE(query_from_json(Json(3.0)).ok());
+  auto bad_term = Json::parse(R"({"attributes": [{"lower": 1}]})");
+  ASSERT_TRUE(bad_term.ok());
+  EXPECT_FALSE(query_from_json(bad_term.value()).ok());
+  auto bad_region = Json::parse(R"({"location": "the-moon"})");
+  ASSERT_TRUE(bad_region.ok());
+  EXPECT_FALSE(query_from_json(bad_region.value()).ok());
+}
+
+TEST(Api, ResultRoundTrip) {
+  QueryResult r;
+  r.source = ResponseSource::Groups;
+  r.groups_queried = 3;
+  ResultEntry e;
+  e.node = NodeId{42};
+  e.region = Region::California;
+  e.values = {{"ram_mb", 4096.0}};
+  e.timestamp = 7 * kSecond;
+  r.entries.push_back(e);
+  auto parsed = result_from_json(to_json(r));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().entries.size(), 1u);
+  EXPECT_EQ(parsed.value().entries[0].node, NodeId{42});
+  EXPECT_EQ(parsed.value().entries[0].values.at("ram_mb"), 4096.0);
+  EXPECT_EQ(parsed.value().groups_queried, 3);
+}
+
+TEST(Api, NodeStateRoundTrip) {
+  NodeState s = sample_state();
+  s.timestamp = 9 * kSecond;
+  auto parsed = node_state_from_json(to_json(s));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().node, s.node);
+  EXPECT_EQ(parsed.value().region, s.region);
+  EXPECT_EQ(parsed.value().dynamic_values, s.dynamic_values);
+  EXPECT_EQ(parsed.value().static_values, s.static_values);
+}
+
+TEST(Api, WireSizeTracksJsonScale) {
+  // The simulated wire sizes should be the same order of magnitude as the
+  // real JSON encodings they stand in for.
+  Query q;
+  q.where_at_least("ram_mb", 4096).where_at_least("vcpus", 2).take(10);
+  const auto json_bytes = to_json(q).wire_size();
+  const auto modeled = wire_size_of(q);
+  EXPECT_GT(modeled, json_bytes / 4);
+  EXPECT_LT(modeled, json_bytes * 4);
+}
+
+}  // namespace
+}  // namespace focus::core

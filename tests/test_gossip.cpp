@@ -1,0 +1,299 @@
+// Tests for the SWIM-style gossip substrate: buffers, membership
+// convergence, failure detection, graceful leave, event dissemination.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gossip/swim.hpp"
+#include "net/sim_transport.hpp"
+
+namespace focus::gossip {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventBuffer / PiggybackBuffer units
+
+TEST(EventBuffer, DeduplicatesById) {
+  EventBuffer buf;
+  EXPECT_TRUE(buf.add({NodeId{1}, 1}, "t", nullptr, 3));
+  EXPECT_FALSE(buf.add({NodeId{1}, 1}, "t", nullptr, 3));
+  EXPECT_TRUE(buf.add({NodeId{1}, 2}, "t", nullptr, 3));
+  EXPECT_TRUE(buf.add({NodeId{2}, 1}, "t", nullptr, 3));
+  EXPECT_EQ(buf.seen_count(), 3u);
+}
+
+TEST(EventBuffer, RoundsConsumeBudget) {
+  EventBuffer buf;
+  buf.add({NodeId{1}, 1}, "t", nullptr, 2);
+  EXPECT_EQ(buf.take_round().size(), 1u);
+  EXPECT_EQ(buf.take_round().size(), 1u);
+  EXPECT_EQ(buf.take_round().size(), 0u);
+  EXPECT_TRUE(buf.seen({NodeId{1}, 1}));  // still deduplicated after expiry
+}
+
+TEST(EventBuffer, ZeroRoundsMeansSeenButNotForwarded) {
+  EventBuffer buf;
+  EXPECT_TRUE(buf.add({NodeId{1}, 1}, "t", nullptr, 0));
+  EXPECT_EQ(buf.pending(), 0u);
+  EXPECT_TRUE(buf.seen({NodeId{1}, 1}));
+}
+
+TEST(PiggybackBuffer, TakeConsumesCopies) {
+  PiggybackBuffer buf;
+  MemberUpdate u;
+  u.node = NodeId{1};
+  buf.add(u, 2);
+  EXPECT_EQ(buf.take(8).size(), 1u);
+  EXPECT_EQ(buf.take(8).size(), 1u);
+  EXPECT_EQ(buf.take(8).size(), 0u);
+}
+
+TEST(PiggybackBuffer, NewerUpdateReplacesOlder) {
+  PiggybackBuffer buf;
+  MemberUpdate alive;
+  alive.node = NodeId{1};
+  alive.state = MemberState::Alive;
+  buf.add(alive, 5);
+  MemberUpdate dead = alive;
+  dead.state = MemberState::Dead;
+  buf.add(dead, 5);
+  auto taken = buf.take(8);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].state, MemberState::Dead);
+}
+
+TEST(PiggybackBuffer, RespectsMaxPerMessage) {
+  PiggybackBuffer buf;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    MemberUpdate u;
+    u.node = NodeId{i};
+    buf.add(u, 3);
+  }
+  EXPECT_EQ(buf.take(8).size(), 8u);
+  EXPECT_EQ(buf.pending(), 20u);  // everyone still has copies left
+}
+
+// ---------------------------------------------------------------------------
+// GroupAgent integration on the simulator
+
+class GossipTest : public ::testing::Test {
+ protected:
+  GossipTest() : transport_(simulator_, topology_, Rng(17)) {}
+
+  /// Create and start an agent; if peers exist, join via the first one.
+  GroupAgent& spawn(std::uint32_t id, Region region = Region::Ohio) {
+    topology_.place(NodeId{id}, region);
+    auto agent = std::make_unique<GroupAgent>(
+        simulator_, transport_, net::Address{NodeId{id}, 100}, region, config_,
+        Rng(1000 + id));
+    agent->start();
+    if (!agents_.empty()) {
+      const net::Address entry = agents_.front()->address();
+      agent->join(std::span<const net::Address>(&entry, 1));
+    }
+    agents_.push_back(std::move(agent));
+    return *agents_.back();
+  }
+
+  /// True when every agent believes the group has exactly n alive members.
+  bool converged(std::size_t n) const {
+    for (const auto& agent : agents_) {
+      if (agent->running() && agent->alive_count() != n) return false;
+    }
+    return true;
+  }
+
+  sim::Simulator simulator_;
+  net::Topology topology_;
+  net::SimTransport transport_;
+  Config config_;
+  std::vector<std::unique_ptr<GroupAgent>> agents_;
+};
+
+TEST_F(GossipTest, SingleAgentIsGroupOfOne) {
+  auto& a = spawn(1);
+  simulator_.run_for(1 * kSecond);
+  EXPECT_EQ(a.alive_count(), 1u);
+  EXPECT_TRUE(a.alive_members().empty());
+}
+
+TEST_F(GossipTest, TwoAgentsDiscoverEachOther) {
+  spawn(1);
+  spawn(2);
+  simulator_.run_for(2 * kSecond);
+  EXPECT_TRUE(converged(2));
+}
+
+TEST_F(GossipTest, TwentyAgentsConvergeViaPiggyback) {
+  for (std::uint32_t i = 1; i <= 20; ++i) spawn(i, Region::Ohio);
+  simulator_.run_for(15 * kSecond);
+  EXPECT_TRUE(converged(20));
+}
+
+TEST_F(GossipTest, CrossRegionMembershipConverges) {
+  for (std::uint32_t i = 1; i <= 12; ++i) {
+    spawn(i, static_cast<Region>(i % 4));
+  }
+  simulator_.run_for(15 * kSecond);
+  EXPECT_TRUE(converged(12));
+  // Regions are carried in membership info.
+  const auto members = agents_.front()->alive_members();
+  bool saw_other_region = false;
+  for (const auto& m : members) {
+    if (m.region != agents_.front()->region()) saw_other_region = true;
+  }
+  EXPECT_TRUE(saw_other_region);
+}
+
+TEST_F(GossipTest, CrashedMemberDetectedAndRemoved) {
+  for (std::uint32_t i = 1; i <= 8; ++i) spawn(i);
+  simulator_.run_for(10 * kSecond);
+  ASSERT_TRUE(converged(8));
+
+  transport_.set_node_down(NodeId{3}, true);
+  // Detection: probe timeout -> suspicion -> dead; allow generous time for
+  // round-robin probing to reach the dead node from everyone.
+  simulator_.run_for(25 * kSecond);
+  for (const auto& agent : agents_) {
+    if (agent->id() == NodeId{3}) continue;
+    EXPECT_EQ(agent->alive_count(), 7u)
+        << to_string(agent->id()) << " still sees the dead member";
+  }
+}
+
+TEST_F(GossipTest, RecoveredSuspectRefutesWithHigherIncarnation) {
+  for (std::uint32_t i = 1; i <= 6; ++i) spawn(i);
+  simulator_.run_for(8 * kSecond);
+  ASSERT_TRUE(converged(6));
+
+  // Partition node 2 briefly: long enough to be suspected, short enough to
+  // refute before the suspicion timeout (2 s) declares it dead everywhere.
+  transport_.set_node_down(NodeId{2}, true);
+  simulator_.run_for(1500 * kMillisecond);
+  transport_.set_node_down(NodeId{2}, false);
+  simulator_.run_for(20 * kSecond);
+
+  EXPECT_TRUE(converged(6));
+  EXPECT_GE(agents_[1]->incarnation(), 1u);  // refutation bumped incarnation
+  EXPECT_GT(agents_[1]->counters().refutations, 0u);
+}
+
+TEST_F(GossipTest, GracefulLeavePropagates) {
+  for (std::uint32_t i = 1; i <= 8; ++i) spawn(i);
+  simulator_.run_for(10 * kSecond);
+  ASSERT_TRUE(converged(8));
+
+  agents_[4]->leave();
+  simulator_.run_for(5 * kSecond);
+  for (const auto& agent : agents_) {
+    if (!agent->running()) continue;
+    EXPECT_EQ(agent->alive_count(), 7u);
+  }
+}
+
+TEST_F(GossipTest, BroadcastReachesEveryMember) {
+  for (std::uint32_t i = 1; i <= 30; ++i) spawn(i);
+  simulator_.run_for(20 * kSecond);
+  ASSERT_TRUE(converged(30));
+
+  int delivered = 0;
+  for (auto& agent : agents_) {
+    agent->set_event_handler([&delivered](const EventPayload& event) {
+      EXPECT_EQ(event.topic, "probe");
+      ++delivered;
+    });
+  }
+  agents_.front()->broadcast("probe", nullptr, /*deliver_locally=*/true);
+  simulator_.run_for(3 * kSecond);
+  EXPECT_EQ(delivered, 30);
+}
+
+TEST_F(GossipTest, BroadcastDeliveredExactlyOncePerMember) {
+  for (std::uint32_t i = 1; i <= 16; ++i) spawn(i);
+  simulator_.run_for(15 * kSecond);
+  ASSERT_TRUE(converged(16));
+
+  std::map<std::uint32_t, int> deliveries;
+  for (auto& agent : agents_) {
+    const auto id = agent->id().value;
+    agent->set_event_handler(
+        [&deliveries, id](const EventPayload&) { ++deliveries[id]; });
+  }
+  for (int k = 0; k < 5; ++k) {
+    agents_.front()->broadcast("probe", nullptr, true);
+  }
+  simulator_.run_for(3 * kSecond);
+  for (const auto& [id, n] : deliveries) EXPECT_EQ(n, 5) << "node " << id;
+}
+
+TEST_F(GossipTest, ConvergenceLatencyWithinPaperBallpark) {
+  // §VIII-B footnote: fanout 4 / interval 100 ms converges a 400-node group
+  // in ~0.6 s. Check a 60-node group converges well under a second.
+  for (std::uint32_t i = 1; i <= 60; ++i) spawn(i);
+  simulator_.run_for(30 * kSecond);
+  ASSERT_TRUE(converged(60));
+
+  int delivered = 0;
+  for (auto& agent : agents_) {
+    agent->set_event_handler([&](const EventPayload&) { ++delivered; });
+  }
+  const SimTime start = simulator_.now();
+  agents_.front()->broadcast("probe", nullptr, true);
+  while (delivered < 60 && simulator_.now() - start < 5 * kSecond) {
+    simulator_.step();
+  }
+  EXPECT_EQ(delivered, 60);
+  EXPECT_LT(simulator_.now() - start, 1 * kSecond);
+}
+
+TEST_F(GossipTest, IdleBandwidthStaysSmall) {
+  // Fig. 8b "normal operation": membership upkeep should cost < 2 KB/s per
+  // node even for substantial groups.
+  // Run past one anti-entropy period so the last stragglers converge.
+  for (std::uint32_t i = 1; i <= 50; ++i) spawn(i);
+  simulator_.run_for(35 * kSecond);
+  ASSERT_TRUE(converged(50));
+
+  const auto before = transport_.stats().of(NodeId{5});
+  simulator_.run_for(10 * kSecond);
+  const auto delta = transport_.stats().of(NodeId{5}) - before;
+  const double kbps = static_cast<double>(delta.bytes_total()) / 1024.0 / 10.0;
+  EXPECT_LT(kbps, 2.0);
+}
+
+TEST_F(GossipTest, LateJoinerSeesFullMembership) {
+  for (std::uint32_t i = 1; i <= 10; ++i) spawn(i);
+  simulator_.run_for(10 * kSecond);
+  ASSERT_TRUE(converged(10));
+
+  auto& late = spawn(99);
+  simulator_.run_for(8 * kSecond);
+  EXPECT_EQ(late.alive_count(), 11u);
+  EXPECT_TRUE(converged(11));
+}
+
+TEST_F(GossipTest, JoinViaStaleEntryPointStillWorks) {
+  for (std::uint32_t i = 1; i <= 6; ++i) spawn(i);
+  simulator_.run_for(8 * kSecond);
+  ASSERT_TRUE(converged(6));
+
+  // Joiner gets two entry points; the first is dead.
+  topology_.place(NodeId{50}, Region::Ohio);
+  transport_.set_node_down(agents_[0]->address().node, true);
+  auto agent = std::make_unique<GroupAgent>(
+      simulator_, transport_, net::Address{NodeId{50}, 100}, Region::Ohio,
+      config_, Rng(50));
+  agent->start();
+  const std::vector<net::Address> entries = {agents_[0]->address(),
+                                             agents_[1]->address()};
+  agent->join(entries);
+  agents_.push_back(std::move(agent));
+  simulator_.run_for(25 * kSecond);
+  // 6 originals - 1 dead + 1 joiner = 6 alive total.
+  EXPECT_EQ(agents_.back()->alive_count(), 6u);
+}
+
+}  // namespace
+}  // namespace focus::gossip

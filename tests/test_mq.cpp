@@ -1,0 +1,222 @@
+// Tests for the message-queue substrate: routing semantics and the
+// finite-capacity cost model that drives Fig. 3.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mq/broker.hpp"
+#include "mq/client.hpp"
+#include "net/sim_transport.hpp"
+
+namespace focus::mq {
+namespace {
+
+struct Blob final : net::Payload {
+  int tag = 0;
+  std::size_t bytes = 1024;
+  std::size_t wire_size() const override { return bytes; }
+};
+
+class MqTest : public ::testing::Test {
+ protected:
+  MqTest() : transport_(simulator_, topology_, Rng(8)) {
+    broker_ = std::make_unique<Broker>(simulator_, transport_,
+                                       net::Address{NodeId{1}, 70});
+  }
+
+  MqClient& client(std::uint32_t node) {
+    clients_.push_back(std::make_unique<MqClient>(
+        transport_, net::Address{NodeId{node}, 50}, broker_->address()));
+    return *clients_.back();
+  }
+
+  static std::shared_ptr<Blob> blob(int tag) {
+    auto b = std::make_shared<Blob>();
+    b->tag = tag;
+    return b;
+  }
+
+  sim::Simulator simulator_;
+  net::Topology topology_;
+  net::SimTransport transport_;
+  std::unique_ptr<Broker> broker_;
+  std::vector<std::unique_ptr<MqClient>> clients_;
+};
+
+TEST_F(MqTest, PublishSubscribeDelivers) {
+  auto& consumer = client(10);
+  auto& producer = client(11);
+  int received = 0;
+  consumer.subscribe("q", QueueMode::WorkQueue,
+                     [&](const std::string& queue,
+                         const std::shared_ptr<const net::Payload>& body) {
+                       EXPECT_EQ(queue, "q");
+                       EXPECT_EQ(static_cast<const Blob&>(*body).tag, 42);
+                       ++received;
+                     });
+  simulator_.run_for(1 * kSecond);  // let the subscription land first
+  producer.publish("q", blob(42));
+  simulator_.run_for(2 * kSecond);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(broker_->stats().published, 1u);
+  EXPECT_EQ(broker_->stats().delivered, 1u);
+}
+
+TEST_F(MqTest, PublishWithoutConsumerIsDropped) {
+  auto& producer = client(11);
+  producer.publish("nowhere", blob(1));
+  simulator_.run_for(1 * kSecond);
+  EXPECT_EQ(broker_->stats().dropped_no_consumer, 1u);
+  EXPECT_EQ(broker_->stats().delivered, 0u);
+}
+
+TEST_F(MqTest, WorkQueueRoundRobinsAcrossConsumers) {
+  int a = 0, b = 0;
+  auto& consumer_a = client(10);
+  auto& consumer_b = client(11);
+  auto& producer = client(12);
+  consumer_a.subscribe("q", QueueMode::WorkQueue,
+                       [&](const std::string&, const auto&) { ++a; });
+  consumer_b.subscribe("q", QueueMode::WorkQueue,
+                       [&](const std::string&, const auto&) { ++b; });
+  simulator_.run_for(1 * kSecond);
+  for (int i = 0; i < 10; ++i) producer.publish("q", blob(i));
+  simulator_.run_for(2 * kSecond);
+  EXPECT_EQ(a, 5);
+  EXPECT_EQ(b, 5);
+}
+
+TEST_F(MqTest, FanoutDeliversToAllSubscribers) {
+  int a = 0, b = 0, c = 0;
+  client(10).subscribe("q", QueueMode::Fanout,
+                       [&](const std::string&, const auto&) { ++a; });
+  client(11).subscribe("q", QueueMode::Fanout,
+                       [&](const std::string&, const auto&) { ++b; });
+  client(12).subscribe("q", QueueMode::Fanout,
+                       [&](const std::string&, const auto&) { ++c; });
+  auto& producer = client(13);
+  simulator_.run_for(1 * kSecond);
+  producer.publish("q", blob(7));
+  simulator_.run_for(2 * kSecond);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 1);
+  EXPECT_EQ(broker_->stats().delivered, 3u);
+}
+
+TEST_F(MqTest, DuplicateSubscribeIsIdempotent) {
+  int n = 0;
+  auto& consumer = client(10);
+  consumer.subscribe("q", QueueMode::Fanout,
+                     [&](const std::string&, const auto&) { ++n; });
+  consumer.subscribe("q", QueueMode::Fanout,
+                     [&](const std::string&, const auto&) { ++n; });
+  auto& producer = client(11);
+  simulator_.run_for(1 * kSecond);
+  producer.publish("q", blob(1));
+  simulator_.run_for(2 * kSecond);
+  EXPECT_EQ(n, 1);
+}
+
+TEST_F(MqTest, ConnectionsCounted) {
+  client(10).subscribe("q", QueueMode::WorkQueue,
+                       [](const std::string&, const auto&) {});
+  auto& producer = client(11);
+  simulator_.run_for(1 * kSecond);
+  producer.publish("q", blob(1));
+  simulator_.run_for(1 * kSecond);
+  EXPECT_EQ(broker_->connections(), 2u);
+}
+
+TEST_F(MqTest, BrokerLatencyLowWhenUnderloaded) {
+  auto& consumer = client(10);
+  auto& producer = client(11);
+  consumer.subscribe("q", QueueMode::WorkQueue,
+                     [](const std::string&, const auto&) {});
+  simulator_.run_for(1 * kSecond);
+  for (int i = 0; i < 100; ++i) producer.publish("q", blob(i));
+  simulator_.run_for(5 * kSecond);
+  EXPECT_LT(broker_->stats().broker_latency_ms.percentile(99), 10.0);
+}
+
+TEST_F(MqTest, OverloadShedsBeyondMaxBacklog) {
+  broker_->set_max_backlog(100 * kMillisecond);
+  auto& consumer = client(10);
+  auto& producer = client(11);
+  consumer.subscribe("q", QueueMode::WorkQueue,
+                     [](const std::string&, const auto&) {});
+  simulator_.run_for(1 * kSecond);
+  // 1 M messages of 70 us work vs a 100 ms backlog cap: most must shed.
+  for (int i = 0; i < 100000; ++i) producer.publish("q", blob(i));
+  simulator_.run_for(5 * kSecond);
+  EXPECT_GT(broker_->stats().dropped_overload, 0u);
+}
+
+TEST(CostModel, OverheadGrowsWithConnections) {
+  CostModel cost;
+  EXPECT_GT(cost.overhead_fraction(5000), cost.overhead_fraction(100));
+  EXPECT_LT(cost.message_capacity_us_per_sec(5000),
+            cost.message_capacity_us_per_sec(100));
+}
+
+TEST(CostModel, CapacityNeverNegative) {
+  CostModel cost;
+  EXPECT_EQ(cost.message_capacity_us_per_sec(10'000'000), 0.0);
+}
+
+TEST(CostModel, Fig3CalibrationShape) {
+  // The calibration targets recorded in cost_model.hpp: ~50 % utilisation
+  // near 2 k producers (5 msg/s each, publish + deliver), saturation within
+  // the 6-8 k band.
+  CostModel cost;
+  auto util = [&](double producers) {
+    const double msgs = producers * 5.0;
+    const double cpu =
+        msgs * static_cast<double>(cost.publish_cpu + cost.deliver_cpu);
+    return cost.overhead_fraction(static_cast<std::size_t>(producers) + 100) +
+           cpu / (static_cast<double>(cost.cores) * 1e6);
+  };
+  EXPECT_GT(util(2000), 0.45);
+  EXPECT_LT(util(2000), 0.70);
+  EXPECT_LT(util(4000), 1.0);
+  EXPECT_GT(util(8000), 1.0);
+}
+
+TEST_F(MqTest, SaturatedBrokerLatencyExplodes) {
+  auto& consumer = client(10);
+  consumer.subscribe("q", QueueMode::WorkQueue,
+                     [](const std::string&, const auto&) {});
+  auto& producer = client(11);
+  simulator_.run_for(1 * kSecond);
+  // Offer ~60 k msg/s for 3 s: well past the ~30 k msg/s capacity knee.
+  const sim::TimerId timer = simulator_.every(1 * kMillisecond, [&] {
+    for (int i = 0; i < 60; ++i) producer.publish("q", blob(i));
+  });
+  simulator_.run_for(3 * kSecond);
+  simulator_.cancel(timer);
+  EXPECT_GT(broker_->stats().broker_latency_ms.percentile(99), 500.0);
+  EXPECT_GT(broker_->current_backlog(), 0);
+}
+
+TEST_F(MqTest, UtilizationWindowMeasurement) {
+  auto& consumer = client(10);
+  consumer.subscribe("q", QueueMode::WorkQueue,
+                     [](const std::string&, const auto&) {});
+  auto& producer = client(11);
+  simulator_.run_for(1 * kSecond);
+
+  const double cpu0 = broker_->stats().message_cpu_us;
+  const SimTime t0 = simulator_.now();
+  const sim::TimerId timer = simulator_.every(
+      10 * kMillisecond, [&] { producer.publish("q", blob(0)); });
+  simulator_.run_for(10 * kSecond);
+  simulator_.cancel(timer);
+  const double util = broker_->utilization(cpu0, simulator_.now() - t0);
+  // 100 msg/s of ~70 us work is well under capacity but above the baseline.
+  EXPECT_GT(util, broker_->cost_model().baseline_utilization);
+  EXPECT_LT(util, 0.5);
+}
+
+}  // namespace
+}  // namespace focus::mq

@@ -1,0 +1,193 @@
+// Unit tests for the network model: topology, transport, accounting.
+
+#include <gtest/gtest.h>
+
+#include "net/sim_transport.hpp"
+
+namespace focus::net {
+namespace {
+
+/// Payload with a fixed declared size.
+struct Fixed final : Payload {
+  std::size_t bytes = 100;
+  std::size_t wire_size() const override { return bytes; }
+};
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : transport_(simulator_, topology_, Rng(3)) {
+    topology_.place(NodeId{1}, Region::Ohio);
+    topology_.place(NodeId{2}, Region::Oregon);
+  }
+
+  Message make(NodeId from, NodeId to, std::size_t bytes = 100) {
+    auto payload = std::make_shared<Fixed>();
+    payload->bytes = bytes;
+    return Message{{from, 1}, {to, 1}, "test", std::move(payload)};
+  }
+
+  sim::Simulator simulator_;
+  Topology topology_;
+  SimTransport transport_;
+};
+
+TEST_F(NetTest, DeliversToBoundHandler) {
+  int received = 0;
+  transport_.bind({NodeId{2}, 1}, [&](const Message& m) {
+    ++received;
+    EXPECT_EQ(m.kind, "test");
+    EXPECT_EQ(m.from.node, NodeId{1});
+  });
+  transport_.send(make(NodeId{1}, NodeId{2}));
+  simulator_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetTest, LatencyMatchesTopology) {
+  SimTime delivered_at = -1;
+  transport_.bind({NodeId{2}, 1}, [&](const Message&) { delivered_at = simulator_.now(); });
+  transport_.send(make(NodeId{1}, NodeId{2}));
+  simulator_.run();
+  // Ohio <-> Oregon base one-way is 25 ms with 10% jitter.
+  EXPECT_GE(delivered_at, static_cast<SimTime>(25 * kMillisecond * 0.9));
+  EXPECT_LE(delivered_at, static_cast<SimTime>(25 * kMillisecond * 1.1));
+}
+
+TEST_F(NetTest, UnboundDestinationDropsButChargesSender) {
+  transport_.send(make(NodeId{1}, NodeId{2}, 140));
+  simulator_.run();
+  EXPECT_EQ(transport_.stats().delivered(), 0u);
+  EXPECT_EQ(transport_.stats().of(NodeId{1}).bytes_tx, 140 + kWireOverheadBytes);
+  EXPECT_EQ(transport_.stats().of(NodeId{2}).bytes_rx, 0u);
+}
+
+TEST_F(NetTest, AccountingCountsBothDirections) {
+  transport_.bind({NodeId{2}, 1}, [](const Message&) {});
+  transport_.send(make(NodeId{1}, NodeId{2}, 200));
+  simulator_.run();
+  const auto tx = transport_.stats().of(NodeId{1});
+  const auto rx = transport_.stats().of(NodeId{2});
+  EXPECT_EQ(tx.bytes_tx, 200 + kWireOverheadBytes);
+  EXPECT_EQ(tx.msgs_tx, 1u);
+  EXPECT_EQ(rx.bytes_rx, 200 + kWireOverheadBytes);
+  EXPECT_EQ(rx.msgs_rx, 1u);
+  EXPECT_EQ(transport_.stats().total().bytes_tx,
+            transport_.stats().total().bytes_rx);
+}
+
+TEST_F(NetTest, DownNodeNeitherSendsNorReceives) {
+  int received = 0;
+  transport_.bind({NodeId{2}, 1}, [&](const Message&) { ++received; });
+
+  transport_.set_node_down(NodeId{2}, true);
+  transport_.send(make(NodeId{1}, NodeId{2}));
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+
+  transport_.set_node_down(NodeId{2}, false);
+  transport_.set_node_down(NodeId{1}, true);
+  transport_.send(make(NodeId{1}, NodeId{2}));
+  simulator_.run();
+  EXPECT_EQ(received, 0);  // dead sender transmits nothing
+
+  transport_.set_node_down(NodeId{1}, false);
+  transport_.send(make(NodeId{1}, NodeId{2}));
+  simulator_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetTest, NodeDyingMidFlightDropsDelivery) {
+  int received = 0;
+  transport_.bind({NodeId{2}, 1}, [&](const Message&) { ++received; });
+  transport_.send(make(NodeId{1}, NodeId{2}));
+  // Kill the destination while the message is in flight.
+  simulator_.schedule_at(1 * kMillisecond,
+                         [&] { transport_.set_node_down(NodeId{2}, true); });
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetTest, LossRateDropsSomeMessages) {
+  int received = 0;
+  transport_.bind({NodeId{2}, 1}, [&](const Message&) { ++received; });
+  transport_.set_loss_rate(0.5);
+  for (int i = 0; i < 400; ++i) transport_.send(make(NodeId{1}, NodeId{2}));
+  simulator_.run();
+  EXPECT_GT(received, 120);
+  EXPECT_LT(received, 280);
+}
+
+TEST_F(NetTest, HandlerMayRebindItself) {
+  int first = 0, second = 0;
+  transport_.bind({NodeId{2}, 1}, [&](const Message&) {
+    ++first;
+    transport_.bind({NodeId{2}, 1}, [&](const Message&) { ++second; });
+  });
+  transport_.send(make(NodeId{1}, NodeId{2}));
+  transport_.send(make(NodeId{1}, NodeId{2}));
+  simulator_.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Topology, DefaultsAreSymmetric) {
+  Topology t;
+  for (auto a : {Region::Ohio, Region::Canada, Region::Oregon, Region::California}) {
+    for (auto b : {Region::Ohio, Region::Canada, Region::Oregon, Region::California}) {
+      EXPECT_EQ(t.base_latency(a, b), t.base_latency(b, a));
+    }
+  }
+}
+
+TEST(Topology, IntraRegionFasterThanInterRegion) {
+  Topology t;
+  EXPECT_LT(t.base_latency(Region::Ohio, Region::Ohio),
+            t.base_latency(Region::Ohio, Region::Oregon));
+}
+
+TEST(Topology, OverrideLatency) {
+  Topology t;
+  t.set_latency(Region::Ohio, Region::Canada, 99 * kMillisecond);
+  EXPECT_EQ(t.base_latency(Region::Ohio, Region::Canada), 99 * kMillisecond);
+  EXPECT_EQ(t.base_latency(Region::Canada, Region::Ohio), 99 * kMillisecond);
+}
+
+TEST(Topology, UnplacedNodesDefaultToAppEdge) {
+  Topology t;
+  EXPECT_EQ(t.region_of(NodeId{777}), Region::AppEdge);
+}
+
+TEST(Topology, SampleLatencyWithinJitterBounds) {
+  Topology t;
+  t.place(NodeId{1}, Region::Ohio);
+  t.place(NodeId{2}, Region::Canada);
+  Rng rng(4);
+  const Duration base = t.base_latency(Region::Ohio, Region::Canada);
+  for (int i = 0; i < 200; ++i) {
+    const Duration d = t.sample_latency(NodeId{1}, NodeId{2}, rng);
+    EXPECT_GE(d, static_cast<Duration>(static_cast<double>(base) * 0.9) - 1);
+    EXPECT_LE(d, static_cast<Duration>(static_cast<double>(base) * 1.1) + 1);
+  }
+}
+
+TEST(NetStats, DeltaSubtraction) {
+  EndpointStats a{100, 50, 4, 2};
+  EndpointStats b{40, 20, 1, 1};
+  const EndpointStats d = a - b;
+  EXPECT_EQ(d.bytes_tx, 60u);
+  EXPECT_EQ(d.bytes_rx, 30u);
+  EXPECT_EQ(d.msgs_tx, 3u);
+  EXPECT_EQ(d.bytes_total(), 90u);
+}
+
+TEST(Message, WireBytesIncludesOverhead) {
+  auto payload = std::make_shared<Fixed>();
+  payload->bytes = 10;
+  Message m{{NodeId{1}, 1}, {NodeId{2}, 1}, "k", payload};
+  EXPECT_EQ(m.wire_bytes(), 10 + kWireOverheadBytes);
+  Message empty{{NodeId{1}, 1}, {NodeId{2}, 1}, "k", nullptr};
+  EXPECT_EQ(empty.wire_bytes(), kWireOverheadBytes);
+}
+
+}  // namespace
+}  // namespace focus::net

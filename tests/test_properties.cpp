@@ -1,0 +1,272 @@
+// Property-based tests (parameterized sweeps) over the core invariants:
+// group naming round trips, bucket partitioning, query monotonicity,
+// completeness/soundness at multiple fleet sizes, and broadcast coverage
+// across group sizes and fanouts.
+
+#include <gtest/gtest.h>
+
+#include "gossip/swim.hpp"
+#include "harness/scenario.hpp"
+#include "harness/testbed.hpp"
+#include "net/sim_transport.hpp"
+
+namespace focus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Group naming properties
+
+class GroupNamingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupNamingProperty, ParseInvertsToName) {
+  Rng rng(GetParam());
+  const std::vector<std::string> attrs = {"ram_mb", "cpu_usage", "a.b.c", "x"};
+  for (int i = 0; i < 200; ++i) {
+    core::GroupKey key;
+    key.attr = attrs[rng.index(attrs.size())];
+    key.bucket_lo = static_cast<double>(rng.uniform_int(0, 1 << 20));
+    if (rng.chance(0.4)) {
+      key.region = static_cast<Region>(rng.uniform_int(0, 4));
+    }
+    key.fork = static_cast<int>(rng.uniform_int(0, 9));
+    const auto parsed = core::GroupKey::parse(key.to_name());
+    ASSERT_TRUE(parsed.has_value()) << key.to_name();
+    EXPECT_EQ(*parsed, key) << key.to_name();
+  }
+}
+
+TEST_P(GroupNamingProperty, BucketsPartitionTheDomain) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    core::AttributeSchema attr;
+    attr.name = "a";
+    attr.cutoff = rng.uniform(0.5, 4096.0);
+    attr.min_value = 0;
+    attr.max_value = 1e6;
+    const double value = rng.uniform(0.0, 1e6);
+    const auto key = core::group_for(attr, value);
+    const auto range = core::range_of(key, attr);
+    // The value falls in its own bucket...
+    EXPECT_TRUE(range.contains(value));
+    // ...and in no neighbouring bucket.
+    core::GroupKey below = key;
+    below.bucket_lo -= attr.cutoff;
+    core::GroupKey above = key;
+    above.bucket_lo += attr.cutoff;
+    EXPECT_FALSE(core::range_of(below, attr).contains(value));
+    EXPECT_FALSE(core::range_of(above, attr).contains(value));
+    // Bucket edges align to multiples of the cutoff (allowing floating-point
+    // residue on either side of the multiple).
+    const double residue = std::fmod(key.bucket_lo, attr.cutoff);
+    const double misalignment = std::min(residue, attr.cutoff - residue);
+    EXPECT_LT(misalignment, 1e-6 * std::max(1.0, key.bucket_lo));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupNamingProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Query monotonicity properties
+
+class QueryProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static core::NodeState random_state(Rng& rng) {
+    core::NodeState s;
+    s.node = NodeId{static_cast<std::uint32_t>(rng.uniform_int(1, 1000))};
+    s.region = static_cast<Region>(rng.uniform_int(0, 3));
+    for (const auto* attr : {"a", "b", "c"}) {
+      s.dynamic_values[attr] = rng.uniform(0, 100);
+    }
+    return s;
+  }
+
+  static core::Query random_query(Rng& rng) {
+    core::Query q;
+    const int terms = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < terms; ++i) {
+      const double lo = rng.uniform(0, 100);
+      const double hi = lo + rng.uniform(0, 100 - lo);
+      q.where(std::string(1, static_cast<char>('a' + rng.uniform_int(0, 2))), lo, hi);
+    }
+    return q;
+  }
+};
+
+TEST_P(QueryProperty, NarrowingBoundsNeverAddsMatches) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const core::NodeState state = random_state(rng);
+    core::Query wide = random_query(rng);
+    core::Query narrow = wide;
+    for (auto& term : narrow.terms) {
+      const double shrink = rng.uniform(0, (term.upper - term.lower) / 2);
+      term.lower += shrink;
+      term.upper -= shrink;
+    }
+    if (narrow.matches(state)) {
+      EXPECT_TRUE(wide.matches(state));
+    }
+  }
+}
+
+TEST_P(QueryProperty, AddingTermsNeverAddsMatches) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const core::NodeState state = random_state(rng);
+    core::Query base = random_query(rng);
+    core::Query extended = base;
+    extended.where("c", rng.uniform(0, 50), rng.uniform(50, 100));
+    if (extended.matches(state)) {
+      EXPECT_TRUE(base.matches(state));
+    }
+  }
+}
+
+TEST_P(QueryProperty, CacheKeyEqualityImpliesSameMatches) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    core::Query a = random_query(rng);
+    core::Query b = a;
+    rng.shuffle(b.terms);  // reordering must not change identity
+    ASSERT_EQ(a.cache_key(), b.cache_key());
+    for (int j = 0; j < 20; ++j) {
+      const core::NodeState state = random_state(rng);
+      EXPECT_EQ(a.matches(state), b.matches(state));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryProperty, ::testing::Values(11u, 12u, 13u));
+
+// ---------------------------------------------------------------------------
+// End-to-end completeness/soundness across fleet sizes
+
+class FleetSizeProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FleetSizeProperty, QueriesCompleteAndSound) {
+  harness::TestbedConfig config;
+  config.num_nodes = GetParam();
+  config.seed = 1000 + GetParam();
+  config.agent.dynamics.frozen = true;
+  harness::Testbed bed(config);
+  bed.start();
+  ASSERT_TRUE(bed.settle(60 * kSecond));
+
+  Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    core::Query q = harness::make_placement_query(rng, /*limit=*/0);
+    auto result = bed.query_and_wait(q);
+    ASSERT_TRUE(result.ok());
+    std::set<NodeId> expected;
+    for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+      if (q.matches(bed.agent(i).resources().state())) {
+        expected.insert(bed.agent(i).node());
+      }
+    }
+    std::set<NodeId> got;
+    for (const auto& entry : result.value().entries) got.insert(entry.node);
+    EXPECT_EQ(got, expected) << "fleet=" << GetParam() << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FleetSizeProperty,
+                         ::testing::Values(8u, 24u, 48u, 96u));
+
+// ---------------------------------------------------------------------------
+// Broadcast coverage across group sizes and fanouts
+
+struct BroadcastParam {
+  std::size_t group_size;
+  int fanout;
+};
+
+class BroadcastProperty : public ::testing::TestWithParam<BroadcastParam> {};
+
+TEST_P(BroadcastProperty, EventReachesEveryMemberExactlyOnce) {
+  const auto param = GetParam();
+  sim::Simulator simulator;
+  net::Topology topology;
+  net::SimTransport transport(simulator, topology, Rng(71));
+  gossip::Config config;
+  config.fanout = param.fanout;
+
+  std::vector<std::unique_ptr<gossip::GroupAgent>> agents;
+  for (std::size_t i = 1; i <= param.group_size; ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    topology.place(id, static_cast<Region>(i % 4));
+    auto agent = std::make_unique<gossip::GroupAgent>(
+        simulator, transport, net::Address{id, 100},
+        static_cast<Region>(i % 4), config, Rng(5000 + i));
+    agent->start();
+    if (!agents.empty()) {
+      const net::Address entry = agents.front()->address();
+      agent->join(std::span<const net::Address>(&entry, 1));
+    }
+    agents.push_back(std::move(agent));
+  }
+  simulator.run_for(40 * kSecond);
+  for (const auto& agent : agents) {
+    ASSERT_EQ(agent->alive_count(), param.group_size);
+  }
+
+  std::map<std::uint32_t, int> deliveries;
+  for (auto& agent : agents) {
+    const auto id = agent->id().value;
+    agent->set_event_handler(
+        [&deliveries, id](const gossip::EventPayload&) { ++deliveries[id]; });
+  }
+  agents.front()->broadcast("q", nullptr, true);
+  simulator.run_for(5 * kSecond);
+  EXPECT_EQ(deliveries.size(), param.group_size);
+  for (const auto& [id, count] : deliveries) {
+    EXPECT_EQ(count, 1) << "node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastProperty,
+    ::testing::Values(BroadcastParam{4, 2}, BroadcastParam{16, 2},
+                      BroadcastParam{16, 4}, BroadcastParam{48, 4},
+                      BroadcastParam{48, 8}),
+    [](const ::testing::TestParamInfo<BroadcastParam>& info) {
+      return "n" + std::to_string(info.param.group_size) + "_f" +
+             std::to_string(info.param.fanout);
+    });
+
+// ---------------------------------------------------------------------------
+// Fork threshold invariant across thresholds
+
+class ForkThresholdProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForkThresholdProperty, ReportedGroupSizesRespectThreshold) {
+  harness::TestbedConfig config;
+  config.num_nodes = 60;
+  config.seed = 2000 + static_cast<std::uint64_t>(GetParam());
+  config.agent.dynamics.frozen = true;
+  config.service.fork_threshold = GetParam();
+  harness::Testbed bed(config);
+  bed.start();
+  ASSERT_TRUE(bed.settle(60 * kSecond));
+  bed.run_for(10 * kSecond);
+
+  for (const auto& [name, group] : bed.service().dgm().groups()) {
+    // Steady-state group sizes stay within a small overshoot of the
+    // threshold (joins racing one report interval).
+    EXPECT_LE(group.members.size(),
+              static_cast<std::size_t>(GetParam()) + 5)
+        << name;
+  }
+  // Everyone is still findable.
+  core::Query q;
+  q.where_at_least("ram_mb", 0);
+  auto result = bed.query_and_wait(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().entries.size(), 60u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ForkThresholdProperty,
+                         ::testing::Values(5, 10, 25));
+
+}  // namespace
+}  // namespace focus

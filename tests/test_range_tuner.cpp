@@ -1,0 +1,122 @@
+// Tests for trace-driven group-range selection (§XII extension).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "focus/group_naming.hpp"
+#include "focus/range_tuner.hpp"
+
+namespace focus::core {
+namespace {
+
+AttributeSchema ram_attr() { return {"ram_mb", AttrKind::Dynamic, 2048, 0, 16384}; }
+
+TEST(RangeTuner, EmptySampleKeepsConfiguredCutoff) {
+  const auto tuned = tune_cutoff(ram_attr(), {});
+  EXPECT_EQ(tuned.cutoff, 2048);
+  EXPECT_EQ(tuned.populated_buckets, 0u);
+}
+
+TEST(RangeTuner, UniformValuesBalanceAroundTarget) {
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.uniform(0, 16384));
+
+  TunerConfig config;
+  config.target_group_size = 150;
+  config.expected_nodes = 1600;
+  const auto tuned = tune_cutoff(ram_attr(), samples, config);
+  // 1600 nodes / target 150 => ~11 groups => cutoff near span/16.
+  EXPECT_GT(tuned.populated_buckets, 4u);
+  EXPECT_LE(tuned.predicted_max_group, 1.5 * config.target_group_size);
+  EXPECT_GT(tuned.predicted_max_group, 50);
+}
+
+TEST(RangeTuner, SkewedValuesGetFinerCutoffThanUniform) {
+  // Heavily skewed distribution: most hosts hover in one narrow band. A
+  // static cutoff would put nearly everyone in one giant group (the bias
+  // §XII warns about); the tuner must choose a finer cutoff.
+  Rng rng(2);
+  std::vector<double> skewed, uniform;
+  for (int i = 0; i < 5000; ++i) {
+    skewed.push_back(std::clamp(rng.normal(4000, 400), 0.0, 16384.0));
+    uniform.push_back(rng.uniform(0, 16384));
+  }
+  TunerConfig config;
+  config.target_group_size = 150;
+  config.expected_nodes = 1600;
+  const auto tuned_skewed = tune_cutoff(ram_attr(), skewed, config);
+  const auto tuned_uniform = tune_cutoff(ram_attr(), uniform, config);
+  EXPECT_LT(tuned_skewed.cutoff, tuned_uniform.cutoff);
+  // Even under skew the fullest predicted group is kept near the target
+  // (bounded below by max_buckets: the finest allowed cutoff still holds a
+  // sizable share of a tight normal distribution).
+  EXPECT_LE(tuned_skewed.predicted_max_group, 3.0 * config.target_group_size);
+}
+
+TEST(RangeTuner, RespectsMaxBuckets) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) {
+    samples.push_back(std::clamp(rng.normal(8000, 50), 0.0, 16384.0));
+  }
+  TunerConfig config;
+  config.target_group_size = 2;  // would want absurdly fine buckets
+  config.expected_nodes = 10000;
+  config.max_buckets = 16;
+  const auto tuned = tune_cutoff(ram_attr(), samples, config);
+  EXPECT_GE(tuned.cutoff, (16384.0 - 0.0) / 16.0 - 1e-9);
+}
+
+TEST(RangeTuner, OutOfDomainSamplesAreClamped) {
+  std::vector<double> samples = {-500, 20000, 1000, 1000};
+  const auto tuned = tune_cutoff(ram_attr(), samples);
+  EXPECT_GT(tuned.cutoff, 0);
+  EXPECT_GE(tuned.populated_buckets, 1u);
+}
+
+TEST(RangeTuner, TuneSchemaUpdatesOnlySampledAttrs) {
+  Schema schema = Schema::openstack_default();
+  const double disk_cutoff_before = schema.find("disk_gb")->cutoff;
+
+  Rng rng(4);
+  std::vector<double> ram_samples;
+  for (int i = 0; i < 3000; ++i) {
+    ram_samples.push_back(std::clamp(rng.normal(4000, 300), 0.0, 16384.0));
+  }
+  TunerConfig config;
+  config.target_group_size = 100;
+  config.expected_nodes = 1000;
+  const auto tuned = tune_schema(schema, {{"ram_mb", ram_samples}}, config);
+
+  ASSERT_EQ(tuned.size(), schema.dynamic_attrs().size());
+  EXPECT_NE(schema.find("ram_mb")->cutoff, 2048);
+  EXPECT_EQ(schema.find("disk_gb")->cutoff, disk_cutoff_before);
+}
+
+TEST(RangeTuner, DeterministicForSameInput) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.uniform(0, 16384));
+  const auto a = tune_cutoff(ram_attr(), samples);
+  const auto b = tune_cutoff(ram_attr(), samples);
+  EXPECT_EQ(a.cutoff, b.cutoff);
+  EXPECT_EQ(a.predicted_max_group, b.predicted_max_group);
+}
+
+TEST(RangeTuner, TunedCutoffProducesValidGroupKeys) {
+  Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.uniform(0, 16384));
+  AttributeSchema attr = ram_attr();
+  attr.cutoff = tune_cutoff(attr, samples).cutoff;
+  for (double v : {0.0, 1234.5, 16383.9}) {
+    const GroupKey key = group_for(attr, v);
+    const auto parsed = GroupKey::parse(key.to_name());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(range_of(*parsed, attr).contains(v));
+  }
+}
+
+}  // namespace
+}  // namespace focus::core

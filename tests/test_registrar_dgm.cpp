@@ -1,0 +1,417 @@
+// Unit tests for the Registrar and the Dynamic Groups Manager: suggestions,
+// fork-on-size, geo-splitting, transition table, representative management,
+// and failure recovery of the primary tables.
+
+#include <gtest/gtest.h>
+
+#include "focus/dgm.hpp"
+#include "net/sim_transport.hpp"
+
+namespace focus::core {
+namespace {
+
+class DgmTest : public ::testing::Test {
+ protected:
+  DgmTest()
+      : transport_(simulator_, topology_, Rng(31)),
+        store_(simulator_, store::ClusterConfig{}, 31),
+        registrar_(simulator_, store_, config_),
+        dgm_(simulator_, transport_, net::Address{NodeId{0}, 1}, config_,
+             registrar_, store_, Rng(32)) {}
+
+  static NodeState state_of(std::uint32_t id, double ram) {
+    NodeState s;
+    s.node = NodeId{id};
+    s.region = Region::Ohio;
+    s.dynamic_values["ram_mb"] = ram;
+    s.static_values["arch"] = id % 2 == 0 ? "x86" : "arm";
+    return s;
+  }
+
+  /// Register a node and produce its ram_mb suggestion.
+  GroupSuggestion suggest(std::uint32_t id, double ram,
+                          Region region = Region::Ohio) {
+    NodeState s = state_of(id, ram);
+    s.region = region;
+    registrar_.register_node(s, {NodeId{id}, 1});
+    return dgm_.suggest(NodeId{id}, region, {NodeId{id}, 1},
+                        *config_.schema.find("ram_mb"), ram);
+  }
+
+  /// Tell the DGM the node started/joined the group.
+  void join(std::uint32_t id, const std::string& group,
+            Region region = Region::Ohio) {
+    JoinedPayload joined;
+    joined.node = NodeId{id};
+    joined.region = region;
+    joined.group = group;
+    joined.p2p_addr = {NodeId{id}, 100};
+    dgm_.on_joined(joined);
+  }
+
+  GroupReportPayload full_report(const std::string& group,
+                                 std::vector<std::uint32_t> ids,
+                                 Region region = Region::Ohio) {
+    GroupReportPayload report;
+    report.group = group;
+    report.full = true;
+    for (auto id : ids) {
+      report.members.push_back(
+          MemberRecord{NodeId{id}, {NodeId{id}, 100}, region});
+    }
+    return report;
+  }
+
+  sim::Simulator simulator_;
+  net::Topology topology_;
+  net::SimTransport transport_;
+  ServiceConfig config_;
+  store::Cluster store_;
+  Registrar registrar_;
+  Dgm dgm_;
+};
+
+// ---------------------------------------------------------------------------
+// Registrar
+
+TEST_F(DgmTest, RegistrarStoresDirectoryAndStaticTables) {
+  const int writes = registrar_.register_node(state_of(5, 4096), {NodeId{5}, 1});
+  EXPECT_EQ(writes, 2);  // "nodes" row + one static attr row
+  ASSERT_NE(registrar_.find(NodeId{5}), nullptr);
+  EXPECT_EQ(registrar_.find(NodeId{5})->static_values.at("arch"), "arm");
+  EXPECT_EQ(registrar_.count(), 1u);
+
+  // Persisted to the replicated store as well.
+  simulator_.run_for(1 * kSecond);
+  bool found = false;
+  store_.get("attr_arch", "node-5", [&](Result<store::Row> row) {
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row.value().columns.at("value").as_string(), "arm");
+    found = true;
+  });
+  simulator_.run_for(1 * kSecond);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DgmTest, RegistrarMatchStatic) {
+  registrar_.register_node(state_of(2, 1000), {NodeId{2}, 1});  // x86
+  registrar_.register_node(state_of(3, 1000), {NodeId{3}, 1});  // arm
+  registrar_.register_node(state_of(4, 1000), {NodeId{4}, 1});  // x86
+
+  Query q;
+  q.where_static("arch", "x86");
+  EXPECT_EQ(registrar_.match_static(q).size(), 2u);
+  q.static_terms.clear();
+  q.where_static("arch", "sparc");
+  EXPECT_TRUE(registrar_.match_static(q).empty());
+}
+
+TEST_F(DgmTest, RegistrarMatchStaticWithLocation) {
+  NodeState s = state_of(2, 1000);
+  s.region = Region::Canada;
+  registrar_.register_node(s, {NodeId{2}, 1});
+  registrar_.register_node(state_of(4, 1000), {NodeId{4}, 1});  // Ohio
+
+  Query q;
+  q.where_static("arch", "x86").in_region(Region::Canada);
+  ASSERT_EQ(registrar_.match_static(q).size(), 1u);
+  EXPECT_EQ(registrar_.match_static(q)[0]->node, NodeId{2});
+}
+
+TEST_F(DgmTest, RegistrarDeregisterRemovesEverywhere) {
+  registrar_.register_node(state_of(2, 1000), {NodeId{2}, 1});
+  EXPECT_GT(registrar_.deregister(NodeId{2}), 0);
+  EXPECT_EQ(registrar_.find(NodeId{2}), nullptr);
+  Query q;
+  q.where_static("arch", "x86");
+  EXPECT_TRUE(registrar_.match_static(q).empty());
+}
+
+TEST_F(DgmTest, RegistrarReRegistrationUpdates) {
+  registrar_.register_node(state_of(2, 1000), {NodeId{2}, 1});
+  NodeState updated = state_of(2, 1000);
+  updated.static_values["arch"] = "riscv";
+  registrar_.register_node(updated, {NodeId{2}, 9});
+  EXPECT_EQ(registrar_.count(), 1u);
+  EXPECT_EQ(registrar_.find(NodeId{2})->static_values.at("arch"), "riscv");
+  EXPECT_EQ(registrar_.find(NodeId{2})->command_addr.port, 9);
+}
+
+TEST_F(DgmTest, SmallestStaticTablePicked) {
+  registrar_.register_node(state_of(2, 1000), {NodeId{2}, 1});
+  NodeState with_extra = state_of(3, 1000);
+  with_extra.static_values["project_id"] = "tenant-a";
+  registrar_.register_node(with_extra, {NodeId{3}, 1});
+
+  Query q;
+  q.where_static("arch", "x86").where_static("project_id", "tenant-a");
+  // project_id table has 1 row, arch has 2: the smaller table wins.
+  EXPECT_EQ(registrar_.smallest_static_table(q), "attr_project_id");
+}
+
+// ---------------------------------------------------------------------------
+// DGM suggestions & naming
+
+TEST_F(DgmTest, FirstNodeStartsGroup) {
+  const auto suggestion = suggest(1, 5000);
+  EXPECT_EQ(suggestion.group, "ram_mb.4096");
+  EXPECT_TRUE(suggestion.entry_points.empty());
+  EXPECT_TRUE(suggestion.range.contains(5000));
+  EXPECT_FALSE(suggestion.range.contains(6144));
+  EXPECT_EQ(dgm_.stats().groups_created, 1u);
+}
+
+TEST_F(DgmTest, SecondNodeGetsEntryPoints) {
+  auto first = suggest(1, 5000);
+  join(1, first.group);
+  const auto second = suggest(2, 4500);
+  EXPECT_EQ(second.group, "ram_mb.4096");
+  ASSERT_EQ(second.entry_points.size(), 1u);
+  EXPECT_EQ(second.entry_points[0].node, NodeId{1});
+}
+
+TEST_F(DgmTest, DifferentBucketsGetDifferentGroups) {
+  EXPECT_EQ(suggest(1, 1000).group, "ram_mb.0");
+  EXPECT_EQ(suggest(2, 3000).group, "ram_mb.2048");
+  EXPECT_EQ(suggest(3, 16000).group, "ram_mb.14336");
+}
+
+TEST_F(DgmTest, SuggestionNeverOffersTheNodeItself) {
+  auto first = suggest(1, 5000);
+  join(1, first.group);
+  const auto again = suggest(1, 5000);
+  EXPECT_TRUE(again.entry_points.empty());
+}
+
+TEST_F(DgmTest, FullGroupForks) {
+  config_.fork_threshold = 3;
+  auto s = suggest(1, 5000);
+  join(1, s.group);
+  join(2, "ram_mb.4096");
+  join(3, "ram_mb.4096");
+  dgm_.on_report(full_report("ram_mb.4096", {1, 2, 3}));
+
+  registrar_.register_node(state_of(9, 5000), {NodeId{9}, 1});
+  const auto forked = dgm_.suggest(NodeId{9}, Region::Ohio, {NodeId{9}, 1},
+                                   *config_.schema.find("ram_mb"), 5000);
+  EXPECT_EQ(forked.group, "ram_mb.4096#1");
+  EXPECT_GE(dgm_.stats().forks_created, 1u);
+}
+
+TEST_F(DgmTest, ForkReopensAfterShrinking) {
+  config_.fork_threshold = 3;
+  suggest(1, 5000);
+  dgm_.on_report(full_report("ram_mb.4096", {1, 2, 3, 4}));  // over threshold
+  registrar_.register_node(state_of(9, 5000), {NodeId{9}, 1});
+  EXPECT_EQ(dgm_.suggest(NodeId{9}, Region::Ohio, {NodeId{9}, 1},
+                         *config_.schema.find("ram_mb"), 5000)
+                .group,
+            "ram_mb.4096#1");
+
+  // Group shrinks well below the threshold: it accepts members again.
+  // (Advance past the recent-join grace so the shrink report is believed.)
+  simulator_.run_for(4 * config_.report_interval);
+  dgm_.on_report(full_report("ram_mb.4096", {1}));
+  registrar_.register_node(state_of(10, 5000), {NodeId{10}, 1});
+  EXPECT_EQ(dgm_.suggest(NodeId{10}, Region::Ohio, {NodeId{10}, 1},
+                         *config_.schema.find("ram_mb"), 5000)
+                .group,
+            "ram_mb.4096");
+}
+
+TEST_F(DgmTest, GeoSplitActivatesForSpanningGroups) {
+  config_.geo_split_threshold = 2;
+  suggest(1, 5000);
+  GroupReportPayload report = full_report("ram_mb.4096", {});
+  report.members.push_back(MemberRecord{NodeId{1}, {NodeId{1}, 100}, Region::Ohio});
+  report.members.push_back(MemberRecord{NodeId{2}, {NodeId{2}, 100}, Region::Oregon});
+  report.members.push_back(MemberRecord{NodeId{3}, {NodeId{3}, 100}, Region::Oregon});
+  dgm_.on_report(report);
+  EXPECT_EQ(dgm_.stats().geo_splits, 1u);
+
+  // New nodes in that bucket now get region-scoped groups (§VII example:
+  // "nodes with >4GB free RAM in Texas" / "... in California").
+  const auto texas = suggest(8, 5000, Region::Canada);
+  EXPECT_EQ(texas.group, "ram_mb.4096@ca-central-1");
+  const auto california = suggest(9, 5000, Region::California);
+  EXPECT_EQ(california.group, "ram_mb.4096@us-west-1");
+}
+
+TEST_F(DgmTest, GeoSplitDisabledByDefault) {
+  suggest(1, 5000);
+  GroupReportPayload report = full_report("ram_mb.4096", {});
+  for (std::uint32_t i = 1; i <= 300; ++i) {
+    report.members.push_back(MemberRecord{
+        NodeId{i}, {NodeId{i}, 100}, i % 2 == 0 ? Region::Ohio : Region::Oregon});
+  }
+  dgm_.on_report(report);
+  EXPECT_EQ(dgm_.stats().geo_splits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reports / membership / transition table
+
+TEST_F(DgmTest, SuggestPutsNodeInTransition) {
+  suggest(1, 5000);
+  EXPECT_EQ(dgm_.transition_count(), 1u);
+  const auto transitioning = dgm_.transition_nodes();
+  ASSERT_EQ(transitioning.size(), 1u);
+  EXPECT_EQ(transitioning[0].first, NodeId{1});
+}
+
+TEST_F(DgmTest, ReportClearsTransition) {
+  auto s = suggest(1, 5000);
+  join(1, s.group);
+  EXPECT_EQ(dgm_.transition_count(), 1u);
+  dgm_.on_report(full_report(s.group, {1}));
+  EXPECT_EQ(dgm_.transition_count(), 0u);
+}
+
+TEST_F(DgmTest, TransitionExpiresViaMaintenance) {
+  suggest(1, 5000);
+  simulator_.run_for(config_.transition_ttl + 1 * kSecond);
+  dgm_.maintenance();
+  EXPECT_EQ(dgm_.transition_count(), 0u);
+}
+
+TEST_F(DgmTest, FullReportReplacesStaleMembers) {
+  auto s = suggest(1, 5000);
+  join(1, s.group);
+  dgm_.on_report(full_report(s.group, {1, 2, 3}));
+  // Much later (past the join grace) node 3 is gone from the gossip view.
+  simulator_.run_for(60 * kSecond);
+  dgm_.on_report(full_report(s.group, {1, 2}));
+  EXPECT_EQ(dgm_.group(s.group)->members.size(), 2u);
+}
+
+TEST_F(DgmTest, FullReportKeepsRecentJoiners) {
+  auto s = suggest(1, 5000);
+  join(1, s.group);
+  dgm_.on_report(full_report(s.group, {2, 3}));  // rep doesn't see 1 yet
+  // Node 1 joined moments ago: it must survive the report.
+  EXPECT_EQ(dgm_.group(s.group)->members.size(), 3u);
+}
+
+TEST_F(DgmTest, DeltaReportAppliesJoinsAndDepartures) {
+  auto s = suggest(1, 5000);
+  dgm_.on_report(full_report(s.group, {1, 2, 3}));
+
+  GroupReportPayload delta;
+  delta.group = s.group;
+  delta.full = false;
+  delta.members.push_back(MemberRecord{NodeId{9}, {NodeId{9}, 100}, Region::Ohio});
+  delta.departed.push_back(NodeId{2});
+  dgm_.on_report(delta);
+
+  const auto* group = dgm_.group(s.group);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->members.size(), 3u);
+  EXPECT_TRUE(group->members.count(NodeId{9}));
+  EXPECT_FALSE(group->members.count(NodeId{2}));
+}
+
+TEST_F(DgmTest, ReportsRebuildStateAfterDgmRestart) {
+  auto s = suggest(1, 5000);
+  dgm_.on_report(full_report(s.group, {1, 2, 3}));
+  dgm_.clear_state();  // DGM failover: primary tables lost
+  EXPECT_EQ(dgm_.group_count(), 0u);
+
+  dgm_.on_report(full_report(s.group, {1, 2, 3}));
+  ASSERT_NE(dgm_.group(s.group), nullptr);
+  EXPECT_EQ(dgm_.group(s.group)->members.size(), 3u);
+  EXPECT_TRUE(dgm_.group(s.group)->range.contains(5000));
+}
+
+TEST_F(DgmTest, RepsAssignedAndPrunedWithMembership) {
+  auto s = suggest(1, 5000);
+  join(1, s.group);
+  EXPECT_EQ(dgm_.group(s.group)->reps.size(), 1u);  // founder is rep
+
+  dgm_.on_report(full_report(s.group, {1, 2, 3, 4}));
+  EXPECT_EQ(dgm_.group(s.group)->reps.size(),
+            static_cast<std::size_t>(config_.representatives_per_group));
+
+  // Reps leave the group: roles move to remaining members. (Advance past
+  // the recent-join grace so the shrink report is believed.)
+  simulator_.run_for(4 * config_.report_interval);
+  dgm_.on_report(full_report(s.group, {4}));
+  const auto* group = dgm_.group(s.group);
+  ASSERT_EQ(group->reps.size(), 1u);
+  EXPECT_EQ(group->reps[0], NodeId{4});
+}
+
+TEST_F(DgmTest, StaleRepsReplacedByMaintenance) {
+  registrar_.register_node(state_of(1, 5000), {NodeId{1}, 1});
+  registrar_.register_node(state_of(2, 5000), {NodeId{2}, 1});
+  auto s = suggest(1, 5000);
+  dgm_.on_report(full_report(s.group, {1, 2}));
+  const auto reps_before = dgm_.group(s.group)->reps;
+  const auto assigns_before = dgm_.stats().rep_assignments;
+
+  simulator_.run_for(config_.representative_ttl + 2 * kSecond);
+  dgm_.maintenance();
+  EXPECT_GT(dgm_.stats().rep_assignments, assigns_before);
+  EXPECT_FALSE(dgm_.group(s.group)->reps.empty());
+  (void)reps_before;
+}
+
+// ---------------------------------------------------------------------------
+// Candidate selection
+
+TEST_F(DgmTest, CandidateGroupsIntersectQueryRange) {
+  suggest(1, 1000);
+  join(1, "ram_mb.0");
+  suggest(2, 3000);
+  join(2, "ram_mb.2048");
+  suggest(3, 5000);
+  join(3, "ram_mb.4096");
+
+  QueryTerm term{"ram_mb", 2500, 1e18};
+  const auto candidates = dgm_.candidate_groups(term, std::nullopt);
+  // ram_mb.2048 covers [2048,4096) which intersects [2500,inf).
+  ASSERT_EQ(candidates.groups.size(), 2u);
+  EXPECT_EQ(candidates.total_members, 2u);
+}
+
+TEST_F(DgmTest, CandidateGroupsSkipEmptyAndWrongAttr) {
+  suggest(1, 1000);  // group created but never joined -> empty
+  QueryTerm term{"ram_mb", 0, 1e18};
+  EXPECT_TRUE(dgm_.candidate_groups(term, std::nullopt).groups.empty());
+  QueryTerm other{"disk_gb", 0, 1e18};
+  EXPECT_TRUE(dgm_.candidate_groups(other, std::nullopt).groups.empty());
+}
+
+TEST_F(DgmTest, CandidateGroupsRespectLocationScope) {
+  config_.geo_split_threshold = 1;
+  // Force a geo split, then create region-scoped groups.
+  suggest(1, 5000);
+  GroupReportPayload report = full_report("ram_mb.4096", {});
+  report.members.push_back(MemberRecord{NodeId{1}, {NodeId{1}, 100}, Region::Ohio});
+  report.members.push_back(MemberRecord{NodeId{2}, {NodeId{2}, 100}, Region::Oregon});
+  dgm_.on_report(report);
+  auto ohio = suggest(8, 5000, Region::Ohio);
+  join(8, ohio.group, Region::Ohio);
+  auto oregon = suggest(9, 5000, Region::Oregon);
+  join(9, oregon.group, Region::Oregon);
+
+  QueryTerm term{"ram_mb", 4096, 1e18};
+  const auto scoped = dgm_.candidate_groups(term, Region::Oregon);
+  // The Ohio-scoped group must be excluded; the global group (which may
+  // contain Oregon nodes) and the Oregon group remain.
+  for (const auto* group : scoped.groups) {
+    if (group->key.region) EXPECT_EQ(*group->key.region, Region::Oregon);
+  }
+  const auto all = dgm_.candidate_groups(term, std::nullopt);
+  EXPECT_GT(all.groups.size(), scoped.groups.size());
+}
+
+TEST_F(DgmTest, MeanGroupSize) {
+  suggest(1, 5000);
+  dgm_.on_report(full_report("ram_mb.4096", {1, 2, 3, 4}));
+  suggest(9, 1000);
+  dgm_.on_report(full_report("ram_mb.0", {9, 10}));
+  EXPECT_DOUBLE_EQ(dgm_.mean_group_size(), 3.0);
+}
+
+}  // namespace
+}  // namespace focus::core

@@ -1,0 +1,159 @@
+// Unit tests for the discrete-event kernel.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace focus::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  SimTime observed = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(50, [&] { observed = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator s;
+  s.schedule_at(100, [] {});
+  s.run();
+  SimTime observed = -1;
+  s.schedule_at(10, [&] { observed = s.now(); });  // in the past
+  s.run();
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const TimerId id = s.schedule_at(10, [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator s;
+  s.cancel(999);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator s;
+  int fires = 0;
+  s.every(10, [&] { ++fires; });
+  s.run_until(95);
+  EXPECT_EQ(fires, 9);
+  EXPECT_EQ(s.now(), 95);
+}
+
+TEST(Simulator, PeriodicFirstDelayOverride) {
+  Simulator s;
+  std::vector<SimTime> at;
+  s.every(10, [&] { at.push_back(s.now()); }, 3);
+  s.run_until(25);
+  EXPECT_EQ(at, (std::vector<SimTime>{3, 13, 23}));
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator s;
+  int fires = 0;
+  TimerId id = 0;
+  id = s.every(10, [&] {
+    if (++fires == 3) s.cancel(id);
+  });
+  s.run_until(1000);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Simulator, RunUntilDoesNotExecuteLaterEvents) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(100, [&] { ran = true; });
+  s.run_until(99);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.now(), 99);
+  s.run_until(100);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, TaskCanScheduleDuringExecution) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 99);
+}
+
+TEST(Simulator, ExecutedCountsEvents) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, ManyTimersStressOrdering) {
+  Simulator s;
+  SimTime last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 5000; ++i) {
+    s.schedule_at((i * 7919) % 1000, [&] {
+      if (s.now() < last) monotonic = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace focus::sim

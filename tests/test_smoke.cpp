@@ -1,0 +1,77 @@
+// End-to-end smoke test: a small FOCUS deployment registers, forms groups,
+// and answers queries that match live node state.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "harness/testbed.hpp"
+
+namespace focus {
+namespace {
+
+harness::TestbedConfig small_config(std::size_t nodes) {
+  harness::TestbedConfig config;
+  config.num_nodes = nodes;
+  config.seed = 7;
+  config.agent.dynamics.frozen = true;  // stable values for exact assertions
+  return config;
+}
+
+TEST(Smoke, AgentsRegisterAndFormGroups) {
+  harness::Testbed bed(small_config(24));
+  bed.start();
+  ASSERT_TRUE(bed.settle(30 * kSecond));
+
+  for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+    EXPECT_TRUE(bed.agent(i).registered());
+    // One group membership per dynamic attribute.
+    EXPECT_EQ(bed.agent(i).p2p().memberships().size(),
+              bed.service().config().schema.dynamic_attrs().size());
+  }
+  EXPECT_GT(bed.service().dgm().group_count(), 0u);
+}
+
+TEST(Smoke, QueryReturnsMatchingNodes) {
+  harness::Testbed bed(small_config(24));
+  bed.start();
+  ASSERT_TRUE(bed.settle(30 * kSecond));
+
+  core::Query query;
+  query.where_at_least("ram_mb", 8192.0);
+  auto result = bed.query_and_wait(query);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+
+  // Every returned node genuinely matches its live state; every matching
+  // node is returned.
+  std::set<NodeId> expected;
+  for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+    const auto& state = bed.agent(i).resources().state();
+    if (query.matches(state)) expected.insert(state.node);
+  }
+  std::set<NodeId> got;
+  for (const auto& entry : result.value().entries) got.insert(entry.node);
+  EXPECT_EQ(got, expected);
+  EXPECT_FALSE(result.value().timed_out);
+}
+
+TEST(Smoke, PlacementQueryMixAlwaysSound) {
+  harness::Testbed bed(small_config(32));
+  bed.start();
+  ASSERT_TRUE(bed.settle(30 * kSecond));
+
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    core::Query query = harness::make_placement_query(rng, /*limit=*/0);
+    auto result = bed.query_and_wait(query);
+    ASSERT_TRUE(result.ok());
+    for (const auto& entry : result.value().entries) {
+      const auto& state =
+          bed.agent(entry.node.value - harness::kAgentBase).resources().state();
+      EXPECT_TRUE(query.matches(state))
+          << "node " << to_string(entry.node) << " returned but does not match";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace focus

@@ -1,0 +1,188 @@
+// Tests for wire-level concerns: payload size models, loopback transport
+// semantics, MQ delivery acknowledgements, and message helpers.
+
+#include <gtest/gtest.h>
+
+#include "baselines/node_finder.hpp"
+#include "gossip/messages.hpp"
+#include "mq/broker.hpp"
+#include "mq/client.hpp"
+#include "net/sim_transport.hpp"
+
+namespace focus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Payload wire-size models
+
+TEST(WireSizes, NodeStateScalesWithAttributes) {
+  core::NodeState small;
+  small.dynamic_values["a"] = 1;
+  core::NodeState big = small;
+  for (int i = 0; i < 10; ++i) {
+    big.dynamic_values["attr" + std::to_string(i)] = i;
+    big.static_values["static" + std::to_string(i)] = "value";
+  }
+  EXPECT_GT(core::wire_size_of(big), core::wire_size_of(small) + 100);
+}
+
+TEST(WireSizes, QueryScalesWithTerms) {
+  core::Query one;
+  one.where_at_least("ram_mb", 1);
+  core::Query three = one;
+  three.where_at_least("disk_gb", 1).where_static("arch", "x86");
+  EXPECT_GT(core::wire_size_of(three), core::wire_size_of(one));
+}
+
+TEST(WireSizes, GroupResponseScalesWithEntries) {
+  core::GroupResponsePayload empty;
+  empty.group = "ram_mb.4096";
+  core::GroupResponsePayload full = empty;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    core::ResultEntry entry;
+    entry.node = NodeId{i};
+    entry.values = {{"ram_mb", 4096.0}};
+    full.entries.push_back(entry);
+  }
+  EXPECT_GT(full.wire_size(), empty.wire_size() + 50 * 20);
+}
+
+TEST(WireSizes, PushPayloadPadsToFullStateSize) {
+  baselines::StatePushPayload push;
+  push.state.dynamic_values["ram_mb"] = 1;
+  push.padded_bytes = 1024;
+  EXPECT_EQ(push.wire_size(), 1024u);  // small states pad up
+  for (int i = 0; i < 200; ++i) {
+    push.state.static_values["key" + std::to_string(i)] =
+        "a-fairly-long-static-value-" + std::to_string(i);
+  }
+  EXPECT_GT(push.wire_size(), 1024u);  // big states are not truncated
+}
+
+TEST(WireSizes, GossipPayloadsCountPiggyback) {
+  gossip::PingPayload ping;
+  const auto bare = ping.wire_size();
+  ping.updates.resize(5);
+  EXPECT_EQ(ping.wire_size(), bare + 5 * gossip::MemberUpdate::kWireBytes);
+
+  gossip::EventPayload event;
+  event.topic = "focus.query";
+  auto body = std::make_shared<core::GroupQueryEventPayload>();
+  body->query.where_at_least("ram_mb", 1);
+  const auto body_bytes = body->wire_size();
+  event.body = body;
+  EXPECT_GE(event.wire_size(), body_bytes + event.topic.size());
+}
+
+TEST(WireSizes, ViewPayloads) {
+  core::ViewInstallPayload install;
+  const auto empty = install.wire_size();
+  install.install.push_back({1, core::Query{}});
+  install.withdraw.push_back(2);
+  EXPECT_GT(install.wire_size(), empty);
+
+  core::ViewEventPayload event;
+  event.state.dynamic_values["cpu_usage"] = 50;
+  EXPECT_GT(event.wire_size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback transport semantics
+
+struct Fixed final : net::Payload {
+  std::size_t bytes = 100;
+  std::size_t wire_size() const override { return bytes; }
+};
+
+TEST(Loopback, SameNodeMessagesAreFreeAndFast) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  net::SimTransport transport(simulator, topology, Rng(1));
+  topology.place(NodeId{1}, Region::Oregon);
+
+  SimTime delivered_at = -1;
+  transport.bind({NodeId{1}, 2}, [&](const net::Message&) {
+    delivered_at = simulator.now();
+  });
+  transport.send(net::Message{{NodeId{1}, 1}, {NodeId{1}, 2}, "k",
+                              std::make_shared<Fixed>()});
+  simulator.run();
+
+  EXPECT_GE(delivered_at, 0);
+  EXPECT_LT(delivered_at, 1 * kMillisecond);  // no WAN latency
+  // No bandwidth charged for loopback.
+  EXPECT_EQ(transport.stats().of(NodeId{1}).bytes_tx, 0u);
+  EXPECT_EQ(transport.stats().of(NodeId{1}).bytes_rx, 0u);
+  EXPECT_EQ(transport.stats().delivered(), 1u);
+}
+
+TEST(Loopback, DownNodeDropsItsOwnLoopback) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  net::SimTransport transport(simulator, topology, Rng(1));
+  int received = 0;
+  transport.bind({NodeId{1}, 2}, [&](const net::Message&) { ++received; });
+  transport.set_node_down(NodeId{1}, true);
+  transport.send(net::Message{{NodeId{1}, 1}, {NodeId{1}, 2}, "k",
+                              std::make_shared<Fixed>()});
+  simulator.run();
+  EXPECT_EQ(received, 0);
+}
+
+// ---------------------------------------------------------------------------
+// MQ client acknowledgements
+
+TEST(MqAcks, ConsumerAcksEveryDelivery) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  net::SimTransport transport(simulator, topology, Rng(2));
+  mq::Broker broker(simulator, transport, net::Address{NodeId{1}, 70});
+  mq::MqClient consumer(transport, net::Address{NodeId{10}, 50}, broker.address());
+  mq::MqClient producer(transport, net::Address{NodeId{11}, 50}, broker.address());
+
+  consumer.subscribe("q", mq::QueueMode::WorkQueue,
+                     [](const std::string&, const auto&) {});
+  simulator.run_for(1 * kSecond);
+
+  const auto before = transport.stats().of(NodeId{10});
+  for (int i = 0; i < 10; ++i) producer.publish("q", std::make_shared<Fixed>());
+  simulator.run_for(2 * kSecond);
+  const auto delta = transport.stats().of(NodeId{10}) - before;
+  EXPECT_EQ(delta.msgs_rx, 10u);  // deliveries in
+  EXPECT_EQ(delta.msgs_tx, 10u);  // one basic.ack out per delivery
+}
+
+// ---------------------------------------------------------------------------
+// Message helpers
+
+TEST(MessageHelpers, MakeMessageConstructsTypedPayload) {
+  auto msg = net::make_message<Fixed>(net::Address{NodeId{1}, 1},
+                                      net::Address{NodeId{2}, 1}, "kind");
+  EXPECT_EQ(msg.kind, "kind");
+  EXPECT_EQ(msg.as<Fixed>().bytes, 100u);
+  EXPECT_EQ(msg.wire_bytes(), 100 + net::kWireOverheadBytes);
+}
+
+TEST(MessageHelpers, AddressFormattingAndHash) {
+  const net::Address a{NodeId{3}, 7};
+  EXPECT_EQ(net::to_string(a), "node-3:7");
+  const net::Address b{NodeId{3}, 8};
+  EXPECT_NE(std::hash<net::Address>{}(a), std::hash<net::Address>{}(b));
+  EXPECT_LT(a, b);
+}
+
+TEST(MessageHelpers, PayloadSharingAcrossFanout) {
+  // Gossip fan-out shares one body across many envelopes: no deep copies.
+  auto body = std::make_shared<const Fixed>();
+  std::vector<net::Message> copies;
+  for (int i = 0; i < 8; ++i) {
+    copies.push_back(net::Message{{NodeId{1}, 1},
+                                  {NodeId{static_cast<std::uint32_t>(2 + i)}, 1},
+                                  "k",
+                                  body});
+  }
+  EXPECT_EQ(body.use_count(), 1 + 8);
+}
+
+}  // namespace
+}  // namespace focus
