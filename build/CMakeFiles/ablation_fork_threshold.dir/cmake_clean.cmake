@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fork_threshold.dir/bench/ablation_fork_threshold.cpp.o"
+  "CMakeFiles/ablation_fork_threshold.dir/bench/ablation_fork_threshold.cpp.o.d"
+  "bench/ablation_fork_threshold"
+  "bench/ablation_fork_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fork_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smallest_group.dir/bench/ablation_smallest_group.cpp.o"
+  "CMakeFiles/ablation_smallest_group.dir/bench/ablation_smallest_group.cpp.o.d"
+  "bench/ablation_smallest_group"
+  "bench/ablation_smallest_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smallest_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

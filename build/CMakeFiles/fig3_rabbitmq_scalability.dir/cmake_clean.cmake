@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_rabbitmq_scalability.dir/bench/fig3_rabbitmq_scalability.cpp.o"
+  "CMakeFiles/fig3_rabbitmq_scalability.dir/bench/fig3_rabbitmq_scalability.cpp.o.d"
+  "bench/fig3_rabbitmq_scalability"
+  "bench/fig3_rabbitmq_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rabbitmq_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

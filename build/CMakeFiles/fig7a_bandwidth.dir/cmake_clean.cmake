@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_bandwidth.dir/bench/fig7a_bandwidth.cpp.o"
+  "CMakeFiles/fig7a_bandwidth.dir/bench/fig7a_bandwidth.cpp.o.d"
+  "bench/fig7a_bandwidth"
+  "bench/fig7a_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_query_latency.dir/bench/fig7b_query_latency.cpp.o"
+  "CMakeFiles/fig7b_query_latency.dir/bench/fig7b_query_latency.cpp.o.d"
+  "bench/fig7b_query_latency"
+  "bench/fig7b_query_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_query_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

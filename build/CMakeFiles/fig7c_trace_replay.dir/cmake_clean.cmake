@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_trace_replay.dir/bench/fig7c_trace_replay.cpp.o"
+  "CMakeFiles/fig7c_trace_replay.dir/bench/fig7c_trace_replay.cpp.o.d"
+  "bench/fig7c_trace_replay"
+  "bench/fig7c_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

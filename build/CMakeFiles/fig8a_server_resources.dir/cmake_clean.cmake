@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_server_resources.dir/bench/fig8a_server_resources.cpp.o"
+  "CMakeFiles/fig8a_server_resources.dir/bench/fig8a_server_resources.cpp.o.d"
+  "bench/fig8a_server_resources"
+  "bench/fig8a_server_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_server_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

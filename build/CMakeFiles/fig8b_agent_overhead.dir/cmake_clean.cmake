@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_agent_overhead.dir/bench/fig8b_agent_overhead.cpp.o"
+  "CMakeFiles/fig8b_agent_overhead.dir/bench/fig8b_agent_overhead.cpp.o.d"
+  "bench/fig8b_agent_overhead"
+  "bench/fig8b_agent_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_agent_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_group_latency.dir/bench/fig8c_group_latency.cpp.o"
+  "CMakeFiles/fig8c_group_latency.dir/bench/fig8c_group_latency.cpp.o.d"
+  "bench/fig8c_group_latency"
+  "bench/fig8c_group_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_group_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

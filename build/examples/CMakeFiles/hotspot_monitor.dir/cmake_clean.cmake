@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_monitor.dir/hotspot_monitor.cpp.o"
+  "CMakeFiles/hotspot_monitor.dir/hotspot_monitor.cpp.o.d"
+  "hotspot_monitor"
+  "hotspot_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

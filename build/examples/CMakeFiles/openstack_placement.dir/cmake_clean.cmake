@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openstack_placement.dir/openstack_placement.cpp.o"
+  "CMakeFiles/openstack_placement.dir/openstack_placement.cpp.o.d"
+  "openstack_placement"
+  "openstack_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openstack_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnf_homing.dir/vnf_homing.cpp.o"
+  "CMakeFiles/vnf_homing.dir/vnf_homing.cpp.o.d"
+  "vnf_homing"
+  "vnf_homing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnf_homing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

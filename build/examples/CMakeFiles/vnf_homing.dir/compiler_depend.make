@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vnf_homing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for vnf_homing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/node_manager.cpp" "src/CMakeFiles/focus.dir/agent/node_manager.cpp.o" "gcc" "src/CMakeFiles/focus.dir/agent/node_manager.cpp.o.d"
+  "/root/repo/src/agent/p2p_agent.cpp" "src/CMakeFiles/focus.dir/agent/p2p_agent.cpp.o" "gcc" "src/CMakeFiles/focus.dir/agent/p2p_agent.cpp.o.d"
+  "/root/repo/src/agent/resources.cpp" "src/CMakeFiles/focus.dir/agent/resources.cpp.o" "gcc" "src/CMakeFiles/focus.dir/agent/resources.cpp.o.d"
+  "/root/repo/src/baselines/hierarchy_finder.cpp" "src/CMakeFiles/focus.dir/baselines/hierarchy_finder.cpp.o" "gcc" "src/CMakeFiles/focus.dir/baselines/hierarchy_finder.cpp.o.d"
+  "/root/repo/src/baselines/mq_finder.cpp" "src/CMakeFiles/focus.dir/baselines/mq_finder.cpp.o" "gcc" "src/CMakeFiles/focus.dir/baselines/mq_finder.cpp.o.d"
+  "/root/repo/src/baselines/pull_finder.cpp" "src/CMakeFiles/focus.dir/baselines/pull_finder.cpp.o" "gcc" "src/CMakeFiles/focus.dir/baselines/pull_finder.cpp.o.d"
+  "/root/repo/src/baselines/push_finder.cpp" "src/CMakeFiles/focus.dir/baselines/push_finder.cpp.o" "gcc" "src/CMakeFiles/focus.dir/baselines/push_finder.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/focus.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/focus.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/focus.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/focus.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/focus.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/focus.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/CMakeFiles/focus.dir/common/metrics.cpp.o" "gcc" "src/CMakeFiles/focus.dir/common/metrics.cpp.o.d"
+  "/root/repo/src/focus/api.cpp" "src/CMakeFiles/focus.dir/focus/api.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/api.cpp.o.d"
+  "/root/repo/src/focus/attribute.cpp" "src/CMakeFiles/focus.dir/focus/attribute.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/attribute.cpp.o.d"
+  "/root/repo/src/focus/cache.cpp" "src/CMakeFiles/focus.dir/focus/cache.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/cache.cpp.o.d"
+  "/root/repo/src/focus/client.cpp" "src/CMakeFiles/focus.dir/focus/client.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/client.cpp.o.d"
+  "/root/repo/src/focus/dgm.cpp" "src/CMakeFiles/focus.dir/focus/dgm.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/dgm.cpp.o.d"
+  "/root/repo/src/focus/group_naming.cpp" "src/CMakeFiles/focus.dir/focus/group_naming.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/group_naming.cpp.o.d"
+  "/root/repo/src/focus/query.cpp" "src/CMakeFiles/focus.dir/focus/query.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/query.cpp.o.d"
+  "/root/repo/src/focus/query_router.cpp" "src/CMakeFiles/focus.dir/focus/query_router.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/query_router.cpp.o.d"
+  "/root/repo/src/focus/range_tuner.cpp" "src/CMakeFiles/focus.dir/focus/range_tuner.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/range_tuner.cpp.o.d"
+  "/root/repo/src/focus/registrar.cpp" "src/CMakeFiles/focus.dir/focus/registrar.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/registrar.cpp.o.d"
+  "/root/repo/src/focus/service.cpp" "src/CMakeFiles/focus.dir/focus/service.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/service.cpp.o.d"
+  "/root/repo/src/focus/views.cpp" "src/CMakeFiles/focus.dir/focus/views.cpp.o" "gcc" "src/CMakeFiles/focus.dir/focus/views.cpp.o.d"
+  "/root/repo/src/gossip/broadcast.cpp" "src/CMakeFiles/focus.dir/gossip/broadcast.cpp.o" "gcc" "src/CMakeFiles/focus.dir/gossip/broadcast.cpp.o.d"
+  "/root/repo/src/gossip/swim.cpp" "src/CMakeFiles/focus.dir/gossip/swim.cpp.o" "gcc" "src/CMakeFiles/focus.dir/gossip/swim.cpp.o.d"
+  "/root/repo/src/harness/scenario.cpp" "src/CMakeFiles/focus.dir/harness/scenario.cpp.o" "gcc" "src/CMakeFiles/focus.dir/harness/scenario.cpp.o.d"
+  "/root/repo/src/harness/testbed.cpp" "src/CMakeFiles/focus.dir/harness/testbed.cpp.o" "gcc" "src/CMakeFiles/focus.dir/harness/testbed.cpp.o.d"
+  "/root/repo/src/mq/broker.cpp" "src/CMakeFiles/focus.dir/mq/broker.cpp.o" "gcc" "src/CMakeFiles/focus.dir/mq/broker.cpp.o.d"
+  "/root/repo/src/mq/client.cpp" "src/CMakeFiles/focus.dir/mq/client.cpp.o" "gcc" "src/CMakeFiles/focus.dir/mq/client.cpp.o.d"
+  "/root/repo/src/net/sim_transport.cpp" "src/CMakeFiles/focus.dir/net/sim_transport.cpp.o" "gcc" "src/CMakeFiles/focus.dir/net/sim_transport.cpp.o.d"
+  "/root/repo/src/net/stats.cpp" "src/CMakeFiles/focus.dir/net/stats.cpp.o" "gcc" "src/CMakeFiles/focus.dir/net/stats.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/focus.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/focus.dir/net/topology.cpp.o.d"
+  "/root/repo/src/openstack/placement.cpp" "src/CMakeFiles/focus.dir/openstack/placement.cpp.o" "gcc" "src/CMakeFiles/focus.dir/openstack/placement.cpp.o.d"
+  "/root/repo/src/openstack/scheduler.cpp" "src/CMakeFiles/focus.dir/openstack/scheduler.cpp.o" "gcc" "src/CMakeFiles/focus.dir/openstack/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/focus.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/focus.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/store/kvstore.cpp" "src/CMakeFiles/focus.dir/store/kvstore.cpp.o" "gcc" "src/CMakeFiles/focus.dir/store/kvstore.cpp.o.d"
+  "/root/repo/src/trace/chameleon.cpp" "src/CMakeFiles/focus.dir/trace/chameleon.cpp.o" "gcc" "src/CMakeFiles/focus.dir/trace/chameleon.cpp.o.d"
+  "/root/repo/src/trace/replayer.cpp" "src/CMakeFiles/focus.dir/trace/replayer.cpp.o" "gcc" "src/CMakeFiles/focus.dir/trace/replayer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_focus_core.dir/test_focus_core.cpp.o"
+  "CMakeFiles/test_focus_core.dir/test_focus_core.cpp.o.d"
+  "test_focus_core"
+  "test_focus_core.pdb"
+  "test_focus_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_focus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

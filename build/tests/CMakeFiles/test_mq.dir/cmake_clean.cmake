@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mq.dir/test_mq.cpp.o"
+  "CMakeFiles/test_mq.dir/test_mq.cpp.o.d"
+  "test_mq"
+  "test_mq.pdb"
+  "test_mq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openstack.dir/test_openstack.cpp.o"
+  "CMakeFiles/test_openstack.dir/test_openstack.cpp.o.d"
+  "test_openstack"
+  "test_openstack.pdb"
+  "test_openstack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

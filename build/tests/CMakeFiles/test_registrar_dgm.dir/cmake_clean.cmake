@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registrar_dgm.dir/test_registrar_dgm.cpp.o"
+  "CMakeFiles/test_registrar_dgm.dir/test_registrar_dgm.cpp.o.d"
+  "test_registrar_dgm"
+  "test_registrar_dgm.pdb"
+  "test_registrar_dgm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registrar_dgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

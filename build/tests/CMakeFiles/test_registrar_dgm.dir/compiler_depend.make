@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_registrar_dgm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_service.dir/test_router_service.cpp.o"
+  "CMakeFiles/test_router_service.dir/test_router_service.cpp.o.d"
+  "test_router_service"
+  "test_router_service.pdb"
+  "test_router_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

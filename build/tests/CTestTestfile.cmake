@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip[1]_include.cmake")
+include("/root/repo/build/tests/test_store[1]_include.cmake")
+include("/root/repo/build/tests/test_mq[1]_include.cmake")
+include("/root/repo/build/tests/test_focus_core[1]_include.cmake")
+include("/root/repo/build/tests/test_registrar_dgm[1]_include.cmake")
+include("/root/repo/build/tests/test_agent[1]_include.cmake")
+include("/root/repo/build/tests/test_router_service[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_openstack[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_views[1]_include.cmake")
+include("/root/repo/build/tests/test_range_tuner[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
