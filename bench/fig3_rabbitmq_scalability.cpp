@@ -22,6 +22,14 @@ struct KiloByteBody final : net::Payload {
   std::size_t wire_size() const override { return 1024; }
 };
 
+// Built with += rather than `"q" + std::to_string(i)`: the rvalue operator+
+// overload trips GCC 12's -Wrestrict false positive (PR 105329) under -O2.
+std::string queue_name(int i) {
+  std::string name = "q";
+  name += std::to_string(i);
+  return name;
+}
+
 struct Point {
   int producers;
   double p50_ms;
@@ -49,7 +57,7 @@ Point run_point(int producers) {
     consumers.push_back(
         std::make_unique<mq::MqClient>(transport, net::Address{id, 50},
                                        broker.address()));
-    consumers.back()->subscribe("q" + std::to_string(c), mq::QueueMode::WorkQueue,
+    consumers.back()->subscribe(queue_name(c), mq::QueueMode::WorkQueue,
                                 [](const std::string&, const auto&) {});
   }
   simulator.run_for(1 * kSecond);
@@ -78,8 +86,7 @@ Point run_point(int producers) {
     while (carry >= 1.0) {
       carry -= 1.0;
       auto& client = producer_clients[rng.index(producer_clients.size())];
-      client->publish("q" + std::to_string(rng.uniform_int(0, kConsumers - 1)),
-                      body);
+      client->publish(queue_name(rng.uniform_int(0, kConsumers - 1)), body);
     }
   });
   // Model the connection housekeeping of the full producer population.

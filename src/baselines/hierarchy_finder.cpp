@@ -1,8 +1,7 @@
 #include "baselines/hierarchy_finder.hpp"
 
-#include <cassert>
-
 #include "baselines/push_finder.hpp"  // filter_states
+#include "common/check.hpp"
 
 namespace focus::baselines {
 
@@ -49,7 +48,7 @@ AggregatingFinder::AggregatingFinder(sim::Simulator& simulator,
       nodes_(std::move(nodes)),
       config_(config),
       rng_(std::move(rng)) {
-  assert(!managers.empty());
+  FOCUS_CHECK(!managers.empty()) << "hierarchy baseline needs at least one manager";
   for (const auto& m : managers) managers_.push_back(Manager{m, {}});
 
   transport_.bind(server_addr_, [this](const net::Message& m) { on_server(m); });
@@ -141,7 +140,7 @@ SubsettingFinder::SubsettingFinder(sim::Simulator& simulator,
       managers_(std::move(managers)),
       config_(config),
       rng_(std::move(rng)) {
-  assert(!managers_.empty());
+  FOCUS_CHECK(!managers_.empty()) << "hierarchy baseline needs at least one manager";
   manager_tables_.resize(managers_.size());
 
   transport_.bind(server_addr_, [this](const net::Message& m) { on_server(m); });

@@ -1,0 +1,20 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+
+namespace focus::detail {
+
+CheckFailure::~CheckFailure() {
+  // fprintf (not the logger) so the message survives even when logging is
+  // off or the logger itself is the component under suspicion.
+  const std::string context = os_.str();
+  if (context.empty()) {
+    std::fprintf(stderr, "%s\n", prefix_.c_str());
+  } else {
+    std::fprintf(stderr, "%s: %s\n", prefix_.c_str(), context.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace focus::detail

@@ -1,0 +1,144 @@
+#pragma once
+// Invariant checking that stays on in every build type. The repository's
+// correctness claims (group membership under churn, transition-table coverage,
+// simulator monotonicity) are enforced with FOCUS_CHECK, which — unlike
+// `assert` — is NOT compiled out of the default Release test run.
+//
+//   FOCUS_CHECK(lo <= hi) << "while splitting " << name;   // always on
+//   FOCUS_CHECK_EQ(got, want);                             // prints both values
+//   FOCUS_DCHECK(index < size);                            // debug builds only
+//
+// Policy (see DESIGN.md "Invariants & correctness tooling"):
+//   * FOCUS_CHECK / FOCUS_CHECK_<OP> for invariants whose violation means the
+//     process state is corrupt — they abort with file:line, the failing
+//     expression, operand values, and any streamed context.
+//   * FOCUS_DCHECK / FOCUS_DCHECK_<OP> for hot-path preconditions that are
+//     too expensive to keep in Release; they compile to nothing under NDEBUG
+//     (operands stay type-checked but are never evaluated at runtime).
+// Recoverable conditions (bad input, remote failures) use Result<T>, never
+// checks.
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace focus::detail {
+
+/// Collects streamed context for a failing check and aborts on destruction.
+/// Constructed only on the failure path, so the fast path costs one branch.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const std::string& expr) {
+    std::ostringstream prefix;
+    prefix << "FOCUS_CHECK failed: " << expr << " at " << file << ":" << line;
+    prefix_ = prefix.str();
+  }
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  /// Prints the accumulated message to stderr and aborts. Declared noexcept
+  /// so the failure cannot be swallowed by stack unwinding.
+  [[noreturn]] ~CheckFailure();
+
+  /// Stream for trailing `<< context` on the macro; joined to the prefix
+  /// with ": " only when context was actually streamed.
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  std::string prefix_;
+  std::ostringstream os_;
+};
+
+/// True when T can be written to an ostream (operand printing is best-effort;
+/// types without operator<< render as "?").
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& value) {
+  { os << value };
+};
+
+template <typename T>
+void print_operand(std::ostream& os, const T& value) {
+  if constexpr (Streamable<T>) {
+    os << value;
+  } else {
+    os << "?";
+  }
+}
+
+// Comparison functors carry their spelling so FOCUS_CHECK_EQ(a, b) can report
+// `a == b (3 vs 4)` without re-stringifying at every call site.
+struct OpEq { static constexpr const char* kName = "=="; template <typename A, typename B> bool operator()(const A& a, const B& b) const { return a == b; } };
+struct OpNe { static constexpr const char* kName = "!="; template <typename A, typename B> bool operator()(const A& a, const B& b) const { return a != b; } };
+struct OpLt { static constexpr const char* kName = "<";  template <typename A, typename B> bool operator()(const A& a, const B& b) const { return a < b; } };
+struct OpLe { static constexpr const char* kName = "<="; template <typename A, typename B> bool operator()(const A& a, const B& b) const { return a <= b; } };
+struct OpGt { static constexpr const char* kName = ">";  template <typename A, typename B> bool operator()(const A& a, const B& b) const { return a > b; } };
+struct OpGe { static constexpr const char* kName = ">="; template <typename A, typename B> bool operator()(const A& a, const B& b) const { return a >= b; } };
+
+/// Evaluates a binary check once per operand. Returns null on success and the
+/// formatted failure expression otherwise (glog's CHECK_OP technique: the
+/// non-null result drives the macro's `while` into the aborting branch).
+template <typename Op, typename A, typename B>
+std::unique_ptr<std::string> check_op(const A& a, const B& b,
+                                      const char* a_expr, const char* b_expr) {
+  if (Op{}(a, b)) return nullptr;
+  std::ostringstream os;
+  os << a_expr << " " << Op::kName << " " << b_expr << " (";
+  print_operand(os, a);
+  os << " vs ";
+  print_operand(os, b);
+  os << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+}  // namespace focus::detail
+
+/// Abort (in every build type) when `cond` is false. Supports trailing
+/// streamed context: FOCUS_CHECK(x > 0) << "x came from " << source;
+/// The `while` never loops — CheckFailure's destructor aborts — and keeps the
+/// macro safe inside unbraced if/else.
+#define FOCUS_CHECK(cond)                                                    \
+  while (!(cond))                                                            \
+  ::focus::detail::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+#define FOCUS_CHECK_OP_(op_functor, a, b)                                    \
+  while (auto focus_check_msg_ =                                             \
+             ::focus::detail::check_op<::focus::detail::op_functor>(          \
+                 (a), (b), #a, #b))                                          \
+  ::focus::detail::CheckFailure(__FILE__, __LINE__, *focus_check_msg_).stream()
+
+/// Binary checks that print both operand values on failure.
+#define FOCUS_CHECK_EQ(a, b) FOCUS_CHECK_OP_(OpEq, a, b)
+#define FOCUS_CHECK_NE(a, b) FOCUS_CHECK_OP_(OpNe, a, b)
+#define FOCUS_CHECK_LT(a, b) FOCUS_CHECK_OP_(OpLt, a, b)
+#define FOCUS_CHECK_LE(a, b) FOCUS_CHECK_OP_(OpLe, a, b)
+#define FOCUS_CHECK_GT(a, b) FOCUS_CHECK_OP_(OpGt, a, b)
+#define FOCUS_CHECK_GE(a, b) FOCUS_CHECK_OP_(OpGe, a, b)
+
+#ifdef NDEBUG
+// Dead-branch expansion: operands are parsed and type-checked but never
+// evaluated, so hot paths pay nothing in Release.
+#define FOCUS_DCHECK(cond) \
+  while (false) FOCUS_CHECK(cond)
+#define FOCUS_DCHECK_EQ(a, b) \
+  while (false) FOCUS_CHECK_EQ(a, b)
+#define FOCUS_DCHECK_NE(a, b) \
+  while (false) FOCUS_CHECK_NE(a, b)
+#define FOCUS_DCHECK_LT(a, b) \
+  while (false) FOCUS_CHECK_LT(a, b)
+#define FOCUS_DCHECK_LE(a, b) \
+  while (false) FOCUS_CHECK_LE(a, b)
+#define FOCUS_DCHECK_GT(a, b) \
+  while (false) FOCUS_CHECK_GT(a, b)
+#define FOCUS_DCHECK_GE(a, b) \
+  while (false) FOCUS_CHECK_GE(a, b)
+#else
+#define FOCUS_DCHECK(cond) FOCUS_CHECK(cond)
+#define FOCUS_DCHECK_EQ(a, b) FOCUS_CHECK_EQ(a, b)
+#define FOCUS_DCHECK_NE(a, b) FOCUS_CHECK_NE(a, b)
+#define FOCUS_DCHECK_LT(a, b) FOCUS_CHECK_LT(a, b)
+#define FOCUS_DCHECK_LE(a, b) FOCUS_CHECK_LE(a, b)
+#define FOCUS_DCHECK_GT(a, b) FOCUS_CHECK_GT(a, b)
+#define FOCUS_DCHECK_GE(a, b) FOCUS_CHECK_GE(a, b)
+#endif

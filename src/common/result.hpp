@@ -2,10 +2,11 @@
 // Lightweight Result<T> for recoverable errors (exceptions are reserved for
 // programming errors, per the project style).
 
-#include <cassert>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "common/check.hpp"
 
 namespace focus {
 
@@ -54,21 +55,21 @@ class [[nodiscard]] Result {
 
   /// Access the value; precondition: ok().
   const T& value() const& {
-    assert(ok());
+    FOCUS_CHECK(ok()) << "value() on error result: " << error_message_or_empty();
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok());
+    FOCUS_CHECK(ok()) << "value() on error result: " << error_message_or_empty();
     return std::get<T>(data_);
   }
   T&& take() && {
-    assert(ok());
+    FOCUS_CHECK(ok()) << "take() on error result: " << error_message_or_empty();
     return std::get<T>(std::move(data_));
   }
 
   /// Access the error; precondition: !ok().
   const Error& error() const {
-    assert(!ok());
+    FOCUS_CHECK(!ok()) << "error() on ok result";
     return std::get<Error>(data_);
   }
 
@@ -78,6 +79,13 @@ class [[nodiscard]] Result {
   }
 
  private:
+  /// Failure-path context for the checks above; safe to call in any state.
+  std::string error_message_or_empty() const {
+    const Error* e = std::get_if<Error>(&data_);
+    return e == nullptr ? std::string()
+                        : std::string(to_string(e->code)) + " " + e->message;
+  }
+
   std::variant<T, Error> data_;
 };
 

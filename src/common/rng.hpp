@@ -4,11 +4,12 @@
 // component never perturbs the draws seen by another.
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace focus {
 
@@ -23,7 +24,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    assert(lo <= hi);
+    FOCUS_CHECK_LE(lo, hi);
     return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
   }
 
@@ -38,7 +39,7 @@ class Rng {
   /// Exponentially distributed duration with the given mean (for Poisson
   /// arrival processes).
   double exponential(double mean) {
-    assert(mean > 0);
+    FOCUS_CHECK_GT(mean, 0);
     return std::exponential_distribution<double>(1.0 / mean)(engine_);
   }
 
@@ -49,14 +50,14 @@ class Rng {
 
   /// Pick a uniformly random element index for a container of size n.
   std::size_t index(std::size_t n) {
-    assert(n > 0);
+    FOCUS_CHECK_GT(n, 0u) << "cannot draw an index from an empty container";
     return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
   }
 
   /// Pick a uniformly random element from a non-empty vector.
   template <typename T>
   const T& pick(const std::vector<T>& v) {
-    assert(!v.empty());
+    FOCUS_CHECK(!v.empty());
     return v[index(v.size())];
   }
 

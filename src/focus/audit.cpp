@@ -1,0 +1,309 @@
+#include "focus/audit.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "focus/dgm.hpp"
+#include "focus/group_naming.hpp"
+#include "focus/registrar.hpp"
+#include "focus/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::core {
+
+namespace {
+
+/// Transition entries may outlive their expiry until the next DGM
+/// maintenance sweep (Service arms one every second); allow that much lag
+/// before calling a lingering entry a violation.
+constexpr Duration kMaintenanceSlack = 2 * kSecond;
+
+/// Builder that counts predicates and collects failures.
+class Checker {
+ public:
+  explicit Checker(AuditReport& report) : report_(report) {}
+
+  /// Evaluate one predicate; on failure record `invariant` with the detail
+  /// text produced by `detail` (lazily, so passing checks cost nothing).
+  template <typename DetailFn>
+  void expect(bool ok, const char* invariant, DetailFn&& detail) {
+    ++report_.checks_run;
+    if (ok) return;
+    std::ostringstream os;
+    detail(os);
+    report_.violations.push_back(AuditViolation{invariant, os.str()});
+  }
+
+ private:
+  AuditReport& report_;
+};
+
+/// The longest a node may legitimately appear in two groups of one dynamic
+/// attribute: its transition TTL (old membership kept queryable) plus the
+/// report-merge grace during which a full report cannot evict it.
+Duration churn_grace(const ServiceConfig& config) {
+  return config.transition_ttl + 3 * config.report_interval;
+}
+
+}  // namespace
+
+void AuditReport::merge(AuditReport other) {
+  checks_run += other.checks_run;
+  for (auto& violation : other.violations) {
+    violations.push_back(std::move(violation));
+  }
+}
+
+std::string AuditReport::to_string() const {
+  if (ok()) return {};
+  std::ostringstream os;
+  os << violations.size() << " invariant violation(s) in " << checks_run
+     << " checks:";
+  for (const auto& v : violations) {
+    os << "\n  [" << v.invariant << "] " << v.detail;
+  }
+  return os.str();
+}
+
+AuditReport audit_groups(const Dgm& dgm, const Registrar& registrar,
+                         const ServiceConfig& config, SimTime now) {
+  AuditReport report;
+  Checker check(report);
+
+  // attr -> node -> groups containing the node as a confirmed member.
+  std::map<std::string, std::map<NodeId, std::vector<const Dgm::GroupInfo*>>>
+      membership;
+
+  for (const auto& [name, group] : dgm.groups()) {
+    // --- group-naming: name, key, and range agree with the deterministic
+    // naming scheme.
+    const auto parsed = GroupKey::parse(name);
+    check.expect(parsed.has_value(), "group-naming",
+                 [&](std::ostream& os) { os << "unparseable group name " << name; });
+    if (parsed) {
+      check.expect(*parsed == group.key, "group-naming", [&](std::ostream& os) {
+        os << "group " << name << " key does not round-trip through its name";
+      });
+    }
+    check.expect(group.key.to_name() == name, "group-naming",
+                 [&](std::ostream& os) {
+                   os << "group indexed as " << name << " renders as "
+                      << group.key.to_name();
+                 });
+    const AttributeSchema* attr = config.schema.find(group.key.attr);
+    check.expect(attr != nullptr, "group-naming", [&](std::ostream& os) {
+      os << "group " << name << " references unknown attribute " << group.key.attr;
+    });
+    if (attr != nullptr) {
+      const GroupRange expected = range_of(group.key, *attr);
+      check.expect(group.range == expected, "group-naming", [&](std::ostream& os) {
+        os << "group " << name << " range [" << group.range.lo << ", "
+           << group.range.hi << ") disagrees with bucket boundaries ["
+           << expected.lo << ", " << expected.hi << ")";
+      });
+    }
+
+    // --- group-structure: reps are members, geo scope holds, timestamps sane.
+    for (NodeId rep : group.reps) {
+      check.expect(group.members.count(rep) > 0, "group-structure",
+                   [&](std::ostream& os) {
+                     os << "representative " << focus::to_string(rep)
+                        << " of group " << name << " is not a member";
+                   });
+    }
+    check.expect(group.created_at <= now, "group-structure", [&](std::ostream& os) {
+      os << "group " << name << " created_at " << group.created_at
+         << " is in the future (now " << now << ")";
+    });
+    check.expect(group.last_report <= now, "group-structure",
+                 [&](std::ostream& os) {
+                   os << "group " << name << " last_report " << group.last_report
+                      << " is in the future (now " << now << ")";
+                 });
+    for (const auto& [id, seen] : group.member_seen) {
+      check.expect(seen <= now, "group-structure", [&](std::ostream& os) {
+        os << "group " << name << " member " << focus::to_string(id)
+           << " seen at future time " << seen;
+      });
+    }
+    if (group.key.region) {
+      for (const auto& [id, rec] : group.members) {
+        check.expect(rec.region == *group.key.region, "group-structure",
+                     [&](std::ostream& os) {
+                       os << "geo group " << name << " holds member "
+                          << focus::to_string(id) << " from region "
+                          << focus::to_string(rec.region);
+                     });
+      }
+    }
+
+    for (const auto& [id, rec] : group.members) {
+      membership[group.key.attr][id].push_back(&group);
+    }
+  }
+
+  // --- group-membership: at most one group per (dynamic attribute, node),
+  // with duplicates tolerated only while the node is demonstrably mid-churn.
+  std::set<NodeId> transitioning;
+  for (const auto& entry : dgm.transition_entries()) {
+    transitioning.insert(entry.node);
+  }
+  const Duration grace = churn_grace(config);
+  for (const auto& [attr, nodes] : membership) {
+    for (const auto& [id, containing] : nodes) {
+      if (containing.size() <= 1) {
+        ++report.checks_run;
+        continue;
+      }
+      // Mid-churn iff the node is in the transition table or joined one of
+      // the duplicated groups within the churn grace window.
+      bool recent_join = false;
+      for (const Dgm::GroupInfo* group : containing) {
+        auto joined = group->member_joined.find(id);
+        if (joined != group->member_joined.end() &&
+            now - joined->second <= grace) {
+          recent_join = true;
+          break;
+        }
+      }
+      check.expect(transitioning.count(id) > 0 || recent_join,
+                   "group-membership", [&](std::ostream& os) {
+                     os << focus::to_string(id) << " is a settled member of "
+                        << containing.size() << " groups of attribute " << attr
+                        << ":";
+                     for (const Dgm::GroupInfo* g : containing) os << " " << g->name;
+                   });
+    }
+  }
+
+  // --- transition-table: every transitioning node stays findable — present
+  // in the directory (directly queryable at its command address) or still a
+  // member/pending member of some group — and entries expire on schedule.
+  for (const auto& entry : dgm.transition_entries()) {
+    const NodeEntry* directory_entry = registrar.find(entry.node);
+    bool in_some_group = false;
+    for (const auto& [name, group] : dgm.groups()) {
+      if (group.members.count(entry.node) > 0 ||
+          group.pending_joins.count(entry.node) > 0) {
+        in_some_group = true;
+        break;
+      }
+    }
+    check.expect(directory_entry != nullptr || in_some_group, "transition-table",
+                 [&](std::ostream& os) {
+                   os << focus::to_string(entry.node)
+                      << " is in transition but unreachable: no directory entry"
+                         " and no old/new group covers it";
+                 });
+    if (directory_entry != nullptr) {
+      check.expect(directory_entry->command_addr == entry.command_addr,
+                   "transition-table", [&](std::ostream& os) {
+                     os << focus::to_string(entry.node)
+                        << " transition command address disagrees with the"
+                           " directory";
+                   });
+    }
+    check.expect(entry.expires_at + kMaintenanceSlack >= now, "transition-table",
+                 [&](std::ostream& os) {
+                   os << focus::to_string(entry.node)
+                      << " transition entry expired at " << entry.expires_at
+                      << " but was not swept by " << now;
+                 });
+    check.expect(entry.expires_at <= now + config.transition_ttl,
+                 "transition-table", [&](std::ostream& os) {
+                   os << focus::to_string(entry.node)
+                      << " transition entry expires at " << entry.expires_at
+                      << ", beyond one TTL from now " << now;
+                 });
+  }
+
+  return report;
+}
+
+AuditReport audit_registrar(const Registrar& registrar) {
+  AuditReport report;
+  Checker check(report);
+
+  // Table -> directory: every row belongs to a registered node and carries
+  // the value the directory holds.
+  for (const auto& [attr, rows] : registrar.static_tables()) {
+    for (const auto& [id, value] : rows) {
+      const NodeEntry* entry = registrar.find(id);
+      check.expect(entry != nullptr, "registrar", [&](std::ostream& os) {
+        os << "static table " << attr << " holds unregistered node "
+           << focus::to_string(id);
+      });
+      if (entry == nullptr) continue;
+      auto it = entry->static_values.find(attr);
+      check.expect(it != entry->static_values.end() && it->second == value,
+                   "registrar", [&](std::ostream& os) {
+                     os << "static table " << attr << " row for "
+                        << focus::to_string(id)
+                        << " disagrees with the directory";
+                   });
+    }
+  }
+
+  // Directory -> table: every declared static value has its row.
+  for (const auto& [id, entry] : registrar.directory()) {
+    for (const auto& [attr, value] : entry.static_values) {
+      const auto& tables = registrar.static_tables();
+      auto table = tables.find(attr);
+      const bool present = table != tables.end() &&
+                           table->second.count(id) > 0 &&
+                           table->second.at(id) == value;
+      check.expect(present, "registrar", [&](std::ostream& os) {
+        os << focus::to_string(id) << " declares static " << attr
+           << " but the primary table row is missing or stale";
+      });
+    }
+  }
+
+  return report;
+}
+
+AuditReport audit_cache(const QueryCache& cache, SimTime now) {
+  AuditReport report;
+  Checker check(report);
+
+  check.expect(cache.capacity() == 0 || cache.size() <= cache.capacity(),
+               "cache", [&](std::ostream& os) {
+                 os << "cache holds " << cache.size() << " entries over capacity "
+                    << cache.capacity();
+               });
+  cache.for_each([&](const std::string& key, const QueryCache::Entry& entry) {
+    check.expect(entry.fetched_at >= 0 && entry.fetched_at <= now, "cache",
+                 [&](std::ostream& os) {
+                   os << "cache entry " << key << " fetched_at "
+                      << entry.fetched_at << " outside [0, " << now << "]";
+                 });
+  });
+
+  return report;
+}
+
+AuditReport audit_simulator(const sim::Simulator& simulator) {
+  AuditReport report;
+  Checker check(report);
+  check.expect(simulator.next_event_time() >= simulator.now(), "simulator",
+               [&](std::ostream& os) {
+                 os << "event queue holds an entry at "
+                    << simulator.next_event_time() << ", before the clock "
+                    << simulator.now();
+               });
+  return report;
+}
+
+AuditReport audit_service(const Service& service, const sim::Simulator& simulator) {
+  const SimTime now = simulator.now();
+  AuditReport report =
+      audit_groups(service.dgm(), service.registrar(), service.config(), now);
+  report.merge(audit_registrar(service.registrar()));
+  report.merge(audit_cache(service.router().cache(), now));
+  report.merge(audit_simulator(simulator));
+  return report;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,82 @@
+#pragma once
+// Structural-invariant auditor: walks live Registrar / DGM / router-cache /
+// simulator state and verifies the paper's correctness claims hold — the
+// properties the transition table (§VII) exists to protect. Callable from
+// tests at any point, and periodically from the harness testbed under
+// TestbedConfig::audit_interval.
+//
+// Invariants checked (each violation carries the invariant's name):
+//   group-membership   a node is a member of at most one group per dynamic
+//                      attribute; duplicates are tolerated only while the
+//                      node is in transition or within the churn grace
+//                      window (see kChurnGrace below)
+//   group-naming       a group's name, parsed key, and value range agree
+//                      with the deterministic naming scheme (group_naming.hpp)
+//   group-structure    representatives are members, member regions match a
+//                      geo-scoped group's region, timestamps do not lead the
+//                      clock
+//   transition-table   every transitioning node is reachable (directory entry
+//                      with the same command address) and entries expire no
+//                      later than one maintenance period after their TTL
+//   cache              entry timestamps lie in [0, now] and occupancy is
+//                      within the configured capacity
+//   simulator          the event queue never holds an entry earlier than the
+//                      virtual clock (monotonicity)
+//   registrar          static primary tables and the node directory mirror
+//                      each other exactly
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace focus::sim {
+class Simulator;
+}
+
+namespace focus::core {
+
+class Dgm;
+class QueryCache;
+class Registrar;
+class Service;
+struct ServiceConfig;
+
+/// One violated invariant.
+struct AuditViolation {
+  std::string invariant;  ///< which rule broke (names above)
+  std::string detail;     ///< offending node/group/entry and values
+};
+
+/// Outcome of an audit pass.
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  std::size_t checks_run = 0;  ///< individual predicates evaluated
+
+  bool ok() const noexcept { return violations.empty(); }
+
+  /// Merge another report into this one (used by audit_service).
+  void merge(AuditReport other);
+
+  /// Multi-line human-readable summary (empty string when ok).
+  std::string to_string() const;
+};
+
+/// Group membership, naming, structure, and transition-table invariants.
+AuditReport audit_groups(const Dgm& dgm, const Registrar& registrar,
+                         const ServiceConfig& config, SimTime now);
+
+/// Node directory vs. static primary tables.
+AuditReport audit_registrar(const Registrar& registrar);
+
+/// Response-cache timestamp and occupancy invariants.
+AuditReport audit_cache(const QueryCache& cache, SimTime now);
+
+/// Event-queue monotonicity of the simulation kernel.
+AuditReport audit_simulator(const sim::Simulator& simulator);
+
+/// Every structural audit over one service instance plus its kernel.
+AuditReport audit_service(const Service& service, const sim::Simulator& simulator);
+
+}  // namespace focus::core

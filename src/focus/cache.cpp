@@ -1,5 +1,7 @@
 #include "focus/cache.hpp"
 
+#include "common/check.hpp"
+
 namespace focus::core {
 
 const QueryCache::Entry* QueryCache::lookup(const std::string& key, SimTime now,
@@ -38,6 +40,8 @@ void QueryCache::insert(const std::string& key, QueryResult result, SimTime now)
     map_.erase(lru_.back().key);
     lru_.pop_back();
   }
+  FOCUS_DCHECK_EQ(map_.size(), lru_.size())
+      << "LRU list and index diverged for key " << key;
 }
 
 void QueryCache::clear() {

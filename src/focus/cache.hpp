@@ -34,8 +34,16 @@ class QueryCache {
   void insert(const std::string& key, QueryResult result, SimTime now);
 
   std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return max_entries_; }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Visit every cached entry in LRU order (most recent first) without
+  /// touching recency or counters. Audit support (focus/audit.hpp).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : lru_) fn(slot.key, slot.entry);
+  }
 
   void clear();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 
 namespace focus::core {
@@ -51,6 +52,8 @@ Dgm::GroupInfo& Dgm::get_or_create(const GroupKey& key, const AttributeSchema& a
   info.key = key;
   info.name = name;
   info.range = range_of(key, attr);
+  FOCUS_DCHECK_LT(info.range.lo, info.range.hi)
+      << "empty value range for group " << name;
   info.created_at = simulator_.now();
   ++stats_.groups_created;
   if (key.fork > 0) ++stats_.forks_created;
@@ -74,6 +77,11 @@ GroupSuggestion Dgm::suggest(NodeId node, Region region,
 
   // Walk fork indices until a group with capacity is found (or created).
   for (int fork = 0;; ++fork) {
+    // The walk terminates at the first unused index; needing more forks than
+    // registered nodes means the capacity bookkeeping is corrupt.
+    FOCUS_CHECK_LE(static_cast<std::size_t>(fork), registrar_.count() + 1)
+        << "fork walk for " << key.attr << "." << key.bucket_lo
+        << " ran past the fleet size";
     key.fork = fork;
     const std::string name = key.to_name();
     auto it = groups_.find(name);
@@ -119,6 +127,7 @@ void Dgm::on_joined(const JoinedPayload& joined) {
   group.members[joined.node] =
       MemberRecord{joined.node, joined.p2p_addr, joined.region};
   group.member_seen[joined.node] = simulator_.now();
+  group.member_joined.try_emplace(joined.node, simulator_.now());
   group.pending_joins.erase(joined.node);
 
   // Bootstrap-race healing: two nodes registering concurrently can both be
@@ -152,6 +161,7 @@ void Dgm::on_left(const LeftGroupPayload& left) {
   GroupInfo& group = it->second;
   group.members.erase(left.node);
   group.member_seen.erase(left.node);
+  group.member_joined.erase(left.node);
   group.pending_joins.erase(left.node);
   std::erase(group.reps, left.node);
   ensure_reps(group);
@@ -185,14 +195,22 @@ void Dgm::on_report(const GroupReportPayload& report) {
     }
     group.members = std::move(merged);
     for (const auto& rec : report.members) group.member_seen[rec.node] = now;
+    std::erase_if(group.member_joined, [&group](const auto& kv) {
+      return group.members.count(kv.first) == 0;
+    });
+    for (const auto& [id, rec] : group.members) {
+      group.member_joined.try_emplace(id, now);
+    }
   } else {
     for (const auto& rec : report.members) {
       group.members[rec.node] = rec;
       group.member_seen[rec.node] = now;
+      group.member_joined.try_emplace(rec.node, now);
     }
     for (const auto& node : report.departed) {
       group.members.erase(node);
       group.member_seen.erase(node);
+      group.member_joined.erase(node);
     }
   }
   group.last_report = now;
@@ -299,6 +317,15 @@ Dgm::Candidates Dgm::candidate_groups(const QueryTerm& term,
     if (location && group.key.region && *group.key.region != *location) continue;
     out.groups.push_back(&group);
     out.total_members += group.members.size();
+  }
+  return out;
+}
+
+std::vector<Dgm::TransitionView> Dgm::transition_entries() const {
+  std::vector<TransitionView> out;
+  out.reserve(transition_.size());
+  for (const auto& [node, entry] : transition_) {
+    out.push_back(TransitionView{node, entry.command_addr, entry.expires_at});
   }
   return out;
 }

@@ -44,6 +44,10 @@ class Dgm {
     /// survive a full report that omits them: a freshly joined node may not
     /// have reached the reporting representative's gossip view yet.
     std::map<NodeId, SimTime> member_seen;
+    /// When each member was first confirmed in this group. Lets the audit
+    /// layer distinguish a node legitimately mid-churn (briefly visible in
+    /// two groups of one attribute) from a stuck double membership.
+    std::map<NodeId, SimTime> member_joined;
     std::vector<NodeId> reps;     ///< assigned representatives
     SimTime last_report = -1;  ///< -1 until the first report arrives
     SimTime created_at = 0;
@@ -93,6 +97,15 @@ class Dgm {
 
   /// Nodes currently in transition (queried directly, §VII).
   std::vector<std::pair<NodeId, net::Address>> transition_nodes() const;
+
+  /// One transition-table entry with its expiry (audit support).
+  struct TransitionView {
+    NodeId node;
+    net::Address command_addr;
+    SimTime expires_at = 0;
+  };
+  /// Full transition table including expiries (focus/audit.hpp).
+  std::vector<TransitionView> transition_entries() const;
 
   /// Periodic upkeep: expire transition entries, replace representatives
   /// whose reports went stale.

@@ -35,7 +35,8 @@ std::string GroupKey::to_name() const {
     name += focus::to_string(*region);
   }
   if (fork > 0) {
-    name += "#" + std::to_string(fork);
+    name += "#";
+    name += std::to_string(fork);
   }
   return name;
 }

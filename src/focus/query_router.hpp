@@ -55,6 +55,7 @@ class QueryRouter {
   std::size_t outstanding() const noexcept { return pending_.size(); }
 
   QueryCache& cache() noexcept { return cache_; }
+  const QueryCache& cache() const noexcept { return cache_; }
   const RouterStats& stats() const noexcept { return stats_; }
 
  private:

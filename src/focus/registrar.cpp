@@ -12,6 +12,21 @@ Registrar::Registrar(sim::Simulator& simulator, store::Cluster& store,
 
 int Registrar::register_node(const NodeState& state,
                              const net::Address& command_addr) {
+  int writes = 0;
+  const std::string key = focus::to_string(state.node);
+
+  // Re-registration may drop static attributes; retire the orphaned rows so
+  // the primary tables keep mirroring the directory exactly (the structural
+  // audit verifies this bijection).
+  if (auto prev = nodes_.find(state.node); prev != nodes_.end()) {
+    for (const auto& [attr, value] : prev->second.static_values) {
+      if (state.static_values.count(attr) > 0) continue;
+      static_tables_[attr].erase(state.node);
+      store_.erase(table_name(attr), key, [](Result<bool>) {});
+      ++writes;
+    }
+  }
+
   NodeEntry entry;
   entry.node = state.node;
   entry.region = state.region;
@@ -19,9 +34,6 @@ int Registrar::register_node(const NodeState& state,
   entry.static_values = state.static_values;
   entry.registered_at = simulator_.now();
   nodes_[state.node] = entry;
-
-  int writes = 0;
-  const std::string key = focus::to_string(state.node);
 
   // "nodes" table: one row per node with its command address and region.
   {

@@ -54,6 +54,13 @@ class Registrar {
   /// Registered node count.
   std::size_t count() const noexcept { return nodes_.size(); }
 
+  /// Primary static-attribute tables (attribute -> node -> value). Mirrors
+  /// the store; exposed for the structural audit (focus/audit.hpp).
+  const std::map<std::string, std::map<NodeId, std::string>>& static_tables()
+      const noexcept {
+    return static_tables_;
+  }
+
   /// Name of the static-attribute table with the fewest rows among the
   /// query's static terms (the paper queries the smallest table). Empty when
   /// the query has no static terms.

@@ -1,9 +1,9 @@
 #include "gossip/swim.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 
 namespace focus::gossip {
@@ -41,7 +41,7 @@ GroupAgent::~GroupAgent() {
 }
 
 void GroupAgent::start() {
-  assert(!running_);
+  FOCUS_CHECK(!running_) << "GroupAgent started twice";
   running_ = true;
   *alive_flag_ = true;
   transport_.bind(self_, [this, alive = alive_flag_](const net::Message& msg) {
@@ -64,7 +64,7 @@ void GroupAgent::start() {
 }
 
 void GroupAgent::join(std::span<const net::Address> entry_points) {
-  assert(running_);
+  FOCUS_CHECK(running_) << "GroupAgent not started";
   for (const auto& entry : entry_points) {
     if (entry == self_) continue;
     auto msg = net::make_message<JoinPayload>(self_, entry, kJoin);
@@ -94,7 +94,7 @@ void GroupAgent::leave() {
 void GroupAgent::broadcast(std::string topic,
                            std::shared_ptr<const net::Payload> body,
                            bool deliver_locally) {
-  assert(running_);
+  FOCUS_CHECK(running_) << "GroupAgent not started";
   EventPayload event;
   event.id = EventId{self_.node, next_event_seq_++};
   event.topic = std::move(topic);

@@ -26,7 +26,7 @@ struct WorldConfig {
   std::size_t num_nodes = 100;
   std::uint64_t seed = 1;
   core::Schema schema = core::Schema::openstack_default();
-  agent::ResourceDynamics dynamics;
+  agent::ResourceDynamics dynamics = {};
   Duration model_step = 1 * kSecond;  ///< resource random-walk cadence
 };
 

@@ -1,5 +1,7 @@
 #include "harness/testbed.hpp"
 
+#include "common/check.hpp"
+
 namespace focus::harness {
 
 Region region_of_index(std::size_t i) {
@@ -48,9 +50,20 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
         simulator_, *transport_, id, region, service_->south_addr(),
         config_.service.schema, config_.agent, rng.fork()));
   }
+
+  if (config_.audit_interval > 0) {
+    audit_timer_ = simulator_.every(config_.audit_interval, [this] {
+      ++audits_run_;
+      const core::AuditReport report = audit();
+      FOCUS_CHECK(report.ok()) << "periodic structural audit #" << audits_run_
+                               << " at t=" << simulator_.now() << "us\n"
+                               << report.to_string();
+    });
+  }
 }
 
 Testbed::~Testbed() {
+  if (audit_timer_ != 0) simulator_.cancel(audit_timer_);
   // Stop agents before the transport/service go away.
   for (auto& agent : agents_) agent->stop();
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "agent/node_manager.hpp"
+#include "focus/audit.hpp"
 #include "focus/client.hpp"
 #include "focus/service.hpp"
 #include "net/sim_transport.hpp"
@@ -34,6 +35,11 @@ struct TestbedConfig {
   agent::AgentConfig agent;
   store::ClusterConfig store;
   double loss_rate = 0;
+
+  /// When > 0, run the structural-invariant audit (focus/audit.hpp) every
+  /// this many microseconds of simulated time and abort (FOCUS_CHECK) on the
+  /// first violation. Off by default: benches measure undisturbed costs.
+  Duration audit_interval = 0;
 
   /// Keep the agent-side reporting settings in lockstep with the service
   /// config (call after editing `service`).
@@ -83,6 +89,14 @@ class Testbed {
     return transport_->stats().of(kServerNode);
   }
 
+  /// Run the structural audit over the service and kernel right now.
+  core::AuditReport audit() const {
+    return core::audit_service(*service_, simulator_);
+  }
+
+  /// Periodic audits executed so far (0 unless audit_interval > 0).
+  std::uint64_t audits_run() const noexcept { return audits_run_; }
+
  private:
   TestbedConfig config_;
   sim::Simulator simulator_;
@@ -92,6 +106,8 @@ class Testbed {
   std::unique_ptr<core::Service> service_;
   std::unique_ptr<core::Client> client_;
   std::vector<std::unique_ptr<agent::NodeManager>> agents_;
+  sim::TimerId audit_timer_ = 0;
+  std::uint64_t audits_run_ = 0;
 };
 
 }  // namespace focus::harness

@@ -1,8 +1,9 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace focus::sim {
 
@@ -14,12 +15,14 @@ TimerId Simulator::schedule_at(SimTime t, Task task) {
 }
 
 TimerId Simulator::schedule_after(Duration delay, Task task) {
-  assert(delay >= 0);
+  FOCUS_CHECK_GE(delay, 0) << "schedule_after cannot reach into the past";
   return schedule_at(now_ + delay, std::move(task));
 }
 
 TimerId Simulator::every(Duration interval, Task task, Duration first_delay) {
-  assert(interval > 0);
+  // A zero/negative interval would re-arm at the current instant forever and
+  // pin the virtual clock; this must hold in Release builds too.
+  FOCUS_CHECK_GT(interval, 0) << "periodic task would never advance the clock";
   const TimerId id = next_id_++;
   tasks_.emplace(id, std::make_shared<Task>(std::move(task)));
   periodic_.emplace(id, interval);
@@ -34,13 +37,21 @@ void Simulator::cancel(TimerId id) {
   // Stale queue entries are skipped lazily in step().
 }
 
+void Simulator::mix_digest(SimTime time, TimerId id) noexcept {
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  digest_ = (digest_ ^ static_cast<std::uint64_t>(time)) * kFnvPrime;
+  digest_ = (digest_ ^ id) * kFnvPrime;
+}
+
 bool Simulator::step() {
   while (!queue_.empty()) {
     const QueueEntry entry = queue_.top();
     queue_.pop();
     auto it = tasks_.find(entry.id);
     if (it == tasks_.end()) continue;  // cancelled
+    FOCUS_DCHECK_GE(entry.time, now_) << "event queue lost time ordering";
     now_ = entry.time;
+    mix_digest(entry.time, entry.id);
     auto periodic_it = periodic_.find(entry.id);
     if (periodic_it != periodic_.end()) {
       // Re-arm before running so the task may cancel itself. Hold the task

@@ -63,6 +63,19 @@ class Simulator {
   /// Total events executed so far (for kernel benchmarks).
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Time of the earliest queued entry (including lazily-cancelled slots),
+  /// or now() when the queue is empty. The heap keeps its minimum at the
+  /// top, so `next_event_time() >= now()` certifies the whole queue is in
+  /// the future — the monotonicity invariant the audit layer verifies.
+  SimTime next_event_time() const {
+    return queue_.empty() ? now_ : queue_.top().time;
+  }
+
+  /// Order-sensitive FNV-1a digest over every executed event's (time, id).
+  /// Two runs of the same seeded scenario must produce identical digests;
+  /// the determinism ctest (tests/test_audit.cpp) enforces this.
+  std::uint64_t digest() const noexcept { return digest_; }
+
  private:
   struct QueueEntry {
     SimTime time;
@@ -74,7 +87,11 @@ class Simulator {
     }
   };
 
+  /// Fold one executed event into the run digest.
+  void mix_digest(SimTime time, TimerId id) noexcept;
+
   SimTime now_ = 0;
+  std::uint64_t digest_ = 14695981039346656037ull;  // FNV-1a offset basis
   std::uint64_t next_seq_ = 0;
   TimerId next_id_ = 1;
   std::uint64_t executed_ = 0;

@@ -1,8 +1,9 @@
 #include "store/kvstore.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
+
+#include "common/check.hpp"
 
 namespace focus::store {
 
@@ -73,9 +74,9 @@ std::size_t ReplicaData::approx_bytes() const {
 
 Cluster::Cluster(sim::Simulator& simulator, ClusterConfig config, std::uint64_t seed)
     : simulator_(simulator), config_(config), rng_(seed) {
-  assert(config_.replication_factor <= config_.replicas);
-  assert(config_.write_quorum <= config_.replication_factor);
-  assert(config_.read_quorum <= config_.replication_factor);
+  FOCUS_CHECK_LE(config_.replication_factor, config_.replicas);
+  FOCUS_CHECK_LE(config_.write_quorum, config_.replication_factor);
+  FOCUS_CHECK_LE(config_.read_quorum, config_.replication_factor);
   replicas_.resize(static_cast<std::size_t>(config_.replicas));
 }
 

@@ -268,5 +268,100 @@ TEST_P(ForkThresholdProperty, ReportedGroupSizesRespectThreshold) {
 INSTANTIATE_TEST_SUITE_P(Thresholds, ForkThresholdProperty,
                          ::testing::Values(5, 10, 25));
 
+// ---------------------------------------------------------------------------
+// Rng fork independence: the stream a child generator produces depends only
+// on its fork position, never on what sibling generators exist or when they
+// are created. This is the property that lets a scenario add a component
+// without perturbing the draws every other component sees.
+
+class RngForkProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+std::vector<std::uint64_t> draw(Rng& rng, int n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(rng.next_u64());
+  return out;
+}
+}  // namespace
+
+TEST_P(RngForkProperty, ChildStreamIgnoresSiblingInsertionOrder) {
+  // Run A: fork a, then b, then use both heavily.
+  Rng parent_a(GetParam());
+  Rng a1 = parent_a.fork();
+  Rng a2 = parent_a.fork();
+  const auto a1_draws = draw(a1, 100);
+  const auto a2_draws = draw(a2, 100);
+
+  // Run B: same parent seed, but the first child is consumed (or not) before
+  // the second is forked, and extra draws are interleaved.
+  Rng parent_b(GetParam());
+  Rng b1 = parent_b.fork();
+  (void)draw(b1, 57);  // consuming a sibling early...
+  Rng b2 = parent_b.fork();
+  EXPECT_EQ(draw(b2, 100), a2_draws);  // ...does not shift the other stream
+
+  Rng parent_c(GetParam());
+  Rng c1 = parent_c.fork();
+  EXPECT_EQ(draw(c1, 100), a1_draws);  // never forking a sibling: same stream
+}
+
+TEST_P(RngForkProperty, SiblingStreamsAreDistinct) {
+  Rng parent(GetParam());
+  Rng a = parent.fork();
+  Rng b = parent.fork();
+  EXPECT_NE(draw(a, 20), draw(b, 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngForkProperty,
+                         ::testing::Values(1u, 0x5eedu, 0xdeadbeefu));
+
+// ---------------------------------------------------------------------------
+// Timer cancellation properties (documented at src/sim/simulator.hpp:
+// cancelling an already-fired one-shot timer or an unknown id is a no-op)
+
+TEST(SimulatorCancelProperty, CancelOfAlreadyFiredTimerIsNoOp) {
+  sim::Simulator simulator;
+  int fired = 0;
+  const sim::TimerId first = simulator.schedule_after(1 * kSecond, [&] { ++fired; });
+  simulator.schedule_after(2 * kSecond, [&] { ++fired; });
+  simulator.run_until(1 * kSecond);
+  ASSERT_EQ(fired, 1);
+
+  // The id may even have been reused internally; cancel must not disturb the
+  // still-pending timer or the clock.
+  simulator.cancel(first);
+  simulator.cancel(first);  // idempotent
+  const auto digest_before = simulator.digest();
+  simulator.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_NE(simulator.digest(), digest_before);  // second timer executed
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(SimulatorCancelProperty, CancelOfUnknownIdIsNoOp) {
+  sim::Simulator simulator;
+  int fired = 0;
+  simulator.schedule_after(1 * kSecond, [&] { ++fired; });
+  simulator.cancel(static_cast<sim::TimerId>(123456789));
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorCancelProperty, CancelledPeriodicStopsButClockContinues) {
+  sim::Simulator simulator;
+  int periodic_fires = 0;
+  int oneshot_fires = 0;
+  sim::TimerId periodic = 0;
+  periodic = simulator.every(1 * kSecond, [&] {
+    if (++periodic_fires == 3) simulator.cancel(periodic);
+  });
+  simulator.schedule_after(10 * kSecond, [&] { ++oneshot_fires; });
+  simulator.run();
+  EXPECT_EQ(periodic_fires, 3);  // self-cancel from inside the task sticks
+  EXPECT_EQ(oneshot_fires, 1);
+  EXPECT_EQ(simulator.now(), 10 * kSecond);
+}
+
 }  // namespace
 }  // namespace focus

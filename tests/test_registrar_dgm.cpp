@@ -399,7 +399,9 @@ TEST_F(DgmTest, CandidateGroupsRespectLocationScope) {
   // The Ohio-scoped group must be excluded; the global group (which may
   // contain Oregon nodes) and the Oregon group remain.
   for (const auto* group : scoped.groups) {
-    if (group->key.region) EXPECT_EQ(*group->key.region, Region::Oregon);
+    if (group->key.region) {
+      EXPECT_EQ(*group->key.region, Region::Oregon);
+    }
   }
   const auto all = dgm_.candidate_groups(term, std::nullopt);
   EXPECT_GT(all.groups.size(), scoped.groups.size());
