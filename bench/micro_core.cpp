@@ -1,9 +1,15 @@
 // Microbenchmarks (google-benchmark) of the building blocks: the simulation
-// kernel's event throughput, JSON round trips, group naming, query matching,
-// histogram percentiles, and the gossip buffers. These bound how large a
-// scenario the repository can simulate per CPU-second.
+// kernel's event throughput, timer cancellation, periodic re-arm, transport
+// fan-out, JSON round trips, group naming, query matching, histogram
+// percentiles, and the gossip buffers. These bound how large a scenario the
+// repository can simulate per CPU-second; scripts/run-benches.sh records the
+// kernel-facing subset into BENCH_core.json as the tracked perf trajectory.
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/histogram.hpp"
 #include "common/json.hpp"
@@ -11,18 +17,22 @@
 #include "focus/api.hpp"
 #include "focus/group_naming.hpp"
 #include "gossip/broadcast.hpp"
+#include "net/sim_transport.hpp"
 #include "sim/simulator.hpp"
 
 using namespace focus;
 
 namespace {
 
+// The Simulator is constructed once outside the timed loop: the benchmark
+// measures schedule+dispatch throughput, not container setup/teardown.
 void BM_SimulatorScheduleRun(benchmark::State& state) {
+  sim::Simulator simulator;
+  int sink = 0;
   for (auto _ : state) {
-    sim::Simulator simulator;
-    int sink = 0;
+    const SimTime base = simulator.now();
     for (int i = 0; i < 1024; ++i) {
-      simulator.schedule_at(i % 97, [&sink] { ++sink; });
+      simulator.schedule_at(base + i % 97, [&sink] { ++sink; });
     }
     simulator.run();
     benchmark::DoNotOptimize(sink);
@@ -31,6 +41,27 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorScheduleRun);
 
+// Schedule a batch of far-future timers and cancel every one. The trailing
+// run() charges whatever deferred cost cancellation leaves behind (the
+// pre-slab kernel paid for tombstoned queue entries only at pop time).
+void BM_SimulatorCancel(benchmark::State& state) {
+  sim::Simulator simulator;
+  std::vector<sim::TimerId> ids(1024);
+  for (auto _ : state) {
+    for (auto& id : ids) {
+      id = simulator.schedule_after(1'000'000, [] {});
+    }
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+      simulator.cancel(*it);
+    }
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorCancel);
+
+// One periodic task re-armed 1000 times per iteration: the gossip-probe
+// steady state.
 void BM_SimulatorPeriodicTick(benchmark::State& state) {
   sim::Simulator simulator;
   int sink = 0;
@@ -42,6 +73,58 @@ void BM_SimulatorPeriodicTick(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorPeriodicTick);
+
+// 64 interleaved periodic timers with mutually prime-ish intervals: stresses
+// re-arm ordering in a populated queue (a testbed runs one probe/report
+// timer per agent).
+void BM_SimulatorPeriodicFleet(benchmark::State& state) {
+  sim::Simulator simulator;
+  int sink = 0;
+  std::uint64_t fires_per_round = 0;
+  for (int i = 0; i < 64; ++i) {
+    const Duration interval = 11 + 2 * i;
+    fires_per_round += 10'000 / static_cast<std::uint64_t>(interval);
+    simulator.every(interval, [&sink] { ++sink; });
+  }
+  for (auto _ : state) {
+    simulator.run_for(10'000);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fires_per_round));
+}
+BENCHMARK(BM_SimulatorPeriodicFleet);
+
+/// Payload with a fixed declared size, mirroring a gossip ping.
+struct BenchPayload final : net::Payload {
+  std::size_t wire_size() const override { return 26; }
+};
+
+// One source fanning a small message out to 31 peers, then draining the
+// deliveries: the piggyback-dissemination hot path of every scenario.
+void BM_TransportSendFanout(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  for (std::uint32_t n = 1; n <= 32; ++n) {
+    topology.place(NodeId{n}, static_cast<Region>(n % kNumDataRegions));
+  }
+  net::SimTransport transport(simulator, topology, Rng(1));
+  int received = 0;
+  for (std::uint32_t n = 1; n <= 32; ++n) {
+    transport.bind({NodeId{n}, 1}, [&received](const net::Message&) { ++received; });
+  }
+  const auto payload = std::make_shared<const BenchPayload>();
+  const net::MsgKind kind = net::MsgKind::intern("bench.fanout");
+  for (auto _ : state) {
+    for (std::uint32_t to = 2; to <= 32; ++to) {
+      transport.send(net::Message{{NodeId{1}, 1}, {NodeId{to}, 1}, kind, payload});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * 31);
+}
+BENCHMARK(BM_TransportSendFanout);
 
 void BM_JsonParse(benchmark::State& state) {
   const std::string doc = R"({"attributes":[{"name":"ram_mb","lower":4096},)"

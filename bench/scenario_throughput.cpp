@@ -1,0 +1,168 @@
+// Macro benchmark: end-to-end kernel/transport throughput of a fixed-seed
+// churning FOCUS testbed, reported as simulator events per CPU-second. This
+// is the scenario-level companion to the micro_core kernel benchmarks;
+// scripts/run-benches.sh runs both and folds the results into the tracked
+// BENCH_core.json perf trajectory.
+//
+// Unlike the figure benches this binary measures the *repository's* speed,
+// not the paper's metrics: the workload (agents gossiping, value churn,
+// group reports, periodic queries) is pinned by --seed, so events executed
+// is identical across machines and kernel rewrites, and only the wall time
+// varies.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "harness/testbed.hpp"
+
+namespace {
+
+using namespace focus;
+
+struct Options {
+  std::size_t nodes = 400;
+  std::uint64_t seed = 7;
+  Duration sim_seconds = 60;
+  std::string out;         // path for BENCH_core.json ("" = stdout only)
+  std::string micro;       // optional google-benchmark JSON to fold in
+  std::string append_to;   // optional existing BENCH_core.json to extend
+  std::string label = "local";
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Peak resident set size of this process in kilobytes (Linux semantics).
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+/// Reduce a google-benchmark JSON document to {name: {real_time_ns,
+/// items_per_second}} for the kernel-facing benchmarks.
+Json summarize_micro(const std::string& path) {
+  Json micro = Json::object();
+  const auto parsed = Json::parse(read_file(path));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "warning: could not parse %s; omitting micro results\n",
+                 path.c_str());
+    return micro;
+  }
+  for (const Json& bench : parsed.value()["benchmarks"].as_array()) {
+    const std::string& name = bench["name"].as_string();
+    Json entry = Json::object();
+    entry["real_time_ns"] = bench["real_time"].number_or(0);
+    if (bench.contains("items_per_second")) {
+      entry["items_per_second"] = bench["items_per_second"].as_number();
+    }
+    micro[name] = std::move(entry);
+  }
+  return micro;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      opt.nodes = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (arg == "--sim-seconds") {
+      opt.sim_seconds = static_cast<Duration>(std::stoll(next()));
+    } else if (arg == "--out") {
+      opt.out = next();
+    } else if (arg == "--micro") {
+      opt.micro = next();
+    } else if (arg == "--append") {
+      opt.append_to = next();
+    } else if (arg == "--label") {
+      opt.label = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_throughput [--nodes N] [--seed S]\n"
+                   "  [--sim-seconds T] [--out bench.json] [--micro gb.json]\n"
+                   "  [--append existing.json] [--label name]\n");
+      return 2;
+    }
+  }
+
+  harness::TestbedConfig config;
+  config.num_nodes = opt.nodes;
+  config.seed = opt.seed;
+  config.agent.dynamics.volatility = 0.02;  // steady bucket-crossing churn
+  harness::Testbed bed(config);
+  bed.start();
+  if (!bed.settle()) {
+    std::fprintf(stderr, "testbed failed to settle\n");
+    return 1;
+  }
+
+  const std::uint64_t events_before = bed.simulator().executed();
+  const auto wall_start = std::chrono::steady_clock::now();
+  bed.run_for(opt.sim_seconds * kSecond);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  const std::uint64_t events =
+      bed.simulator().executed() - events_before;
+  const double wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  const double events_per_sec =
+      wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0;
+
+  Json run = Json::object();
+  run["label"] = opt.label;
+  run["nodes"] = opt.nodes;
+  run["seed"] = opt.seed;
+  run["sim_seconds"] = static_cast<std::int64_t>(opt.sim_seconds);
+  run["events"] = static_cast<std::int64_t>(events);
+  run["wall_seconds"] = wall_seconds;
+  run["events_per_sec"] = events_per_sec;
+  run["peak_rss_kb"] = static_cast<std::int64_t>(peak_rss_kb());
+  run["digest"] = std::to_string(bed.simulator().digest());
+  if (!opt.micro.empty()) run["micro"] = summarize_micro(opt.micro);
+
+  Json doc = Json::object();
+  doc["schema"] = "focus-bench-core-v1";
+  doc["trajectory"] = Json::array();
+  if (!opt.append_to.empty()) {
+    const auto existing = Json::parse(read_file(opt.append_to));
+    if (existing.ok() && existing.value()["trajectory"].is_array()) {
+      doc["trajectory"] = existing.value()["trajectory"];
+    }
+  }
+  doc["trajectory"].push_back(std::move(run));
+
+  const std::string text = doc.pretty() + "\n";
+  if (opt.out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(opt.out);
+    out << text;
+    std::printf("wrote %s (%llu events, %.2fs wall, %.0f events/sec)\n",
+                opt.out.c_str(), static_cast<unsigned long long>(events),
+                wall_seconds, events_per_sec);
+  }
+  return 0;
+}

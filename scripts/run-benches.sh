@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run the kernel-facing benchmarks and write the machine-readable perf
+# trajectory point BENCH_core.json: micro_core (google-benchmark) plus the
+# fixed-seed 400-node scenario-throughput macro bench (events/sec, wall
+# time, peak RSS).
+#
+# Usage:
+#   scripts/run-benches.sh [build-dir] [out.json]
+# Environment:
+#   LABEL     trajectory label (default: current git short sha)
+#   MIN_TIME  google-benchmark --benchmark_min_time, as a plain double in
+#             seconds — older libbenchmark rejects the "0.05s" spelling
+#             (default: 0.05)
+#   NODES     scenario size (default: 400)
+#   SIM_SECS  simulated seconds to run (default: 60)
+#   SEED      scenario seed (default: 7)
+#
+# When out.json already exists its trajectory is preserved and the new run
+# is appended, so successive PRs accumulate a perf history.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_core.json"}
+label=${LABEL:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo local)}
+min_time=${MIN_TIME:-0.05}
+nodes=${NODES:-400}
+sim_secs=${SIM_SECS:-60}
+seed=${SEED:-7}
+
+cmake --build "$build_dir" -j --target micro_core scenario_throughput
+
+micro_json="$build_dir/micro_core_results.json"
+"$build_dir/bench/micro_core" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$micro_json"
+
+append_args=()
+if [[ -f "$out" ]]; then
+  append_args=(--append "$out")
+fi
+"$build_dir/bench/scenario_throughput" \
+  --nodes "$nodes" --sim-seconds "$sim_secs" --seed "$seed" \
+  --micro "$micro_json" --label "$label" \
+  "${append_args[@]}" --out "$out"

@@ -9,10 +9,10 @@ namespace {
 constexpr std::uint16_t kNodePort = 50;
 constexpr std::uint16_t kServerPort = 60;
 constexpr std::uint16_t kManagerPort = 61;
-constexpr const char* kStatePush = "base.push";
-constexpr const char* kBatch = "base.batch";
-constexpr const char* kSubsetQuery = "base.subset_query";
-constexpr const char* kSubsetResp = "base.subset_resp";
+const net::MsgKind kStatePush = net::MsgKind::intern("base.push");
+const net::MsgKind kBatch = net::MsgKind::intern("base.batch");
+const net::MsgKind kSubsetQuery = net::MsgKind::intern("base.subset_query");
+const net::MsgKind kSubsetResp = net::MsgKind::intern("base.subset_resp");
 
 /// Prefer a manager in the node's own region; fall back to round-robin.
 std::size_t pick_manager(const std::vector<ManagerNode>& managers, Region region,

@@ -5,8 +5,8 @@ namespace focus::baselines {
 namespace {
 constexpr std::uint16_t kNodePort = 50;
 constexpr std::uint16_t kServerPort = 60;
-constexpr const char* kPullReq = "base.pull_req";
-constexpr const char* kPullResp = "base.pull_resp";
+const net::MsgKind kPullReq = net::MsgKind::intern("base.pull_req");
+const net::MsgKind kPullResp = net::MsgKind::intern("base.pull_resp");
 }  // namespace
 
 PullFinder::PullFinder(sim::Simulator& simulator, net::Transport& transport,

@@ -5,8 +5,8 @@ namespace focus::baselines {
 namespace {
 constexpr std::uint16_t kNodePort = 50;
 constexpr std::uint16_t kServerPort = 60;
-constexpr const char* kStatePush = "base.push";
-constexpr const char* kStateAck = "base.ack";
+const net::MsgKind kStatePush = net::MsgKind::intern("base.push");
+const net::MsgKind kStateAck = net::MsgKind::intern("base.ack");
 }  // namespace
 
 std::vector<core::ResultEntry> filter_states(

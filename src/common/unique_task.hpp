@@ -1,0 +1,161 @@
+#pragma once
+// UniqueTask: a move-only, small-buffer-optimized `void()` callable.
+//
+// The event kernel stores one callable per scheduled event; with
+// std::function every schedule paid a heap allocation (closures larger than
+// the libstdc++ SBO) plus copyability machinery the kernel never uses.
+// UniqueTask keeps closures up to kInlineBytes inline in the event slab,
+// spills larger ones to a single heap node, and supports exactly the three
+// operations the kernel needs: invoke, relocate (move), destroy. It also
+// accepts move-only closures (e.g. capturing a std::unique_ptr), which
+// std::function rejects.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace focus {
+
+class UniqueTask {
+ public:
+  /// Closures up to this size (and nothrow-movable) are stored inline. Sized
+  /// for the transport's delivery closure (Message + capture words) with
+  /// room to spare; measured against the gossip/agent lambdas, which all fit.
+  static constexpr std::size_t kInlineBytes = 72;
+
+  UniqueTask() noexcept = default;
+
+  /// Wrap any callable invocable as `f()`. Intentionally implicit so call
+  /// sites keep passing lambdas to schedule_at()/every() unchanged.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueTask> &&
+                                        std::is_invocable_v<D&>>>
+  UniqueTask(F&& f) {  // NOLINT(*-explicit-conversions,*-forwarding-reference-overload)
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(f)));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  UniqueTask(UniqueTask&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  UniqueTask& operator=(UniqueTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        ops_ = other.ops_;
+        ops_->relocate(buffer_, other.buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueTask(const UniqueTask&) = delete;
+  UniqueTask& operator=(const UniqueTask&) = delete;
+
+  ~UniqueTask() { reset(); }
+
+  /// Invoke the wrapped callable. Precondition: engaged.
+  void operator()() {
+    FOCUS_CHECK(ops_ != nullptr) << "invoking an empty UniqueTask";
+    ops_->invoke(buffer_);
+  }
+
+  /// Invoke the wrapped callable once and destroy it, leaving the task
+  /// empty — the terminal fire of a one-shot event, fused into a single
+  /// indirect call. The task is marked empty *before* the callable runs, so
+  /// reentrant observers (a task inspecting its own slot) see the fired
+  /// state. Precondition: engaged.
+  void consume() {
+    FOCUS_CHECK(ops_ != nullptr) << "consuming an empty UniqueTask";
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(buffer_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroy the wrapped callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  /// Manual dispatch table: one static instance per wrapped type, shared by
+  /// every UniqueTask holding that type. `relocate` move-constructs into
+  /// `dst` and destroys the source (a destructive move, which is all the
+  /// kernel's slab needs and lets the inline case stay a plain move+destroy
+  /// and the heap case a pointer copy).
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*invoke_destroy)(void* storage);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static const Ops* inline_ops() noexcept {
+    static constexpr Ops ops = {
+        [](void* storage) { (*std::launder(reinterpret_cast<D*>(storage)))(); },
+        [](void* storage) {
+          D* d = std::launder(reinterpret_cast<D*>(storage));
+          (*d)();
+          d->~D();
+        },
+        [](void* dst, void* src) noexcept {
+          D* from = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*from));
+          from->~D();
+        },
+        [](void* storage) noexcept {
+          std::launder(reinterpret_cast<D*>(storage))->~D();
+        },
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() noexcept {
+    static constexpr Ops ops = {
+        [](void* storage) {
+          (**std::launder(reinterpret_cast<D**>(storage)))();
+        },
+        [](void* storage) {
+          D* d = *std::launder(reinterpret_cast<D**>(storage));
+          (*d)();
+          delete d;
+        },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+        },
+        [](void* storage) noexcept {
+          delete *std::launder(reinterpret_cast<D**>(storage));
+        },
+    };
+    return &ops;
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace focus

@@ -287,11 +287,20 @@ AuditReport audit_cache(const QueryCache& cache, SimTime now) {
 AuditReport audit_simulator(const sim::Simulator& simulator) {
   AuditReport report;
   Checker check(report);
+  // next_event_time() is exact since the slab kernel (cancel removes queue
+  // entries eagerly, so no lazily-tombstoned past entry can hide behind the
+  // minimum): this monotonicity check now covers every queued event.
   check.expect(simulator.next_event_time() >= simulator.now(), "simulator",
                [&](std::ostream& os) {
                  os << "event queue holds an entry at "
                     << simulator.next_event_time() << ", before the clock "
                     << simulator.now();
+               });
+  check.expect(simulator.queue_consistent(), "simulator",
+               [&](std::ostream& os) {
+                 os << "kernel queue inconsistent: heap/slab indexing or the "
+                       "heap ordering invariant is broken (pending "
+                    << simulator.pending() << ")";
                });
   return report;
 }

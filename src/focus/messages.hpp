@@ -15,21 +15,22 @@
 namespace focus::core {
 
 // Message kinds (southbound: nodes <-> service; northbound: apps <-> service).
-inline constexpr const char* kRegister = "focus.register";
-inline constexpr const char* kRegisterAck = "focus.register_ack";
-inline constexpr const char* kSuggest = "focus.suggest";
-inline constexpr const char* kSuggestAck = "focus.suggest_ack";
-inline constexpr const char* kJoined = "focus.joined";
-inline constexpr const char* kLeftGroup = "focus.left_group";
-inline constexpr const char* kRepAssign = "focus.rep_assign";
-inline constexpr const char* kGroupReport = "focus.group_report";
-inline constexpr const char* kQuery = "focus.query";
-inline constexpr const char* kQueryResponse = "focus.query_response";
-inline constexpr const char* kGroupQuery = "focus.group_query";
-inline constexpr const char* kMemberState = "focus.member_state";
-inline constexpr const char* kGroupResponse = "focus.group_response";
-inline constexpr const char* kNodeQuery = "focus.node_query";
-inline constexpr const char* kNodeState = "focus.node_state";
+// Interned once at static init; comparisons and sends are integer-cheap.
+inline const net::MsgKind kRegister = net::MsgKind::intern("focus.register");
+inline const net::MsgKind kRegisterAck = net::MsgKind::intern("focus.register_ack");
+inline const net::MsgKind kSuggest = net::MsgKind::intern("focus.suggest");
+inline const net::MsgKind kSuggestAck = net::MsgKind::intern("focus.suggest_ack");
+inline const net::MsgKind kJoined = net::MsgKind::intern("focus.joined");
+inline const net::MsgKind kLeftGroup = net::MsgKind::intern("focus.left_group");
+inline const net::MsgKind kRepAssign = net::MsgKind::intern("focus.rep_assign");
+inline const net::MsgKind kGroupReport = net::MsgKind::intern("focus.group_report");
+inline const net::MsgKind kQuery = net::MsgKind::intern("focus.query");
+inline const net::MsgKind kQueryResponse = net::MsgKind::intern("focus.query_response");
+inline const net::MsgKind kGroupQuery = net::MsgKind::intern("focus.group_query");
+inline const net::MsgKind kMemberState = net::MsgKind::intern("focus.member_state");
+inline const net::MsgKind kGroupResponse = net::MsgKind::intern("focus.group_response");
+inline const net::MsgKind kNodeQuery = net::MsgKind::intern("focus.node_query");
+inline const net::MsgKind kNodeState = net::MsgKind::intern("focus.node_state");
 
 /// Estimated wire bytes of a NodeState (JSON-ish: per-attribute key+value).
 inline std::size_t wire_size_of(const NodeState& s) {
@@ -169,12 +170,12 @@ struct GroupReportPayload final : net::Payload {
 // Materialized views (§XII future work, implemented as an extension):
 // standing queries kept up to date by node-side event triggers.
 
-inline constexpr const char* kViewRegister = "focus.view_register";
-inline constexpr const char* kViewAck = "focus.view_ack";
-inline constexpr const char* kViewUnregister = "focus.view_unregister";
-inline constexpr const char* kViewInstall = "focus.view_install";
-inline constexpr const char* kViewEvent = "focus.view_event";
-inline constexpr const char* kViewNotify = "focus.view_notify";
+inline const net::MsgKind kViewRegister = net::MsgKind::intern("focus.view_register");
+inline const net::MsgKind kViewAck = net::MsgKind::intern("focus.view_ack");
+inline const net::MsgKind kViewUnregister = net::MsgKind::intern("focus.view_unregister");
+inline const net::MsgKind kViewInstall = net::MsgKind::intern("focus.view_install");
+inline const net::MsgKind kViewEvent = net::MsgKind::intern("focus.view_event");
+inline const net::MsgKind kViewNotify = net::MsgKind::intern("focus.view_notify");
 
 /// Application -> service: materialize `query` and stream membership changes
 /// to `subscriber`.

@@ -9,12 +9,12 @@
 namespace focus::gossip {
 
 namespace {
-constexpr const char* kPing = "swim.ping";
-constexpr const char* kAck = "swim.ack";
-constexpr const char* kPingReq = "swim.ping_req";
-constexpr const char* kJoin = "swim.join";
-constexpr const char* kMemberList = "swim.member_list";
-constexpr const char* kEvent = "swim.event";
+const net::MsgKind kPing = net::MsgKind::intern("swim.ping");
+const net::MsgKind kAck = net::MsgKind::intern("swim.ack");
+const net::MsgKind kPingReq = net::MsgKind::intern("swim.ping_req");
+const net::MsgKind kJoin = net::MsgKind::intern("swim.join");
+const net::MsgKind kMemberList = net::MsgKind::intern("swim.member_list");
+const net::MsgKind kEvent = net::MsgKind::intern("swim.event");
 
 // Tombstones (Dead/Left members) are garbage collected after this long so
 // stale piggybacks cannot resurrect them, but the map stays bounded.

@@ -8,10 +8,10 @@
 
 namespace focus::mq {
 
-inline constexpr const char* kPublish = "mq.publish";
-inline constexpr const char* kDeliver = "mq.deliver";
-inline constexpr const char* kSubscribe = "mq.subscribe";
-inline constexpr const char* kAck = "mq.ack";
+inline const net::MsgKind kPublish = net::MsgKind::intern("mq.publish");
+inline const net::MsgKind kDeliver = net::MsgKind::intern("mq.deliver");
+inline const net::MsgKind kSubscribe = net::MsgKind::intern("mq.subscribe");
+inline const net::MsgKind kAck = net::MsgKind::intern("mq.ack");
 
 /// Queue semantics.
 enum class QueueMode {

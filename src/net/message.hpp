@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "net/msg_kind.hpp"
 
 namespace focus::net {
 
@@ -44,11 +45,12 @@ struct Payload {
 /// the accounting legible).
 inline constexpr std::size_t kWireOverheadBytes = 60;
 
-/// A message in flight. Copyable (payload shared).
+/// A message in flight. Copyable (payload shared); copying allocates
+/// nothing — the kind is an interned tag, not a string.
 struct Message {
   Address from;
   Address to;
-  std::string kind;                        ///< dispatch tag, e.g. "swim.ping"
+  MsgKind kind;                            ///< dispatch tag, e.g. "swim.ping"
   std::shared_ptr<const Payload> payload;  ///< may be null for empty-body messages
 
   /// Total accounted bytes: overhead plus payload body.
@@ -66,8 +68,8 @@ struct Message {
 
 /// Convenience: build a message with a freshly allocated payload.
 template <typename T, typename... Args>
-Message make_message(Address from, Address to, std::string kind, Args&&... args) {
-  return Message{from, to, std::move(kind),
+Message make_message(Address from, Address to, MsgKind kind, Args&&... args) {
+  return Message{from, to, kind,
                  std::make_shared<const T>(T{std::forward<Args>(args)...})};
 }
 

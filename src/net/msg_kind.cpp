@@ -1,0 +1,52 @@
+#include "net/msg_kind.hpp"
+
+#include <deque>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace focus::net {
+
+namespace {
+
+/// Process-wide intern table. names is a deque so stored strings never move:
+/// the by_name keys are views into them. Function-local static avoids any
+/// initialization-order dependence between the translation units that intern
+/// kinds at static-init time.
+struct Registry {
+  std::deque<std::string> names{"(none)"};  // index 0 = the default tag
+  std::unordered_map<std::string_view, std::uint16_t> by_name;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+MsgKind MsgKind::intern(std::string_view name) {
+  FOCUS_CHECK(!name.empty()) << "message kinds need a spelling";
+  Registry& reg = registry();
+  if (const auto it = reg.by_name.find(name); it != reg.by_name.end()) {
+    return MsgKind(it->second);
+  }
+  FOCUS_CHECK_LT(reg.names.size(), 65536u) << "message-kind table exhausted";
+  const auto value = static_cast<std::uint16_t>(reg.names.size());
+  reg.names.emplace_back(name);
+  reg.by_name.emplace(reg.names.back(), value);
+  return MsgKind(value);
+}
+
+std::string_view MsgKind::name() const {
+  return registry().names[value_];
+}
+
+std::string to_string(MsgKind kind) { return std::string(kind.name()); }
+
+std::ostream& operator<<(std::ostream& os, MsgKind kind) {
+  return os << kind.name();
+}
+
+}  // namespace focus::net

@@ -1,0 +1,57 @@
+#pragma once
+// Interned message-kind tags. A Message's dispatch tag used to be a
+// std::string ("swim.ping", ...), which made every send allocate and every
+// dispatch compare bytes. MsgKind interns each distinct kind string once in
+// a process-wide table and carries only a 16-bit index: construction is a
+// copy of two bytes, comparison is an integer compare, and the original
+// spelling stays reachable for logs via name().
+//
+// Kinds are interned at namespace scope next to their payload definitions
+// (e.g. focus/messages.hpp), so the table is populated during static
+// initialization and stable long before any message flows.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace focus::net {
+
+class MsgKind {
+ public:
+  /// The "no kind" tag; never equal to any interned kind.
+  constexpr MsgKind() noexcept = default;
+
+  /// Intern `name` (idempotent: the same spelling always yields the same
+  /// tag). Empty names are rejected by FOCUS_CHECK.
+  static MsgKind intern(std::string_view name);
+
+  /// The interned spelling ("(none)" for a default-constructed tag).
+  std::string_view name() const;
+
+  /// The raw table index (0 for the default-constructed tag). Stable within
+  /// a process; assigned in interning order, so not meaningful across runs.
+  constexpr std::uint16_t value() const noexcept { return value_; }
+
+  constexpr explicit operator bool() const noexcept { return value_ != 0; }
+
+  friend constexpr bool operator==(MsgKind, MsgKind) noexcept = default;
+
+ private:
+  constexpr explicit MsgKind(std::uint16_t value) noexcept : value_(value) {}
+
+  std::uint16_t value_ = 0;
+};
+
+/// Render the interned spelling (for logs and test failure messages).
+std::string to_string(MsgKind kind);
+std::ostream& operator<<(std::ostream& os, MsgKind kind);
+
+}  // namespace focus::net
+
+template <>
+struct std::hash<focus::net::MsgKind> {
+  std::size_t operator()(focus::net::MsgKind kind) const noexcept {
+    return std::hash<std::uint16_t>{}(kind.value());
+  }
+};

@@ -4,11 +4,16 @@
 
 namespace focus::net {
 
+namespace {
+/// Loopback (same-node) delivery latency: kernel-bypass, not WAN.
+constexpr Duration kLoopbackDelay = 50;
+}  // namespace
+
 SimTransport::SimTransport(sim::Simulator& simulator, Topology& topology, Rng rng)
     : simulator_(simulator), topology_(topology), rng_(std::move(rng)) {}
 
 void SimTransport::bind(const Address& addr, Handler handler) {
-  handlers_[addr] = std::move(handler);
+  handlers_[addr] = std::make_shared<const Handler>(std::move(handler));
 }
 
 void SimTransport::unbind(const Address& addr) { handlers_.erase(addr); }
@@ -22,26 +27,17 @@ void SimTransport::set_node_down(NodeId node, bool down) {
 }
 
 void SimTransport::send(Message msg) {
-  const std::size_t bytes = msg.wire_bytes();
   if (down_.count(msg.from.node) > 0) {
     return;  // a dead node transmits nothing
   }
   // Loopback (same-node) messages never touch the NIC: deliver almost
-  // immediately and charge no bandwidth. This matters for colocated
-  // deployments (e.g. a broker on the controller host).
+  // immediately, charge no bandwidth, and skip datagram loss. This matters
+  // for colocated deployments (e.g. a broker on the controller host).
   if (msg.from.node == msg.to.node) {
-    simulator_.schedule_after(50, [this, m = std::move(msg)]() {
-      auto it = handlers_.find(m.to);
-      if (down_.count(m.to.node) > 0 || it == handlers_.end()) {
-        stats_.count_dropped();
-        return;
-      }
-      stats_.count_delivered();
-      Handler h = it->second;
-      h(m);
-    });
+    deliver_at(kLoopbackDelay, std::move(msg), /*rx_bytes=*/0);
     return;
   }
+  const std::size_t bytes = msg.wire_bytes();
   stats_.record_tx(msg.from.node, bytes);
   if (down_.count(msg.to.node) > 0 || (loss_rate_ > 0 && rng_.chance(loss_rate_))) {
     stats_.count_dropped();
@@ -49,19 +45,26 @@ void SimTransport::send(Message msg) {
   }
   const Duration latency =
       topology_.sample_latency(msg.from.node, msg.to.node, rng_);
-  simulator_.schedule_after(latency, [this, bytes, m = std::move(msg)]() {
+  deliver_at(latency, std::move(msg), bytes);
+}
+
+void SimTransport::deliver_at(Duration delay, Message msg, std::size_t rx_bytes) {
+  // One move of the Message into the closure; the closure itself fits the
+  // kernel's inline task storage, so a send schedules without allocating.
+  simulator_.schedule_after(delay, [this, rx_bytes, m = std::move(msg)]() {
     // Receiver may have died or unbound while the message was in flight; rx
     // is charged only on actual delivery to a handler.
-    auto it = handlers_.find(m.to);
+    const auto it = handlers_.find(m.to);
     if (down_.count(m.to.node) > 0 || it == handlers_.end()) {
       stats_.count_dropped();
       return;
     }
-    stats_.record_rx(m.to.node, bytes);
+    if (rx_bytes > 0) stats_.record_rx(m.to.node, rx_bytes);
     stats_.count_delivered();
-    // Copy the handler: it may unbind/rebind itself while running.
-    Handler h = it->second;
-    h(m);
+    // Pin the handler (it may unbind/rebind itself while running) with a
+    // refcount bump instead of copying the std::function.
+    const HandlerPtr handler = it->second;
+    (*handler)(m);
   });
 }
 

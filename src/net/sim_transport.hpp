@@ -2,6 +2,8 @@
 // Simulated transport: delivers messages through the discrete-event kernel
 // with WAN latencies from the Topology and full bandwidth accounting.
 
+#include <cstddef>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -42,10 +44,22 @@ class SimTransport final : public Transport {
   Topology& topology() noexcept { return topology_; }
 
  private:
+  /// Handlers are held behind shared_ptr so a delivery can pin the callable
+  /// with a refcount bump instead of deep-copying a std::function, while a
+  /// handler that unbinds/rebinds itself mid-call stays alive to finish.
+  using HandlerPtr = std::shared_ptr<const Handler>;
+
+  /// Single delivery path shared by the loopback and remote branches of
+  /// send(): schedules the handler lookup, down/unbound drop accounting, and
+  /// dispatch `delay` microseconds from now. `rx_bytes` is charged to the
+  /// receiver on successful delivery (0 for loopback, which never touches
+  /// the NIC).
+  void deliver_at(Duration delay, Message msg, std::size_t rx_bytes);
+
   sim::Simulator& simulator_;
   Topology& topology_;
   Rng rng_;
-  std::unordered_map<Address, Handler> handlers_;
+  std::unordered_map<Address, HandlerPtr> handlers_;
   std::unordered_set<NodeId> down_;
   double loss_rate_ = 0;
   NetStats stats_;

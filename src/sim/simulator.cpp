@@ -7,11 +7,253 @@
 
 namespace focus::sim {
 
+// ---------------------------------------------------------------------------
+// Slab management
+
+std::uint32_t Simulator::alloc_slot() {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    FOCUS_CHECK_LT(slab_size_, kNil) << "event slab exhausted";
+    slot = slab_size_++;
+    if ((slot & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+    }
+    states_.emplace_back();
+  }
+  SlotState& st = states_[slot];
+  ++st.gen;  // fresh slots go 0 -> 1, so generation 0 is never issued
+  FOCUS_CHECK_NE(st.gen, 0u) << "slot generation wrapped";
+  return slot;  // becomes live when bucket_append links it
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  record(slot).task.reset();
+  states_[slot].bucket = kNil;
+  free_.push_back(slot);
+}
+
+// ---------------------------------------------------------------------------
+// Bucket FIFO chains. All events scheduled for one instant share a bucket;
+// the chain order is creation order, which is exactly the (time, seq)
+// execution order the pre-slab kernel used, so digests are unchanged.
+
+void Simulator::bucket_append(std::uint32_t b, std::uint32_t slot) {
+  Bucket& bk = buckets_[b];
+  SlotState& st = states_[slot];
+  st.bucket = b;
+  st.prev = bk.tail;
+  st.next = kNil;
+  if (bk.tail != kNil) {
+    states_[bk.tail].next = slot;
+  } else {
+    bk.head = slot;
+  }
+  bk.tail = slot;
+}
+
+void Simulator::bucket_unlink(std::uint32_t b, std::uint32_t slot) {
+  Bucket& bk = buckets_[b];
+  const SlotState& st = states_[slot];
+  if (st.prev != kNil) {
+    states_[st.prev].next = st.next;
+  } else {
+    bk.head = st.next;
+  }
+  if (st.next != kNil) {
+    states_[st.next].prev = st.prev;
+  } else {
+    bk.tail = st.prev;
+  }
+}
+
+std::uint32_t Simulator::bucket_for(SimTime t) {
+  const std::uint32_t found = index_find(t);
+  if (found != kNil) return found;
+  std::uint32_t b;
+  if (!bucket_free_.empty()) {
+    b = bucket_free_.back();
+    bucket_free_.pop_back();
+  } else {
+    FOCUS_CHECK_LT(buckets_.size(), static_cast<std::size_t>(kNil))
+        << "bucket slab exhausted";
+    b = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  Bucket& bk = buckets_[b];
+  bk.time = t;
+  bk.head = kNil;
+  bk.tail = kNil;
+  heap_push(t, b);
+  index_insert(t, b);
+  return b;
+}
+
+void Simulator::retire_bucket(std::uint32_t b) {
+  FOCUS_DCHECK_EQ(buckets_[b].head, kNil);
+  heap_remove(buckets_[b].heap_pos);
+  index_erase(buckets_[b].time);
+  bucket_free_.push_back(b);
+}
+
+// ---------------------------------------------------------------------------
+// 4-ary indexed min-heap over buckets (distinct timestamps). Each bucket
+// stores its own heap position, so removing an emptied bucket jumps straight
+// to its entry instead of leaving a tombstone. The ordering key is embedded
+// in the heap entries, so the sift loops compare against contiguous memory;
+// buckets are only *written* (heap_pos) when an entry actually moves, using
+// the hole technique so each displaced entry moves exactly once.
+
+void Simulator::heap_push(SimTime time, std::uint32_t bucket) {
+  heap_.push_back(HeapEntry{time, bucket});
+  buckets_[bucket].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::sift_up(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    buckets_[heap_[pos].bucket].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  buckets_[entry.bucket].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::sift_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[pos];
+  for (;;) {
+    const std::size_t first_child = 4 * pos + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      // Branchless select: mispredicted picks would otherwise dominate.
+      best = before(heap_[c], heap_[best]) ? c : best;
+    }
+    if (!before(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    buckets_[heap_[pos].bucket].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = entry;
+  buckets_[entry.bucket].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::heap_remove(std::size_t pos) {
+  FOCUS_DCHECK_LT(pos, heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  const HeapEntry moved = heap_[last];
+  heap_[pos] = moved;
+  buckets_[moved.bucket].heap_pos = static_cast<std::uint32_t>(pos);
+  heap_.pop_back();
+  // The displaced entry may belong above or below its new position.
+  sift_down(pos);
+  sift_up(buckets_[moved.bucket].heap_pos);
+}
+
+// ---------------------------------------------------------------------------
+// Time index: open addressing with linear probing. Deletion backward-shifts
+// the probe run instead of leaving tombstones, so lookups stay short-lived
+// and the table's layout is a pure function of the insert/erase history —
+// deterministic across runs.
+
+std::uint64_t Simulator::hash_time(SimTime t) noexcept {
+  // splitmix64-style finalizer: full avalanche so microsecond-adjacent
+  // timestamps spread over the table.
+  auto x = static_cast<std::uint64_t>(t);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+void Simulator::index_grow() {
+  const std::size_t new_size = index_.empty() ? 16 : index_.size() * 2;
+  std::vector<IndexCell> old = std::move(index_);
+  index_.assign(new_size, IndexCell{0, kNil});
+  const std::size_t mask = new_size - 1;
+  for (const IndexCell& cell : old) {
+    if (cell.bucket == kNil) continue;
+    std::size_t i = hash_time(cell.time) & mask;
+    while (index_[i].bucket != kNil) i = (i + 1) & mask;
+    index_[i] = cell;
+  }
+}
+
+void Simulator::index_insert(SimTime t, std::uint32_t bucket) {
+  // Keep load factor under 3/4 so probe runs stay short.
+  if ((index_count_ + 1) * 4 > index_.size() * 3) index_grow();
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = hash_time(t) & mask;
+  while (index_[i].bucket != kNil) i = (i + 1) & mask;
+  index_[i] = IndexCell{t, bucket};
+  ++index_count_;
+}
+
+void Simulator::index_erase(SimTime t) {
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = hash_time(t) & mask;
+  // The entry exists (callers erase only indexed times) and probe runs are
+  // compact (no tombstones), so this terminates at the entry.
+  while (index_[i].bucket == kNil || index_[i].time != t) i = (i + 1) & mask;
+  // Backward-shift: repeatedly pull the next entry of the probe run that is
+  // allowed to live at the hole (its home slot is not cyclically inside
+  // (hole, candidate]) until the run ends.
+  for (;;) {
+    index_[i].bucket = kNil;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (index_[j].bucket == kNil) {
+        --index_count_;
+        return;
+      }
+      const std::size_t home = hash_time(index_[j].time) & mask;
+      const bool movable =
+          (i <= j) ? (home <= i || home > j) : (home <= i && home > j);
+      if (movable) break;
+    }
+    index_[i] = index_[j];
+    i = j;
+  }
+}
+
+std::uint32_t Simulator::index_find(SimTime t) const noexcept {
+  if (index_count_ == 0) return kNil;
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = hash_time(t) & mask;
+  while (index_[i].bucket != kNil) {
+    if (index_[i].time == t) return index_[i].bucket;
+    i = (i + 1) & mask;
+  }
+  return kNil;
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+
 TimerId Simulator::schedule_at(SimTime t, Task task) {
-  const TimerId id = next_id_++;
-  tasks_.emplace(id, std::make_shared<Task>(std::move(task)));
-  queue_.push(QueueEntry{std::max(t, now_), next_seq_++, id});
-  return id;
+  const std::uint32_t slot = alloc_slot();
+  Event& ev = record(slot);
+  ev.task = std::move(task);
+  ev.digest_id = next_digest_id_++;
+  ev.period = 0;
+  bucket_append(bucket_for(std::max(t, now_)), slot);
+  ++live_;
+  return make_id(slot, states_[slot].gen);
 }
 
 TimerId Simulator::schedule_after(Duration delay, Task task) {
@@ -23,52 +265,128 @@ TimerId Simulator::every(Duration interval, Task task, Duration first_delay) {
   // A zero/negative interval would re-arm at the current instant forever and
   // pin the virtual clock; this must hold in Release builds too.
   FOCUS_CHECK_GT(interval, 0) << "periodic task would never advance the clock";
-  const TimerId id = next_id_++;
-  tasks_.emplace(id, std::make_shared<Task>(std::move(task)));
-  periodic_.emplace(id, interval);
-  const Duration delay = first_delay >= 0 ? first_delay : interval;
-  queue_.push(QueueEntry{now_ + delay, next_seq_++, id});
-  return id;
+  const std::uint32_t slot = alloc_slot();
+  Event& ev = record(slot);
+  ev.task = std::move(task);
+  ev.digest_id = next_digest_id_++;
+  ev.period = interval;
+  bucket_append(
+      bucket_for(now_ + (first_delay >= 0 ? first_delay : interval)), slot);
+  ++live_;
+  return make_id(slot, states_[slot].gen);
 }
 
 void Simulator::cancel(TimerId id) {
-  tasks_.erase(id);
-  periodic_.erase(id);
-  // Stale queue entries are skipped lazily in step().
+  const auto slot = static_cast<std::uint32_t>(id);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0) return;  // 0 / small sentinel values: never an issued id
+  FOCUS_CHECK_LT(slot, slab_size_)
+      << "cancel of a TimerId this simulator never issued";
+  const SlotState st = states_[slot];
+  FOCUS_CHECK_LE(gen, st.gen)
+      << "cancel of a TimerId from a future generation (corrupt or foreign id)";
+  if (gen != st.gen || st.bucket == kNil) return;  // fired/cancelled/recycled
+  const std::uint32_t b = st.bucket;
+  bucket_unlink(b, slot);
+  release_slot(slot);
+  --live_;
+  // Retire the instant eagerly when its last event is cancelled — no
+  // tombstones, and next_event_time() stays exact. A bucket some enclosing
+  // step() frame is executing out of is left in place (still indexed, at
+  // time == now()); that frame retires it once its task returns.
+  if (buckets_[b].head == kNil && !bucket_executing(b)) retire_bucket(b);
 }
 
-void Simulator::mix_digest(SimTime time, TimerId id) noexcept {
+void Simulator::mix_digest(SimTime time, std::uint64_t digest_id) noexcept {
   constexpr std::uint64_t kFnvPrime = 1099511628211ull;
   digest_ = (digest_ ^ static_cast<std::uint64_t>(time)) * kFnvPrime;
-  digest_ = (digest_ ^ id) * kFnvPrime;
+  digest_ = (digest_ ^ digest_id) * kFnvPrime;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    auto it = tasks_.find(entry.id);
-    if (it == tasks_.end()) continue;  // cancelled
-    FOCUS_DCHECK_GE(entry.time, now_) << "event queue lost time ordering";
-    now_ = entry.time;
-    mix_digest(entry.time, entry.id);
-    auto periodic_it = periodic_.find(entry.id);
-    if (periodic_it != periodic_.end()) {
-      // Re-arm before running so the task may cancel itself. Hold the task
-      // by shared_ptr: the map can rehash if the task schedules new events.
-      queue_.push(QueueEntry{now_ + periodic_it->second, next_seq_++, entry.id});
-      ++executed_;
-      const std::shared_ptr<Task> task = it->second;
-      (*task)();
+  if (heap_.empty()) return false;
+  const SimTime time = heap_[0].time;
+  const std::uint32_t b = heap_[0].bucket;
+  const std::uint32_t slot = buckets_[b].head;
+  FOCUS_DCHECK_GE(time, now_) << "event queue lost time ordering";
+  now_ = time;
+  Event& ev = record(slot);  // address-stable across everything below
+  mix_digest(time, ev.digest_id);
+  ++executed_;
+  {
+    // Pop the front of the instant's FIFO chain.
+    Bucket& bk = buckets_[b];
+    const std::uint32_t next = states_[slot].next;
+    bk.head = next;
+    if (next != kNil) {
+      states_[next].prev = kNil;
     } else {
-      const std::shared_ptr<Task> task = std::move(it->second);
-      tasks_.erase(it);
-      ++executed_;
-      (*task)();
+      bk.tail = kNil;
     }
-    return true;
   }
-  return false;
+  if (ev.period > 0) {
+    // Re-arm before running so the task may cancel itself. Appending to the
+    // target bucket's tail reproduces the old fresh-sequence tie-break: the
+    // re-armed event runs after anything already scheduled for that instant.
+    const SimTime rearm = time + ev.period;
+    bool retired_early = false;
+    if (buckets_[b].head == kNil && index_find(rearm) == kNil) {
+      // The instant emptied and the target instant is new: re-key this
+      // bucket in place — no allocation, no heap push/remove, and the root
+      // entry's time only grows, so one sift_down restores order. This is
+      // the steady state of an isolated periodic (every gossip round timer).
+      index_erase(time);
+      Bucket& bk = buckets_[b];
+      bk.time = rearm;
+      heap_[bk.heap_pos].time = rearm;
+      sift_down(bk.heap_pos);
+      index_insert(rearm, b);
+      bucket_append(b, slot);
+    } else {
+      bucket_append(bucket_for(rearm), slot);
+      if (buckets_[b].head == kNil) {
+        retire_bucket(b);  // nothing references the old instant any more
+        retired_early = true;
+      }
+    }
+    // Run the callable from a local: the record may be freed if the task
+    // cancels itself, and a freed slot may even be recycled by a schedule
+    // from inside the task — the callable must not be destroyed or
+    // overwritten mid-execution. The move is cheap (SBO relocate), with no
+    // refcount traffic.
+    const std::uint32_t gen = states_[slot].gen;
+    UniqueTask task = std::move(ev.task);
+    if (!retired_early) executing_buckets_.push_back(b);
+    task();
+    if (!retired_early) {
+      executing_buckets_.pop_back();
+      if (buckets_[b].head == kNil) retire_bucket(b);
+    }
+    // Re-read the slot state (by index: the states_ vector may have grown):
+    // move the callable back only if the record was neither retired
+    // (self-cancel) nor its slot recycled (generation moved on).
+    const SlotState after = states_[slot];
+    if (after.bucket != kNil && after.gen == gen) {
+      ev.task = std::move(task);
+    }
+  } else {
+    // One-shot: mark the slot dead first, mirroring the pre-slab kernel
+    // (the map entry was erased before invocation) so a task cancelling its
+    // own id is a stale no-op. The slot is NOT freed until the callable
+    // returns — record addresses are stable and the slot cannot be recycled
+    // mid-execution, so the callable fires in place: one fused
+    // invoke+destroy indirect call, no move out. The bucket is guarded for
+    // the duration of the call so a reentrant cancel that empties it leaves
+    // retirement to this frame.
+    states_[slot].bucket = kNil;
+    --live_;
+    executing_buckets_.push_back(b);
+    ev.task.consume();
+    executing_buckets_.pop_back();
+    free_.push_back(slot);  // release; the callable is already destroyed
+    if (buckets_[b].head == kNil) retire_bucket(b);
+  }
+  return true;
 }
 
 void Simulator::run() {
@@ -77,16 +395,54 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty()) {
-    // Skip cancelled entries without advancing time.
-    if (tasks_.find(queue_.top().id) == tasks_.end()) {
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().time > t) break;
+  // No tombstones to skip: the heap root is always the earliest live instant.
+  while (!heap_.empty() && heap_[0].time <= t) {
     step();
   }
   now_ = std::max(now_, t);
+}
+
+bool Simulator::queue_consistent() const {
+  if (slab_size_ != states_.size()) return false;
+  // Slot accounting: live + free covers the slab, and the live count below
+  // must also equal the sum of all bucket chain lengths.
+  std::size_t live = 0;
+  for (const SlotState& st : states_) {
+    if (st.bucket != kNil) ++live;
+  }
+  if (live != live_) return false;
+  if (live + free_.size() != slab_size_) return false;
+  // Active buckets + recycled buckets cover the bucket slab, and the index
+  // maps exactly the active instants.
+  if (heap_.size() + bucket_free_.size() != buckets_.size()) return false;
+  if (index_count_ != heap_.size()) return false;
+  std::size_t chained = 0;
+  for (std::size_t pos = 0; pos < heap_.size(); ++pos) {
+    const HeapEntry& entry = heap_[pos];
+    if (entry.bucket >= buckets_.size()) return false;
+    const Bucket& bk = buckets_[entry.bucket];
+    if (bk.heap_pos != pos) return false;
+    if (bk.time != entry.time) return false;
+    if (index_find(entry.time) != entry.bucket) return false;
+    // 4-ary heap property; bucket times are unique so order is strict.
+    if (pos > 0 && !before(heap_[(pos - 1) / 4], entry)) return false;
+    // An empty bucket may only exist while a step() frame executes from it.
+    if (bk.head == kNil && !bucket_executing(entry.bucket)) return false;
+    // Walk the FIFO chain: doubly linked, every member owned by this bucket.
+    std::uint32_t prev = kNil;
+    for (std::uint32_t slot = bk.head; slot != kNil;
+         slot = states_[slot].next) {
+      if (slot >= states_.size()) return false;
+      const SlotState& st = states_[slot];
+      if (st.bucket != entry.bucket) return false;
+      if (st.prev != prev) return false;
+      prev = slot;
+      ++chained;
+      if (chained > live) return false;  // cycle guard
+    }
+    if (bk.tail != prev) return false;
+  }
+  return chained == live;
 }
 
 }  // namespace focus::sim

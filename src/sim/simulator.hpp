@@ -3,19 +3,36 @@
 // in this repository (gossip agents, the FOCUS service, brokers, baselines)
 // executes on top of this kernel: components schedule closures at simulated
 // times and the kernel runs them in (time, sequence) order.
+//
+// Internals (see DESIGN.md "Kernel internals"): events live in a slab of
+// address-stable recycled records addressed by generation-tagged TimerIds.
+// Events that share an instant — the common case in a synchronized
+// distributed system (gossip rounds, report intervals, fixed retry offsets)
+// — are chained into a FIFO bucket per distinct timestamp, and only the
+// buckets are ordered, by a 4-ary indexed min-heap: scheduling into an
+// existing instant and draining a burst are O(1) per event, heap work
+// amortizes over distinct times instead of events. cancel() unlinks the
+// event immediately — no tombstones — so the execute path never consults a
+// lookup table and next_event_time() is exact. Callables are move-only
+// small-buffer-optimized UniqueTasks: scheduling does not heap-allocate for
+// ordinary closures, one-shots fire in place with a single fused
+// invoke+destroy call, and periodic re-arms involve no refcount churn.
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/unique_task.hpp"
 
 namespace focus::sim {
 
-/// Identifies a scheduled (cancellable) event or periodic task.
+/// Identifies a scheduled (cancellable) event or periodic task. Encodes the
+/// slab slot in the low 32 bits and the slot's allocation generation in the
+/// high 32 bits, so a stale id (its event fired, was cancelled, or its slot
+/// was recycled) is recognized in O(1) and cancelled harmlessly as a no-op.
+/// A generation field of zero is never issued: 0 (and any small integer)
+/// is a safe "no timer" sentinel.
 using TimerId = std::uint64_t;
 
 /// Discrete-event scheduler with a virtual clock.
@@ -25,7 +42,7 @@ using TimerId = std::uint64_t;
 /// DESIGN.md ("Determinism").
 class Simulator {
  public:
-  using Task = std::function<void()>;
+  using Task = UniqueTask;
 
   /// Current simulated time (microseconds since scenario start).
   SimTime now() const noexcept { return now_; }
@@ -42,7 +59,11 @@ class Simulator {
   TimerId every(Duration interval, Task task, Duration first_delay = -1);
 
   /// Cancel a pending timer or periodic task. Cancelling an already-fired
-  /// one-shot timer or an unknown id is a harmless no-op.
+  /// one-shot timer, an already-cancelled id, or an id whose slot has been
+  /// recycled is a harmless no-op (the generation tag detects staleness).
+  /// An id this simulator could never have issued — unknown slot, or a
+  /// generation newer than the slot has reached — indicates a corrupt or
+  /// foreign TimerId and fails a FOCUS_CHECK.
   void cancel(TimerId id);
 
   /// Process the single next event. Returns false when the queue is empty.
@@ -58,50 +79,169 @@ class Simulator {
   void run_for(Duration d) { run_until(now_ + d); }
 
   /// Number of scheduled (not yet cancelled) events.
-  std::size_t pending() const noexcept { return tasks_.size(); }
+  std::size_t pending() const noexcept { return live_; }
 
   /// Total events executed so far (for kernel benchmarks).
   std::uint64_t executed() const noexcept { return executed_; }
 
-  /// Time of the earliest queued entry (including lazily-cancelled slots),
-  /// or now() when the queue is empty. The heap keeps its minimum at the
-  /// top, so `next_event_time() >= now()` certifies the whole queue is in
-  /// the future — the monotonicity invariant the audit layer verifies.
+  /// Time of the earliest pending event, or now() when the queue is empty.
+  /// Exact: cancellation removes events (and emptied time buckets) eagerly,
+  /// so this is the precise instant the kernel will execute next, and
+  /// `next_event_time() >= now()` certifies the whole queue is in the
+  /// future — the monotonicity invariant the audit layer verifies.
   SimTime next_event_time() const {
-    return queue_.empty() ? now_ : queue_.top().time;
+    return heap_.empty() ? now_ : heap_[0].time;
   }
 
   /// Order-sensitive FNV-1a digest over every executed event's (time, id).
   /// Two runs of the same seeded scenario must produce identical digests;
-  /// the determinism ctest (tests/test_audit.cpp) enforces this.
+  /// the determinism ctest (tests/test_audit.cpp) enforces this. The id
+  /// folded in is the event's creation-order sequence number (1, 2, ...),
+  /// not the slot-encoded TimerId, so digests are byte-compatible with the
+  /// pre-slab kernel and independent of slot recycling.
   std::uint64_t digest() const noexcept { return digest_; }
 
+  /// Structural self-check for the audit layer: bucket FIFO chains are
+  /// doubly linked and sum to the live-event count, every bucket sits in
+  /// the heap exactly once at its recorded position and is findable through
+  /// the time index, the 4-ary heap property holds, and slot bookkeeping is
+  /// consistent. O(pending).
+  bool queue_consistent() const;
+
  private:
-  struct QueueEntry {
-    SimTime time;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
-    TimerId id;
-    bool operator>(const QueueEntry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// A slab record: the callable plus the cold per-event payload, touched
+  /// once at schedule time and once at fire time. digest_id and period lead
+  /// the layout so the fire path reads them and the task header from the
+  /// same cache line.
+  struct Event {
+    std::uint64_t digest_id = 0;  ///< creation-order id folded into digest()
+    Duration period = 0;          ///< 0 = one-shot
+    UniqueTask task;
   };
 
+  /// Scheduling-hot bookkeeping, parallel to the slab: the slot's
+  /// allocation generation plus its position in a bucket's FIFO chain.
+  /// A slot is live iff `bucket != kNil`.
+  struct SlotState {
+    std::uint32_t gen = 0;     ///< bumped on allocation; matches live ids
+    std::uint32_t bucket = kNil;
+    std::uint32_t prev = kNil;  ///< FIFO neighbours within the bucket
+    std::uint32_t next = kNil;
+  };
+
+  /// One distinct pending timestamp: a FIFO chain of the events scheduled
+  /// for that instant (appending preserves creation order, which is exactly
+  /// the old (time, seq) tie-break) plus its position in the bucket heap.
+  struct Bucket {
+    SimTime time = 0;
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t heap_pos = kNil;
+  };
+
+  /// One heap element. Bucket times are unique, so time alone is a total
+  /// order — no tie-break field, and 16-byte entries keep the sift loops'
+  /// comparisons inside at most two cache lines per node.
+  struct HeapEntry {
+    SimTime time;
+    std::uint32_t bucket;
+  };
+
+  /// One open-addressing index cell mapping a pending timestamp to its
+  /// bucket; `bucket == kNil` marks an empty cell.
+  struct IndexCell {
+    SimTime time;
+    std::uint32_t bucket;
+  };
+
+  /// Records live in fixed-size chunks so their addresses never change:
+  /// a firing task may grow the slab (scheduling from inside a task is the
+  /// common case), and stable addresses are what allow the one-shot fire
+  /// path to invoke the callable in place instead of moving it out first.
+  static constexpr std::uint32_t kChunkShift = 6;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Event& record(std::uint32_t slot) noexcept {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  const Event& record(std::uint32_t slot) const noexcept {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  static TimerId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<TimerId>(gen) << 32) | slot;
+  }
+
+  /// Take a slot from the free list (or grow the slab).
+  std::uint32_t alloc_slot();
+
+  /// Destroy a dead slot's callable and return it to the free list.
+  void release_slot(std::uint32_t slot);
+
+  /// Find the bucket for time `t`, creating (and heap-inserting) it if the
+  /// instant has no pending events yet.
+  std::uint32_t bucket_for(SimTime t);
+
+  /// Append `slot` to the tail of bucket `b`'s FIFO chain.
+  void bucket_append(std::uint32_t b, std::uint32_t slot);
+
+  /// Unlink `slot` from bucket `b`'s FIFO chain (any position).
+  void bucket_unlink(std::uint32_t b, std::uint32_t slot);
+
+  /// Remove a (now empty) bucket from the heap and the time index and
+  /// recycle it. Must not be called on a bucket an enclosing step() is
+  /// still executing from (see executing_buckets_).
+  void retire_bucket(std::uint32_t b);
+
+  /// True when an enclosing step() frame is executing out of bucket `b`.
+  bool bucket_executing(std::uint32_t b) const noexcept {
+    for (const std::uint32_t e : executing_buckets_) {
+      if (e == b) return true;
+    }
+    return false;
+  }
+
+  /// Heap order: earliest time wins (bucket times are unique).
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.time < b.time;
+  }
+
+  void heap_push(SimTime time, std::uint32_t bucket);
+  void heap_remove(std::size_t pos);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+
+  // Open-addressing time index (linear probing, backward-shift deletion, so
+  // lookups never scan tombstones and behaviour is deterministic).
+  static std::uint64_t hash_time(SimTime t) noexcept;
+  void index_grow();
+  void index_insert(SimTime t, std::uint32_t bucket);
+  void index_erase(SimTime t);
+  std::uint32_t index_find(SimTime t) const noexcept;
+
   /// Fold one executed event into the run digest.
-  void mix_digest(SimTime time, TimerId id) noexcept;
+  void mix_digest(SimTime time, std::uint64_t digest_id) noexcept;
 
   SimTime now_ = 0;
   std::uint64_t digest_ = 14695981039346656037ull;  // FNV-1a offset basis
-  std::uint64_t next_seq_ = 0;
-  TimerId next_id_ = 1;
+  std::uint64_t next_digest_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  // Tasks are held behind shared_ptr so a firing periodic task survives map
-  // rehash (tasks may schedule new events) without deep-copying the callable.
-  std::unordered_map<TimerId, std::shared_ptr<Task>> tasks_;
-  // Periodic tasks keep their interval here; the queue entry is re-armed
-  // after each firing under the same TimerId.
-  std::unordered_map<TimerId, Duration> periodic_;
+  std::size_t live_ = 0;         ///< scheduled, not yet fired or cancelled
+  std::uint32_t slab_size_ = 0;  ///< slots ever allocated (records + states)
+  std::vector<std::unique_ptr<Event[]>> chunks_;  ///< address-stable records
+  std::vector<SlotState> states_;    ///< parallel to the slab
+  std::vector<std::uint32_t> free_;  ///< recycled slots (LIFO)
+  std::vector<Bucket> buckets_;      ///< bucket slab (index-stable)
+  std::vector<std::uint32_t> bucket_free_;  ///< recycled buckets (LIFO)
+  std::vector<HeapEntry> heap_;      ///< 4-ary min-heap of distinct times
+  std::vector<IndexCell> index_;     ///< time -> bucket, open addressing
+  std::size_t index_count_ = 0;      ///< occupied index cells
+  /// Buckets the (possibly nested) step() frames are currently executing
+  /// from: cancel() leaves these in place when they empty — the owning
+  /// frame retires them after its task returns. Depth is almost always 1.
+  std::vector<std::uint32_t> executing_buckets_;
 };
 
 }  // namespace focus::sim

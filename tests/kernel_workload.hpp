@@ -1,0 +1,125 @@
+#pragma once
+// Randomized schedule/cancel/periodic workload for the event kernel, shared
+// by the property tests. The workload exercises every public Simulator
+// operation (one-shots, periodics, clamped past times, cancels, double
+// cancels, self-cancels, tasks that schedule from inside tasks) using only
+// decisions drawn from a seeded Rng, never from TimerId *values* — so the
+// observable results (digest, executed count, pending count, final clock)
+// are a pure function of the seed and must survive any internal rewrite of
+// the kernel. The golden values in test_sim.cpp were captured from the
+// pre-slab kernel (PR 1, commit c203a53) and pin that contract.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::sim {
+
+struct WorkloadResult {
+  std::uint64_t digest = 0;
+  std::uint64_t executed = 0;
+  std::size_t pending = 0;
+  SimTime final_now = 0;
+  std::uint64_t fires = 0;  ///< user-level task executions (sanity cross-check)
+
+  friend bool operator==(const WorkloadResult&, const WorkloadResult&) = default;
+};
+
+/// Run `target_events` kernel events' worth of randomized traffic and report
+/// the kernel's observable state.
+inline WorkloadResult run_kernel_workload(std::uint64_t seed,
+                                          std::uint64_t target_events) {
+  Simulator s;
+  Rng rng(seed);
+  std::uint64_t fires = 0;
+
+  // Ids are only ever selected by *position* chosen from the rng, so the
+  // workload is oblivious to the id encoding (sequential pre-rewrite,
+  // generation-tagged post-rewrite).
+  std::vector<TimerId> one_shots;
+  std::vector<TimerId> periodics;
+
+  // A task that sometimes chains another event: scheduling from inside a
+  // running task is the common case in protocol code.
+  struct Chain {
+    Simulator* s;
+    std::uint64_t* fires;
+    int depth;
+    void operator()() const {
+      ++*fires;
+      if (depth > 0) {
+        s->schedule_after(depth * 7, Chain{s, fires, depth - 1});
+      }
+    }
+  };
+
+  while (s.executed() < target_events) {
+    switch (rng.uniform_int(0, 9)) {
+      case 0:
+      case 1:
+      case 2: {  // plain one-shot
+        const Duration delay = rng.uniform_int(0, 5000);
+        one_shots.push_back(s.schedule_after(delay, [&fires] { ++fires; }));
+        break;
+      }
+      case 3: {  // one-shot that may land in the past (clamps to now)
+        const SimTime t = s.now() + rng.uniform_int(-1000, 1000);
+        one_shots.push_back(s.schedule_at(t, [&fires] { ++fires; }));
+        break;
+      }
+      case 4: {  // chaining task
+        one_shots.push_back(s.schedule_after(
+            rng.uniform_int(0, 500),
+            Chain{&s, &fires, static_cast<int>(rng.uniform_int(0, 4))}));
+        break;
+      }
+      case 5: {  // periodic
+        const Duration interval = rng.uniform_int(1, 400);
+        periodics.push_back(s.every(interval, [&fires] { ++fires; }));
+        break;
+      }
+      case 6: {  // cancel a random one-shot (often already fired: no-op)
+        if (!one_shots.empty()) s.cancel(one_shots[rng.index(one_shots.size())]);
+        break;
+      }
+      case 7: {  // double-cancel the same id
+        if (!one_shots.empty()) {
+          const TimerId id = one_shots[rng.index(one_shots.size())];
+          s.cancel(id);
+          s.cancel(id);
+        }
+        break;
+      }
+      case 8: {  // retire a random periodic
+        if (!periodics.empty()) {
+          const std::size_t i = rng.index(periodics.size());
+          s.cancel(periodics[i]);
+          periodics.erase(periodics.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      }
+      case 9: {  // advance the clock
+        s.run_for(rng.uniform_int(0, 2000));
+        break;
+      }
+    }
+  }
+
+  // Deterministic tail: stop the periodic traffic, drain a final window, and
+  // leave whatever one-shots remain beyond it pending.
+  for (const TimerId id : periodics) s.cancel(id);
+  s.run_for(1000);
+
+  WorkloadResult out;
+  out.digest = s.digest();
+  out.executed = s.executed();
+  out.pending = s.pending();
+  out.final_now = s.now();
+  out.fires = fires;
+  return out;
+}
+
+}  // namespace focus::sim

@@ -202,5 +202,19 @@ TEST(Determinism, DifferentSeedsDiverge) {
   EXPECT_NE(a.digest, b.digest);
 }
 
+// Golden replay: the digest captured before the slab-kernel rewrite (PR 2)
+// must survive any kernel change byte-for-byte — the event schedule is part
+// of the repository's observable behavior, not an implementation detail.
+// The value depends on the standard library's distribution implementations,
+// so it is pinned for the CI toolchain (libstdc++); regenerate with
+// tests/test_audit.cpp:run_scenario if the toolchain itself changes.
+TEST(Determinism, ChurnScenarioMatchesGoldenDigest) {
+  const DigestRun run = run_scenario(42);
+  EXPECT_EQ(run.digest, 13235867745684691822ull);
+  EXPECT_EQ(run.executed, 33769u);
+  EXPECT_EQ(run.groups, 23u);
+  EXPECT_EQ(run.results, 10u);
+}
+
 }  // namespace
 }  // namespace focus

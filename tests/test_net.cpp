@@ -23,7 +23,7 @@ class NetTest : public ::testing::Test {
   Message make(NodeId from, NodeId to, std::size_t bytes = 100) {
     auto payload = std::make_shared<Fixed>();
     payload->bytes = bytes;
-    return Message{{from, 1}, {to, 1}, "test", std::move(payload)};
+    return Message{{from, 1}, {to, 1}, MsgKind::intern("test"), std::move(payload)};
   }
 
   sim::Simulator simulator_;
@@ -35,7 +35,7 @@ TEST_F(NetTest, DeliversToBoundHandler) {
   int received = 0;
   transport_.bind({NodeId{2}, 1}, [&](const Message& m) {
     ++received;
-    EXPECT_EQ(m.kind, "test");
+    EXPECT_EQ(m.kind, MsgKind::intern("test"));
     EXPECT_EQ(m.from.node, NodeId{1});
   });
   transport_.send(make(NodeId{1}, NodeId{2}));
@@ -183,9 +183,9 @@ TEST(NetStats, DeltaSubtraction) {
 TEST(Message, WireBytesIncludesOverhead) {
   auto payload = std::make_shared<Fixed>();
   payload->bytes = 10;
-  Message m{{NodeId{1}, 1}, {NodeId{2}, 1}, "k", payload};
+  Message m{{NodeId{1}, 1}, {NodeId{2}, 1}, MsgKind::intern("k"), payload};
   EXPECT_EQ(m.wire_bytes(), 10 + kWireOverheadBytes);
-  Message empty{{NodeId{1}, 1}, {NodeId{2}, 1}, "k", nullptr};
+  Message empty{{NodeId{1}, 1}, {NodeId{2}, 1}, MsgKind::intern("k"), nullptr};
   EXPECT_EQ(empty.wire_bytes(), kWireOverheadBytes);
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "kernel_workload.hpp"
 #include "sim/simulator.hpp"
 
 namespace focus::sim {
@@ -139,6 +140,80 @@ TEST(Simulator, StepReturnsFalseWhenEmpty) {
   s.schedule_at(1, [] {});
   EXPECT_TRUE(s.step());
   EXPECT_FALSE(s.step());
+}
+
+// ---------------------------------------------------------------------------
+// Slab/generation id semantics (PR 2 kernel). A TimerId packs
+// (generation << 32 | slot); generation 0 is never issued, so legacy
+// sentinel values like 0 or 999 stay harmless no-ops, while ids that could
+// only be forged (a slot this simulator never allocated, or a generation
+// the slot has not reached yet) trip FOCUS_CHECK.
+
+TEST(Simulator, CancelOfRecycledSlotIsNoop) {
+  Simulator s;
+  bool first_ran = false;
+  bool second_ran = false;
+  const TimerId first = s.schedule_at(10, [&] { first_ran = true; });
+  s.cancel(first);  // frees the slot
+  // The freed slot is recycled for the next timer with a bumped generation.
+  const TimerId second = s.schedule_at(20, [&] { second_ran = true; });
+  EXPECT_EQ(static_cast<std::uint32_t>(second),
+            static_cast<std::uint32_t>(first));  // same slot...
+  EXPECT_NE(second, first);                      // ...new generation
+  // Cancelling the stale id again must not touch the recycled slot's timer.
+  s.cancel(first);
+  s.cancel(first);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(SimulatorDeath, CancelOfFutureGenerationDies) {
+  Simulator s;
+  const TimerId id = s.schedule_at(10, [] {});
+  // Same slot, generation the slot has not reached: only forgeable.
+  const TimerId forged = id + (std::uint64_t{1} << 32);
+  EXPECT_DEATH({ s.cancel(forged); }, "future generation");
+}
+
+TEST(SimulatorDeath, CancelOfNeverAllocatedSlotDies) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  // Non-zero generation on a slot far beyond anything this simulator issued.
+  const TimerId forged = (std::uint64_t{1} << 32) | 0xFFFFu;
+  EXPECT_DEATH({ s.cancel(forged); }, "never issued");
+}
+
+// ---------------------------------------------------------------------------
+// Golden workload replay. The values below were captured from the
+// pre-slab kernel (PR 1, commit c203a53) by running tests/kernel_workload.hpp
+// against it; the slab rewrite must reproduce them bit-for-bit — digest,
+// event count, pending count, and final clock are observable behavior.
+// They depend on the standard library's distribution implementations, so
+// they are pinned for the CI toolchain (libstdc++).
+
+constexpr std::uint64_t kWorkloadEvents = 1'000'000;
+
+TEST(KernelWorkloadGolden, Seed3) {
+  const WorkloadResult got = run_kernel_workload(3, kWorkloadEvents);
+  const WorkloadResult want{1181201132743817584ull, 1001034ull, 1u, 2618987,
+                            1001034ull};
+  EXPECT_EQ(got, want);
+}
+
+TEST(KernelWorkloadGolden, Seed7) {
+  const WorkloadResult got = run_kernel_workload(7, kWorkloadEvents);
+  const WorkloadResult want{135833571713836590ull, 1001647ull, 0u, 1660333,
+                            1001647ull};
+  EXPECT_EQ(got, want);
+}
+
+TEST(KernelWorkloadGolden, Seed99) {
+  const WorkloadResult got = run_kernel_workload(99, kWorkloadEvents);
+  const WorkloadResult want{18001719644620012154ull, 1000779ull, 2u, 1500256,
+                            1000779ull};
+  EXPECT_EQ(got, want);
 }
 
 TEST(Simulator, ManyTimersStressOrdering) {

@@ -104,7 +104,7 @@ TEST(Loopback, SameNodeMessagesAreFreeAndFast) {
   transport.bind({NodeId{1}, 2}, [&](const net::Message&) {
     delivered_at = simulator.now();
   });
-  transport.send(net::Message{{NodeId{1}, 1}, {NodeId{1}, 2}, "k",
+  transport.send(net::Message{{NodeId{1}, 1}, {NodeId{1}, 2}, net::MsgKind::intern("k"),
                               std::make_shared<Fixed>()});
   simulator.run();
 
@@ -123,7 +123,7 @@ TEST(Loopback, DownNodeDropsItsOwnLoopback) {
   int received = 0;
   transport.bind({NodeId{1}, 2}, [&](const net::Message&) { ++received; });
   transport.set_node_down(NodeId{1}, true);
-  transport.send(net::Message{{NodeId{1}, 1}, {NodeId{1}, 2}, "k",
+  transport.send(net::Message{{NodeId{1}, 1}, {NodeId{1}, 2}, net::MsgKind::intern("k"),
                               std::make_shared<Fixed>()});
   simulator.run();
   EXPECT_EQ(received, 0);
@@ -157,8 +157,8 @@ TEST(MqAcks, ConsumerAcksEveryDelivery) {
 
 TEST(MessageHelpers, MakeMessageConstructsTypedPayload) {
   auto msg = net::make_message<Fixed>(net::Address{NodeId{1}, 1},
-                                      net::Address{NodeId{2}, 1}, "kind");
-  EXPECT_EQ(msg.kind, "kind");
+                                      net::Address{NodeId{2}, 1}, net::MsgKind::intern("kind"));
+  EXPECT_EQ(msg.kind, net::MsgKind::intern("kind"));
   EXPECT_EQ(msg.as<Fixed>().bytes, 100u);
   EXPECT_EQ(msg.wire_bytes(), 100 + net::kWireOverheadBytes);
 }
@@ -178,7 +178,7 @@ TEST(MessageHelpers, PayloadSharingAcrossFanout) {
   for (int i = 0; i < 8; ++i) {
     copies.push_back(net::Message{{NodeId{1}, 1},
                                   {NodeId{static_cast<std::uint32_t>(2 + i)}, 1},
-                                  "k",
+                                  net::MsgKind::intern("k"),
                                   body});
   }
   EXPECT_EQ(body.use_count(), 1 + 8);
