@@ -36,9 +36,9 @@ Outcome run(int threshold) {
   Outcome out;
   out.mean_group = bed.service().dgm().mean_group_size();
   std::size_t populated = 0;
-  for (const auto& [name, group] : bed.service().dgm().groups()) {
+  bed.service().dgm().for_each_group([&](const core::Dgm::GroupInfo& group) {
     if (!group.members.empty()) ++populated;
-  }
+  });
   out.groups = populated;
   out.mean_ms = load.latency_ms.mean();
   out.p99_ms = load.latency_ms.percentile(99);

@@ -43,9 +43,9 @@ Point run_point(std::size_t nodes, const std::vector<trace::PlacementEvent>& tr)
   point.p75 = result.latency_ms.percentile(75);
   point.p99 = result.latency_ms.percentile(99);
   std::size_t populated = 0;
-  for (const auto& [name, group] : bed.service().dgm().groups()) {
+  bed.service().dgm().for_each_group([&](const core::Dgm::GroupInfo& group) {
     if (!group.members.empty()) ++populated;
-  }
+  });
   point.groups = populated;
   point.mean_group = bed.service().dgm().mean_group_size();
   point.completed = result.completed;

@@ -1,0 +1,141 @@
+// Control-plane microbenchmarks (google-benchmark): the FOCUS-layer hot
+// paths above the event kernel — candidate-group resolution for a query
+// term, query-cache key construction + lookup, static-attribute matching in
+// the registrar, and the DGM report-merge state update. These are the
+// operations the directed-pull claim (§VI-§VII) prices per query;
+// scripts/run-benches.sh folds them into BENCH_core.json next to the kernel
+// microbenches.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "focus/cache.hpp"
+#include "focus/dgm.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/simulator.hpp"
+
+using namespace focus;
+
+namespace {
+
+/// Service-less control-plane fixture: a DGM + registrar wired to a live
+/// simulator/transport/store, with a single-attribute schema whose cutoff
+/// of 1.0 over [0, 1000) yields exactly one group per integer bucket.
+struct ControlPlane {
+  ControlPlane() {
+    core::Schema schema;
+    schema.add({"load", core::AttrKind::Dynamic, 1.0, 0.0, 1000.0});
+    schema.add({"arch", core::AttrKind::Static});
+    schema.add({"hypervisor", core::AttrKind::Static});
+    config.schema = std::move(schema);
+  }
+
+  /// One singleton group per bucket in [0, buckets).
+  void populate_groups(int buckets) {
+    for (int b = 0; b < buckets; ++b) {
+      core::JoinedPayload joined;
+      joined.node = NodeId{static_cast<std::uint32_t>(b + 1)};
+      joined.region = Region::Ohio;
+      joined.group = "load." + std::to_string(b);
+      joined.p2p_addr = {joined.node, 100};
+      dgm.on_joined(joined);
+    }
+    simulator.run();
+  }
+
+  sim::Simulator simulator;
+  net::Topology topology;
+  net::SimTransport transport{simulator, topology, Rng(7)};
+  core::ServiceConfig config;
+  store::Cluster store{simulator, store::ClusterConfig{}, 7};
+  core::Registrar registrar{simulator, store, config};
+  core::Dgm dgm{simulator, transport, net::Address{NodeId{0}, 1}, config,
+                registrar, store, Rng(8)};
+};
+
+// Resolve one query term against 1k populated groups. The range argument is
+// the term width in buckets: narrow terms are the paper's common case and
+// the one the bucket index must make cheap.
+void BM_CandidateGroups(benchmark::State& state) {
+  ControlPlane plane;
+  plane.populate_groups(1000);
+  const double width = static_cast<double>(state.range(0));
+  core::QueryTerm term{"load", 400.0, 400.0 + width - 0.5};
+  for (auto _ : state) {
+    auto candidates = plane.dgm.candidate_groups(term, std::nullopt);
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CandidateGroups)->Arg(1)->Arg(16)->Arg(256)->Arg(1000);
+
+// Cache probe for a repeated three-term query: key construction plus the
+// lookup itself, the first thing every handle_query pays (§VI).
+void BM_CacheKeyLookup(benchmark::State& state) {
+  core::QueryCache cache(64);
+  core::Query query;
+  query.where_at_least("ram_mb", 2048)
+      .where_at_most("cpu_usage", 50)
+      .where("disk_gb", 10, 35)
+      .take(10)
+      .fresh_within(kSecond);
+  cache.insert(query.cache_hash(), query, core::QueryResult{}, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.lookup(query.cache_hash(), query, 0, query.freshness));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheKeyLookup);
+
+// Static-term matching over a 1k-node directory (the store-backed query
+// path routes through these primary tables).
+void BM_RegistrarMatchStatic(benchmark::State& state) {
+  ControlPlane plane;
+  for (std::uint32_t id = 1; id <= 1000; ++id) {
+    core::NodeState s;
+    s.node = NodeId{id};
+    s.region = static_cast<Region>(id % kNumDataRegions);
+    s.dynamic_values["load"] = static_cast<double>(id % 1000);
+    s.static_values["arch"] = id % 2 == 0 ? "x86" : "arm";
+    s.static_values["hypervisor"] = id % 3 == 0 ? "kvm" : "xen";
+    plane.registrar.register_node(s, {NodeId{id}, 1});
+  }
+  plane.simulator.run();
+  core::Query query;
+  query.where_static("arch", "x86").where_static("hypervisor", "kvm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plane.registrar.match_static(query));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistrarMatchStatic);
+
+// Full-report merge into a 64-member group: the recurring DGM state update
+// every representative upload triggers. The trailing run() drains the
+// persistence write the merge schedules.
+void BM_DgmStateUpdate(benchmark::State& state) {
+  ControlPlane plane;
+  plane.populate_groups(1);
+  core::GroupReportPayload report;
+  report.group = "load.0";
+  report.full = true;
+  for (std::uint32_t id = 1; id <= 64; ++id) {
+    report.members.push_back(
+        core::MemberRecord{NodeId{id}, {NodeId{id}, 100}, Region::Ohio});
+  }
+  for (auto _ : state) {
+    plane.dgm.on_report(report);
+    plane.simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DgmStateUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

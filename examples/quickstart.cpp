@@ -28,7 +28,7 @@ void show(const char* title, const Result<core::QueryResult>& result) {
     const auto& e = r.entries[i];
     std::printf("  %-10s %-14s", to_string(e.node).c_str(), to_string(e.region));
     for (const auto& [attr, value] : e.values) {
-      std::printf(" %s=%.0f", attr.c_str(), value);
+      std::printf(" %s=%.0f", std::string(attr.name()).c_str(), value);
     }
     std::printf("\n");
   }

@@ -51,7 +51,7 @@ void print_candidates(const char* what, const Result<core::QueryResult>& result)
     std::printf("   - %-9s in %-13s", to_string(entry.node).c_str(),
                 to_string(entry.region));
     for (const auto& [attr, value] : entry.values) {
-      std::printf("  %s=%.0f", attr.c_str(), value);
+      std::printf("  %s=%.0f", std::string(attr.name()).c_str(), value);
     }
     std::printf("\n");
   }

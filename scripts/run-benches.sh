@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
 # Run the kernel-facing benchmarks and write the machine-readable perf
-# trajectory point BENCH_core.json: micro_core (google-benchmark) plus the
-# fixed-seed 400-node scenario-throughput macro bench (events/sec, wall
-# time, peak RSS).
+# trajectory point BENCH_core.json: micro_core + micro_control
+# (google-benchmark) plus the fixed-seed 400-node scenario-throughput macro
+# bench (events/sec, wall time, peak RSS).
 #
 # Usage:
 #   scripts/run-benches.sh [build-dir] [out.json]
+#   scripts/run-benches.sh --compare [build-dir] [baseline.json]
+#
+# --compare runs the benches into a temporary file (the baseline is NOT
+# appended to) and diffs the fresh numbers against the last trajectory entry
+# of the committed baseline (default: BENCH_core.json). Any tracked micro
+# bench more than 25% slower, or scenario throughput more than 25% lower,
+# makes the script exit non-zero. Intended as an informational CI gate —
+# shared runners are noisy, so treat failures as a prompt to re-measure, not
+# as ground truth.
+#
 # Environment:
 #   LABEL     trajectory label (default: current git short sha)
 #   MIN_TIME  google-benchmark --benchmark_min_time, as a plain double in
@@ -14,34 +24,114 @@
 #   NODES     scenario size (default: 400)
 #   SIM_SECS  simulated seconds to run (default: 60)
 #   SEED      scenario seed (default: 7)
-#
-# When out.json already exists its trajectory is preserved and the new run
-# is appended, so successive PRs accumulate a perf history.
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+compare=0
+if [[ "${1:-}" == "--compare" ]]; then
+  compare=1
+  shift
+fi
+
 build_dir=${1:-"$repo_root/build"}
-out=${2:-"$repo_root/BENCH_core.json"}
+if [[ $compare -eq 1 ]]; then
+  baseline=${2:-"$repo_root/BENCH_core.json"}
+  out=$(mktemp /tmp/bench-compare-XXXXXX.json)
+  trap 'rm -f "$out"' EXIT
+else
+  out=${2:-"$repo_root/BENCH_core.json"}
+fi
 label=${LABEL:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo local)}
 min_time=${MIN_TIME:-0.05}
 nodes=${NODES:-400}
 sim_secs=${SIM_SECS:-60}
 seed=${SEED:-7}
 
-cmake --build "$build_dir" -j --target micro_core scenario_throughput
+cmake --build "$build_dir" -j --target micro_core micro_control scenario_throughput
 
-micro_json="$build_dir/micro_core_results.json"
-"$build_dir/bench/micro_core" \
-  --benchmark_min_time="$min_time" \
-  --benchmark_format=console \
-  --benchmark_out_format=json \
-  --benchmark_out="$micro_json"
+run_micro() {
+  local bench_bin=$1 out_json=$2
+  "$bench_bin" \
+    --benchmark_min_time="$min_time" \
+    --benchmark_format=console \
+    --benchmark_out_format=json \
+    --benchmark_out="$out_json"
+}
+
+micro_core_json="$build_dir/micro_core_results.json"
+micro_control_json="$build_dir/micro_control_results.json"
+run_micro "$build_dir/bench/micro_core" "$micro_core_json"
+run_micro "$build_dir/bench/micro_control" "$micro_control_json"
+
+# Fold both suites into one google-benchmark-shaped document for
+# scenario_throughput's --micro ingestion.
+micro_json="$build_dir/micro_combined_results.json"
+python3 - "$micro_core_json" "$micro_control_json" "$micro_json" <<'PY'
+import json, sys
+core, control, out = sys.argv[1], sys.argv[2], sys.argv[3]
+doc = json.load(open(core))
+doc["benchmarks"] = doc.get("benchmarks", []) + \
+    json.load(open(control)).get("benchmarks", [])
+json.dump(doc, open(out, "w"), indent=1)
+PY
 
 append_args=()
-if [[ -f "$out" ]]; then
+if [[ $compare -eq 0 && -f "$out" ]]; then
   append_args=(--append "$out")
 fi
 "$build_dir/bench/scenario_throughput" \
   --nodes "$nodes" --sim-seconds "$sim_secs" --seed "$seed" \
   --micro "$micro_json" --label "$label" \
   "${append_args[@]}" --out "$out"
+
+if [[ $compare -eq 1 ]]; then
+  python3 - "$baseline" "$out" <<'PY'
+import json, sys
+
+THRESHOLD = 0.25  # fractional regression that fails the check
+
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+baseline = json.load(open(baseline_path))["trajectory"][-1]
+fresh = json.load(open(fresh_path))["trajectory"][-1]
+
+failures = []
+
+base_micro = baseline.get("micro", {})
+fresh_micro = fresh.get("micro", {})
+for name, entry in sorted(base_micro.items()):
+    if name not in fresh_micro:
+        continue  # bench renamed/removed; nothing to compare
+    old = entry.get("real_time_ns")
+    new = fresh_micro[name].get("real_time_ns")
+    if not old or not new:
+        continue
+    ratio = new / old
+    marker = " <-- REGRESSION" if ratio > 1 + THRESHOLD else ""
+    print(f"{name:40s} {old:14.1f} ns -> {new:14.1f} ns  ({ratio:5.2f}x){marker}")
+    if ratio > 1 + THRESHOLD:
+        failures.append(name)
+
+old_eps = baseline.get("events_per_sec")
+new_eps = fresh.get("events_per_sec")
+if old_eps and new_eps:
+    ratio = new_eps / old_eps
+    marker = " <-- REGRESSION" if ratio < 1 - THRESHOLD else ""
+    print(f"{'scenario events/sec':40s} {old_eps:14.1f}    -> {new_eps:14.1f}     "
+          f"({ratio:5.2f}x){marker}")
+    if ratio < 1 - THRESHOLD:
+        failures.append("scenario_throughput")
+
+if baseline.get("digest") and fresh.get("digest") and \
+        baseline["digest"] != fresh["digest"]:
+    print(f"scenario digest changed: {baseline['digest']} -> {fresh['digest']}")
+    failures.append("scenario_digest")
+
+if failures:
+    print(f"\nFAIL: {len(failures)} regression(s) vs {baseline_path}: "
+          + ", ".join(failures))
+    sys.exit(1)
+print(f"\nOK: no bench regressed more than {int(THRESHOLD * 100)}% vs "
+      f"{baseline_path}")
+PY
+fi

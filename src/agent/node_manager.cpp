@@ -109,7 +109,7 @@ void NodeManager::handle_register_ack(const net::Message& msg) {
 }
 
 void NodeManager::join_suggested(const core::GroupSuggestion& suggestion) {
-  const std::string attr = suggestion.attr;
+  const core::AttrId attr = suggestion.attr;
   p2p_.join(suggestion, [this, alive = alive_flag_, attr](
                             const gossip::EventPayload& event) {
     if (*alive) on_gossip_event(attr, event);
@@ -143,7 +143,7 @@ void NodeManager::poll() {
   }
 }
 
-void NodeManager::request_suggestion(const std::string& attr, double value) {
+void NodeManager::request_suggestion(core::AttrId attr, double value) {
   pending_suggestions_[attr] = simulator_.now();
   auto payload = std::make_shared<SuggestRequestPayload>();
   payload->node = node();
@@ -288,7 +288,7 @@ void NodeManager::handle_group_query(const net::Message& msg) {
   agent->broadcast(kQueryEventTopic, std::move(body), /*deliver_locally=*/true);
 }
 
-void NodeManager::on_gossip_event(const std::string& attr,
+void NodeManager::on_gossip_event(core::AttrId attr,
                                   const gossip::EventPayload& event) {
   (void)attr;
   if (event.topic != kQueryEventTopic || !event.body) return;

@@ -98,10 +98,10 @@ class NodeManager {
   void evaluate_views();
 
   void join_suggested(const core::GroupSuggestion& suggestion);
-  void on_gossip_event(const std::string& attr, const gossip::EventPayload& event);
+  void on_gossip_event(core::AttrId attr, const gossip::EventPayload& event);
   void poll();
   void send_register();
-  void request_suggestion(const std::string& attr, double value);
+  void request_suggestion(core::AttrId attr, double value);
   void send_reports();
   void finish_collect(std::uint64_t collect_id, bool window_expired);
   void send_member_state(std::uint64_t collect_id, const net::Address& coordinator);
@@ -124,7 +124,7 @@ class NodeManager {
   std::shared_ptr<bool> alive_flag_ = std::make_shared<bool>(false);
 
   /// Attributes awaiting a suggestion ack, with request time (for retry).
-  std::map<std::string, SimTime> pending_suggestions_;
+  std::map<core::AttrId, SimTime, core::AttrNameLess> pending_suggestions_;
   std::set<std::string> rep_groups_;
   /// Last membership uploaded per group (delta-report bookkeeping).
   std::map<std::string, std::map<NodeId, core::MemberRecord>> last_reported_;

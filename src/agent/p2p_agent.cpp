@@ -35,7 +35,7 @@ gossip::GroupAgent& P2PAgent::join(const core::GroupSuggestion& suggestion,
   return *it->second.agent;
 }
 
-std::string P2PAgent::leave_attr(const std::string& attr) {
+std::string P2PAgent::leave_attr(core::AttrId attr) {
   auto it = memberships_.find(attr);
   if (it == memberships_.end()) return {};
   std::string group = it->second.group;
@@ -56,7 +56,7 @@ gossip::GroupAgent* P2PAgent::agent_for_group(const std::string& group) {
   return nullptr;
 }
 
-const P2PAgent::Membership* P2PAgent::membership(const std::string& attr) const {
+const P2PAgent::Membership* P2PAgent::membership(core::AttrId attr) const {
   auto it = memberships_.find(attr);
   return it == memberships_.end() ? nullptr : &it->second;
 }

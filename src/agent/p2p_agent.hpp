@@ -17,7 +17,7 @@ class P2PAgent {
  public:
   /// One group membership.
   struct Membership {
-    std::string attr;
+    core::AttrId attr;
     std::string group;
     core::GroupRange range;
     std::unique_ptr<gossip::GroupAgent> agent;
@@ -34,7 +34,7 @@ class P2PAgent {
 
   /// Leave the group tracking `attr` (graceful gossip leave + destroy).
   /// Returns the group name left, or empty when there was none.
-  std::string leave_attr(const std::string& attr);
+  std::string leave_attr(core::AttrId attr);
 
   /// Leave every group (shutdown).
   void leave_all();
@@ -43,10 +43,13 @@ class P2PAgent {
   gossip::GroupAgent* agent_for_group(const std::string& group);
 
   /// Membership for an attribute; nullptr when none.
-  const Membership* membership(const std::string& attr) const;
+  const Membership* membership(core::AttrId attr) const;
 
-  /// All memberships keyed by attribute.
-  const std::map<std::string, Membership>& memberships() const noexcept {
+  /// All memberships keyed by attribute, iterated in attribute-name order
+  /// (AttrNameLess) so shutdown/leave sequences match the pre-interning
+  /// std::map<std::string, …> behaviour exactly.
+  const std::map<core::AttrId, Membership, core::AttrNameLess>& memberships()
+      const noexcept {
     return memberships_;
   }
 
@@ -57,7 +60,8 @@ class P2PAgent {
   Region region_;
   gossip::Config config_;
   Rng rng_;
-  std::map<std::string, Membership> memberships_;  // keyed by attribute
+  // keyed by attribute, name-ordered (see memberships())
+  std::map<core::AttrId, Membership, core::AttrNameLess> memberships_;
   std::uint16_t next_port_ = 100;
 };
 

@@ -10,16 +10,16 @@ ResourceModel::ResourceModel(const core::Schema& schema, NodeId node,
   state_.node = node;
   state_.region = region;
   for (const auto& attr : schema_.dynamic_attrs()) {
-    state_.dynamic_values[attr.name] =
+    state_.dynamic_values[attr.id] =
         rng_.uniform(attr.min_value, attr.max_value);
   }
 }
 
-void ResourceModel::set_static(std::map<std::string, std::string> values) {
+void ResourceModel::set_static(core::StaticValueMap values) {
   state_.static_values = std::move(values);
 }
 
-void ResourceModel::set_value(const std::string& attr, double value) {
+void ResourceModel::set_value(core::AttrId attr, double value) {
   state_.dynamic_values[attr] = value;
 }
 
@@ -27,15 +27,15 @@ void ResourceModel::step(SimTime now) {
   state_.timestamp = now;
   if (dynamics_.frozen) return;
   for (const auto& attr : schema_.dynamic_attrs()) {
-    auto it = state_.dynamic_values.find(attr.name);
-    if (it == state_.dynamic_values.end()) continue;
+    double* slot = state_.dynamic_values.find(attr.id);
+    if (slot == nullptr) continue;
     const double span = attr.max_value - attr.min_value;
     const double step = rng_.uniform(-1.0, 1.0) * dynamics_.volatility * span;
-    double v = it->second + step;
+    double v = *slot + step;
     // Reflect at the domain boundaries so values do not pile up at the edges.
     if (v < attr.min_value) v = 2 * attr.min_value - v;
     if (v > attr.max_value) v = 2 * attr.max_value - v;
-    it->second = std::clamp(v, attr.min_value, attr.max_value);
+    *slot = std::clamp(v, attr.min_value, attr.max_value);
   }
 }
 

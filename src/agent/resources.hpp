@@ -34,10 +34,10 @@ class ResourceModel {
                 ResourceDynamics dynamics = {});
 
   /// Set static attributes (arch, hypervisor, project id, ...).
-  void set_static(std::map<std::string, std::string> values);
+  void set_static(core::StaticValueMap values);
 
   /// Pin one dynamic attribute to a value (examples/tests).
-  void set_value(const std::string& attr, double value);
+  void set_value(core::AttrId attr, double value);
 
   /// Advance the random walk one poll step and stamp `now`.
   void step(SimTime now);

@@ -22,7 +22,7 @@ Json to_json(const Query& query) {
   Json attrs = Json::array();
   for (const auto& term : query.terms) {
     Json t = Json::object();
-    t["name"] = term.attr;
+    t["name"] = std::string(term.attr.name());
     if (std::isfinite(term.lower)) t["lower"] = term.lower;
     if (std::isfinite(term.upper)) t["upper"] = term.upper;
     attrs.push_back(std::move(t));
@@ -31,7 +31,7 @@ Json to_json(const Query& query) {
   Json statics = Json::array();
   for (const auto& term : query.static_terms) {
     Json t = Json::object();
-    t["name"] = term.attr;
+    t["name"] = std::string(term.attr.name());
     t["value"] = term.value;
     statics.push_back(std::move(t));
   }
@@ -94,7 +94,9 @@ Json to_json(const QueryResult& result) {
     n["region"] = focus::to_string(entry.region);
     n["timestamp_ms"] = to_millis(entry.timestamp);
     Json values = Json::object();
-    for (const auto& [attr, value] : entry.values) values[attr] = value;
+    for (const auto& [attr, value] : entry.values) {
+      values[std::string(attr.name())] = value;
+    }
     n["values"] = std::move(values);
     nodes.push_back(std::move(n));
   }
@@ -154,10 +156,14 @@ Json to_json(const NodeState& state) {
   doc["region"] = focus::to_string(state.region);
   doc["timestamp_ms"] = to_millis(state.timestamp);
   Json dyn = Json::object();
-  for (const auto& [attr, value] : state.dynamic_values) dyn[attr] = value;
+  for (const auto& [attr, value] : state.dynamic_values) {
+    dyn[std::string(attr.name())] = value;
+  }
   doc["dynamic"] = std::move(dyn);
   Json stat = Json::object();
-  for (const auto& [attr, value] : state.static_values) stat[attr] = value;
+  for (const auto& [attr, value] : state.static_values) {
+    stat[std::string(attr.name())] = value;
+  }
   doc["static"] = std::move(stat);
   return doc;
 }

@@ -1,0 +1,70 @@
+#include "focus/attr_id.hpp"
+
+#include <deque>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace focus::core {
+
+namespace {
+
+// Process-wide interning table. names[0] is the reserved "no attribute"
+// spelling so that value 0 round-trips through name() like any other id.
+// A deque keeps the stored spellings address-stable, so the string_view
+// keys in by_name (and the views handed out by AttrId::name()) never dangle.
+struct Registry {
+  std::deque<std::string> names{""};
+  std::unordered_map<std::string_view, std::uint16_t> by_name;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+std::uint16_t AttrId::intern_value(std::string_view name) {
+  if (name.empty()) return 0;
+  Registry& r = registry();
+  if (auto it = r.by_name.find(name); it != r.by_name.end()) {
+    return it->second;
+  }
+  FOCUS_CHECK_LT(r.names.size(), 65536u)
+      << "attribute id space exhausted interning \"" << name << "\"";
+  const auto value = static_cast<std::uint16_t>(r.names.size());
+  r.names.emplace_back(name);
+  r.by_name.emplace(r.names.back(), value);
+  return value;
+}
+
+std::string_view AttrId::name() const {
+  const Registry& r = registry();
+  FOCUS_CHECK_LT(value_, r.names.size()) << "AttrId out of range";
+  return r.names[value_];
+}
+
+std::string to_string(AttrId id) { return std::string(id.name()); }
+
+std::ostream& operator<<(std::ostream& os, AttrId id) {
+  return os << id.name();
+}
+
+namespace detail {
+
+template <typename V>
+const V& FlatAttrMap<V>::at(AttrId id) const {
+  const V* value = find(id);
+  FOCUS_CHECK(value != nullptr)
+      << "FlatAttrMap::at: no entry for \"" << id << "\"";
+  return *value;
+}
+
+template class FlatAttrMap<double>;
+template class FlatAttrMap<std::string>;
+
+}  // namespace detail
+
+}  // namespace focus::core

@@ -1,0 +1,155 @@
+#pragma once
+// Interned attribute identifiers. Attribute names used to flow through the
+// control plane as std::string keys, so every schema lookup, group-key
+// compare, and node-state probe paid allocation and byte comparison. AttrId
+// interns each distinct attribute spelling once in a process-wide table
+// (mirroring net::MsgKind) and carries a 16-bit index: construction from a
+// string is a hash lookup, comparison is an integer compare, and the
+// spelling stays reachable for names on the wire and in logs via name().
+//
+// The flat value maps below (AttrValueMap / StaticValueMap) replace the
+// std::map<std::string, …> members of NodeState and friends. They keep
+// their entries sorted by attribute *name*, not id, because iteration order
+// is load-bearing: registration suggestions, suggestion requests, and store
+// writes are emitted while walking these maps, and scenario digests pin the
+// pre-interning (name-lexicographic) order.
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace focus::core {
+
+class AttrId {
+ public:
+  /// The "no attribute" id; never equal to any interned attribute.
+  constexpr AttrId() noexcept = default;
+
+  /// Intern `name` (idempotent). Implicit on purpose: attribute names appear
+  /// as literals throughout call sites and tests, and interning is the only
+  /// reasonable meaning of such a conversion. An empty name yields the
+  /// default id rather than a new table entry.
+  AttrId(std::string_view name) : value_(intern_value(name)) {}       // NOLINT
+  AttrId(const char* name) : AttrId(std::string_view(name)) {}        // NOLINT
+  AttrId(const std::string& name) : AttrId(std::string_view(name)) {} // NOLINT
+
+  /// The interned spelling ("" for the default id).
+  std::string_view name() const;
+
+  /// Raw table index (0 for the default id). Assigned in interning order, so
+  /// stable within a process but not meaningful across runs.
+  constexpr std::uint16_t value() const noexcept { return value_; }
+
+  constexpr explicit operator bool() const noexcept { return value_ != 0; }
+
+  friend constexpr bool operator==(AttrId, AttrId) noexcept = default;
+
+ private:
+  static std::uint16_t intern_value(std::string_view name);
+
+  std::uint16_t value_ = 0;
+};
+
+/// Orders AttrIds by their spelling. Use for any container whose iteration
+/// order must match the old std::map<std::string, …> (name-lexicographic)
+/// order; ordering by value() instead would follow interning order and
+/// change scenario digests.
+struct AttrNameLess {
+  bool operator()(AttrId a, AttrId b) const noexcept {
+    return a.name() < b.name();
+  }
+};
+
+/// Render the interned spelling (logs and test failure messages).
+std::string to_string(AttrId id);
+std::ostream& operator<<(std::ostream& os, AttrId id);
+
+namespace detail {
+
+/// Flat map from AttrId to V, kept sorted by attribute name. Node state
+/// holds a handful of attributes, so lookups are linear integer scans
+/// (faster than any tree for these sizes and allocation-free), while
+/// iteration reproduces std::map<std::string, V> order exactly.
+template <typename V>
+class FlatAttrMap {
+ public:
+  using value_type = std::pair<AttrId, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+  using iterator = typename std::vector<value_type>::iterator;
+
+  FlatAttrMap() = default;
+  FlatAttrMap(std::initializer_list<value_type> init) {
+    for (const auto& kv : init) (*this)[kv.first] = kv.second;
+  }
+
+  V& operator[](AttrId id) {
+    for (auto& kv : items_) {
+      if (kv.first == id) return kv.second;
+    }
+    auto pos = items_.begin();
+    const std::string_view name = id.name();
+    while (pos != items_.end() && pos->first.name() < name) ++pos;
+    return items_.insert(pos, value_type{id, V{}})->second;
+  }
+
+  /// Pointer to the value, or nullptr when absent.
+  const V* find(AttrId id) const {
+    for (const auto& kv : items_) {
+      if (kv.first == id) return &kv.second;
+    }
+    return nullptr;
+  }
+  V* find(AttrId id) {
+    return const_cast<V*>(std::as_const(*this).find(id));
+  }
+
+  const V& at(AttrId id) const;
+
+  std::size_t count(AttrId id) const { return find(id) != nullptr ? 1u : 0u; }
+  bool contains(AttrId id) const { return find(id) != nullptr; }
+
+  std::size_t erase(AttrId id) {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->first == id) {
+        items_.erase(it);
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  void clear() noexcept { items_.clear(); }
+
+  const_iterator begin() const noexcept { return items_.begin(); }
+  const_iterator end() const noexcept { return items_.end(); }
+  iterator begin() noexcept { return items_.begin(); }
+  iterator end() noexcept { return items_.end(); }
+
+  bool operator==(const FlatAttrMap&) const = default;
+
+ private:
+  std::vector<value_type> items_;
+};
+
+}  // namespace detail
+
+/// Dynamic attribute values of a node (attr -> double), name-ordered.
+using AttrValueMap = detail::FlatAttrMap<double>;
+
+/// Static attribute values of a node (attr -> text), name-ordered.
+using StaticValueMap = detail::FlatAttrMap<std::string>;
+
+}  // namespace focus::core
+
+template <>
+struct std::hash<focus::core::AttrId> {
+  std::size_t operator()(focus::core::AttrId id) const noexcept {
+    return std::hash<std::uint16_t>{}(id.value());
+  }
+};

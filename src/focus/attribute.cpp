@@ -5,11 +5,12 @@
 namespace focus::core {
 
 void Schema::add(AttributeSchema attr) {
+  attr.id = AttrId(attr.name);
   auto& bucket = attr.kind == AttrKind::Dynamic ? dynamic_ : static_;
   auto& other = attr.kind == AttrKind::Dynamic ? static_ : dynamic_;
-  std::erase_if(other, [&](const AttributeSchema& a) { return a.name == attr.name; });
+  std::erase_if(other, [&](const AttributeSchema& a) { return a.id == attr.id; });
   for (auto& existing : bucket) {
-    if (existing.name == attr.name) {
+    if (existing.id == attr.id) {
       existing = std::move(attr);
       return;
     }
@@ -17,12 +18,12 @@ void Schema::add(AttributeSchema attr) {
   bucket.push_back(std::move(attr));
 }
 
-const AttributeSchema* Schema::find(const std::string& name) const {
+const AttributeSchema* Schema::find(AttrId id) const {
   for (const auto& a : dynamic_) {
-    if (a.name == name) return &a;
+    if (a.id == id) return &a;
   }
   for (const auto& a : static_) {
-    if (a.name == name) return &a;
+    if (a.id == id) return &a;
   }
   return nullptr;
 }
@@ -46,16 +47,16 @@ Schema Schema::openstack_default() {
   return s;
 }
 
-std::optional<double> NodeState::dynamic_value(const std::string& attr) const {
-  auto it = dynamic_values.find(attr);
-  if (it == dynamic_values.end()) return std::nullopt;
-  return it->second;
+std::optional<double> NodeState::dynamic_value(AttrId attr) const {
+  const double* value = dynamic_values.find(attr);
+  if (value == nullptr) return std::nullopt;
+  return *value;
 }
 
-std::optional<std::string> NodeState::static_value(const std::string& attr) const {
-  auto it = static_values.find(attr);
-  if (it == static_values.end()) return std::nullopt;
-  return it->second;
+std::optional<std::string> NodeState::static_value(AttrId attr) const {
+  const std::string* value = static_values.find(attr);
+  if (value == nullptr) return std::nullopt;
+  return *value;
 }
 
 }  // namespace focus::core

@@ -2,12 +2,12 @@
 // Attribute model: the schema of queryable node attributes and a node's
 // current state snapshot (§V-A "Node Attributes").
 
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "focus/attr_id.hpp"
 
 namespace focus::core {
 
@@ -26,17 +26,20 @@ struct AttributeSchema {
   /// Value domain, used for validation and by the simulated resource model.
   double min_value = 0.0;
   double max_value = 100.0;
+  /// Interned id for `name`, assigned by Schema::add.
+  AttrId id{};
 };
 
 /// The set of attributes a FOCUS deployment tracks.
 class Schema {
  public:
   /// Add an attribute declaration. Later declarations with the same name
-  /// replace earlier ones.
+  /// replace earlier ones. Interns the name and stamps `attr.id`.
   void add(AttributeSchema attr);
 
-  /// Look up a declaration; nullptr when unknown.
-  const AttributeSchema* find(const std::string& name) const;
+  /// Look up a declaration; nullptr when unknown. Strings convert implicitly
+  /// (interning), so `find("ram_mb")` still works at the API boundary.
+  const AttributeSchema* find(AttrId id) const;
 
   /// All dynamic attributes (the ones that get p2p groups).
   const std::vector<AttributeSchema>& dynamic_attrs() const noexcept { return dynamic_; }
@@ -58,15 +61,15 @@ class Schema {
 struct NodeState {
   NodeId node;
   Region region = Region::AppEdge;
-  std::map<std::string, double> dynamic_values;
-  std::map<std::string, std::string> static_values;
+  AttrValueMap dynamic_values;
+  StaticValueMap static_values;
   SimTime timestamp = 0;
 
   /// Value of a dynamic attribute; nullopt when the node does not report it.
-  std::optional<double> dynamic_value(const std::string& attr) const;
+  std::optional<double> dynamic_value(AttrId attr) const;
 
   /// Value of a static attribute; nullopt when absent.
-  std::optional<std::string> static_value(const std::string& attr) const;
+  std::optional<std::string> static_value(AttrId attr) const;
 };
 
 }  // namespace focus::core

@@ -73,12 +73,15 @@ AuditReport audit_groups(const Dgm& dgm, const Registrar& registrar,
   Checker check(report);
 
   // attr -> node -> groups containing the node as a confirmed member.
-  std::map<std::string, std::map<NodeId, std::vector<const Dgm::GroupInfo*>>>
+  // Name-ordered (AttrNameLess) so violation output stays deterministic.
+  std::map<AttrId, std::map<NodeId, std::vector<const Dgm::GroupInfo*>>,
+           AttrNameLess>
       membership;
 
-  for (const auto& [name, group] : dgm.groups()) {
+  dgm.for_each_group([&](const Dgm::GroupInfo& group) {
+    const std::string& name = group.name;
     // --- group-naming: name, key, and range agree with the deterministic
-    // naming scheme.
+    // naming scheme; the interned attribute id round-trips through its name.
     const auto parsed = GroupKey::parse(name);
     check.expect(parsed.has_value(), "group-naming",
                  [&](std::ostream& os) { os << "unparseable group name " << name; });
@@ -91,6 +94,12 @@ AuditReport audit_groups(const Dgm& dgm, const Registrar& registrar,
                  [&](std::ostream& os) {
                    os << "group indexed as " << name << " renders as "
                       << group.key.to_name();
+                 });
+    check.expect(AttrId(group.key.attr.name()) == group.key.attr, "attr-intern",
+                 [&](std::ostream& os) {
+                   os << "attribute id " << group.key.attr.value()
+                      << " does not round-trip through its name "
+                      << group.key.attr;
                  });
     const AttributeSchema* attr = config.schema.find(group.key.attr);
     check.expect(attr != nullptr, "group-naming", [&](std::ostream& os) {
@@ -122,26 +131,101 @@ AuditReport audit_groups(const Dgm& dgm, const Registrar& registrar,
                    os << "group " << name << " last_report " << group.last_report
                       << " is in the future (now " << now << ")";
                  });
-    for (const auto& [id, seen] : group.member_seen) {
-      check.expect(seen <= now, "group-structure", [&](std::ostream& os) {
-        os << "group " << name << " member " << focus::to_string(id)
-           << " seen at future time " << seen;
+    group.members.for_each_member([&](const MemberTable::Slot& slot) {
+      check.expect(slot.seen <= now, "group-structure", [&](std::ostream& os) {
+        os << "group " << name << " member " << focus::to_string(slot.node)
+           << " seen at future time " << slot.seen;
       });
-    }
+    });
     if (group.key.region) {
-      for (const auto& [id, rec] : group.members) {
-        check.expect(rec.region == *group.key.region, "group-structure",
+      group.members.for_each_member([&](const MemberTable::Slot& slot) {
+        check.expect(slot.region == *group.key.region, "group-structure",
                      [&](std::ostream& os) {
                        os << "geo group " << name << " holds member "
-                          << focus::to_string(id) << " from region "
-                          << focus::to_string(rec.region);
+                          << focus::to_string(slot.node) << " from region "
+                          << focus::to_string(slot.region);
+                     });
+      });
+    }
+
+    // --- member-table: the cached confirmed count is exactly the number of
+    // confirmed slots, pending-only slots carry a live steering, and slots
+    // stay NodeId-sorted (the order RNG sampling relies on).
+    std::size_t confirmed = 0;
+    const MemberTable::Slot* prev = nullptr;
+    for (const auto& slot : group.members) {
+      if (slot.confirmed) ++confirmed;
+      check.expect(slot.confirmed || slot.pending_until > 0, "member-table",
+                   [&](std::ostream& os) {
+                     os << "group " << name << " slot "
+                        << focus::to_string(slot.node)
+                        << " is neither confirmed nor pending";
+                   });
+      if (prev != nullptr) {
+        check.expect(prev->node < slot.node, "member-table",
+                     [&](std::ostream& os) {
+                       os << "group " << name << " member slots out of order at "
+                          << focus::to_string(slot.node);
+                     });
+      }
+      prev = &slot;
+    }
+    check.expect(confirmed == group.members.size(), "member-table",
+                 [&](std::ostream& os) {
+                   os << "group " << name << " caches " << group.members.size()
+                      << " confirmed members but holds " << confirmed;
+                 });
+
+    // --- group-index: both lookup paths resolve this group to itself.
+    check.expect(dgm.group(name) == &group, "group-index",
+                 [&](std::ostream& os) {
+                   os << "name lookup for " << name
+                      << " resolves to a different group";
+                 });
+    check.expect(dgm.group_by_id(group.gid) == &group, "group-index",
+                 [&](std::ostream& os) {
+                   os << "id lookup for " << name
+                      << " resolves to a different group";
+                 });
+
+    group.members.for_each_member([&](const MemberTable::Slot& slot) {
+      membership[group.key.attr][slot.node].push_back(&group);
+    });
+  });
+
+  // --- bucket-index: the per-attribute bucket index is an exact mirror of
+  // the group table — every group appears exactly once, under its own
+  // attribute and bucket, and the scan order covers all of them.
+  {
+    std::set<const Dgm::GroupInfo*> indexed;
+    std::size_t indexed_count = 0;
+    for (const auto& bucket : dgm.bucket_index()) {
+      for (const Dgm::GroupInfo* group : bucket.groups) {
+        ++indexed_count;
+        indexed.insert(group);
+        check.expect(group->key.attr == bucket.attr, "bucket-index",
+                     [&](std::ostream& os) {
+                       os << "group " << group->name
+                          << " indexed under attribute " << bucket.attr;
+                     });
+        check.expect(group->key.bucket_lo == bucket.bucket_lo, "bucket-index",
+                     [&](std::ostream& os) {
+                       os << "group " << group->name << " indexed under bucket "
+                          << bucket.bucket_lo;
                      });
       }
     }
-
-    for (const auto& [id, rec] : group.members) {
-      membership[group.key.attr][id].push_back(&group);
-    }
+    check.expect(indexed.size() == indexed_count, "bucket-index",
+                 [&](std::ostream& os) {
+                   os << "bucket index holds duplicate group entries ("
+                      << indexed_count << " entries, " << indexed.size()
+                      << " distinct)";
+                 });
+    check.expect(indexed.size() == dgm.group_count(), "bucket-index",
+                 [&](std::ostream& os) {
+                   os << "bucket index covers " << indexed.size() << " of "
+                      << dgm.group_count() << " groups";
+                 });
   }
 
   // --- group-membership: at most one group per (dynamic attribute, node),
@@ -161,9 +245,8 @@ AuditReport audit_groups(const Dgm& dgm, const Registrar& registrar,
       // the duplicated groups within the churn grace window.
       bool recent_join = false;
       for (const Dgm::GroupInfo* group : containing) {
-        auto joined = group->member_joined.find(id);
-        if (joined != group->member_joined.end() &&
-            now - joined->second <= grace) {
+        const auto* slot = group->members.find(id);
+        if (slot != nullptr && slot->confirmed && now - slot->joined <= grace) {
           recent_join = true;
           break;
         }
@@ -184,13 +267,11 @@ AuditReport audit_groups(const Dgm& dgm, const Registrar& registrar,
   for (const auto& entry : dgm.transition_entries()) {
     const NodeEntry* directory_entry = registrar.find(entry.node);
     bool in_some_group = false;
-    for (const auto& [name, group] : dgm.groups()) {
-      if (group.members.count(entry.node) > 0 ||
-          group.pending_joins.count(entry.node) > 0) {
-        in_some_group = true;
-        break;
-      }
-    }
+    // Any slot counts: confirmed membership or a pending steering both keep
+    // the node reachable through the group.
+    dgm.for_each_group([&](const Dgm::GroupInfo& group) {
+      if (group.members.find(entry.node) != nullptr) in_some_group = true;
+    });
     check.expect(directory_entry != nullptr || in_some_group, "transition-table",
                  [&](std::ostream& os) {
                    os << focus::to_string(entry.node)
@@ -228,36 +309,44 @@ AuditReport audit_registrar(const Registrar& registrar) {
 
   // Table -> directory: every row belongs to a registered node and carries
   // the value the directory holds.
-  for (const auto& [attr, rows] : registrar.static_tables()) {
-    for (const auto& [id, value] : rows) {
-      const NodeEntry* entry = registrar.find(id);
-      check.expect(entry != nullptr, "registrar", [&](std::ostream& os) {
-        os << "static table " << attr << " holds unregistered node "
-           << focus::to_string(id);
+  registrar.for_each_static_table(
+      [&](AttrId attr, const std::map<NodeId, std::string>& rows) {
+        check.expect(AttrId(attr.name()) == attr, "attr-intern",
+                     [&](std::ostream& os) {
+                       os << "table attribute id " << attr.value()
+                          << " does not round-trip through its name " << attr;
+                     });
+        for (const auto& [id, value] : rows) {
+          const NodeEntry* entry = registrar.find(id);
+          check.expect(entry != nullptr, "registrar", [&](std::ostream& os) {
+            os << "static table " << attr << " holds unregistered node "
+               << focus::to_string(id);
+          });
+          if (entry == nullptr) continue;
+          const std::string* held = entry->static_values.find(attr);
+          check.expect(held != nullptr && *held == value, "registrar",
+                       [&](std::ostream& os) {
+                         os << "static table " << attr << " row for "
+                            << focus::to_string(id)
+                            << " disagrees with the directory";
+                       });
+        }
       });
-      if (entry == nullptr) continue;
-      auto it = entry->static_values.find(attr);
-      check.expect(it != entry->static_values.end() && it->second == value,
-                   "registrar", [&](std::ostream& os) {
-                     os << "static table " << attr << " row for "
-                        << focus::to_string(id)
-                        << " disagrees with the directory";
-                   });
-    }
-  }
 
   // Directory -> table: every declared static value has its row.
   for (const auto& [id, entry] : registrar.directory()) {
     for (const auto& [attr, value] : entry.static_values) {
-      const auto& tables = registrar.static_tables();
-      auto table = tables.find(attr);
-      const bool present = table != tables.end() &&
-                           table->second.count(id) > 0 &&
-                           table->second.at(id) == value;
-      check.expect(present, "registrar", [&](std::ostream& os) {
-        os << focus::to_string(id) << " declares static " << attr
-           << " but the primary table row is missing or stale";
-      });
+      const std::map<NodeId, std::string>* rows = registrar.static_table(attr);
+      const std::string* row = nullptr;
+      if (rows != nullptr) {
+        auto it = rows->find(id);
+        if (it != rows->end()) row = &it->second;
+      }
+      check.expect(row != nullptr && *row == value, "registrar",
+                   [&](std::ostream& os) {
+                     os << focus::to_string(id) << " declares static " << attr
+                        << " but the primary table row is missing or stale";
+                   });
     }
   }
 
@@ -273,10 +362,10 @@ AuditReport audit_cache(const QueryCache& cache, SimTime now) {
                  os << "cache holds " << cache.size() << " entries over capacity "
                     << cache.capacity();
                });
-  cache.for_each([&](const std::string& key, const QueryCache::Entry& entry) {
+  cache.for_each([&](std::uint64_t hash, const QueryCache::Entry& entry) {
     check.expect(entry.fetched_at >= 0 && entry.fetched_at <= now, "cache",
                  [&](std::ostream& os) {
-                   os << "cache entry " << key << " fetched_at "
+                   os << "cache entry " << hash << " fetched_at "
                       << entry.fetched_at << " outside [0, " << now << "]";
                  });
   });

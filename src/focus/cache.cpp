@@ -1,22 +1,30 @@
 #include "focus/cache.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace focus::core {
 
-const QueryCache::Entry* QueryCache::lookup(const std::string& key, SimTime now,
+const QueryCache::Entry* QueryCache::lookup(std::uint64_t hash,
+                                            const Query& query, SimTime now,
                                             Duration freshness) {
   if (freshness <= 0) {
     ++misses_;
     return nullptr;
   }
-  auto it = map_.find(key);
+  auto it = map_.find(hash);
   if (it == map_.end()) {
     ++misses_;
     return nullptr;
   }
-  const Entry& entry = it->second->entry;
-  if (now - entry.fetched_at > freshness) {
+  Slot& slot = *it->second;
+  if (!slot.query.same_cache_identity(query)) {
+    ++collisions_;
+    ++misses_;
+    return nullptr;
+  }
+  if (now - slot.entry.fetched_at > freshness) {
     ++misses_;
     return nullptr;
   }
@@ -26,22 +34,28 @@ const QueryCache::Entry* QueryCache::lookup(const std::string& key, SimTime now,
   return &lru_.front().entry;
 }
 
-void QueryCache::insert(const std::string& key, QueryResult result, SimTime now) {
+void QueryCache::insert(std::uint64_t hash, const Query& query,
+                        QueryResult result, SimTime now) {
   if (max_entries_ == 0) return;
-  auto it = map_.find(key);
+  auto it = map_.find(hash);
   if (it != map_.end()) {
-    it->second->entry = Entry{std::move(result), now};
+    Slot& slot = *it->second;
+    if (!slot.query.same_cache_identity(query)) {
+      ++collisions_;
+      slot.query = query;
+    }
+    slot.entry = Entry{std::move(result), now};
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Slot{key, Entry{std::move(result), now}});
-  map_[key] = lru_.begin();
+  lru_.push_front(Slot{hash, query, Entry{std::move(result), now}});
+  map_[hash] = lru_.begin();
   if (map_.size() > max_entries_) {
-    map_.erase(lru_.back().key);
+    map_.erase(lru_.back().hash);
     lru_.pop_back();
   }
   FOCUS_DCHECK_EQ(map_.size(), lru_.size())
-      << "LRU list and index diverged for key " << key;
+      << "LRU list and index diverged for hash " << hash;
 }
 
 void QueryCache::clear() {
@@ -49,6 +63,7 @@ void QueryCache::clear() {
   map_.clear();
   hits_ = 0;
   misses_ = 0;
+  collisions_ = 0;
 }
 
 }  // namespace focus::core

@@ -5,7 +5,6 @@
 
 #include <cstdint>
 #include <list>
-#include <string>
 #include <unordered_map>
 
 #include "common/types.hpp"
@@ -13,7 +12,10 @@
 
 namespace focus::core {
 
-/// LRU cache of query results keyed by Query::cache_key().
+/// LRU cache of query results keyed by Query::cache_hash(). A probe costs
+/// one integer hash-map lookup and allocates nothing; because 64-bit hashes
+/// can collide, every hit is verified against the stored query with
+/// Query::same_cache_identity() before being served.
 class QueryCache {
  public:
   explicit QueryCache(std::size_t max_entries) : max_entries_(max_entries) {}
@@ -24,40 +26,49 @@ class QueryCache {
     SimTime fetched_at = 0;
   };
 
-  /// Return the entry when one exists and is no staler than `freshness`
-  /// (freshness <= 0 demands realtime and always misses). Updates LRU order
+  /// Return the entry when one exists for (`hash`, `query`) and is no staler
+  /// than `freshness` (freshness <= 0 demands realtime and always misses; an
+  /// entry exactly `freshness` old still hits). A hash match whose stored
+  /// query differs is a collision and counts as a miss. Updates LRU order
   /// and hit/miss counters.
-  const Entry* lookup(const std::string& key, SimTime now, Duration freshness);
+  const Entry* lookup(std::uint64_t hash, const Query& query, SimTime now,
+                      Duration freshness);
 
-  /// Insert/replace the entry for `key`, evicting the least recently used
-  /// entry beyond capacity.
-  void insert(const std::string& key, QueryResult result, SimTime now);
+  /// Insert/replace the entry for (`hash`, `query`), evicting the least
+  /// recently used entry beyond capacity. On a hash collision with a
+  /// different stored query the newcomer replaces the old slot.
+  void insert(std::uint64_t hash, const Query& query, QueryResult result,
+              SimTime now);
 
   std::size_t size() const noexcept { return map_.size(); }
   std::size_t capacity() const noexcept { return max_entries_; }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+  /// Probes whose hash matched but whose stored query did not.
+  std::uint64_t collisions() const noexcept { return collisions_; }
 
   /// Visit every cached entry in LRU order (most recent first) without
   /// touching recency or counters. Audit support (focus/audit.hpp).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const Slot& slot : lru_) fn(slot.key, slot.entry);
+    for (const Slot& slot : lru_) fn(slot.hash, slot.entry);
   }
 
   void clear();
 
  private:
   struct Slot {
-    std::string key;
+    std::uint64_t hash = 0;
+    Query query;  ///< full key, checked on hit to rule out collisions
     Entry entry;
   };
 
   std::size_t max_entries_;
   std::list<Slot> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Slot>::iterator> map_;
+  std::unordered_map<std::uint64_t, std::list<Slot>::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t collisions_ = 0;
 };
 
 }  // namespace focus::core

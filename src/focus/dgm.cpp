@@ -1,6 +1,7 @@
 #include "focus/dgm.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
@@ -13,19 +14,254 @@ constexpr std::size_t kMaxEntryPoints = 8;
 /// A full group reopens to new members once it shrinks below this fraction
 /// of the fork threshold (hysteresis so membership does not flap).
 constexpr double kReopenFraction = 0.9;
+/// Bucket-scan bail-out: a candidate scan that visits more buckets than this
+/// switches to the attribute's name-ordered group list, which needs no
+/// post-scan sort (wide terms would otherwise pay O(n log n) to restore the
+/// order the old full-table scan got for free).
+constexpr std::size_t kWideScanBuckets = 48;
 }  // namespace
 
-std::size_t Dgm::GroupInfo::effective_size(SimTime now) const {
-  std::size_t pending = 0;
-  for (const auto& [node, expiry] : pending_joins) {
-    if (expiry > now && members.count(node) == 0) ++pending;
-  }
-  return members.size() + pending;
+/// Name-lexicographic group order via the fixed-width memcmp key; the
+/// full-string fallback only runs for names sharing a 32-byte prefix.
+static bool group_name_less(const Dgm::GroupInfo& a, const Dgm::GroupInfo& b) {
+  const int cmp =
+      std::memcmp(a.name_key.data(), b.name_key.data(), a.name_key.size());
+  if (cmp != 0) return cmp < 0;
+  return a.name < b.name;
 }
+
+// ---------------------------------------------------------------------------
+// MemberTable
+
+bool MemberTable::contains(NodeId id) const {
+  const Slot* slot = find(id);
+  return slot != nullptr && slot->confirmed;
+}
+
+const MemberTable::Slot* MemberTable::find(NodeId id) const {
+  const auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), id,
+      [](const Slot& slot, NodeId node) { return slot.node < node; });
+  if (it == slots_.end() || !(it->node == id)) return nullptr;
+  return &*it;
+}
+
+const MemberTable::Slot& MemberTable::nth_member(std::size_t i) const {
+  FOCUS_DCHECK_LT(i, confirmed_);
+  for (const Slot& slot : slots_) {
+    if (!slot.confirmed) continue;
+    if (i == 0) return slot;
+    --i;
+  }
+  FOCUS_CHECK(false) << "MemberTable::nth_member: cached confirmed count "
+                     << confirmed_ << " exceeds actual members";
+  return slots_.front();  // unreachable
+}
+
+std::size_t MemberTable::pending_extra(SimTime now) const {
+  std::size_t pending = 0;
+  for (const Slot& slot : slots_) {
+    if (!slot.confirmed && slot.pending_until > now) ++pending;
+  }
+  return pending;
+}
+
+MemberTable::Slot& MemberTable::upsert(NodeId id) {
+  const auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), id,
+      [](const Slot& slot, NodeId node) { return slot.node < node; });
+  if (it != slots_.end() && it->node == id) return *it;
+  Slot slot;
+  slot.node = id;
+  return *slots_.insert(it, slot);
+}
+
+void MemberTable::confirm(const MemberRecord& rec, SimTime now) {
+  Slot& slot = upsert(rec.node);
+  slot.p2p_addr = rec.p2p_addr;
+  slot.region = rec.region;
+  slot.seen = now;
+  if (!slot.confirmed) {
+    slot.confirmed = true;
+    slot.joined = now;
+    ++confirmed_;
+  }
+}
+
+void MemberTable::set_pending(NodeId id, SimTime expires_at) {
+  upsert(id).pending_until = expires_at;
+}
+
+void MemberTable::clear_pending(NodeId id) {
+  const auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), id,
+      [](const Slot& slot, NodeId node) { return slot.node < node; });
+  if (it == slots_.end() || !(it->node == id)) return;
+  it->pending_until = 0;
+  if (!it->confirmed) slots_.erase(it);
+}
+
+void MemberTable::unconfirm(NodeId id) {
+  const auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), id,
+      [](const Slot& slot, NodeId node) { return slot.node < node; });
+  if (it == slots_.end() || !(it->node == id)) return;
+  if (it->confirmed) {
+    it->confirmed = false;
+    it->seen = 0;
+    it->joined = 0;
+    --confirmed_;
+  }
+  if (it->pending_until == 0) slots_.erase(it);
+}
+
+void MemberTable::erase(NodeId id) {
+  const auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), id,
+      [](const Slot& slot, NodeId node) { return slot.node < node; });
+  if (it == slots_.end() || !(it->node == id)) return;
+  if (it->confirmed) --confirmed_;
+  slots_.erase(it);
+}
+
+void MemberTable::full_merge(const std::vector<MemberRecord>& report,
+                             SimTime now, Duration grace) {
+  // Sort a copy by NodeId with later duplicates winning, reproducing the
+  // old `merged[rec.node] = rec` std::map build.
+  std::vector<MemberRecord> sorted = report;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const MemberRecord& a, const MemberRecord& b) {
+                     return a.node < b.node;
+                   });
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i + 1 < sorted.size() && sorted[i + 1].node == sorted[i].node) continue;
+    sorted[unique++] = sorted[i];
+  }
+  sorted.resize(unique);
+
+  std::vector<Slot> merged;
+  merged.reserve(sorted.size() + slots_.size());
+  confirmed_ = 0;
+  auto rit = sorted.begin();
+  auto sit = slots_.begin();
+  while (rit != sorted.end() || sit != slots_.end()) {
+    if (sit == slots_.end() || (rit != sorted.end() && rit->node < sit->node)) {
+      // Brand-new member from the report.
+      Slot slot;
+      slot.node = rit->node;
+      slot.p2p_addr = rit->p2p_addr;
+      slot.region = rit->region;
+      slot.seen = now;
+      slot.joined = now;
+      slot.confirmed = true;
+      merged.push_back(slot);
+      ++confirmed_;
+      ++rit;
+    } else if (rit == sorted.end() || sit->node < rit->node) {
+      // Existing slot the report does not mention.
+      Slot slot = *sit;
+      if (!slot.confirmed) {
+        merged.push_back(slot);  // pending-only steering: untouched
+      } else if (now - slot.seen < grace) {
+        // Confirmed recently via another path (join / other rep): a fresh
+        // joiner may not have reached this representative's gossip view yet.
+        merged.push_back(slot);
+        ++confirmed_;
+      } else if (slot.pending_until > 0) {
+        // Membership lapsed but a steering is still outstanding.
+        slot.confirmed = false;
+        slot.seen = 0;
+        slot.joined = 0;
+        merged.push_back(slot);
+      }
+      ++sit;
+    } else {
+      // In both: the report refreshes the record.
+      Slot slot = *sit;
+      slot.p2p_addr = rit->p2p_addr;
+      slot.region = rit->region;
+      slot.seen = now;
+      if (!slot.confirmed) {
+        slot.confirmed = true;
+        slot.joined = now;
+      }
+      merged.push_back(slot);
+      ++confirmed_;
+      ++rit;
+      ++sit;
+    }
+  }
+  slots_ = std::move(merged);
+}
+
+void MemberTable::expire_pending(SimTime now) {
+  for (Slot& slot : slots_) {
+    if (slot.pending_until > 0 && slot.pending_until <= now) {
+      slot.pending_until = 0;
+    }
+  }
+  std::erase_if(slots_, [](const Slot& slot) {
+    return !slot.confirmed && slot.pending_until == 0;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Dgm::IdIndex
+
+std::uint32_t Dgm::IdIndex::find(std::uint64_t key) const {
+  if (cells_.empty()) return kNone;
+  const std::size_t mask = cells_.size() - 1;
+  for (std::size_t i = key & mask;; i = (i + 1) & mask) {
+    const Cell& cell = cells_[i];
+    if (cell.value == kNone) return kNone;
+    if (cell.key == key) return cell.value;
+  }
+}
+
+void Dgm::IdIndex::insert(std::uint64_t key, std::uint32_t value) {
+  FOCUS_DCHECK_NE(value, kNone);
+  if (cells_.empty() || size_ * 4 >= cells_.size() * 3) grow();
+  const std::size_t mask = cells_.size() - 1;
+  for (std::size_t i = key & mask;; i = (i + 1) & mask) {
+    Cell& cell = cells_[i];
+    if (cell.value == kNone) {
+      cell.key = key;
+      cell.value = value;
+      ++size_;
+      return;
+    }
+    FOCUS_DCHECK_NE(cell.key, key) << "duplicate GroupId inserted";
+  }
+}
+
+void Dgm::IdIndex::grow() {
+  std::vector<Cell> old = std::move(cells_);
+  cells_.assign(old.empty() ? 64 : old.size() * 2, Cell{});
+  const std::size_t mask = cells_.size() - 1;
+  for (const Cell& cell : old) {
+    if (cell.value == kNone) continue;
+    for (std::size_t i = cell.key & mask;; i = (i + 1) & mask) {
+      if (cells_[i].value == kNone) {
+        cells_[i] = cell;
+        break;
+      }
+    }
+  }
+}
+
+void Dgm::IdIndex::clear() {
+  cells_.clear();
+  size_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Dgm
 
 std::set<Region> Dgm::GroupInfo::regions() const {
   std::set<Region> out;
-  for (const auto& [id, rec] : members) out.insert(rec.region);
+  members.for_each_member(
+      [&out](const MemberTable::Slot& slot) { out.insert(slot.region); });
   return out;
 }
 
@@ -40,27 +276,66 @@ Dgm::Dgm(sim::Simulator& simulator, net::Transport& transport,
       store_(store),
       rng_(std::move(rng)) {}
 
-bool Dgm::geo_split_active(const std::string& attr, double bucket_lo) const {
-  return geo_split_buckets_.count({attr, bucket_lo}) > 0;
+bool Dgm::geo_split_active(AttrId attr, double bucket_lo) const {
+  return geo_split_buckets_.count({attr.value(), bucket_lo}) > 0;
+}
+
+const Dgm::GroupInfo* Dgm::find_by_key(const GroupKey& key) const {
+  const std::uint16_t attr = key.attr.value();
+  if (attr >= attr_index_.size()) return nullptr;
+  const auto bucket = attr_index_[attr].buckets.find(key.bucket_lo);
+  if (bucket == attr_index_[attr].buckets.end()) return nullptr;
+  const GroupId gid =
+      GroupId::pack(key.attr, bucket->second.code, key.region, key.fork);
+  const std::uint32_t index = by_id_.find(gid.bits);
+  return index == IdIndex::kNone ? nullptr : &slab_[index];
+}
+
+Dgm::GroupInfo* Dgm::find_by_key(const GroupKey& key) {
+  return const_cast<GroupInfo*>(std::as_const(*this).find_by_key(key));
 }
 
 Dgm::GroupInfo& Dgm::get_or_create(const GroupKey& key, const AttributeSchema& attr) {
-  const std::string name = key.to_name();
-  auto it = groups_.find(name);
-  if (it != groups_.end()) return it->second;
+  const std::uint16_t attr_value = key.attr.value();
+  if (attr_value >= attr_index_.size()) attr_index_.resize(attr_value + 1);
+  AttrIndex& index = attr_index_[attr_value];
+  auto [bucket, bucket_is_new] = index.buckets.try_emplace(key.bucket_lo);
+  if (bucket_is_new) bucket->second.code = index.next_code++;
+  const GroupId gid =
+      GroupId::pack(key.attr, bucket->second.code, key.region, key.fork);
+  if (const std::uint32_t existing = by_id_.find(gid.bits);
+      existing != IdIndex::kNone) {
+    return slab_[existing];
+  }
+
   GroupInfo info;
   info.key = key;
-  info.name = name;
+  info.gid = gid;
+  info.name = key.to_name();
+  std::memcpy(info.name_key.data(), info.name.data(),
+              std::min(info.name.size(), info.name_key.size()));
   info.range = range_of(key, attr);
   FOCUS_DCHECK_LT(info.range.lo, info.range.hi)
-      << "empty value range for group " << name;
+      << "empty value range for group " << info.name;
   info.created_at = simulator_.now();
   ++stats_.groups_created;
   if (key.fork > 0) ++stats_.forks_created;
-  auto [inserted, ok] = groups_.emplace(name, std::move(info));
-  (void)ok;
-  FOCUS_LOG(Debug, "dgm", "created group " << name);
-  return inserted->second;
+
+  const auto slab_index = static_cast<std::uint32_t>(slab_.size());
+  slab_.push_back(std::move(info));
+  GroupInfo& group = slab_.back();
+  by_id_.insert(gid.bits, slab_index);
+  by_name_.emplace(std::string_view(group.name), slab_index);
+  bucket->second.groups.push_back(slab_index);
+  const auto pos = std::lower_bound(
+      index.by_name.begin(), index.by_name.end(), slab_index,
+      [this](std::uint32_t a, std::uint32_t b) {
+        return group_name_less(slab_[a], slab_[b]);
+      });
+  index.by_name.insert(pos, slab_index);
+  index.max_width = std::max(index.max_width, group.range.hi - group.range.lo);
+  FOCUS_LOG(Debug, "dgm", "created group " << group.name);
+  return group;
 }
 
 GroupSuggestion Dgm::suggest(NodeId node, Region region,
@@ -71,7 +346,7 @@ GroupSuggestion Dgm::suggest(NodeId node, Region region,
       TransitionEntry{command_addr, simulator_.now() + config_.transition_ttl};
 
   GroupKey key = group_for(attr, value);
-  if (config_.geo_split_threshold > 0 && geo_split_active(attr.name, key.bucket_lo)) {
+  if (config_.geo_split_threshold > 0 && geo_split_active(attr.id, key.bucket_lo)) {
     key.region = region;
   }
 
@@ -83,33 +358,32 @@ GroupSuggestion Dgm::suggest(NodeId node, Region region,
         << "fork walk for " << key.attr << "." << key.bucket_lo
         << " ran past the fleet size";
     key.fork = fork;
-    const std::string name = key.to_name();
-    auto it = groups_.find(name);
-    if (it == groups_.end()) {
+    GroupInfo* existing = find_by_key(key);
+    if (existing == nullptr) {
       GroupInfo& group = get_or_create(key, attr);
-      group.pending_joins[node] = simulator_.now() + config_.transition_ttl;
+      group.members.set_pending(node, simulator_.now() + config_.transition_ttl);
       GroupSuggestion suggestion;
-      suggestion.attr = attr.name;
+      suggestion.attr = attr.id;
       suggestion.group = group.name;
       suggestion.range = group.range;
       // No entry points: the node starts the group and reports back.
       return suggestion;
     }
-    GroupInfo& group = it->second;
+    GroupInfo& group = *existing;
     const bool full = static_cast<int>(group.effective_size(simulator_.now())) >=
                       config_.fork_threshold;
     if (!group.accepting || full) continue;
 
-    group.pending_joins[node] = simulator_.now() + config_.transition_ttl;
+    group.members.set_pending(node, simulator_.now() + config_.transition_ttl);
     GroupSuggestion suggestion;
-    suggestion.attr = attr.name;
+    suggestion.attr = attr.id;
     suggestion.group = group.name;
     suggestion.range = group.range;
     std::vector<net::Address> points;
     points.reserve(group.members.size());
-    for (const auto& [id, rec] : group.members) {
-      if (id != node) points.push_back(rec.p2p_addr);
-    }
+    group.members.for_each_member([&](const MemberTable::Slot& slot) {
+      if (!(slot.node == node)) points.push_back(slot.p2p_addr);
+    });
     suggestion.entry_points = rng_.sample(points, kMaxEntryPoints);
     return suggestion;
   }
@@ -124,11 +398,10 @@ void Dgm::on_joined(const JoinedPayload& joined) {
   const AttributeSchema* attr = config_.schema.find(key->attr);
   if (attr == nullptr) return;
   GroupInfo& group = get_or_create(*key, *attr);
-  group.members[joined.node] =
-      MemberRecord{joined.node, joined.p2p_addr, joined.region};
-  group.member_seen[joined.node] = simulator_.now();
-  group.member_joined.try_emplace(joined.node, simulator_.now());
-  group.pending_joins.erase(joined.node);
+  group.members.confirm(
+      MemberRecord{joined.node, joined.p2p_addr, joined.region},
+      simulator_.now());
+  group.members.clear_pending(joined.node);
 
   // Bootstrap-race healing: two nodes registering concurrently can both be
   // told to *start* the same group, producing disconnected gossip islands.
@@ -143,9 +416,9 @@ void Dgm::on_joined(const JoinedPayload& joined) {
       ack->suggestion.group = group.name;
       ack->suggestion.range = group.range;
       std::vector<net::Address> points;
-      for (const auto& [id, rec] : group.members) {
-        if (id != joined.node) points.push_back(rec.p2p_addr);
-      }
+      group.members.for_each_member([&](const MemberTable::Slot& slot) {
+        if (!(slot.node == joined.node)) points.push_back(slot.p2p_addr);
+      });
       ack->suggestion.entry_points = rng_.sample(points, kMaxEntryPoints);
       transport_.send(net::Message{south_addr_, entry->command_addr, kSuggestAck,
                                    std::move(ack)});
@@ -156,13 +429,12 @@ void Dgm::on_joined(const JoinedPayload& joined) {
 }
 
 void Dgm::on_left(const LeftGroupPayload& left) {
-  auto it = groups_.find(left.group);
-  if (it == groups_.end()) return;
-  GroupInfo& group = it->second;
+  auto key = GroupKey::parse(left.group);
+  if (!key) return;
+  GroupInfo* found = find_by_key(*key);
+  if (found == nullptr) return;
+  GroupInfo& group = *found;
   group.members.erase(left.node);
-  group.member_seen.erase(left.node);
-  group.member_joined.erase(left.node);
-  group.pending_joins.erase(left.node);
   std::erase(group.reps, left.node);
   ensure_reps(group);
   update_policies(group);
@@ -181,49 +453,22 @@ void Dgm::on_report(const GroupReportPayload& report) {
     // A full report is authoritative, except for members confirmed recently
     // via another path (join / other rep): a new joiner may not have reached
     // this representative's gossip view yet.
-    const Duration grace = 3 * config_.report_interval;
-    std::map<NodeId, MemberRecord> merged;
-    for (const auto& rec : report.members) merged[rec.node] = rec;
-    for (const auto& [id, rec] : group.members) {
-      if (merged.count(id) > 0) continue;
-      auto seen = group.member_seen.find(id);
-      if (seen != group.member_seen.end() && now - seen->second < grace) {
-        merged[id] = rec;
-      } else {
-        group.member_seen.erase(id);
-      }
-    }
-    group.members = std::move(merged);
-    for (const auto& rec : report.members) group.member_seen[rec.node] = now;
-    std::erase_if(group.member_joined, [&group](const auto& kv) {
-      return group.members.count(kv.first) == 0;
-    });
-    for (const auto& [id, rec] : group.members) {
-      group.member_joined.try_emplace(id, now);
-    }
+    group.members.full_merge(report.members, now, 3 * config_.report_interval);
   } else {
-    for (const auto& rec : report.members) {
-      group.members[rec.node] = rec;
-      group.member_seen[rec.node] = now;
-      group.member_joined.try_emplace(rec.node, now);
-    }
-    for (const auto& node : report.departed) {
-      group.members.erase(node);
-      group.member_seen.erase(node);
-      group.member_joined.erase(node);
-    }
+    for (const auto& rec : report.members) group.members.confirm(rec, now);
+    for (const auto& node : report.departed) group.members.unconfirm(node);
   }
   group.last_report = now;
 
   // A node appearing in a group update is no longer transitioning (§VII).
   for (const auto& rec : report.members) {
     transition_.erase(rec.node);
-    group.pending_joins.erase(rec.node);
+    group.members.clear_pending(rec.node);
   }
 
   // Representatives that are no longer members lose the role.
   std::erase_if(group.reps, [&group](NodeId id) {
-    return group.members.count(id) == 0;
+    return !group.members.contains(id);
   });
   ensure_reps(group);
   update_policies(group);
@@ -243,7 +488,8 @@ void Dgm::update_policies(GroupInfo& group) {
 
   if (config_.geo_split_threshold > 0 && !group.key.region &&
       size > config_.geo_split_threshold && group.regions().size() > 1) {
-    const auto bucket = std::make_pair(group.key.attr, group.key.bucket_lo);
+    const auto bucket =
+        std::make_pair(group.key.attr.value(), group.key.bucket_lo);
     if (geo_split_buckets_.insert(bucket).second) {
       ++stats_.geo_splits;
       FOCUS_LOG(Info, "dgm", "geo-splitting bucket " << group.name);
@@ -261,11 +507,12 @@ void Dgm::ensure_reps(GroupInfo& group) {
     // Random member that is not already a representative — randomized
     // selection spreads the reporting load (§VII).
     std::vector<NodeId> eligible;
-    for (const auto& [id, rec] : group.members) {
-      if (std::find(group.reps.begin(), group.reps.end(), id) == group.reps.end()) {
-        eligible.push_back(id);
+    group.members.for_each_member([&](const MemberTable::Slot& slot) {
+      if (std::find(group.reps.begin(), group.reps.end(), slot.node) ==
+          group.reps.end()) {
+        eligible.push_back(slot.node);
       }
-    }
+    });
     if (eligible.empty()) break;
     const NodeId chosen = rng_.pick(eligible);
     group.reps.push_back(chosen);
@@ -290,13 +537,13 @@ void Dgm::persist_group(const GroupInfo& group) {
   columns["range_lo"] = group.range.lo;
   columns["range_hi"] = group.range.hi;
   Json members = Json::array();
-  for (const auto& [id, rec] : group.members) {
+  group.members.for_each_member([&members](const MemberTable::Slot& slot) {
     Json m = Json::object();
-    m["node"] = focus::to_string(id);
-    m["port"] = static_cast<double>(rec.p2p_addr.port);
-    m["region"] = focus::to_string(rec.region);
+    m["node"] = focus::to_string(slot.node);
+    m["port"] = static_cast<double>(slot.p2p_addr.port);
+    m["region"] = focus::to_string(slot.region);
     members.push_back(std::move(m));
-  }
+  });
   columns["members"] = std::move(members);
   store_.put("groups", group.name, std::move(columns), [](Result<bool> r) {
     if (!r.ok()) {
@@ -308,16 +555,57 @@ void Dgm::persist_group(const GroupInfo& group) {
 Dgm::Candidates Dgm::candidate_groups(const QueryTerm& term,
                                       std::optional<Region> location) const {
   Candidates out;
-  for (const auto& [name, group] : groups_) {
-    if (group.key.attr != term.attr) continue;
-    if (group.members.empty()) continue;
-    if (!group.range.intersects(term.lower, term.upper)) continue;
-    // Geo-scoped groups outside the requested location cannot match; global
-    // groups may still contain in-location nodes, so they stay in.
-    if (location && group.key.region && *group.key.region != *location) continue;
-    out.groups.push_back(&group);
-    out.total_members += group.members.size();
+  const std::uint16_t attr = term.attr.value();
+  if (attr >= attr_index_.size()) return out;
+  const AttrIndex& index = attr_index_[attr];
+  // Range-scan only the buckets that can intersect [lower, upper]. The scan
+  // starts max_width below `lower` (bucket widths vary when cutoffs are
+  // retuned); GroupRange::intersects stays the authoritative filter, so the
+  // selected set is exactly what the old full-table scan produced.
+  const auto keep = [&](const GroupInfo& group) {
+    if (group.members.empty()) return false;
+    if (!group.range.intersects(term.lower, term.upper)) return false;
+    // Geo-scoped groups outside the requested location cannot match;
+    // global groups may still contain in-location nodes, so they stay in.
+    if (location && group.key.region && *group.key.region != *location) {
+      return false;
+    }
+    return true;
+  };
+
+  auto it = index.buckets.lower_bound(term.lower - index.max_width);
+  std::size_t buckets_visited = 0;
+  for (; it != index.buckets.end() && it->first <= term.upper; ++it) {
+    if (++buckets_visited > kWideScanBuckets) break;
+    for (const std::uint32_t slab_index : it->second.groups) {
+      const GroupInfo& group = slab_[slab_index];
+      if (!keep(group)) continue;
+      out.groups.push_back(&group);
+      out.total_members += group.members.size();
+    }
   }
+  if (it != index.buckets.end() && it->first <= term.upper) {
+    // Wide term: most buckets intersect, so filtering the attribute's
+    // name-ordered list beats scanning buckets and re-sorting. Same selected
+    // set, already in final order.
+    out.groups.clear();
+    out.total_members = 0;
+    for (const std::uint32_t slab_index : index.by_name) {
+      const GroupInfo& group = slab_[slab_index];
+      if (!keep(group)) continue;
+      out.groups.push_back(&group);
+      out.total_members += group.members.size();
+    }
+    return out;
+  }
+  // Restore name-lexicographic order (the old std::map scan order, which
+  // downstream RNG picks and send sequences depend on). The fixed-width
+  // prefix keys make this a memcmp sort; the full-string fallback only runs
+  // for names sharing an identical 32-byte prefix.
+  std::sort(out.groups.begin(), out.groups.end(),
+            [](const GroupInfo* a, const GroupInfo* b) {
+              return group_name_less(*a, *b);
+            });
   return out;
 }
 
@@ -343,15 +631,14 @@ void Dgm::maintenance() {
   const SimTime now = simulator_.now();
   std::erase_if(transition_,
                 [now](const auto& kv) { return kv.second.expires_at <= now; });
-  for (auto& [name, group] : groups_) {
-    std::erase_if(group.pending_joins,
-                  [now](const auto& kv) { return kv.second <= now; });
-  }
+  for (GroupInfo& group : slab_) group.members.expire_pending(now);
 
   // Representatives whose reports went stale are replaced (churn handling,
   // §VII: "In a group that has a high churn rate, more representative nodes
-  // and/or more frequent updates are required").
-  for (auto& [name, group] : groups_) {
+  // and/or more frequent updates are required"). Name order: rep replacement
+  // draws from the RNG and emits messages, both digest-relevant.
+  for (const auto& [name, index] : by_name_) {
+    GroupInfo& group = slab_[index];
     if (group.members.empty()) continue;
     if (group.last_report < 0 ||
         now - group.last_report <= config_.representative_ttl) {
@@ -365,20 +652,48 @@ void Dgm::maintenance() {
 }
 
 void Dgm::clear_state() {
-  groups_.clear();
+  slab_.clear();
+  by_id_.clear();
+  by_name_.clear();
+  attr_index_.clear();
   transition_.clear();
   geo_split_buckets_.clear();
 }
 
 const Dgm::GroupInfo* Dgm::group(const std::string& name) const {
-  auto it = groups_.find(name);
-  return it == groups_.end() ? nullptr : &it->second;
+  const auto it = by_name_.find(std::string_view(name));
+  return it == by_name_.end() ? nullptr : &slab_[it->second];
+}
+
+const Dgm::GroupInfo* Dgm::group_by_id(GroupId gid) const {
+  const std::uint32_t index = by_id_.find(gid.bits);
+  return index == IdIndex::kNone ? nullptr : &slab_[index];
+}
+
+std::vector<Dgm::BucketView> Dgm::bucket_index() const {
+  std::vector<BucketView> out;
+  for (std::size_t attr = 0; attr < attr_index_.size(); ++attr) {
+    for (const auto& [bucket_lo, entry] : attr_index_[attr].buckets) {
+      BucketView view;
+      view.attr = AttrId();
+      // Recover the id from its value: groups in the bucket carry the key.
+      view.bucket_lo = bucket_lo;
+      view.code = entry.code;
+      view.groups.reserve(entry.groups.size());
+      for (const std::uint32_t slab_index : entry.groups) {
+        view.groups.push_back(&slab_[slab_index]);
+        view.attr = slab_[slab_index].key.attr;
+      }
+      out.push_back(std::move(view));
+    }
+  }
+  return out;
 }
 
 double Dgm::mean_group_size() const {
   std::size_t total = 0;
   std::size_t populated = 0;
-  for (const auto& [name, group] : groups_) {
+  for (const GroupInfo& group : slab_) {
     if (group.members.empty()) continue;
     total += group.members.size();
     ++populated;

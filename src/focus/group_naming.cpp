@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/check.hpp"
+
 namespace focus::core {
 
 namespace {
@@ -29,7 +31,9 @@ std::optional<Region> region_from_name(const std::string& s) {
 }  // namespace
 
 std::string GroupKey::to_name() const {
-  std::string name = attr + "." + format_bound(bucket_lo);
+  std::string name(attr.name());
+  name += ".";
+  name += format_bound(bucket_lo);
   if (region) {
     name += "@";
     name += focus::to_string(*region);
@@ -69,7 +73,7 @@ std::optional<GroupKey> GroupKey::parse(const std::string& name) {
   if (dot == std::string::npos || dot == 0 || dot + 1 >= rest.size()) {
     return std::nullopt;
   }
-  key.attr = rest.substr(0, dot);
+  key.attr = AttrId(std::string_view(rest).substr(0, dot));
   char* end = nullptr;
   const std::string bucket = rest.substr(dot + 1);
   key.bucket_lo = std::strtod(bucket.c_str(), &end);
@@ -84,9 +88,28 @@ double bucket_lower(double value, double cutoff) {
 
 GroupKey group_for(const AttributeSchema& attr, double value) {
   GroupKey key;
-  key.attr = attr.name;
+  // Schema::add stamps the id; fall back to interning the name so hand-built
+  // AttributeSchema aggregates (tests, the tuner) produce valid keys too.
+  key.attr = attr.id ? attr.id : AttrId(attr.name);
   key.bucket_lo = bucket_lower(value, attr.cutoff);
   return key;
+}
+
+GroupId GroupId::pack(AttrId attr, std::uint32_t bucket_code,
+                      std::optional<Region> region, int fork) {
+  FOCUS_CHECK_LT(bucket_code, 1u << 24) << "GroupId bucket code overflow";
+  FOCUS_CHECK(fork >= 0 && fork < (1 << 20))
+      << "GroupId fork overflow: " << fork;
+  // Region scope packs optional<Region> as 0 = global, else 1 + region.
+  const auto scope =
+      region ? 1u + static_cast<std::uint32_t>(*region) : 0u;
+  FOCUS_CHECK_LT(scope, 16u) << "GroupId region overflow";
+  GroupId id;
+  id.bits = (static_cast<std::uint64_t>(attr.value()) << 48) |
+            (static_cast<std::uint64_t>(bucket_code) << 24) |
+            (static_cast<std::uint64_t>(scope) << 20) |
+            static_cast<std::uint64_t>(fork);
+  return id;
 }
 
 GroupRange range_of(const GroupKey& key, const AttributeSchema& attr) {

@@ -8,6 +8,7 @@
 //   "ram_mb.4096@us-west-2"     the same bucket geo-split to Oregon
 //   "ram_mb.4096#2"             third fork of the global bucket
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -34,7 +35,7 @@ struct GroupRange {
 
 /// Structured identity of an attribute group.
 struct GroupKey {
-  std::string attr;
+  AttrId attr;
   double bucket_lo = 0;               ///< lower bound of the value bucket
   std::optional<Region> region;       ///< set when the group is geo-split
   int fork = 0;                       ///< size-based fork index (0 = original)
@@ -42,10 +43,29 @@ struct GroupKey {
   /// Render the deterministic group name.
   std::string to_name() const;
 
-  /// Parse a name back into a key; nullopt on malformed input.
+  /// Parse a name back into a key (interning the attribute); nullopt on
+  /// malformed input.
   static std::optional<GroupKey> parse(const std::string& name);
 
   bool operator==(const GroupKey&) const = default;
+};
+
+/// Packed 64-bit group identity used for the DGM's flat group index:
+/// attribute id (16 bits) | bucket code (24) | region scope (4) | fork (20).
+/// Bucket codes are per-attribute ordinals handed out by the DGM's ordered
+/// bucket index, so GroupIds are process-local: they never cross the wire,
+/// never feed digests, and are reset wholesale by Dgm::clear_state. Any real
+/// group has a non-zero attribute id, so bits == 0 doubles as "no group".
+struct GroupId {
+  std::uint64_t bits = 0;
+
+  static GroupId pack(AttrId attr, std::uint32_t bucket_code,
+                      std::optional<Region> region, int fork);
+
+  friend constexpr bool operator==(GroupId, GroupId) noexcept = default;
+  constexpr bool operator<(GroupId other) const noexcept {
+    return bits < other.bits;
+  }
 };
 
 /// Lower bound of the bucket containing `value` for the given cutoff.

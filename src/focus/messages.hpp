@@ -33,21 +33,28 @@ inline const net::MsgKind kNodeQuery = net::MsgKind::intern("focus.node_query");
 inline const net::MsgKind kNodeState = net::MsgKind::intern("focus.node_state");
 
 /// Estimated wire bytes of a NodeState (JSON-ish: per-attribute key+value).
+/// Attributes travel as interned ids in-process, but the wire encoding ships
+/// the spelling, so sizes charge the name length — byte-identical to the
+/// pre-interning accounting.
 inline std::size_t wire_size_of(const NodeState& s) {
   std::size_t bytes = 24;  // node id, region, timestamp, braces
   for (const auto& [k, v] : s.dynamic_values) {
     (void)v;
-    bytes += k.size() + 10;
+    bytes += k.name().size() + 10;
   }
-  for (const auto& [k, v] : s.static_values) bytes += k.size() + v.size() + 6;
+  for (const auto& [k, v] : s.static_values) {
+    bytes += k.name().size() + v.size() + 6;
+  }
   return bytes;
 }
 
 /// Estimated wire bytes of a Query.
 inline std::size_t wire_size_of(const Query& q) {
   std::size_t bytes = 28;  // limit, freshness, location, framing
-  for (const auto& t : q.terms) bytes += t.attr.size() + 20;
-  for (const auto& t : q.static_terms) bytes += t.attr.size() + t.value.size() + 6;
+  for (const auto& t : q.terms) bytes += t.attr.name().size() + 20;
+  for (const auto& t : q.static_terms) {
+    bytes += t.attr.name().size() + t.value.size() + 6;
+  }
   return bytes;
 }
 
@@ -56,7 +63,7 @@ inline std::size_t wire_size_of(const ResultEntry& e) {
   std::size_t bytes = 22;  // node id, region, timestamp
   for (const auto& [k, v] : e.values) {
     (void)v;
-    bytes += k.size() + 10;
+    bytes += k.name().size() + 10;
   }
   return bytes;
 }
@@ -75,7 +82,7 @@ struct RegisterPayload final : net::Payload {
 
 /// One group the DGM tells a node to join (§VII "Dynamic Groups Management").
 struct GroupSuggestion {
-  std::string attr;
+  AttrId attr;
   std::string group;                       ///< deterministic group name
   GroupRange range;                        ///< leave when value exits this
   std::vector<net::Address> entry_points;  ///< empty => start a new group
@@ -88,7 +95,8 @@ struct RegisterAckPayload final : net::Payload {
   std::size_t wire_size() const override {
     std::size_t bytes = 8;
     for (const auto& s : suggestions) {
-      bytes += s.group.size() + s.attr.size() + 24 + s.entry_points.size() * 8;
+      bytes += s.group.size() + s.attr.name().size() + 24 +
+               s.entry_points.size() * 8;
     }
     return bytes;
   }
@@ -99,10 +107,10 @@ struct SuggestRequestPayload final : net::Payload {
   NodeId node;
   Region region = Region::AppEdge;
   net::Address command_addr;
-  std::string attr;
+  AttrId attr;
   double value = 0;
 
-  std::size_t wire_size() const override { return 30 + attr.size(); }
+  std::size_t wire_size() const override { return 30 + attr.name().size(); }
 };
 
 /// DGM -> node: the group to join for that attribute.
@@ -110,7 +118,7 @@ struct SuggestAckPayload final : net::Payload {
   GroupSuggestion suggestion;
 
   std::size_t wire_size() const override {
-    return 12 + suggestion.group.size() + suggestion.attr.size() +
+    return 12 + suggestion.group.size() + suggestion.attr.name().size() +
            suggestion.entry_points.size() * 8;
   }
 };

@@ -1,7 +1,7 @@
 #include "focus/query.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <cstring>
 
 namespace focus::core {
 
@@ -18,53 +18,106 @@ bool Query::matches(const NodeState& state) const {
   return true;
 }
 
-std::string Query::cache_key() const {
-  // Terms are order-insensitive: sort a rendered copy.
-  std::vector<std::string> parts;
-  parts.reserve(terms.size() + static_terms.size() + 1);
-  for (const auto& t : terms) {
-    std::ostringstream os;
-    os << "d:" << t.attr << ":" << t.lower << ":" << t.upper;
-    parts.push_back(os.str());
-  }
-  for (const auto& t : static_terms) {
-    parts.push_back("s:" + t.attr + ":" + t.value);
-  }
-  if (location) parts.push_back(std::string("loc:") + focus::to_string(*location));
-  std::sort(parts.begin(), parts.end());
-  std::string key;
-  for (const auto& p : parts) {
-    key += p;
-    key += '|';
-  }
-  key += "lim:" + std::to_string(limit);
-  return key;
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed 64-bit mixing.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
-Query& Query::where(std::string attr, double lower, double upper) {
-  terms.push_back(QueryTerm{std::move(attr), lower, upper});
+inline std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof b);
+  return b;
+}
+
+inline std::uint64_t fnv1a(std::uint64_t seed, const std::string& s) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Query::cache_hash() const {
+  // Per-term hashes are folded with a commutative (sum, xor) combine so the
+  // result is insensitive to term order without sorting or allocating.
+  std::uint64_t sum = 0;
+  std::uint64_t xr = 0;
+  const auto fold = [&](std::uint64_t h) {
+    sum += h;
+    xr ^= mix64(h ^ 0x517cc1b727220a95ull);
+  };
+  for (const auto& t : terms) {
+    std::uint64_t h = mix64(0xD1ull ^ (static_cast<std::uint64_t>(t.attr.value()) << 8));
+    h = mix64(h ^ bits_of(t.lower));
+    h = mix64(h ^ bits_of(t.upper));
+    fold(h);
+  }
+  for (const auto& t : static_terms) {
+    const std::uint64_t seed =
+        mix64(0x51ull ^ (static_cast<std::uint64_t>(t.attr.value()) << 8));
+    fold(mix64(fnv1a(seed, t.value)));
+  }
+  std::uint64_t base =
+      mix64(location ? 0x10ull + static_cast<std::uint64_t>(*location) : 0ull);
+  base = mix64(base ^ static_cast<std::uint64_t>(limit));
+  return mix64(sum ^ mix64(xr) ^ base);
+}
+
+namespace {
+
+// Multiset equality for tiny term vectors: every element of `a` occurs in
+// `b` with the same multiplicity. O(n^2) with n in the single digits.
+template <typename T>
+bool same_multiset(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& x : a) {
+    const auto in_a = std::count(a.begin(), a.end(), x);
+    const auto in_b = std::count(b.begin(), b.end(), x);
+    if (in_a != in_b) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Query::same_cache_identity(const Query& other) const {
+  return limit == other.limit && location == other.location &&
+         same_multiset(terms, other.terms) &&
+         same_multiset(static_terms, other.static_terms);
+}
+
+Query& Query::where(AttrId attr, double lower, double upper) {
+  terms.push_back(QueryTerm{attr, lower, upper});
   return *this;
 }
 
-Query& Query::where_at_least(std::string attr, double lower) {
-  terms.push_back(QueryTerm{std::move(attr), lower,
+Query& Query::where_at_least(AttrId attr, double lower) {
+  terms.push_back(QueryTerm{attr, lower,
                             std::numeric_limits<double>::infinity()});
   return *this;
 }
 
-Query& Query::where_at_most(std::string attr, double upper) {
-  terms.push_back(QueryTerm{std::move(attr),
+Query& Query::where_at_most(AttrId attr, double upper) {
+  terms.push_back(QueryTerm{attr,
                             -std::numeric_limits<double>::infinity(), upper});
   return *this;
 }
 
-Query& Query::where_exactly(std::string attr, double value) {
-  terms.push_back(QueryTerm{std::move(attr), value, value});
+Query& Query::where_exactly(AttrId attr, double value) {
+  terms.push_back(QueryTerm{attr, value, value});
   return *this;
 }
 
-Query& Query::where_static(std::string attr, std::string value) {
-  static_terms.push_back(StaticTerm{std::move(attr), std::move(value)});
+Query& Query::where_static(AttrId attr, std::string value) {
+  static_terms.push_back(StaticTerm{attr, std::move(value)});
   return *this;
 }
 

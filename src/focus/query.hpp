@@ -2,8 +2,8 @@
 // Query structures (§V-A "Query Structure"): attribute-oriented queries with
 // per-attribute bounds, a result limit, and a freshness parameter.
 
+#include <cstdint>
 #include <limits>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,7 +16,7 @@ namespace focus::core {
 /// One dynamic-attribute constraint: lower <= value <= upper (inclusive).
 /// Exact matches set lower == upper, mirroring the paper's query structure.
 struct QueryTerm {
-  std::string attr;
+  AttrId attr;
   double lower = -std::numeric_limits<double>::infinity();
   double upper = std::numeric_limits<double>::infinity();
 
@@ -28,7 +28,7 @@ struct QueryTerm {
 
 /// One static-attribute constraint: exact text match.
 struct StaticTerm {
-  std::string attr;
+  AttrId attr;
   std::string value;
 
   bool operator==(const StaticTerm&) const = default;
@@ -51,16 +51,24 @@ struct Query {
   /// routed to p2p groups rather than the static store).
   bool has_dynamic_terms() const noexcept { return !terms.empty(); }
 
-  /// Canonical cache key: identical queries (ignoring freshness/limit) map
-  /// to the same key, so a fresh cached result can satisfy a repeat query.
-  std::string cache_key() const;
+  /// Canonical 64-bit cache hash: identical queries (ignoring freshness) map
+  /// to the same value regardless of term order, so a fresh cached result
+  /// can satisfy a repeat query. Allocation-free — per-term mixes are folded
+  /// with a commutative combine instead of sorting rendered strings. Hash
+  /// equality is necessary but not sufficient; the cache verifies hits with
+  /// same_cache_identity().
+  std::uint64_t cache_hash() const;
 
-  /// Fluent builders for readable call sites.
-  Query& where(std::string attr, double lower, double upper);
-  Query& where_at_least(std::string attr, double lower);
-  Query& where_at_most(std::string attr, double upper);
-  Query& where_exactly(std::string attr, double value);
-  Query& where_static(std::string attr, std::string value);
+  /// Exact identity comparison matching cache_hash: same term multiset, same
+  /// static-term multiset, same location and limit (freshness excluded).
+  bool same_cache_identity(const Query& other) const;
+
+  /// Fluent builders for readable call sites. Strings intern implicitly.
+  Query& where(AttrId attr, double lower, double upper);
+  Query& where_at_least(AttrId attr, double lower);
+  Query& where_at_most(AttrId attr, double upper);
+  Query& where_exactly(AttrId attr, double value);
+  Query& where_static(AttrId attr, std::string value);
   Query& in_region(Region r);
   Query& take(int n);
   Query& fresh_within(Duration d);
@@ -78,7 +86,7 @@ const char* to_string(ResponseSource s);
 struct ResultEntry {
   NodeId node;
   Region region = Region::AppEdge;
-  std::map<std::string, double> values;  ///< the node's dynamic values
+  AttrValueMap values;                   ///< the node's dynamic values
   SimTime timestamp = 0;                 ///< when those values were read
 };
 

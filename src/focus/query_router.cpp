@@ -33,11 +33,14 @@ void QueryRouter::handle_query(const net::Message& msg) {
   pending.id = next_id_++;
   pending.client_id = qp.query_id;
   pending.query = qp.query;
+  pending.query_hash = pending.query.cache_hash();
   pending.reply_to = qp.reply_to;
   pending.issued_at = simulator_.now();
 
-  // Step 1: the cache (checked first, §VI).
-  if (const auto* hit = cache_.lookup(pending.query.cache_key(), simulator_.now(),
+  // Step 1: the cache (checked first, §VI). The probe is an integer-keyed
+  // lookup on the precomputed hash — no strings touched.
+  if (const auto* hit = cache_.lookup(pending.query_hash, pending.query,
+                                      simulator_.now(),
                                       pending.query.freshness)) {
     charge_(cost_.cache_hit_cpu);
     ++stats_.cache_served;
@@ -61,12 +64,15 @@ void QueryRouter::handle_query(const net::Message& msg) {
 Dgm::Candidates QueryRouter::pick_smallest(const Query& query) const {
   if (config_.route_all_terms) {
     // Ablation: union of every term's candidate groups — the degenerate
-    // routing §VI warns about.
+    // routing §VI warns about. Dedup keys on the packed GroupId, which is
+    // stable for the life of the DGM state; keying on GroupInfo pointers
+    // would make the set's behaviour (and any future iteration of it)
+    // depend on allocation order.
     Dgm::Candidates all;
-    std::set<const Dgm::GroupInfo*> seen;
+    std::set<GroupId> seen;
     for (const auto& term : query.terms) {
       for (const auto* group : dgm_.candidate_groups(term, query.location).groups) {
-        if (seen.insert(group).second) {
+        if (seen.insert(group->gid).second) {
           all.groups.push_back(group);
           all.total_members += group->members.size();
         }
@@ -74,6 +80,9 @@ Dgm::Candidates QueryRouter::pick_smallest(const Query& query) const {
     }
     return all;
   }
+  // Strict `<` means ties keep the earlier term: with equal candidate sizes
+  // the FIRST term in query order wins. This is deliberate and relied on by
+  // tests — routing must not depend on term-iteration accidents.
   Dgm::Candidates best;
   std::size_t best_total = std::numeric_limits<std::size_t>::max();
   for (const auto& term : query.terms) {
@@ -97,10 +106,8 @@ void QueryRouter::route_dynamic(Pending pending) {
     std::vector<DelegateTarget> targets;
     targets.reserve(candidates.groups.size());
     for (const auto* group : candidates.groups) {
-      std::vector<NodeId> ids;
-      ids.reserve(group->members.size());
-      for (const auto& [id, rec] : group->members) ids.push_back(id);
-      const NodeId coordinator = rng_.pick(ids);
+      const NodeId coordinator =
+          group->members.nth_member(rng_.index(group->members.size())).node;
       const NodeEntry* entry = registrar_.find(coordinator);
       if (entry == nullptr) continue;
       targets.push_back(DelegateTarget{group->name, entry->command_addr,
@@ -119,11 +126,11 @@ void QueryRouter::route_dynamic(Pending pending) {
   // transition so no node is missed (§VII).
   int groups_sent = 0;
   for (const auto* group : candidates.groups) {
-    std::vector<NodeId> ids;
-    ids.reserve(group->members.size());
-    for (const auto& [id, rec] : group->members) ids.push_back(id);
-    if (ids.empty()) continue;
-    const NodeId coordinator = rng_.pick(ids);
+    // nth_member(index(n)) draws the same uniform integer the old
+    // build-a-vector-then-pick code did, without materializing the ids.
+    if (group->members.empty()) continue;
+    const NodeId coordinator =
+        group->members.nth_member(rng_.index(group->members.size())).node;
     const NodeEntry* entry = registrar_.find(coordinator);
     if (entry == nullptr) continue;
     auto payload = std::make_shared<GroupQueryPayload>();
@@ -272,7 +279,7 @@ void QueryRouter::finalize(std::uint64_t id, bool timed_out) {
   // Responses fetched from the groups are cached with their fetch time so
   // later queries can trade freshness for latency (§VI).
   if (result.source == ResponseSource::Groups) {
-    cache_.insert(pending.query.cache_key(), result, simulator_.now());
+    cache_.insert(pending.query_hash, pending.query, result, simulator_.now());
   }
   respond(pending, std::move(result));
   pending_.erase(it);

@@ -62,6 +62,7 @@ class QueryRouter {
   struct Pending {
     std::uint64_t id = 0;           ///< router-local id used on the wire
     std::uint64_t client_id = 0;    ///< client's query id, echoed back
+    std::uint64_t query_hash = 0;   ///< Query::cache_hash(), computed once
     Query query;
     net::Address reply_to;
     SimTime issued_at = 0;

@@ -10,6 +10,24 @@ Registrar::Registrar(sim::Simulator& simulator, store::Cluster& store,
                      const ServiceConfig& config)
     : simulator_(simulator), store_(store), config_(config) {}
 
+Registrar::StaticTable& Registrar::table_for(AttrId attr) {
+  const std::size_t index = attr.value();
+  if (index >= tables_.size()) tables_.resize(index + 1);
+  StaticTable& table = tables_[index];
+  if (!table.attr) {
+    table.attr = attr;
+    table.table = "attr_";
+    table.table += attr.name();
+  }
+  return table;
+}
+
+const Registrar::StaticTable* Registrar::find_table(AttrId attr) const {
+  const std::size_t index = attr.value();
+  if (index >= tables_.size() || !tables_[index].attr) return nullptr;
+  return &tables_[index];
+}
+
 int Registrar::register_node(const NodeState& state,
                              const net::Address& command_addr) {
   int writes = 0;
@@ -21,8 +39,9 @@ int Registrar::register_node(const NodeState& state,
   if (auto prev = nodes_.find(state.node); prev != nodes_.end()) {
     for (const auto& [attr, value] : prev->second.static_values) {
       if (state.static_values.count(attr) > 0) continue;
-      static_tables_[attr].erase(state.node);
-      store_.erase(table_name(attr), key, [](Result<bool>) {});
+      StaticTable& table = table_for(attr);
+      table.rows.erase(state.node);
+      store_.erase(table.table, key, [](Result<bool>) {});
       ++writes;
     }
   }
@@ -50,17 +69,22 @@ int Registrar::register_node(const NodeState& state,
 
   // Per-static-attribute tables, each row also carrying the node's other
   // static attributes (the paper's single-table multi-attribute trick).
+  // StaticValueMap iterates in attribute-name order, so the store-write
+  // sequence matches the old std::map walk exactly.
   for (const auto& [attr, value] : state.static_values) {
-    static_tables_[attr][state.node] = value;
+    StaticTable& table = table_for(attr);
+    table.rows[state.node] = value;
 
     std::map<std::string, Json> columns;
     columns["value"] = value;
     Json others = Json::object();
     for (const auto& [other_attr, other_value] : state.static_values) {
-      if (other_attr != attr) others[other_attr] = other_value;
+      if (!(other_attr == attr)) {
+        others[std::string(other_attr.name())] = other_value;
+      }
     }
     columns["attributes"] = std::move(others);
-    store_.put(table_name(attr), key, std::move(columns), [](Result<bool> r) {
+    store_.put(table.table, key, std::move(columns), [](Result<bool> r) {
       if (!r.ok()) {
         FOCUS_LOG(Warn, "registrar", "attr row write failed: " << r.error().message);
       }
@@ -76,8 +100,9 @@ int Registrar::deregister(NodeId node) {
   int writes = 0;
   const std::string key = focus::to_string(node);
   for (const auto& [attr, value] : it->second.static_values) {
-    static_tables_[attr].erase(node);
-    store_.erase(table_name(attr), key, [](Result<bool>) {});
+    StaticTable& table = table_for(attr);
+    table.rows.erase(node);
+    store_.erase(table.table, key, [](Result<bool>) {});
     ++writes;
   }
   store_.erase("nodes", key, [](Result<bool>) {});
@@ -91,14 +116,19 @@ const NodeEntry* Registrar::find(NodeId node) const {
   return it == nodes_.end() ? nullptr : &it->second;
 }
 
+const std::map<NodeId, std::string>* Registrar::static_table(AttrId attr) const {
+  const StaticTable* table = find_table(attr);
+  return table == nullptr ? nullptr : &table->rows;
+}
+
 std::vector<const NodeEntry*> Registrar::match_static(const Query& query) const {
   std::vector<const NodeEntry*> out;
   for (const auto& [id, entry] : nodes_) {
     if (query.location && entry.region != *query.location) continue;
     bool ok = true;
     for (const auto& term : query.static_terms) {
-      auto it = entry.static_values.find(term.attr);
-      if (it == entry.static_values.end() || it->second != term.value) {
+      const std::string* value = entry.static_values.find(term.attr);
+      if (value == nullptr || *value != term.value) {
         ok = false;
         break;
       }
@@ -112,11 +142,16 @@ std::string Registrar::smallest_static_table(const Query& query) const {
   std::string best;
   std::size_t best_size = std::numeric_limits<std::size_t>::max();
   for (const auto& term : query.static_terms) {
-    auto it = static_tables_.find(term.attr);
-    const std::size_t size = it == static_tables_.end() ? 0 : it->second.size();
+    const StaticTable* table = find_table(term.attr);
+    const std::size_t size = table == nullptr ? 0 : table->rows.size();
     if (size < best_size) {
       best_size = size;
-      best = table_name(term.attr);
+      if (table != nullptr) {
+        best = table->table;
+      } else {
+        best = "attr_";
+        best += term.attr.name();
+      }
     }
   }
   return best;

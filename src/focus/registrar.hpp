@@ -5,6 +5,9 @@
 // carries the node's other attributes so multi-attribute static queries can
 // be answered from a single table).
 
+#include <algorithm>
+#include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,7 +23,7 @@ struct NodeEntry {
   NodeId node;
   Region region = Region::AppEdge;
   net::Address command_addr;  ///< node-manager port for commands/queries
-  std::map<std::string, std::string> static_values;
+  StaticValueMap static_values;
   SimTime registered_at = 0;
 };
 
@@ -54,27 +57,50 @@ class Registrar {
   /// Registered node count.
   std::size_t count() const noexcept { return nodes_.size(); }
 
-  /// Primary static-attribute tables (attribute -> node -> value). Mirrors
-  /// the store; exposed for the structural audit (focus/audit.hpp).
-  const std::map<std::string, std::map<NodeId, std::string>>& static_tables()
-      const noexcept {
-    return static_tables_;
+  /// Rows of one primary static-attribute table (node -> value); nullptr
+  /// when no node ever registered that attribute. Mirrors the store.
+  const std::map<NodeId, std::string>* static_table(AttrId attr) const;
+
+  /// Visit every primary table in attribute-name order (the old
+  /// std::map<std::string, …> iteration order) with
+  /// fn(AttrId, const std::map<NodeId, std::string>& rows). Audit support.
+  template <typename Fn>
+  void for_each_static_table(Fn&& fn) const {
+    std::vector<const StaticTable*> present;
+    for (const StaticTable& table : tables_) {
+      if (table.attr) present.push_back(&table);
+    }
+    std::sort(present.begin(), present.end(),
+              [](const StaticTable* a, const StaticTable* b) {
+                return a->attr.name() < b->attr.name();
+              });
+    for (const StaticTable* table : present) fn(table->attr, table->rows);
   }
 
   /// Name of the static-attribute table with the fewest rows among the
   /// query's static terms (the paper queries the smallest table). Empty when
-  /// the query has no static terms.
+  /// the query has no static terms. Served from memoized table names.
   std::string smallest_static_table(const Query& query) const;
 
  private:
-  static std::string table_name(const std::string& attr) { return "attr_" + attr; }
+  /// One primary table, slotted by AttrId::value(); `attr` is unset for
+  /// ids this registrar never saw. The store-facing name ("attr_<name>")
+  /// is memoized at creation so writes never rebuild it.
+  struct StaticTable {
+    AttrId attr;
+    std::string table;
+    std::map<NodeId, std::string> rows;
+  };
+
+  StaticTable& table_for(AttrId attr);
+  const StaticTable* find_table(AttrId attr) const;
 
   sim::Simulator& simulator_;
   store::Cluster& store_;
   const ServiceConfig& config_;
   std::unordered_map<NodeId, NodeEntry> nodes_;
-  /// Primary tables: attribute -> node -> value (mirrors the store).
-  std::map<std::string, std::map<NodeId, std::string>> static_tables_;
+  /// Primary tables indexed by interned attribute id (mirrors the store).
+  std::vector<StaticTable> tables_;
 };
 
 }  // namespace focus::core

@@ -87,9 +87,9 @@ bool Testbed::settle(Duration max) {
     // Wait until the DGM has heard at least one report per populated group
     // (i.e. groups know their members).
     std::size_t known_members = 0;
-    for (const auto& [name, group] : service_->dgm().groups()) {
+    service_->dgm().for_each_group([&](const core::Dgm::GroupInfo& group) {
       known_members += group.members.size();
-    }
+    });
     const std::size_t expected =
         agents_.size() * service_->config().schema.dynamic_attrs().size();
     if (known_members >= expected * 9 / 10) return true;

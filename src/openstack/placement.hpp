@@ -46,7 +46,7 @@ core::Query to_query(const PlacementRequest& request);
 struct Candidate {
   NodeId host;
   Region region = Region::AppEdge;
-  std::map<std::string, double> available;
+  core::AttrValueMap available;
 };
 
 /// The `AllocationCandidates.get_by_requests` seam (§IX): the single

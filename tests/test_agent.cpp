@@ -162,10 +162,10 @@ TEST(NodeManager, RepresentativesReportTheirGroups) {
   EXPECT_GT(reps, 0u);
   EXPECT_GT(reports, 0u);
   // Every group has at least one assigned representative among the agents.
-  for (const auto& [name, group] : bed.service().dgm().groups()) {
-    if (group.members.empty()) continue;
-    EXPECT_FALSE(group.reps.empty()) << name;
-  }
+  bed.service().dgm().for_each_group([&](const core::Dgm::GroupInfo& group) {
+    if (group.members.empty()) return;
+    EXPECT_FALSE(group.reps.empty()) << group.name;
+  });
 }
 
 TEST(NodeManager, DirectPullAnswersWithCurrentState) {
@@ -204,9 +204,9 @@ TEST(NodeManager, StopLeavesGroupsGracefully) {
   bed.agent(3).stop();
   bed.run_for(10 * kSecond);
 
-  for (const auto& [name, group] : bed.service().dgm().groups()) {
-    EXPECT_FALSE(group.members.count(leaving)) << name;
-  }
+  bed.service().dgm().for_each_group([&](const core::Dgm::GroupInfo& group) {
+    EXPECT_FALSE(group.members.count(leaving)) << group.name;
+  });
   // Queries no longer return the stopped node.
   core::Query q;
   q.where_at_least("ram_mb", 0);

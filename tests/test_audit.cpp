@@ -119,7 +119,9 @@ TEST(Audit, PeriodicTestbedAuditRuns) {
 
 TEST(Audit, CacheAuditFlagsFutureTimestamps) {
   core::QueryCache cache(8);
-  cache.insert("q1", core::QueryResult{}, /*now=*/5 * kSecond);
+  core::Query q1;
+  q1.where_at_least("ram_mb", 1024);
+  cache.insert(q1.cache_hash(), q1, core::QueryResult{}, /*now=*/5 * kSecond);
 
   // Audited at a clock earlier than the entry's fetch time => violation.
   const core::AuditReport bad = core::audit_cache(cache, /*now=*/1 * kSecond);
@@ -143,7 +145,9 @@ TEST(Audit, SimulatorQueueIsMonotonic) {
 
 TEST(Audit, ReportFormatsViolations) {
   core::QueryCache cache(4);
-  cache.insert("q", core::QueryResult{}, 9 * kSecond);
+  core::Query q;
+  q.where_at_least("ram_mb", 1024);
+  cache.insert(q.cache_hash(), q, core::QueryResult{}, 9 * kSecond);
   const core::AuditReport report = core::audit_cache(cache, 0);
   ASSERT_FALSE(report.ok());
   const std::string text = report.to_string();

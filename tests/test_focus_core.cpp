@@ -104,35 +104,40 @@ TEST(Query, LocationTerm) {
   EXPECT_FALSE(q.matches(sample_state()));
 }
 
-TEST(Query, CacheKeyOrderInsensitive) {
+TEST(Query, CacheHashOrderInsensitive) {
   Query a, b;
   a.where_at_least("ram_mb", 2048).where_at_least("vcpus", 2);
   b.where_at_least("vcpus", 2).where_at_least("ram_mb", 2048);
-  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_EQ(a.cache_hash(), b.cache_hash());
+  EXPECT_TRUE(a.same_cache_identity(b));
 }
 
-TEST(Query, CacheKeyDistinguishesBoundsLimitLocation) {
+TEST(Query, CacheHashDistinguishesBoundsLimitLocation) {
   Query a, b;
   a.where_at_least("ram_mb", 2048);
   b.where_at_least("ram_mb", 4096);
-  EXPECT_NE(a.cache_key(), b.cache_key());
+  EXPECT_NE(a.cache_hash(), b.cache_hash());
+  EXPECT_FALSE(a.same_cache_identity(b));
 
   Query c = a, d = a;
   c.take(5);
   d.take(10);
-  EXPECT_NE(c.cache_key(), d.cache_key());
+  EXPECT_NE(c.cache_hash(), d.cache_hash());
+  EXPECT_FALSE(c.same_cache_identity(d));
 
   Query e = a, f = a;
   e.in_region(Region::Ohio);
-  EXPECT_NE(e.cache_key(), f.cache_key());
+  EXPECT_NE(e.cache_hash(), f.cache_hash());
+  EXPECT_FALSE(e.same_cache_identity(f));
 }
 
-TEST(Query, FreshnessDoesNotChangeCacheKey) {
+TEST(Query, FreshnessDoesNotChangeCacheHash) {
   Query a, b;
   a.where_at_least("ram_mb", 2048);
   b.where_at_least("ram_mb", 2048);
   b.fresh_within(5 * kSecond);
-  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_EQ(a.cache_hash(), b.cache_hash());
+  EXPECT_TRUE(a.same_cache_identity(b));
 }
 
 TEST(QueryResult, ContainsAndLatency) {
@@ -216,45 +221,123 @@ TEST(GroupRange, Intersection) {
 // ---------------------------------------------------------------------------
 // QueryCache
 
+namespace {
+
+/// Distinct lower bounds make distinct cache identities (and, in practice,
+/// distinct hashes).
+Query cache_query(double lower) {
+  Query q;
+  q.where_at_least("ram_mb", lower);
+  return q;
+}
+
+}  // namespace
+
 TEST(QueryCache, FreshnessGatesHits) {
   QueryCache cache(8);
+  const Query q = cache_query(2048);
+  const std::uint64_t h = q.cache_hash();
   QueryResult r;
   r.entries.push_back(ResultEntry{NodeId{1}, Region::Ohio, {}, 0});
-  cache.insert("k", r, /*now=*/1000);
+  cache.insert(h, q, r, /*now=*/1000);
 
-  EXPECT_EQ(cache.lookup("k", 1000, 0), nullptr);       // realtime: never
-  EXPECT_NE(cache.lookup("k", 1500, 1000), nullptr);    // 0.5 old vs 1.0 ok
-  EXPECT_EQ(cache.lookup("k", 2500, 1000), nullptr);    // too stale
-  EXPECT_EQ(cache.lookup("missing", 1000, 1000), nullptr);
+  EXPECT_EQ(cache.lookup(h, q, 1000, 0), nullptr);     // realtime: never
+  EXPECT_NE(cache.lookup(h, q, 1500, 1000), nullptr);  // 0.5 old vs 1.0 ok
+  EXPECT_EQ(cache.lookup(h, q, 2500, 1000), nullptr);  // too stale
+  const Query missing = cache_query(4096);
+  EXPECT_EQ(cache.lookup(missing.cache_hash(), missing, 1000, 1000), nullptr);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 3u);
 }
 
+TEST(QueryCache, FreshnessBoundaryExactAgeHits) {
+  QueryCache cache(4);
+  const Query q = cache_query(2048);
+  const std::uint64_t h = q.cache_hash();
+  cache.insert(h, q, {}, /*now=*/1000);
+  // An entry exactly `freshness` old still satisfies the query ...
+  EXPECT_NE(cache.lookup(h, q, 2000, 1000), nullptr);
+  // ... one tick older does not.
+  EXPECT_EQ(cache.lookup(h, q, 2001, 1000), nullptr);
+  // Zero or negative freshness can never be served from cache.
+  EXPECT_EQ(cache.lookup(h, q, 1000, 0), nullptr);
+  EXPECT_EQ(cache.lookup(h, q, 1000, -5), nullptr);
+}
+
 TEST(QueryCache, LruEviction) {
   QueryCache cache(2);
-  cache.insert("a", {}, 0);
-  cache.insert("b", {}, 0);
-  EXPECT_NE(cache.lookup("a", 1, 100), nullptr);  // a is now most recent
-  cache.insert("c", {}, 0);                       // evicts b
+  const Query qa = cache_query(1024), qb = cache_query(2048),
+              qc = cache_query(4096);
+  cache.insert(qa.cache_hash(), qa, {}, 0);
+  cache.insert(qb.cache_hash(), qb, {}, 0);
+  // a is now most recent; inserting c evicts b (the least recently used).
+  EXPECT_NE(cache.lookup(qa.cache_hash(), qa, 1, 100), nullptr);
+  cache.insert(qc.cache_hash(), qc, {}, 0);
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_NE(cache.lookup("a", 1, 100), nullptr);
-  EXPECT_EQ(cache.lookup("b", 1, 100), nullptr);
-  EXPECT_NE(cache.lookup("c", 1, 100), nullptr);
+  EXPECT_NE(cache.lookup(qa.cache_hash(), qa, 1, 100), nullptr);
+  EXPECT_EQ(cache.lookup(qb.cache_hash(), qb, 1, 100), nullptr);
+  EXPECT_NE(cache.lookup(qc.cache_hash(), qc, 1, 100), nullptr);
+}
+
+TEST(QueryCache, LruEvictionOrderFollowsRecency) {
+  QueryCache cache(3);
+  const Query q1 = cache_query(1), q2 = cache_query(2), q3 = cache_query(3),
+              q4 = cache_query(4), q5 = cache_query(5);
+  cache.insert(q1.cache_hash(), q1, {}, 0);
+  cache.insert(q2.cache_hash(), q2, {}, 0);
+  cache.insert(q3.cache_hash(), q3, {}, 0);
+  // Touch order now (old -> new): q1, q2, q3. Touch q1, making q2 the LRU.
+  EXPECT_NE(cache.lookup(q1.cache_hash(), q1, 1, 100), nullptr);
+  cache.insert(q4.cache_hash(), q4, {}, 0);  // evicts q2
+  EXPECT_EQ(cache.lookup(q2.cache_hash(), q2, 1, 100), nullptr);
+  EXPECT_NE(cache.lookup(q3.cache_hash(), q3, 1, 100), nullptr);
+  cache.insert(q5.cache_hash(), q5, {}, 0);  // evicts q1 (q3/q4 touched later)
+  EXPECT_EQ(cache.lookup(q1.cache_hash(), q1, 1, 100), nullptr);
+  EXPECT_NE(cache.lookup(q4.cache_hash(), q4, 1, 100), nullptr);
+  EXPECT_NE(cache.lookup(q5.cache_hash(), q5, 1, 100), nullptr);
+}
+
+TEST(QueryCache, HashCollisionRejectedByFullKey) {
+  QueryCache cache(8);
+  const Query a = cache_query(2048);
+  const Query b = cache_query(4096);
+  // Force a collision: probe/insert `b` under `a`'s hash. The slot stores
+  // the full query, so the lookup must reject the imposter, count the
+  // collision, and still serve the genuine owner.
+  const std::uint64_t h = a.cache_hash();
+  QueryResult ra;
+  ra.entries.push_back(ResultEntry{NodeId{7}, Region::Ohio, {}, 0});
+  cache.insert(h, a, ra, 0);
+  EXPECT_EQ(cache.lookup(h, b, 1, 1000), nullptr);
+  EXPECT_EQ(cache.collisions(), 1u);
+  const auto* hit = cache.lookup(h, a, 1, 1000);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->result.contains(NodeId{7}));
+  // Colliding insert replaces the slot owner; the old owner no longer hits.
+  cache.insert(h, b, {}, 5);
+  EXPECT_EQ(cache.collisions(), 2u);
+  EXPECT_NE(cache.lookup(h, b, 6, 1000), nullptr);
+  EXPECT_EQ(cache.lookup(h, a, 6, 1000), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(QueryCache, ReinsertRefreshesTimestamp) {
   QueryCache cache(4);
-  cache.insert("k", {}, 0);
-  cache.insert("k", {}, 5000);
-  EXPECT_NE(cache.lookup("k", 5500, 1000), nullptr);
+  const Query q = cache_query(2048);
+  const std::uint64_t h = q.cache_hash();
+  cache.insert(h, q, {}, 0);
+  cache.insert(h, q, {}, 5000);
+  EXPECT_NE(cache.lookup(h, q, 5500, 1000), nullptr);
   EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.collisions(), 0u);
 }
 
 TEST(QueryCache, ZeroCapacityNeverStores) {
   QueryCache cache(0);
-  cache.insert("k", {}, 0);
+  const Query q = cache_query(2048);
+  cache.insert(q.cache_hash(), q, {}, 0);
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.lookup("k", 1, 1000), nullptr);
+  EXPECT_EQ(cache.lookup(q.cache_hash(), q, 1, 1000), nullptr);
 }
 
 // ---------------------------------------------------------------------------

@@ -123,13 +123,14 @@ TEST_P(QueryProperty, AddingTermsNeverAddsMatches) {
   }
 }
 
-TEST_P(QueryProperty, CacheKeyEqualityImpliesSameMatches) {
+TEST_P(QueryProperty, CacheHashEqualityImpliesSameMatches) {
   Rng rng(GetParam());
   for (int i = 0; i < 200; ++i) {
     core::Query a = random_query(rng);
     core::Query b = a;
     rng.shuffle(b.terms);  // reordering must not change identity
-    ASSERT_EQ(a.cache_key(), b.cache_key());
+    ASSERT_EQ(a.cache_hash(), b.cache_hash());
+    ASSERT_TRUE(a.same_cache_identity(b));
     for (int j = 0; j < 20; ++j) {
       const core::NodeState state = random_state(rng);
       EXPECT_EQ(a.matches(state), b.matches(state));
@@ -250,13 +251,13 @@ TEST_P(ForkThresholdProperty, ReportedGroupSizesRespectThreshold) {
   ASSERT_TRUE(bed.settle(60 * kSecond));
   bed.run_for(10 * kSecond);
 
-  for (const auto& [name, group] : bed.service().dgm().groups()) {
+  bed.service().dgm().for_each_group([&](const core::Dgm::GroupInfo& group) {
     // Steady-state group sizes stay within a small overshoot of the
     // threshold (joins racing one report interval).
     EXPECT_LE(group.members.size(),
               static_cast<std::size_t>(GetParam()) + 5)
-        << name;
-  }
+        << group.name;
+  });
   // Everyone is still findable.
   core::Query q;
   q.where_at_least("ram_mb", 0);

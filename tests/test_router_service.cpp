@@ -184,6 +184,77 @@ TEST(Router, SmallestGroupSelectionReducesFanout) {
   EXPECT_LE(result.value().groups_queried, 2);
 }
 
+TEST(Router, PickSmallestTieKeepsFirstTerm) {
+  // pick_smallest uses strict `<`: when two terms' candidate totals tie, the
+  // FIRST term in query order wins. Pin the fleet so one term resolves to a
+  // single 2-member group and the other to two 1-member groups (tied totals),
+  // then check both term orders route through their own first term.
+  harness::Testbed bed(frozen_config(4));
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+
+  // ram_mb (cutoff 2048): agents 0,1 share bucket [2048,4096); 2,3 far away.
+  bed.agent(0).resources().set_value("ram_mb", 3000);
+  bed.agent(1).resources().set_value("ram_mb", 3100);
+  bed.agent(2).resources().set_value("ram_mb", 9000);
+  bed.agent(3).resources().set_value("ram_mb", 9100);
+  // vcpus (cutoff 2): agents 0,1 in two different buckets; 2,3 out of range.
+  bed.agent(0).resources().set_value("vcpus", 1.0);
+  bed.agent(1).resources().set_value("vcpus", 3.0);
+  bed.agent(2).resources().set_value("vcpus", 7.0);
+  bed.agent(3).resources().set_value("vcpus", 7.1);
+  bed.run_for(10 * kSecond);  // move groups + be reported
+
+  Query ram_first;
+  ram_first.where("ram_mb", 2048, 4000).where("vcpus", 0, 3.5);
+
+  // Precondition for the tie: 1 ram group with 2 members vs 2 vcpus groups
+  // with 1 member each.
+  const auto& dgm = bed.service().dgm();
+  const auto ram = dgm.candidate_groups(ram_first.terms[0], std::nullopt);
+  const auto vcpus = dgm.candidate_groups(ram_first.terms[1], std::nullopt);
+  ASSERT_EQ(ram.groups.size(), 1u);
+  ASSERT_EQ(ram.total_members, 2u);
+  ASSERT_EQ(vcpus.groups.size(), 2u);
+  ASSERT_EQ(vcpus.total_members, 2u);
+
+  auto result = bed.query_and_wait(ram_first);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().groups_queried, 1);  // tie -> ram term kept
+  EXPECT_EQ(result.value().entries.size(), 2u);
+
+  Query vcpus_first;
+  vcpus_first.where("vcpus", 0, 3.5).where("ram_mb", 2048, 4000);
+  auto swapped = bed.query_and_wait(vcpus_first);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped.value().groups_queried, 2);  // tie -> vcpus term kept
+  EXPECT_EQ(swapped.value().entries.size(), 2u);
+}
+
+TEST(Router, RouteAllTermsDeduplicatesSharedGroups) {
+  // Ablation routing unions every term's candidates; overlapping terms on
+  // the same attribute must not query the shared group twice. The dedup keys
+  // on the packed GroupId.
+  harness::TestbedConfig config = frozen_config(4);
+  config.service.route_all_terms = true;
+  harness::Testbed bed(config);
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+
+  for (std::size_t i = 0; i < bed.num_agents(); ++i) {
+    bed.agent(i).resources().set_value("ram_mb", 3000);
+  }
+  bed.run_for(10 * kSecond);
+
+  Query q;
+  q.where("ram_mb", 2048, 4000);  // -> the one populated [2048,4096) group
+  q.where("ram_mb", 2500, 3500);  // -> the same group again
+  auto result = bed.query_and_wait(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().groups_queried, 1);  // not 2: GroupId-deduped
+  EXPECT_EQ(result.value().entries.size(), bed.num_agents());
+}
+
 TEST(Router, NoCandidateGroupsAnswersEmptyFast) {
   harness::Testbed bed(frozen_config(8));
   bed.start();
@@ -209,16 +280,17 @@ TEST(Router, QueryTimeoutAnswersWithPartialResults) {
 
   // Freeze one group's coordinator candidates: take down every node of one
   // ram bucket so the group query goes unanswered.
-  const auto* group = [&]() -> const Dgm::GroupInfo* {
-    for (const auto& [name, info] : bed.service().dgm().groups()) {
-      if (info.key.attr == "ram_mb" && !info.members.empty()) return &info;
+  const Dgm::GroupInfo* group = nullptr;
+  bed.service().dgm().for_each_group([&](const Dgm::GroupInfo& info) {
+    if (group == nullptr && info.key.attr == AttrId("ram_mb") &&
+        !info.members.empty()) {
+      group = &info;
     }
-    return nullptr;
-  }();
+  });
   ASSERT_NE(group, nullptr);
-  for (const auto& [id, rec] : group->members) {
-    bed.transport().set_node_down(id, true);
-  }
+  group->members.for_each_member([&](const core::MemberTable::Slot& slot) {
+    bed.transport().set_node_down(slot.node, true);
+  });
 
   Query q;
   q.where("ram_mb", group->range.lo, group->range.hi - 1);
