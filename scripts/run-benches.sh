@@ -48,7 +48,7 @@ nodes=${NODES:-400}
 sim_secs=${SIM_SECS:-60}
 seed=${SEED:-7}
 
-cmake --build "$build_dir" -j --target micro_core micro_control scenario_throughput
+cmake --build "$build_dir" -j --target micro_core micro_control micro_gossip scenario_throughput
 
 run_micro() {
   local bench_bin=$1 out_json=$2
@@ -61,18 +61,22 @@ run_micro() {
 
 micro_core_json="$build_dir/micro_core_results.json"
 micro_control_json="$build_dir/micro_control_results.json"
+micro_gossip_json="$build_dir/micro_gossip_results.json"
 run_micro "$build_dir/bench/micro_core" "$micro_core_json"
 run_micro "$build_dir/bench/micro_control" "$micro_control_json"
+run_micro "$build_dir/bench/micro_gossip" "$micro_gossip_json"
 
-# Fold both suites into one google-benchmark-shaped document for
+# Fold the suites into one google-benchmark-shaped document for
 # scenario_throughput's --micro ingestion.
 micro_json="$build_dir/micro_combined_results.json"
-python3 - "$micro_core_json" "$micro_control_json" "$micro_json" <<'PY'
+python3 - "$micro_core_json" "$micro_control_json" "$micro_gossip_json" \
+    "$micro_json" <<'PY'
 import json, sys
-core, control, out = sys.argv[1], sys.argv[2], sys.argv[3]
-doc = json.load(open(core))
-doc["benchmarks"] = doc.get("benchmarks", []) + \
-    json.load(open(control)).get("benchmarks", [])
+inputs, out = sys.argv[1:-1], sys.argv[-1]
+doc = json.load(open(inputs[0]))
+for path in inputs[1:]:
+    doc["benchmarks"] = doc.get("benchmarks", []) + \
+        json.load(open(path)).get("benchmarks", [])
 json.dump(doc, open(out, "w"), indent=1)
 PY
 

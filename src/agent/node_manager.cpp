@@ -133,10 +133,9 @@ void NodeManager::poll() {
         membership != nullptr && !membership->range.contains(value);
     const bool missing = membership == nullptr && schema_.find(attr) != nullptr &&
                          schema_.find(attr)->kind == AttrKind::Dynamic;
-    auto pending = pending_suggestions_.find(attr);
+    const SimTime* pending = pending_suggestions_.find(attr);
     const bool already_pending =
-        pending != pending_suggestions_.end() &&
-        now - pending->second < config_.register_retry;
+        pending != nullptr && now - *pending < config_.register_retry;
     if ((out_of_range || missing) && !already_pending) {
       request_suggestion(attr, value);
     }
@@ -291,8 +290,8 @@ void NodeManager::handle_group_query(const net::Message& msg) {
 void NodeManager::on_gossip_event(core::AttrId attr,
                                   const gossip::EventPayload& event) {
   (void)attr;
-  if (event.topic != kQueryEventTopic || !event.body) return;
-  const auto& body = static_cast<const GroupQueryEventPayload&>(*event.body);
+  if (event.topic() != kQueryEventTopic || !event.body()) return;
+  const auto& body = static_cast<const GroupQueryEventPayload&>(*event.body());
   if (body.coordinator == command_addr_) {
     // Our own event delivered locally: record our state without a self-send.
     auto it = collects_.find(body.collect_id);

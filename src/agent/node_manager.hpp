@@ -124,7 +124,9 @@ class NodeManager {
   std::shared_ptr<bool> alive_flag_ = std::make_shared<bool>(false);
 
   /// Attributes awaiting a suggestion ack, with request time (for retry).
-  std::map<core::AttrId, SimTime, core::AttrNameLess> pending_suggestions_;
+  /// Flat map: the per-poll transition check probes it once per dynamic
+  /// attribute, which must not walk a tree or compare names.
+  core::detail::FlatAttrMap<SimTime> pending_suggestions_;
   std::set<std::string> rep_groups_;
   /// Last membership uploaded per group (delta-report bookkeeping).
   std::map<std::string, std::map<NodeId, core::MemberRecord>> last_reported_;

@@ -29,18 +29,17 @@ gossip::GroupAgent& P2PAgent::join(const core::GroupSuggestion& suggestion,
   membership.group = suggestion.group;
   membership.range = suggestion.range;
   membership.agent = std::move(agent);
-  auto [it, inserted] =
-      memberships_.insert_or_assign(suggestion.attr, std::move(membership));
-  (void)inserted;
-  return *it->second.agent;
+  Membership& slot = memberships_[suggestion.attr];
+  slot = std::move(membership);
+  return *slot.agent;
 }
 
 std::string P2PAgent::leave_attr(core::AttrId attr) {
-  auto it = memberships_.find(attr);
-  if (it == memberships_.end()) return {};
-  std::string group = it->second.group;
-  it->second.agent->leave();
-  memberships_.erase(it);
+  Membership* m = memberships_.find(attr);
+  if (m == nullptr) return {};
+  std::string group = m->group;
+  m->agent->leave();
+  memberships_.erase(attr);
   return group;
 }
 
@@ -57,8 +56,7 @@ gossip::GroupAgent* P2PAgent::agent_for_group(const std::string& group) {
 }
 
 const P2PAgent::Membership* P2PAgent::membership(core::AttrId attr) const {
-  auto it = memberships_.find(attr);
-  return it == memberships_.end() ? nullptr : &it->second;
+  return memberships_.find(attr);
 }
 
 }  // namespace focus::agent

@@ -2,11 +2,11 @@
 // The node's p2p side (§VIII-B "p2p Agents"): one gossip GroupAgent per
 // joined attribute group, each bound to its own port.
 
-#include <map>
 #include <memory>
 #include <string>
 
 #include "common/rng.hpp"
+#include "focus/attr_id.hpp"
 #include "focus/messages.hpp"
 #include "gossip/swim.hpp"
 
@@ -46,10 +46,11 @@ class P2PAgent {
   const Membership* membership(core::AttrId attr) const;
 
   /// All memberships keyed by attribute, iterated in attribute-name order
-  /// (AttrNameLess) so shutdown/leave sequences match the pre-interning
-  /// std::map<std::string, …> behaviour exactly.
-  const std::map<core::AttrId, Membership, core::AttrNameLess>& memberships()
-      const noexcept {
+  /// (FlatAttrMap keeps name order) so shutdown/leave sequences match the
+  /// pre-interning std::map<std::string, …> behaviour exactly. A node holds
+  /// a handful of memberships, so the flat map makes the per-poll
+  /// group-transition scan allocation- and tree-walk-free.
+  const core::detail::FlatAttrMap<Membership>& memberships() const noexcept {
     return memberships_;
   }
 
@@ -61,7 +62,7 @@ class P2PAgent {
   gossip::Config config_;
   Rng rng_;
   // keyed by attribute, name-ordered (see memberships())
-  std::map<core::AttrId, Membership, core::AttrNameLess> memberships_;
+  core::detail::FlatAttrMap<Membership> memberships_;
   std::uint16_t next_port_ = 100;
 };
 

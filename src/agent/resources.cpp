@@ -21,21 +21,36 @@ void ResourceModel::set_static(core::StaticValueMap values) {
 
 void ResourceModel::set_value(core::AttrId attr, double value) {
   state_.dynamic_values[attr] = value;
+  plan_dirty_ = true;  // the insert may have shifted value positions
+}
+
+void ResourceModel::rebuild_step_plan() {
+  // Walk schema order (the RNG draw order the digests pin) and capture each
+  // present attribute's position in the value map; subsequent polls then
+  // touch no name lookups at all.
+  step_plan_.clear();
+  for (const auto& attr : schema_.dynamic_attrs()) {
+    const std::ptrdiff_t slot = state_.dynamic_values.index_of(attr.id);
+    if (slot < 0) continue;
+    step_plan_.push_back(StepEntry{&attr, static_cast<std::size_t>(slot)});
+  }
+  plan_dirty_ = false;
 }
 
 void ResourceModel::step(SimTime now) {
   state_.timestamp = now;
   if (dynamics_.frozen) return;
-  for (const auto& attr : schema_.dynamic_attrs()) {
-    double* slot = state_.dynamic_values.find(attr.id);
-    if (slot == nullptr) continue;
+  if (plan_dirty_) rebuild_step_plan();
+  for (const StepEntry& entry : step_plan_) {
+    const core::AttributeSchema& attr = *entry.attr;
+    double& slot = state_.dynamic_values.value_at(entry.slot);
     const double span = attr.max_value - attr.min_value;
     const double step = rng_.uniform(-1.0, 1.0) * dynamics_.volatility * span;
-    double v = *slot + step;
+    double v = slot + step;
     // Reflect at the domain boundaries so values do not pile up at the edges.
     if (v < attr.min_value) v = 2 * attr.min_value - v;
     if (v > attr.max_value) v = 2 * attr.max_value - v;
-    *slot = std::clamp(v, attr.min_value, attr.max_value);
+    slot = std::clamp(v, attr.min_value, attr.max_value);
   }
 }
 

@@ -5,8 +5,9 @@
 // injected a randomness factor into consolidated agents for the same reason,
 // §X-A).
 
-#include <map>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -49,10 +50,23 @@ class ResourceModel {
   ResourceDynamics& dynamics() noexcept { return dynamics_; }
 
  private:
+  /// One random-walk target: the schema entry (bounds, volatility span) and
+  /// the value's position inside state_.dynamic_values. Resolved once, so
+  /// the per-poll step is two array walks instead of a name lookup per
+  /// attribute per tick.
+  struct StepEntry {
+    const core::AttributeSchema* attr;
+    std::size_t slot;
+  };
+
+  void rebuild_step_plan();
+
   const core::Schema& schema_;
   Rng rng_;
   ResourceDynamics dynamics_;
   core::NodeState state_;
+  std::vector<StepEntry> step_plan_;
+  bool plan_dirty_ = true;  // set_value may insert and shift positions
 };
 
 }  // namespace focus::agent

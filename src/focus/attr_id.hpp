@@ -109,6 +109,20 @@ class FlatAttrMap {
 
   const V& at(AttrId id) const;
 
+  /// Position of `id` in iteration order, or -1 when absent. Positions stay
+  /// valid until the next insert or erase — callers caching them (e.g. the
+  /// agent's per-tick step plan) must rebuild after mutation.
+  std::ptrdiff_t index_of(AttrId id) const {
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].first == id) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  }
+
+  /// Value at iteration position `i` (precondition: i < size()).
+  V& value_at(std::size_t i) { return items_[i].second; }
+  const V& value_at(std::size_t i) const { return items_[i].second; }
+
   std::size_t count(AttrId id) const { return find(id) != nullptr ? 1u : 0u; }
   bool contains(AttrId id) const { return find(id) != nullptr; }
 

@@ -9,6 +9,7 @@
 #include "focus/group_naming.hpp"
 #include "focus/registrar.hpp"
 #include "focus/service.hpp"
+#include "gossip/swim.hpp"
 #include "sim/simulator.hpp"
 
 namespace focus::core {
@@ -391,6 +392,123 @@ AuditReport audit_simulator(const sim::Simulator& simulator) {
                        "heap ordering invariant is broken (pending "
                     << simulator.pending() << ")";
                });
+  return report;
+}
+
+AuditReport audit_gossip(const gossip::GroupAgent& agent, SimTime now) {
+  AuditReport report;
+  Checker check(report);
+  const gossip::Config& config = agent.config();
+
+  // --- piggyback: one buffered assertion per node (add() replaces in
+  // place), each holding a copy budget in (0, piggyback_copies]. A zero or
+  // negative budget means take_into() failed to drop a spent entry; a budget
+  // above the configured cap means an entry was queued outside queue_update.
+  {
+    std::set<NodeId> queued;
+    agent.piggyback_buffer().for_each(
+        [&](const gossip::MemberUpdate& update, int copies_left) {
+          check.expect(copies_left > 0 && copies_left <= config.piggyback_copies,
+                       "gossip", [&](std::ostream& os) {
+                         os << "agent " << focus::to_string(agent.id())
+                            << " piggyback entry for "
+                            << focus::to_string(update.node) << " has copy budget "
+                            << copies_left << " outside (0, "
+                            << config.piggyback_copies << "]";
+                       });
+          check.expect(queued.insert(update.node).second, "gossip",
+                       [&](std::ostream& os) {
+                         os << "agent " << focus::to_string(agent.id())
+                            << " piggybacks two assertions about "
+                            << focus::to_string(update.node);
+                       });
+        });
+  }
+
+  // --- events: every buffered event has retransmission budget within the
+  // configured cap and is recorded in the seen-set (add() registers ids
+  // before buffering, so a pending-but-unseen event would be re-buffered on
+  // redelivery and forwarded forever).
+  const gossip::EventBuffer& events = agent.event_buffer();
+  events.for_each_pending([&](gossip::EventId id, int rounds_left) {
+    check.expect(rounds_left >= 0 && rounds_left < config.event_retransmit_rounds,
+                 "gossip", [&](std::ostream& os) {
+                   os << "agent " << focus::to_string(agent.id()) << " event "
+                      << focus::to_string(id.origin) << "#" << id.seq << " has "
+                      << rounds_left << " rounds left, outside [0, "
+                      << config.event_retransmit_rounds << ")";
+                 });
+    check.expect(events.seen(id), "gossip", [&](std::ostream& os) {
+      os << "agent " << focus::to_string(agent.id()) << " buffers event "
+         << focus::to_string(id.origin) << "#" << id.seq
+         << " that its seen-set does not record";
+    });
+  });
+  check.expect(events.pending() <= events.seen_count(), "gossip",
+               [&](std::ostream& os) {
+                 os << "agent " << focus::to_string(agent.id()) << " buffers "
+                    << events.pending() << " events but has only seen "
+                    << events.seen_count();
+               });
+
+  // --- delta-sync: no cursor may lead the member epoch (a leading cursor
+  // would make every future delta empty and wedge anti-entropy for the peer).
+  agent.for_each_sync_cursor([&](NodeId peer, std::uint64_t epoch) {
+    check.expect(epoch <= agent.member_epoch(), "gossip", [&](std::ostream& os) {
+      os << "agent " << focus::to_string(agent.id()) << " sync cursor for "
+         << focus::to_string(peer) << " at epoch " << epoch
+         << " leads the member epoch " << agent.member_epoch();
+    });
+  });
+
+  // --- member slab: per-member fields are sane, the id index round-trips,
+  // and the cached alive view / gone counter agree with a fresh recount.
+  const gossip::MemberTable& members = agent.members();
+  std::size_t alive = 0;
+  std::size_t gone = 0;
+  members.for_each([&](const gossip::MemberInfo& info) {
+    if (gossip::MemberTable::is_alive(info.state)) ++alive;
+    if (gossip::MemberTable::is_gone(info.state)) ++gone;
+    check.expect(info.id != agent.id(), "gossip", [&](std::ostream& os) {
+      os << "agent " << focus::to_string(agent.id())
+         << " holds itself in its member table";
+    });
+    check.expect(info.since <= now, "gossip", [&](std::ostream& os) {
+      os << "agent " << focus::to_string(agent.id()) << " member "
+         << focus::to_string(info.id) << " changed at future time " << info.since;
+    });
+    check.expect(info.changed_epoch <= agent.member_epoch(), "gossip",
+                 [&](std::ostream& os) {
+                   os << "agent " << focus::to_string(agent.id()) << " member "
+                      << focus::to_string(info.id) << " changed at epoch "
+                      << info.changed_epoch << ", beyond the member epoch "
+                      << agent.member_epoch();
+                 });
+    const gossip::MemberInfo* found = members.find(info.id);
+    check.expect(found == &info, "gossip", [&](std::ostream& os) {
+      os << "agent " << focus::to_string(agent.id()) << " id index resolves "
+         << focus::to_string(info.id) << " to a different slot";
+    });
+  });
+  check.expect(members.gone() == gone, "gossip", [&](std::ostream& os) {
+    os << "agent " << focus::to_string(agent.id()) << " counts "
+       << members.gone() << " gone members but holds " << gone;
+  });
+  const auto& alive_slots = members.alive_slots();
+  check.expect(alive_slots.size() == alive, "gossip", [&](std::ostream& os) {
+    os << "agent " << focus::to_string(agent.id()) << " alive cache holds "
+       << alive_slots.size() << " slots but " << alive << " members are alive";
+  });
+  for (std::uint32_t slot : alive_slots) {
+    check.expect(slot < members.size() &&
+                     gossip::MemberTable::is_alive(members.at(slot).state),
+                 "gossip", [&](std::ostream& os) {
+                   os << "agent " << focus::to_string(agent.id())
+                      << " alive cache points at slot " << slot
+                      << " which is out of range or not alive";
+                 });
+  }
+
   return report;
 }
 

@@ -24,6 +24,16 @@
 //                      virtual clock (monotonicity)
 //   registrar          static primary tables and the node directory mirror
 //                      each other exactly
+//   gossip             per-agent gossip structures are internally consistent:
+//                      piggyback entries keep one slot per node with a copy
+//                      budget in (0, piggyback_copies], buffered events have
+//                      retransmission budget within config and are recorded
+//                      as seen, delta-sync cursors never lead the member
+//                      epoch, and the member slab's alive cache and id index
+//                      agree with the slab itself. (Payload immutability
+//                      after send is enforced separately: the transport
+//                      stamps each message's wire size at send and a
+//                      FOCUS_DCHECK re-derives it at delivery.)
 
 #include <cstddef>
 #include <string>
@@ -33,6 +43,10 @@
 
 namespace focus::sim {
 class Simulator;
+}
+
+namespace focus::gossip {
+class GroupAgent;
 }
 
 namespace focus::core {
@@ -75,6 +89,11 @@ AuditReport audit_cache(const QueryCache& cache, SimTime now);
 
 /// Event-queue monotonicity of the simulation kernel.
 AuditReport audit_simulator(const sim::Simulator& simulator);
+
+/// Gossip-layer structural invariants of one group agent (piggyback copy
+/// budgets, event retransmission bookkeeping, delta-sync cursors, member-slab
+/// cache coherence). `now` is the simulator clock.
+AuditReport audit_gossip(const gossip::GroupAgent& agent, SimTime now);
 
 /// Every structural audit over one service instance plus its kernel.
 AuditReport audit_service(const Service& service, const sim::Simulator& simulator);

@@ -2,60 +2,110 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace focus::gossip {
 
-bool EventBuffer::add(EventId id, std::string topic,
-                      std::shared_ptr<const net::Payload> body,
+bool EventBuffer::add(std::shared_ptr<const EventCore> core,
                       int retransmit_rounds) {
-  if (!seen_.insert(id).second) return false;
+  FOCUS_DCHECK(core != nullptr) << "EventBuffer::add null core";
+  if (!seen_.insert(core->id).second) return false;
   if (retransmit_rounds > 0) {
-    pending_.push_back(Entry{id, std::move(topic), std::move(body), retransmit_rounds});
+    pending_.push_back(Entry{std::move(core), retransmit_rounds});
   }
   return true;
 }
 
-std::vector<EventPayload> EventBuffer::take_round() {
-  std::vector<EventPayload> out;
+void EventBuffer::take_round_into(
+    std::vector<std::shared_ptr<const EventCore>>& out) {
+  out.clear();
   out.reserve(pending_.size());
   for (auto& entry : pending_) {
-    EventPayload p;
-    p.id = entry.id;
-    p.topic = entry.topic;
-    p.body = entry.body;
-    out.push_back(std::move(p));
+    out.push_back(entry.core);
     --entry.rounds_left;
   }
   std::erase_if(pending_, [](const Entry& e) { return e.rounds_left <= 0; });
-  return out;
 }
 
 void PiggybackBuffer::add(const MemberUpdate& update, int copies) {
   // A newer assertion about the same node replaces the buffered one: the
-  // protocol only needs the latest state to converge.
-  for (auto& entry : entries_) {
-    if (entry.update.node == update.node) {
-      entry.update = update;
-      entry.copies_left = copies;
+  // protocol only needs the latest state to converge. The refresh happens in
+  // place; if the bumped budget now exceeds a predecessor's, the descending
+  // order is restored lazily on the next take.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].update.node == update.node) {
+      entries_[i].update = update;
+      entries_[i].copies_left = copies;
+      if ((i > 0 && entries_[i - 1].copies_left < copies) ||
+          (i + 1 < entries_.size() && copies < entries_[i + 1].copies_left)) {
+        needs_sort_ = true;
+      }
       return;
     }
   }
-  entries_.push_back(Entry{update, copies});
+  if (needs_sort_) {
+    // Order is already pending a rebuild; appending keeps insertion order,
+    // which the eventual stable sort preserves among equal budgets.
+    entries_.push_back(Entry{update, copies});
+    return;
+  }
+  // Sorted insert: after every entry with >= copies (stable among equals).
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), copies,
+      [](int c, const Entry& e) { return c > e.copies_left; });
+  entries_.insert(pos, Entry{update, copies});
 }
 
-std::vector<MemberUpdate> PiggybackBuffer::take(std::size_t max) {
+void PiggybackBuffer::ensure_sorted() {
+  if (!needs_sort_) return;
   std::stable_sort(entries_.begin(), entries_.end(),
                    [](const Entry& a, const Entry& b) {
                      return a.copies_left > b.copies_left;
                    });
-  std::vector<MemberUpdate> out;
+  needs_sort_ = false;
+}
+
+void PiggybackBuffer::take_into(std::vector<MemberUpdate>& out,
+                                std::size_t max) {
+  ensure_sorted();
   const std::size_t n = std::min(max, entries_.size());
-  out.reserve(n);
+  if (n == 0) return;
+  out.reserve(out.size() + n);
   for (std::size_t i = 0; i < n; ++i) {
     out.push_back(entries_[i].update);
     --entries_[i].copies_left;
   }
-  std::erase_if(entries_, [](const Entry& e) { return e.copies_left <= 0; });
-  return out;
+  // The taken prefix was descending and each element dropped by exactly one,
+  // so it is still descending; spent entries (now 0) sit at its end. Erase
+  // them, then stitch the two descending runs back together with a stable
+  // merge into a reused scratch buffer — no per-send sort, no allocation in
+  // steady state.
+  std::size_t keep = n;
+  while (keep > 0 && entries_[keep - 1].copies_left <= 0) --keep;
+  if (keep < n) {
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(keep),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  if (keep == 0 || keep == entries_.size()) return;
+  if (entries_[keep - 1].copies_left >= entries_[keep].copies_left) return;
+  merge_scratch_.clear();
+  merge_scratch_.reserve(keep);
+  merge_scratch_.assign(entries_.begin(),
+                        entries_.begin() + static_cast<std::ptrdiff_t>(keep));
+  // Merge scratch (= old prefix) with the untouched suffix; on equal budgets
+  // the prefix element wins, matching what a stable sort of the whole buffer
+  // would produce.
+  std::size_t a = 0, b = keep, w = 0;
+  const std::size_t end = entries_.size();
+  while (a < merge_scratch_.size() && b < end) {
+    if (merge_scratch_[a].copies_left >= entries_[b].copies_left) {
+      entries_[w++] = merge_scratch_[a++];
+    } else {
+      entries_[w++] = entries_[b++];
+    }
+  }
+  while (a < merge_scratch_.size()) entries_[w++] = merge_scratch_[a++];
+  FOCUS_DCHECK(b == end || w == b) << "piggyback merge misaligned";
 }
 
 }  // namespace focus::gossip

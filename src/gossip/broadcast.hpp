@@ -4,7 +4,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <string>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -13,20 +13,29 @@
 namespace focus::gossip {
 
 /// Buffer of user events pending retransmission plus a seen-set for
-/// deduplication. Used by GroupAgent; separated out for direct unit testing.
+/// deduplication. Entries hold a `shared_ptr<const EventCore>`, so the topic
+/// and body strings are captured exactly once when the event enters the
+/// buffer and every retransmit round reuses the same immutable core.
+/// Used by GroupAgent; separated out for direct unit testing.
 class EventBuffer {
  public:
   /// Register an event. Returns false (and buffers nothing) when the event
   /// id was already seen.
-  bool add(EventId id, std::string topic,
-           std::shared_ptr<const net::Payload> body, int retransmit_rounds);
+  bool add(std::shared_ptr<const EventCore> core, int retransmit_rounds);
 
   /// True when the id has been seen before (delivered or buffered).
   bool seen(EventId id) const { return seen_.count(id) > 0; }
 
-  /// Events that still have transmission budget this round. Calling this
-  /// consumes one round of budget from each returned event.
-  std::vector<EventPayload> take_round();
+  /// Fill `out` (cleared first) with the events that still have transmission
+  /// budget this round, consuming one round of budget from each. The caller
+  /// owns `out` so steady-state rounds allocate nothing.
+  void take_round_into(std::vector<std::shared_ptr<const EventCore>>& out);
+
+  /// Visit every buffered entry (for audits/tests): fn(id, rounds_left).
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    for (const auto& entry : pending_) fn(entry.core->id, entry.rounds_left);
+  }
 
   /// Events currently buffered for retransmission.
   std::size_t pending() const noexcept { return pending_.size(); }
@@ -36,9 +45,7 @@ class EventBuffer {
 
  private:
   struct Entry {
-    EventId id;
-    std::string topic;
-    std::shared_ptr<const net::Payload> body;
+    std::shared_ptr<const EventCore> core;
     int rounds_left = 0;
   };
 
@@ -49,15 +56,34 @@ class EventBuffer {
 /// Buffer of membership updates pending piggybacking. Each update is
 /// attached to outgoing protocol messages until its copy budget is spent.
 /// Newer assertions about a node supersede older buffered ones.
+///
+/// Entries are kept sorted by remaining copies (descending, insertion-stable
+/// among equals) so take_into() reads a prefix instead of re-sorting the
+/// whole buffer per send; the occasional in-place refresh that breaks the
+/// order just flags a lazy re-sort.
 class PiggybackBuffer {
  public:
   /// Queue an update for dissemination with the given copy budget.
   void add(const MemberUpdate& update, int copies);
 
-  /// Take up to `max` updates to attach to one outgoing message, consuming
-  /// one copy from each. Updates with the most remaining copies go first
-  /// (freshest information spreads fastest).
-  std::vector<MemberUpdate> take(std::size_t max);
+  /// Append up to `max` updates to `out` (not cleared), consuming one copy
+  /// from each. Updates with the most remaining copies go first (freshest
+  /// information spreads fastest). The caller owns `out`, so a reused buffer
+  /// makes steady-state sends allocation-free.
+  void take_into(std::vector<MemberUpdate>& out, std::size_t max);
+
+  /// Convenience wrapper returning a fresh vector (tests/cold paths).
+  std::vector<MemberUpdate> take(std::size_t max) {
+    std::vector<MemberUpdate> out;
+    take_into(out, max);
+    return out;
+  }
+
+  /// Visit every buffered entry (for audits/tests): fn(update, copies_left).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& entry : entries_) fn(entry.update, entry.copies_left);
+  }
 
   /// Updates still holding budget.
   std::size_t pending() const noexcept { return entries_.size(); }
@@ -68,7 +94,11 @@ class PiggybackBuffer {
     int copies_left = 0;
   };
 
+  void ensure_sorted();
+
   std::vector<Entry> entries_;
+  std::vector<Entry> merge_scratch_;  // reused by take_into's prefix merge
+  bool needs_sort_ = false;
 };
 
 }  // namespace focus::gossip

@@ -47,9 +47,14 @@ struct Config {
   /// `fanout` members in each of this many rounds.
   int event_retransmit_rounds = 3;
 
-  /// Anti-entropy: exchange full member lists with one random peer this
-  /// often. Heals partitions that piggybacking misses.
+  /// Anti-entropy: exchange member lists with one random peer this often.
+  /// Heals partitions that piggybacking misses.
   Duration sync_interval = 30 * kSecond;
+
+  /// Delta-sync robustness: every Nth anti-entropy list sent to the same
+  /// peer is a full snapshot instead of a delta, so a lost delta (or a peer
+  /// that silently lost state) cannot wedge convergence. 1 disables deltas.
+  int sync_full_every = 8;
 };
 
 }  // namespace focus::gossip

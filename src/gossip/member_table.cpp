@@ -1,0 +1,138 @@
+#include "gossip/member_table.hpp"
+
+#include "common/check.hpp"
+
+namespace focus::gossip {
+
+MemberInfo& MemberTable::insert(NodeId id, MemberState initial) {
+  FOCUS_DCHECK(index_find(id) == kNil)
+      << "duplicate member insert " << to_string(id);
+  const auto pos = static_cast<std::uint32_t>(slab_.size());
+  MemberInfo& info = slab_.emplace_back();
+  info.id = id;
+  info.state = initial;
+  index_insert(id, pos);
+  gone_ += static_cast<std::size_t>(is_gone(initial));
+  dirty_ = true;
+  return info;
+}
+
+MemberInfo* MemberTable::find(NodeId id) noexcept {
+  const std::uint32_t pos = index_find(id);
+  return pos == kNil ? nullptr : &slab_[pos];
+}
+
+const MemberInfo* MemberTable::find(NodeId id) const noexcept {
+  const std::uint32_t pos = index_find(id);
+  return pos == kNil ? nullptr : &slab_[pos];
+}
+
+const std::vector<std::uint32_t>& MemberTable::alive_slots() const {
+  if (dirty_) {
+    alive_cache_.clear();
+    alive_cache_.reserve(slab_.size());
+    for (std::uint32_t i = 0; i < slab_.size(); ++i) {
+      if (is_alive(slab_[i].state)) alive_cache_.push_back(i);
+    }
+    dirty_ = false;
+  }
+  return alive_cache_;
+}
+
+void MemberTable::erase_slot(std::uint32_t pos) {
+  gone_ -= static_cast<std::size_t>(is_gone(slab_[pos].state));
+  index_erase(slab_[pos].id);
+  const auto last = static_cast<std::uint32_t>(slab_.size() - 1);
+  if (pos != last) {
+    slab_[pos] = std::move(slab_[last]);
+    index_update(slab_[pos].id, pos);
+  }
+  slab_.pop_back();
+  dirty_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// NodeId index: open addressing with linear probing; deletion backward-shifts
+// the probe run (no tombstones), so the layout — and therefore every
+// iteration that consults it — is a pure function of the insert/erase
+// history and stays deterministic across runs.
+
+std::uint64_t MemberTable::hash_id(NodeId id) noexcept {
+  // splitmix64-style finalizer: node ids are dense small integers, spread
+  // them over the whole table.
+  auto x = static_cast<std::uint64_t>(id.value);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+void MemberTable::index_grow() {
+  const std::size_t new_size = index_.empty() ? 16 : index_.size() * 2;
+  std::vector<IndexCell> old = std::move(index_);
+  index_.assign(new_size, IndexCell{});
+  const std::size_t mask = new_size - 1;
+  for (const IndexCell& cell : old) {
+    if (cell.pos == kNil) continue;
+    std::size_t i = hash_id(cell.key) & mask;
+    while (index_[i].pos != kNil) i = (i + 1) & mask;
+    index_[i] = cell;
+  }
+}
+
+void MemberTable::index_insert(NodeId id, std::uint32_t pos) {
+  // Keep load factor under 3/4 so probe runs stay short.
+  if ((index_count_ + 1) * 4 > index_.size() * 3) index_grow();
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  while (index_[i].pos != kNil) i = (i + 1) & mask;
+  index_[i] = IndexCell{id, pos};
+  ++index_count_;
+}
+
+void MemberTable::index_erase(NodeId id) {
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  // The entry exists (callers erase only known members) and probe runs are
+  // compact, so this terminates at the entry.
+  while (index_[i].pos == kNil || !(index_[i].key == id)) i = (i + 1) & mask;
+  for (;;) {
+    index_[i].pos = kNil;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (index_[j].pos == kNil) {
+        --index_count_;
+        return;
+      }
+      const std::size_t home = hash_id(index_[j].key) & mask;
+      const bool movable =
+          (i <= j) ? (home <= i || home > j) : (home <= i && home > j);
+      if (movable) break;
+    }
+    index_[i] = index_[j];
+    i = j;
+  }
+}
+
+std::uint32_t MemberTable::index_find(NodeId id) const noexcept {
+  if (index_count_ == 0) return kNil;
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  while (index_[i].pos != kNil) {
+    if (index_[i].key == id) return index_[i].pos;
+    i = (i + 1) & mask;
+  }
+  return kNil;
+}
+
+void MemberTable::index_update(NodeId id, std::uint32_t pos) noexcept {
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  while (index_[i].pos == kNil || !(index_[i].key == id)) i = (i + 1) & mask;
+  index_[i].pos = pos;
+}
+
+}  // namespace focus::gossip

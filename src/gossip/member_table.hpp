@@ -1,0 +1,126 @@
+#pragma once
+// Slab-backed membership storage for one gossip group.
+//
+// GroupAgent previously kept its peers in an unordered_map<NodeId, MemberInfo>
+// and re-materialized filtered vectors (alive peers, probe candidates, full
+// member lists) on every protocol tick; at 400 nodes the map scans, rehashes
+// and per-tick vectors dominated the scenario profile. MemberTable stores
+// members contiguously in a slab (deterministic swap-erase order), indexes
+// them with a small open-addressing NodeId hash (linear probing,
+// backward-shift deletion — layout is a pure function of the insert/erase
+// history, so iteration stays deterministic), and caches the alive view as a
+// slot vector that is rebuilt lazily only when the alive set actually
+// changed. Tombstone sweeps are skipped entirely while no Dead/Left member
+// exists, which is the common case.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gossip/messages.hpp"
+#include "net/message.hpp"
+
+namespace focus::gossip {
+
+/// What an agent believes about one peer.
+struct MemberInfo {
+  NodeId id;
+  net::Address addr;
+  Region region = Region::AppEdge;
+  MemberState state = MemberState::Alive;
+  std::uint32_t incarnation = 0;
+  SimTime since = 0;  ///< when the current state was adopted
+  std::uint64_t changed_epoch = 0;  ///< owner's change epoch at last update
+};
+
+/// Contiguous member storage with an id index and a cached alive view.
+/// Never holds the owning agent itself, only peers.
+class MemberTable {
+ public:
+  /// True for states that participate in probing/sampling.
+  static bool is_alive(MemberState s) noexcept {
+    return s == MemberState::Alive || s == MemberState::Suspect;
+  }
+  /// True for tombstone states awaiting garbage collection.
+  static bool is_gone(MemberState s) noexcept {
+    return s == MemberState::Dead || s == MemberState::Left;
+  }
+
+  /// Insert a new member (id must be absent). Fields other than `id` and
+  /// `state` are left for the caller to fill; the slab reference stays valid
+  /// until the next insert or erase.
+  MemberInfo& insert(NodeId id, MemberState initial);
+
+  /// Locate a member, or nullptr when unknown. Mutating state through the
+  /// returned pointer must be reported via note_transition().
+  MemberInfo* find(NodeId id) noexcept;
+  const MemberInfo* find(NodeId id) const noexcept;
+
+  /// Report a state change applied through find(); keeps the tombstone count
+  /// and the cached alive view consistent.
+  void note_transition(MemberState before, MemberState after) noexcept {
+    gone_ += static_cast<std::size_t>(is_gone(after)) -
+             static_cast<std::size_t>(is_gone(before));
+    if (is_alive(before) != is_alive(after)) dirty_ = true;
+  }
+
+  std::size_t size() const noexcept { return slab_.size(); }
+  bool empty() const noexcept { return slab_.empty(); }
+
+  /// Visit every member in slab order (deterministic).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& m : slab_) fn(m);
+  }
+
+  /// Slots of members currently alive/suspect, in slab order. Rebuilt only
+  /// when the alive set changed since the last call.
+  const std::vector<std::uint32_t>& alive_slots() const;
+
+  /// Member stored at a slot previously obtained from alive_slots().
+  const MemberInfo& at(std::uint32_t slot) const { return slab_[slot]; }
+
+  /// Count of Dead/Left members still awaiting garbage collection.
+  std::size_t gone() const noexcept { return gone_; }
+
+  /// Erase tombstones older than `ttl`, invoking fn(id) per erased member.
+  /// O(1) when no tombstone exists.
+  template <typename Fn>
+  void sweep_tombstones(SimTime now, Duration ttl, Fn&& on_erase) {
+    if (gone_ == 0) return;
+    std::uint32_t pos = 0;
+    while (pos < slab_.size()) {
+      const MemberInfo& m = slab_[pos];
+      if (is_gone(m.state) && now - m.since > ttl) {
+        on_erase(m.id);
+        erase_slot(pos);  // swap-erase: re-examine the same slot
+      } else {
+        ++pos;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  struct IndexCell {
+    NodeId key;
+    std::uint32_t pos = kNil;  ///< kNil marks an empty cell
+  };
+
+  static std::uint64_t hash_id(NodeId id) noexcept;
+  void index_grow();
+  void index_insert(NodeId id, std::uint32_t pos);
+  void index_erase(NodeId id);
+  std::uint32_t index_find(NodeId id) const noexcept;
+  void index_update(NodeId id, std::uint32_t pos) noexcept;
+  void erase_slot(std::uint32_t pos);
+
+  std::vector<MemberInfo> slab_;
+  std::vector<IndexCell> index_;
+  std::size_t index_count_ = 0;
+  std::size_t gone_ = 0;
+  mutable std::vector<std::uint32_t> alive_cache_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace focus::gossip

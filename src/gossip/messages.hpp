@@ -78,13 +78,19 @@ struct JoinPayload final : net::Payload {
   std::size_t wire_size() const override { return MemberUpdate::kWireBytes; }
 };
 
-/// Join response / anti-entropy exchange: a full member list.
+/// Join response / anti-entropy exchange: a member list, either a full
+/// snapshot or a delta. `since_epoch == 0` means the list is a complete
+/// snapshot of the sender's membership view; a non-zero value is the sender's
+/// change-epoch cursor, and `members` holds only entries that changed after
+/// it (the sender tracks one cursor per peer and periodically falls back to a
+/// full snapshot so a lost delta cannot wedge convergence).
 struct MemberListPayload final : net::Payload {
   std::vector<MemberUpdate> members;
-  bool reply_expected = false;  ///< true on the first half of a sync exchange
+  std::uint64_t since_epoch = 0;  ///< 0 = full snapshot, else delta cursor
+  bool reply_expected = false;    ///< true on the first half of a sync exchange
 
   std::size_t wire_size() const override {
-    return 2 + members.size() * MemberUpdate::kWireBytes;
+    return 10 + members.size() * MemberUpdate::kWireBytes;
   }
 };
 
@@ -96,17 +102,37 @@ struct EventId {
   constexpr auto operator<=>(const EventId&) const = default;
 };
 
-/// Application-level event disseminated epidemically through the group
-/// (FOCUS uses this to spread queries). The body is an opaque payload owned
-/// by the application layer.
-struct EventPayload final : net::Payload {
+/// The immutable part of a user event: identity, topic, and opaque body.
+/// Built exactly once when the event is originated or first received, then
+/// shared (by `shared_ptr<const EventCore>`) across every retransmit round
+/// and every fanout recipient — the topic string and body are never copied
+/// again after construction.
+struct EventCore {
   EventId id;
   std::string topic;
   std::shared_ptr<const net::Payload> body;
+
+  std::size_t wire_size() const {
+    return 16 + topic.size() + (body ? body->wire_size() : 0);
+  }
+};
+
+/// Application-level event disseminated epidemically through the group
+/// (FOCUS uses this to spread queries). The immutable core is shared across
+/// fanout recipients and retransmit rounds; only the piggybacked membership
+/// updates vary per dissemination burst.
+struct EventPayload final : net::Payload {
+  std::shared_ptr<const EventCore> core;
   std::vector<MemberUpdate> updates;  ///< membership piggyback rides here too
 
+  const EventId& id() const noexcept { return core->id; }
+  const std::string& topic() const noexcept { return core->topic; }
+  const std::shared_ptr<const net::Payload>& body() const noexcept {
+    return core->body;
+  }
+
   std::size_t wire_size() const override {
-    return 16 + topic.size() + (body ? body->wire_size() : 0) +
+    return (core ? core->wire_size() : 16) +
            updates.size() * MemberUpdate::kWireBytes;
   }
 };

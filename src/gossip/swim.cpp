@@ -17,7 +17,7 @@ const net::MsgKind kMemberList = net::MsgKind::intern("swim.member_list");
 const net::MsgKind kEvent = net::MsgKind::intern("swim.event");
 
 // Tombstones (Dead/Left members) are garbage collected after this long so
-// stale piggybacks cannot resurrect them, but the map stays bounded.
+// stale piggybacks cannot resurrect them, but the slab stays bounded.
 constexpr Duration kTombstoneTtl = 60 * kSecond;
 }  // namespace
 
@@ -75,13 +75,17 @@ void GroupAgent::join(std::span<const net::Address> entry_points) {
 
 void GroupAgent::leave() {
   if (!running_) return;
-  // Tell a few peers directly; they disseminate the Left state for us.
-  const MemberUpdate left = self_update(MemberState::Left);
-  for (const auto& addr : random_alive_addresses(static_cast<std::size_t>(config_.fanout))) {
+  // Tell a few peers directly; they disseminate the Left state for us. All
+  // recipients share one immutable payload.
+  const auto targets = sample_alive(static_cast<std::size_t>(config_.fanout));
+  if (!targets.empty()) {
     auto payload = std::make_shared<AckPayload>();
     payload->seq = 0;
-    payload->updates.push_back(left);
-    transport_.send(net::Message{self_, addr, kAck, std::move(payload)});
+    payload->updates.push_back(self_update(MemberState::Left));
+    const std::shared_ptr<const net::Payload> shared = std::move(payload);
+    for (const auto& addr : targets) {
+      transport_.send(net::Message{self_, addr, kAck, shared});
+    }
   }
   running_ = false;
   *alive_flag_ = false;
@@ -95,50 +99,41 @@ void GroupAgent::broadcast(std::string topic,
                            std::shared_ptr<const net::Payload> body,
                            bool deliver_locally) {
   FOCUS_CHECK(running_) << "GroupAgent not started";
-  EventPayload event;
-  event.id = EventId{self_.node, next_event_seq_++};
-  event.topic = std::move(topic);
-  event.body = std::move(body);
+  auto core = std::make_shared<EventCore>();
+  core->id = EventId{self_.node, next_event_seq_++};
+  core->topic = std::move(topic);
+  core->body = std::move(body);
+  const std::shared_ptr<const EventCore> shared = std::move(core);
   ++counters_.events_originated;
   // Register with one round of budget already consumed: we transmit the
   // first round immediately for latency, later rounds ride on ticks.
-  events_.add(event.id, event.topic, event.body,
-              config_.event_retransmit_rounds - 1);
-  for (const auto& addr : random_alive_addresses(static_cast<std::size_t>(config_.fanout))) {
-    auto payload = std::make_shared<EventPayload>(event);
-    payload->updates = piggyback_.take(config_.max_piggyback);
-    transport_.send(net::Message{self_, addr, kEvent, std::move(payload)});
-  }
+  events_.add(shared, config_.event_retransmit_rounds - 1);
+  send_event_burst(shared);
   if (deliver_locally && event_handler_) {
     ++counters_.events_delivered;
-    event_handler_(event);
+    EventPayload local;
+    local.core = shared;
+    event_handler_(local);
   }
 }
 
 std::vector<GroupAgent::MemberInfo> GroupAgent::alive_members() const {
   std::vector<MemberInfo> out;
   out.reserve(members_.size());
-  for (const auto& [id, info] : members_) {
-    if (info.state == MemberState::Alive || info.state == MemberState::Suspect) {
-      out.push_back(info);
-    }
-  }
+  members_.for_each([&out](const MemberInfo& info) {
+    if (MemberTable::is_alive(info.state)) out.push_back(info);
+  });
   std::sort(out.begin(), out.end(),
             [](const MemberInfo& a, const MemberInfo& b) { return a.id < b.id; });
   return out;
 }
 
 std::size_t GroupAgent::alive_count() const {
-  std::size_t n = 1;  // self
-  for (const auto& [id, info] : members_) {
-    if (info.state == MemberState::Alive || info.state == MemberState::Suspect) ++n;
-  }
-  return n;
+  return members_.alive_slots().size() + 1;  // + self
 }
 
 const GroupAgent::MemberInfo* GroupAgent::member(NodeId id) const {
-  auto it = members_.find(id);
-  return it == members_.end() ? nullptr : &it->second;
+  return members_.find(id);
 }
 
 // ---------------------------------------------------------------------------
@@ -147,36 +142,27 @@ const GroupAgent::MemberInfo* GroupAgent::member(NodeId id) const {
 void GroupAgent::tick() { dissemination_round(); }
 
 void GroupAgent::probe_round() {
-  // Garbage-collect expired tombstones (piggybacked on the slow timer).
-  const SimTime gc_now = simulator_.now();
-  std::erase_if(members_, [gc_now](const auto& kv) {
-    const MemberInfo& m = kv.second;
-    return (m.state == MemberState::Dead || m.state == MemberState::Left) &&
-           gc_now - m.since > kTombstoneTtl;
-  });
+  // Garbage-collect expired tombstones (piggybacked on the slow timer; a
+  // no-op unless a Dead/Left member actually exists). Delta-sync cursors for
+  // forgotten peers go with them.
+  members_.sweep_tombstones(simulator_.now(), kTombstoneTtl,
+                            [this](NodeId id) { sync_sent_.erase(id); });
   // SWIM round-robin probing over a shuffled member list: every member is
   // probed within n intervals, giving a deterministic detection bound.
-  std::vector<const MemberInfo*> alive = alive_ptrs();
-  if (alive.empty()) return;
+  if (members_.alive_slots().empty()) return;
   if (probe_index_ >= probe_order_.size()) refresh_probe_order();
   while (probe_index_ < probe_order_.size()) {
-    auto it = members_.find(probe_order_[probe_index_++]);
-    if (it == members_.end()) continue;
-    if (it->second.state != MemberState::Alive &&
-        it->second.state != MemberState::Suspect) {
-      continue;
-    }
-    start_probe(it->second);
+    const MemberInfo* info = members_.find(probe_order_[probe_index_++]);
+    if (info == nullptr || !MemberTable::is_alive(info->state)) continue;
+    start_probe(*info);
     return;
   }
 }
 
 void GroupAgent::refresh_probe_order() {
   probe_order_.clear();
-  for (const auto& [id, info] : members_) {
-    if (info.state == MemberState::Alive || info.state == MemberState::Suspect) {
-      probe_order_.push_back(id);
-    }
+  for (const std::uint32_t slot : members_.alive_slots()) {
+    probe_order_.push_back(members_.at(slot).id);
   }
   rng_.shuffle(probe_order_);
   probe_index_ = 0;
@@ -197,15 +183,21 @@ void GroupAgent::start_probe(const MemberInfo& target) {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // acked
     it->second.indirect_sent = true;
-    for (const auto& helper :
-         random_alive_addresses(static_cast<std::size_t>(config_.indirect_probes))) {
+    const auto helpers =
+        sample_alive(static_cast<std::size_t>(config_.indirect_probes));
+    std::shared_ptr<const net::Payload> shared;
+    for (const auto& helper : helpers) {
       if (helper == target_addr) continue;
-      auto payload = std::make_shared<PingReqPayload>();
-      payload->seq = seq;
-      payload->reply_to = self_;
-      payload->target = target_addr;
-      payload->updates = piggyback_.take(config_.max_piggyback);
-      transport_.send(net::Message{self_, helper, kPingReq, std::move(payload)});
+      if (!shared) {
+        // One immutable request shared by every relay.
+        auto payload = std::make_shared<PingReqPayload>();
+        payload->seq = seq;
+        payload->reply_to = self_;
+        payload->target = target_addr;
+        piggyback_.take_into(payload->updates, config_.max_piggyback);
+        shared = std::move(payload);
+      }
+      transport_.send(net::Message{self_, helper, kPingReq, shared});
       ++counters_.indirect_probes_sent;
     }
     // Stage 2: end of protocol period without any ack -> suspect.
@@ -225,30 +217,42 @@ void GroupAgent::send_ping(const net::Address& target, std::uint64_t seq,
   auto payload = std::make_shared<PingPayload>();
   payload->seq = seq;
   payload->reply_to = reply_to;
-  payload->updates = piggyback_.take(config_.max_piggyback);
+  piggyback_.take_into(payload->updates, config_.max_piggyback);
   transport_.send(net::Message{self_, target, kPing, std::move(payload)});
 }
 
+std::size_t GroupAgent::send_event_burst(
+    const std::shared_ptr<const EventCore>& core) {
+  const auto targets = sample_alive(static_cast<std::size_t>(config_.fanout));
+  if (targets.empty()) return 0;
+  // One payload for the whole burst: the event core is already shared, the
+  // piggyback batch is drawn once and rides to every recipient.
+  auto payload = std::make_shared<EventPayload>();
+  payload->core = core;
+  piggyback_.take_into(payload->updates, config_.max_piggyback);
+  const std::shared_ptr<const net::Payload> shared = std::move(payload);
+  for (const auto& addr : targets) {
+    transport_.send(net::Message{self_, addr, kEvent, shared});
+  }
+  return targets.size();
+}
+
 void GroupAgent::dissemination_round() {
-  for (auto& event : events_.take_round()) {
-    for (const auto& addr :
-         random_alive_addresses(static_cast<std::size_t>(config_.fanout))) {
-      auto payload = std::make_shared<EventPayload>(event);
-      payload->updates = piggyback_.take(config_.max_piggyback);
-      transport_.send(net::Message{self_, addr, kEvent, std::move(payload)});
-      ++counters_.events_forwarded;
-    }
+  events_.take_round_into(round_scratch_);
+  for (const auto& core : round_scratch_) {
+    counters_.events_forwarded += send_event_burst(core);
   }
 }
 
 void GroupAgent::sync_round() {
-  // Anti-entropy: push-pull full member list with one random peer.
-  auto addrs = random_alive_addresses(1);
-  if (addrs.empty()) return;
+  // Anti-entropy: push-pull member lists with one random peer (delta against
+  // the per-peer cursor, periodically a full snapshot).
+  const auto targets = sample_alive(1);
+  if (targets.empty()) return;
   auto payload = std::make_shared<MemberListPayload>();
-  payload->members = full_member_list();
+  fill_member_list(*payload, targets.front().node, /*force_full=*/false);
   payload->reply_expected = true;
-  transport_.send(net::Message{self_, addrs.front(), kMemberList, std::move(payload)});
+  transport_.send(net::Message{self_, targets.front(), kMemberList, std::move(payload)});
 }
 
 // ---------------------------------------------------------------------------
@@ -275,7 +279,7 @@ void GroupAgent::handle_ping(const net::Message& msg) {
   apply_updates(ping.updates);
   auto payload = std::make_shared<AckPayload>();
   payload->seq = ping.seq;
-  payload->updates = piggyback_.take(config_.max_piggyback);
+  piggyback_.take_into(payload->updates, config_.max_piggyback);
   transport_.send(net::Message{self_, ping.reply_to, kAck, std::move(payload)});
   ++counters_.acks_sent;
 }
@@ -297,8 +301,9 @@ void GroupAgent::handle_ping_req(const net::Message& msg) {
 void GroupAgent::handle_join(const net::Message& msg) {
   const auto& join = msg.as<JoinPayload>();
   apply_update(join.self);
+  // Joiners always get a full snapshot (their delta cursor state is void).
   auto payload = std::make_shared<MemberListPayload>();
-  payload->members = full_member_list();
+  fill_member_list(*payload, msg.from.node, /*force_full=*/true);
   payload->reply_expected = false;
   transport_.send(net::Message{self_, msg.from, kMemberList, std::move(payload)});
 }
@@ -308,7 +313,7 @@ void GroupAgent::handle_member_list(const net::Message& msg) {
   apply_updates(list.members);
   if (list.reply_expected) {
     auto payload = std::make_shared<MemberListPayload>();
-    payload->members = full_member_list();
+    fill_member_list(*payload, msg.from.node, /*force_full=*/false);
     payload->reply_expected = false;
     transport_.send(net::Message{self_, msg.from, kMemberList, std::move(payload)});
   }
@@ -317,8 +322,9 @@ void GroupAgent::handle_member_list(const net::Message& msg) {
 void GroupAgent::handle_event(const net::Message& msg) {
   const auto& event = msg.as<EventPayload>();
   apply_updates(event.updates);
-  if (!events_.add(event.id, event.topic, event.body,
-                   config_.event_retransmit_rounds)) {
+  // The received immutable core is adopted as-is: no copy of topic or body
+  // for local retransmission rounds.
+  if (!events_.add(event.core, config_.event_retransmit_rounds)) {
     return;  // duplicate
   }
   ++counters_.events_delivered;
@@ -344,39 +350,26 @@ void GroupAgent::apply_update(const MemberUpdate& update) {
     return;
   }
 
-  auto it = members_.find(update.node);
-  if (it == members_.end()) {
+  MemberInfo* existing = members_.find(update.node);
+  if (existing == nullptr) {
     if (update.state == MemberState::Dead || update.state == MemberState::Left) {
       return;  // no need to learn about nodes already gone
     }
-    MemberInfo info;
-    info.id = update.node;
+    MemberInfo& info = members_.insert(update.node, update.state);
     info.addr = update.addr;
     info.region = update.region;
-    info.state = update.state;
     info.incarnation = update.incarnation;
     info.since = simulator_.now();
-    members_.emplace(update.node, info);
+    info.changed_epoch = ++member_epoch_;
     queue_update(update);
     if (update.state == MemberState::Suspect) {
       // Start the suspicion clock locally as well.
-      const NodeId id = update.node;
-      const std::uint32_t inc = update.incarnation;
-      simulator_.schedule_after(config_.suspicion_timeout,
-                                [this, alive = alive_flag_, id, inc] {
-                                  if (!*alive) return;
-                                  auto it2 = members_.find(id);
-                                  if (it2 != members_.end() &&
-                                      it2->second.state == MemberState::Suspect &&
-                                      it2->second.incarnation == inc) {
-                                    declare_dead(id, MemberState::Dead);
-                                  }
-                                });
+      schedule_suspicion_check(update.node, update.incarnation);
     }
     return;
   }
 
-  MemberInfo& info = it->second;
+  MemberInfo& info = *existing;
   bool accepted = false;
   switch (update.state) {
     case MemberState::Alive:
@@ -407,70 +400,57 @@ void GroupAgent::apply_update(const MemberUpdate& update) {
   }
   if (!accepted) return;
 
+  const MemberState before = info.state;
   info.state = update.state;
   info.incarnation = update.incarnation;
   info.addr = update.addr;
   info.region = update.region;
   info.since = simulator_.now();
+  info.changed_epoch = ++member_epoch_;
+  members_.note_transition(before, update.state);
   queue_update(update);
   if (update.state == MemberState::Suspect) {
-    const NodeId id = update.node;
-    const std::uint32_t inc = update.incarnation;
-    simulator_.schedule_after(config_.suspicion_timeout,
-                              [this, alive = alive_flag_, id, inc] {
-                                if (!*alive) return;
-                                auto it2 = members_.find(id);
-                                if (it2 != members_.end() &&
-                                    it2->second.state == MemberState::Suspect &&
-                                    it2->second.incarnation == inc) {
-                                  declare_dead(id, MemberState::Dead);
-                                }
-                              });
+    schedule_suspicion_check(update.node, update.incarnation);
   }
 }
 
 void GroupAgent::suspect_member(NodeId id) {
-  auto it = members_.find(id);
-  if (it == members_.end() || it->second.state != MemberState::Alive) return;
-  it->second.state = MemberState::Suspect;
-  it->second.since = simulator_.now();
+  MemberInfo* info = members_.find(id);
+  if (info == nullptr || info->state != MemberState::Alive) return;
+  info->state = MemberState::Suspect;
+  info->since = simulator_.now();
+  info->changed_epoch = ++member_epoch_;
+  members_.note_transition(MemberState::Alive, MemberState::Suspect);
   ++counters_.suspicions_raised;
-  MemberUpdate update;
-  update.node = id;
-  update.addr = it->second.addr;
-  update.region = it->second.region;
-  update.state = MemberState::Suspect;
-  update.incarnation = it->second.incarnation;
-  queue_update(update);
-  const std::uint32_t inc = it->second.incarnation;
-  simulator_.schedule_after(config_.suspicion_timeout,
-                            [this, alive = alive_flag_, id, inc] {
-                              if (!*alive) return;
-                              auto it2 = members_.find(id);
-                              if (it2 != members_.end() &&
-                                  it2->second.state == MemberState::Suspect &&
-                                  it2->second.incarnation == inc) {
-                                declare_dead(id, MemberState::Dead);
-                              }
-                            });
+  queue_update(update_for(*info));
+  schedule_suspicion_check(id, info->incarnation);
 }
 
 void GroupAgent::declare_dead(NodeId id, MemberState terminal) {
-  auto it = members_.find(id);
-  if (it == members_.end()) return;
-  it->second.state = terminal;
-  it->second.since = simulator_.now();
+  MemberInfo* info = members_.find(id);
+  if (info == nullptr) return;
+  const MemberState before = info->state;
+  info->state = terminal;
+  info->since = simulator_.now();
+  info->changed_epoch = ++member_epoch_;
+  members_.note_transition(before, terminal);
   ++counters_.members_declared_dead;
-  MemberUpdate update;
-  update.node = id;
-  update.addr = it->second.addr;
-  update.region = it->second.region;
-  update.state = terminal;
-  update.incarnation = it->second.incarnation;
-  queue_update(update);
+  queue_update(update_for(*info));
   FOCUS_LOG(Debug, "swim", to_string(self_.node) << " declares "
                                                  << to_string(id) << " "
                                                  << to_string(terminal));
+}
+
+void GroupAgent::schedule_suspicion_check(NodeId id, std::uint32_t incarnation) {
+  simulator_.schedule_after(
+      config_.suspicion_timeout, [this, alive = alive_flag_, id, incarnation] {
+        if (!*alive) return;
+        const MemberInfo* info = members_.find(id);
+        if (info != nullptr && info->state == MemberState::Suspect &&
+            info->incarnation == incarnation) {
+          declare_dead(id, MemberState::Dead);
+        }
+      });
 }
 
 void GroupAgent::queue_update(const MemberUpdate& update) {
@@ -487,50 +467,59 @@ MemberUpdate GroupAgent::self_update(MemberState state) const {
   return u;
 }
 
-std::vector<MemberUpdate> GroupAgent::full_member_list() const {
-  std::vector<MemberUpdate> out;
-  out.reserve(members_.size() + 1);
-  out.push_back(self_update(MemberState::Alive));
-  for (const auto& [id, info] : members_) {
-    MemberUpdate u;
-    u.node = info.id;
-    u.addr = info.addr;
-    u.region = info.region;
-    u.state = info.state;
-    u.incarnation = info.incarnation;
-    out.push_back(u);
-  }
-  return out;
+MemberUpdate GroupAgent::update_for(const MemberInfo& info) {
+  MemberUpdate u;
+  u.node = info.id;
+  u.addr = info.addr;
+  u.region = info.region;
+  u.state = info.state;
+  u.incarnation = info.incarnation;
+  return u;
 }
 
-std::vector<const GroupAgent::MemberInfo*> GroupAgent::alive_ptrs() const {
-  std::vector<const MemberInfo*> out;
-  out.reserve(members_.size());
-  for (const auto& [id, info] : members_) {
-    if (info.state == MemberState::Alive || info.state == MemberState::Suspect) {
-      out.push_back(&info);
-    }
+void GroupAgent::fill_member_list(MemberListPayload& out, NodeId peer,
+                                  bool force_full) {
+  SyncCursor& cursor = sync_sent_[peer];
+  const bool full = force_full || cursor.epoch == 0 ||
+                    config_.sync_full_every <= 1 ||
+                    cursor.deltas_since_full + 1 >= config_.sync_full_every;
+  out.members.clear();
+  // The sender's own Alive assertion leads every list, full or delta: it
+  // doubles as the liveness heartbeat of the exchange.
+  out.members.push_back(self_update(MemberState::Alive));
+  if (full) {
+    out.since_epoch = 0;
+    out.members.reserve(members_.size() + 1);
+    members_.for_each(
+        [&out](const MemberInfo& m) { out.members.push_back(update_for(m)); });
+    cursor.deltas_since_full = 0;
+  } else {
+    out.since_epoch = cursor.epoch;
+    members_.for_each([&out, &cursor](const MemberInfo& m) {
+      if (m.changed_epoch > cursor.epoch) out.members.push_back(update_for(m));
+    });
+    ++cursor.deltas_since_full;
   }
-  return out;
+  cursor.epoch = member_epoch_;
 }
 
-std::vector<net::Address> GroupAgent::random_alive_addresses(std::size_t k) {
-  auto alive = alive_ptrs();
-  std::vector<net::Address> out;
-  if (alive.empty() || k == 0) return out;
-  // Partial Fisher-Yates over indices.
-  std::vector<std::size_t> idx(alive.size());
-  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  const std::size_t n = std::min(k, idx.size());
-  out.reserve(n);
+std::span<const net::Address> GroupAgent::sample_alive(std::size_t k) {
+  sample_scratch_.clear();
+  const auto& alive = members_.alive_slots();
+  if (alive.empty() || k == 0) return {};
+  // Partial Fisher-Yates over reused index scratch: no per-call vectors.
+  const std::size_t n = std::min(k, alive.size());
+  sample_idx_.resize(alive.size());
+  for (std::uint32_t i = 0; i < sample_idx_.size(); ++i) sample_idx_[i] = i;
+  sample_scratch_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j =
         i + static_cast<std::size_t>(rng_.uniform_int(
-                0, static_cast<std::int64_t>(idx.size() - i) - 1));
-    std::swap(idx[i], idx[j]);
-    out.push_back(alive[idx[i]]->addr);
+                0, static_cast<std::int64_t>(sample_idx_.size() - i) - 1));
+    std::swap(sample_idx_[i], sample_idx_[j]);
+    sample_scratch_.push_back(members_.at(alive[sample_idx_[i]]).addr);
   }
-  return out;
+  return {sample_scratch_.data(), n};
 }
 
 }  // namespace focus::gossip

@@ -5,7 +5,17 @@
 // maintains the group's member list via piggybacked gossip, detects failures
 // with direct + indirect probing and a suspicion period, and disseminates
 // application events (FOCUS queries) epidemically.
+//
+// Data-plane shape: one logical dissemination (event burst, indirect probe
+// wave, leave notice) builds ONE immutable payload and stamps a Message
+// envelope per recipient around the same shared_ptr — the Payload contract
+// forbids mutation after send, so fanout costs one allocation, not N.
+// Membership lives in a slab (MemberTable) with a cached alive view;
+// sampling and member-list assembly fill reused scratch buffers. Anti-entropy
+// pushes deltas against a per-peer change-epoch cursor, falling back to full
+// snapshots for joiners and every config.sync_full_every-th exchange.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -17,6 +27,7 @@
 #include "common/types.hpp"
 #include "gossip/broadcast.hpp"
 #include "gossip/config.hpp"
+#include "gossip/member_table.hpp"
 #include "gossip/messages.hpp"
 #include "net/transport.hpp"
 #include "sim/simulator.hpp"
@@ -39,15 +50,9 @@ struct AgentCounters {
 /// A member of one gossip group.
 class GroupAgent {
  public:
-  /// What this agent believes about one peer.
-  struct MemberInfo {
-    NodeId id;
-    net::Address addr;
-    Region region = Region::AppEdge;
-    MemberState state = MemberState::Alive;
-    std::uint32_t incarnation = 0;
-    SimTime since = 0;  ///< when the current state was adopted
-  };
+  /// What this agent believes about one peer (slab storage lives in
+  /// MemberTable; the alias keeps the historical nested name working).
+  using MemberInfo = gossip::MemberInfo;
 
   /// Invoked once per event delivered to this agent (origin included when it
   /// requests local delivery).
@@ -105,7 +110,27 @@ class GroupAgent {
   /// The protocol configuration in force.
   const Config& config() const noexcept { return config_; }
 
+  /// Read-only structural access for audits and tests.
+  const MemberTable& members() const noexcept { return members_; }
+  const PiggybackBuffer& piggyback_buffer() const noexcept { return piggyback_; }
+  const EventBuffer& event_buffer() const noexcept { return events_; }
+  std::uint64_t member_epoch() const noexcept { return member_epoch_; }
+
+  /// Visit the per-peer delta-sync cursors: fn(peer, epoch).
+  template <typename Fn>
+  void for_each_sync_cursor(Fn&& fn) const {
+    for (const auto& [peer, cur] : sync_sent_) fn(peer, cur.epoch);
+  }
+
  private:
+  /// Sender-side anti-entropy state for one peer: our change epoch as of the
+  /// last list we sent them, and how many deltas ran since the last full
+  /// snapshot.
+  struct SyncCursor {
+    std::uint64_t epoch = 0;
+    int deltas_since_full = 0;
+  };
+
   void tick();
   void probe_round();
   void dissemination_round();
@@ -113,6 +138,7 @@ class GroupAgent {
   void send_ping(const net::Address& target, std::uint64_t seq,
                  const net::Address& reply_to);
   void start_probe(const MemberInfo& target);
+  std::size_t send_event_burst(const std::shared_ptr<const EventCore>& core);
   void on_message(const net::Message& msg);
   void handle_ping(const net::Message& msg);
   void handle_ack(const net::Message& msg);
@@ -124,11 +150,12 @@ class GroupAgent {
   void apply_update(const MemberUpdate& update);
   void suspect_member(NodeId id);
   void declare_dead(NodeId id, MemberState terminal);
+  void schedule_suspicion_check(NodeId id, std::uint32_t incarnation);
   void queue_update(const MemberUpdate& update);
   MemberUpdate self_update(MemberState state) const;
-  std::vector<MemberUpdate> full_member_list() const;
-  std::vector<const MemberInfo*> alive_ptrs() const;
-  std::vector<net::Address> random_alive_addresses(std::size_t k);
+  static MemberUpdate update_for(const MemberInfo& info);
+  void fill_member_list(MemberListPayload& out, NodeId peer, bool force_full);
+  std::span<const net::Address> sample_alive(std::size_t k);
   void refresh_probe_order();
 
   sim::Simulator& simulator_;
@@ -139,12 +166,22 @@ class GroupAgent {
   Rng rng_;
   EventHandler event_handler_;
 
-  std::unordered_map<NodeId, MemberInfo> members_;  // peers (never self)
+  MemberTable members_;  // peers (never self)
   std::vector<NodeId> probe_order_;
   std::size_t probe_index_ = 0;
 
   PiggybackBuffer piggyback_;
   EventBuffer events_;
+
+  // Monotone counter bumped on every accepted membership change; members
+  // stamp it so anti-entropy can ship "changed since cursor" deltas.
+  std::uint64_t member_epoch_ = 0;
+  std::unordered_map<NodeId, SyncCursor> sync_sent_;
+
+  // Reused scratch: random-target samples and per-round event batches.
+  std::vector<net::Address> sample_scratch_;
+  std::vector<std::uint32_t> sample_idx_;
+  std::vector<std::shared_ptr<const EventCore>> round_scratch_;
 
   struct OutstandingPing {
     NodeId target;

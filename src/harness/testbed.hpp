@@ -89,9 +89,16 @@ class Testbed {
     return transport_->stats().of(kServerNode);
   }
 
-  /// Run the structural audit over the service and kernel right now.
+  /// Run the structural audit over the service, kernel, and every live
+  /// gossip agent right now.
   core::AuditReport audit() const {
-    return core::audit_service(*service_, simulator_);
+    core::AuditReport report = core::audit_service(*service_, simulator_);
+    for (const auto& agent : agents_) {
+      for (const auto& [attr, membership] : agent->p2p().memberships()) {
+        report.merge(core::audit_gossip(*membership.agent, simulator_.now()));
+      }
+    }
+    return report;
   }
 
   /// Periodic audits executed so far (0 unless audit_interval > 0).

@@ -30,7 +30,10 @@ inline std::string to_string(const Address& a) {
 }
 
 /// Base class for message payloads. Payloads are immutable after send and
-/// shared by pointer so that fan-out (gossip) does not copy bodies.
+/// shared by pointer so that fan-out (gossip) does not copy bodies: one
+/// logical dissemination builds ONE payload and stamps a Message envelope per
+/// recipient around the same shared_ptr. SimTransport audits the contract in
+/// debug builds by stamping wire_size() at send and re-checking at delivery.
 struct Payload {
   virtual ~Payload() = default;
 

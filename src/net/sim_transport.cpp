@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace focus::net {
 
 namespace {
@@ -30,6 +32,7 @@ void SimTransport::send(Message msg) {
   if (down_.count(msg.from.node) > 0) {
     return;  // a dead node transmits nothing
   }
+  stats_.record_send(msg.kind, msg.payload.get());
   // Loopback (same-node) messages never touch the NIC: deliver almost
   // immediately, charge no bandwidth, and skip datagram loss. This matters
   // for colocated deployments (e.g. a broker on the controller host).
@@ -49,9 +52,22 @@ void SimTransport::send(Message msg) {
 }
 
 void SimTransport::deliver_at(Duration delay, Message msg, std::size_t rx_bytes) {
+  // Payload immutability audit (debug builds): stamp the serialized size at
+  // send time and re-derive it at delivery. Payloads are shared across fanout
+  // recipients, so any mutation after send corrupts other deliveries — the
+  // size mismatch catches the common cases (resized piggyback vector,
+  // swapped body) at the exact offending message.
+#ifndef NDEBUG
+  const std::size_t sent_bytes = msg.wire_bytes();
+#else
+  const std::size_t sent_bytes = 0;
+#endif
   // One move of the Message into the closure; the closure itself fits the
   // kernel's inline task storage, so a send schedules without allocating.
-  simulator_.schedule_after(delay, [this, rx_bytes, m = std::move(msg)]() {
+  simulator_.schedule_after(delay, [this, rx_bytes, sent_bytes,
+                                    m = std::move(msg)]() {
+    FOCUS_DCHECK_EQ(m.wire_bytes(), sent_bytes)
+        << "payload mutated between send and delivery: " << to_string(m.kind);
     // Receiver may have died or unbound while the message was in flight; rx
     // is charged only on actual delivery to a handler.
     const auto it = handlers_.find(m.to);

@@ -14,6 +14,24 @@ void NetStats::record_rx(NodeId to, std::size_t bytes) {
   rx.msgs_rx += 1;
 }
 
+void NetStats::record_send(MsgKind kind, const void* payload) {
+  const std::size_t i = kind.value();
+  if (per_kind_.size() <= i) per_kind_.resize(i + 1);
+  MsgKindStats& s = per_kind_[i];
+  ++s.msgs;
+  if (payload != nullptr &&
+      (payload != last_payload_ || kind.value() != last_kind_value_)) {
+    ++s.payload_builds;
+  }
+  last_payload_ = payload;
+  last_kind_value_ = kind.value();
+}
+
+MsgKindStats NetStats::of_kind(MsgKind kind) const {
+  const std::size_t i = kind.value();
+  return i < per_kind_.size() ? per_kind_[i] : MsgKindStats{};
+}
+
 EndpointStats NetStats::of(NodeId node) const {
   auto it = per_node_.find(node);
   return it == per_node_.end() ? EndpointStats{} : it->second;
@@ -27,6 +45,9 @@ EndpointStats NetStats::total() const {
 
 void NetStats::reset() {
   per_node_.clear();
+  per_kind_.clear();
+  last_payload_ = nullptr;
+  last_kind_value_ = 0;
   delivered_ = 0;
   dropped_ = 0;
 }

@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
+#include "net/msg_kind.hpp"
 
 namespace focus::net {
 
@@ -34,12 +36,30 @@ struct EndpointStats {
   }
 };
 
+/// Message and payload-allocation counters for one message kind. The
+/// payload_builds column makes the shared-fanout-payload optimization
+/// observable: a burst that stamps N envelopes around one shared payload
+/// counts N msgs but only 1 build.
+struct MsgKindStats {
+  std::uint64_t msgs = 0;            ///< messages sent of this kind
+  std::uint64_t payload_builds = 0;  ///< distinct payload objects sent
+};
+
 /// Traffic counters for every node that sent or received a message.
 class NetStats {
  public:
   /// Charge transmission (at send time; the sender pays even when the
   /// message is later dropped).
   void record_tx(NodeId from, std::size_t bytes);
+
+  /// Per-kind send accounting. Counts the message always; counts a payload
+  /// build when `payload` is non-null and differs from the payload of the
+  /// immediately preceding send — so consecutive sends sharing one payload
+  /// (a fanout burst) are charged a single build.
+  void record_send(MsgKind kind, const void* payload);
+
+  /// Per-kind counters (zeroes for kinds never sent).
+  MsgKindStats of_kind(MsgKind kind) const;
 
   /// Charge reception (at delivery to a bound handler).
   void record_rx(NodeId to, std::size_t bytes);
@@ -66,6 +86,9 @@ class NetStats {
 
  private:
   std::unordered_map<NodeId, EndpointStats> per_node_;
+  std::vector<MsgKindStats> per_kind_;  // indexed by MsgKind::value()
+  const void* last_payload_ = nullptr;  // consecutive-send dedup for builds
+  std::uint16_t last_kind_value_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
 };

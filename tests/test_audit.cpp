@@ -117,6 +117,41 @@ TEST(Audit, PeriodicTestbedAuditRuns) {
   EXPECT_GE(bed.audits_run(), 5u);
 }
 
+TEST(Audit, GossipLayerHoldsUnderChurnAndFanoutSharesPayloads) {
+  // 25 nodes with aggressive value churn: group moves keep the gossip layer
+  // busy (joins, leaves, suspicion) while queries drive event fanout. The
+  // periodic audit now includes audit_gossip over every live group agent.
+  harness::TestbedConfig config;
+  config.num_nodes = 25;
+  config.seed = 19;
+  config.agent.dynamics.volatility = 0.05;
+  harness::Testbed bed(config);
+  bed.start();
+  ASSERT_TRUE(bed.settle());
+
+  bed.transport().stats().reset();
+  for (int round = 0; round < 5; ++round) {
+    core::Query query;
+    query.where_at_least("ram_mb", 1);  // matches broadly => group broadcast
+    (void)bed.query_and_wait(query);
+    bed.run_for(5 * kSecond);
+    const core::AuditReport report = bed.audit();
+    ASSERT_TRUE(report.ok()) << "after " << (round + 1) << " rounds:\n"
+                             << report.to_string();
+  }
+
+  // The shared-fanout-payload contract, observed from traffic accounting:
+  // one event burst stamps up to `fanout` envelopes around ONE payload
+  // build, so builds stay O(bursts), not O(messages). One build per message
+  // would make the two counters equal.
+  const auto event_stats =
+      bed.transport().stats().of_kind(net::MsgKind::intern("swim.event"));
+  ASSERT_GT(event_stats.msgs, 8u);
+  EXPECT_LE(2 * event_stats.payload_builds, event_stats.msgs)
+      << event_stats.payload_builds << " payload builds for "
+      << event_stats.msgs << " event messages";
+}
+
 TEST(Audit, CacheAuditFlagsFutureTimestamps) {
   core::QueryCache cache(8);
   core::Query q1;
@@ -206,16 +241,19 @@ TEST(Determinism, DifferentSeedsDiverge) {
   EXPECT_NE(a.digest, b.digest);
 }
 
-// Golden replay: the digest captured before the slab-kernel rewrite (PR 2)
-// must survive any kernel change byte-for-byte — the event schedule is part
-// of the repository's observable behavior, not an implementation detail.
-// The value depends on the standard library's distribution implementations,
-// so it is pinned for the CI toolchain (libstdc++); regenerate with
+// Golden replay: a pure kernel change must survive this digest byte-for-byte
+// — the event schedule is part of the repository's observable behavior, not
+// an implementation detail. The pinned values were regenerated for the
+// gossip send-path rework (shared fanout payloads, slab member table, delta
+// anti-entropy): those change how many messages each dissemination schedules,
+// which legitimately moves the executed-event count and digest. The digest
+// also depends on the standard library's distribution implementations, so it
+// is pinned for the CI toolchain (libstdc++); regenerate with
 // tests/test_audit.cpp:run_scenario if the toolchain itself changes.
 TEST(Determinism, ChurnScenarioMatchesGoldenDigest) {
   const DigestRun run = run_scenario(42);
-  EXPECT_EQ(run.digest, 13235867745684691822ull);
-  EXPECT_EQ(run.executed, 33769u);
+  EXPECT_EQ(run.digest, 3704075084085058871ull);
+  EXPECT_EQ(run.executed, 33803u);
   EXPECT_EQ(run.groups, 23u);
   EXPECT_EQ(run.results, 10u);
 }

@@ -66,12 +66,14 @@ TEST(WireSizes, GossipPayloadsCountPiggyback) {
   EXPECT_EQ(ping.wire_size(), bare + 5 * gossip::MemberUpdate::kWireBytes);
 
   gossip::EventPayload event;
-  event.topic = "focus.query";
+  auto core = std::make_shared<gossip::EventCore>();
+  core->topic = "focus.query";
   auto body = std::make_shared<core::GroupQueryEventPayload>();
   body->query.where_at_least("ram_mb", 1);
   const auto body_bytes = body->wire_size();
-  event.body = body;
-  EXPECT_GE(event.wire_size(), body_bytes + event.topic.size());
+  core->body = body;
+  event.core = core;
+  EXPECT_GE(event.wire_size(), body_bytes + event.topic().size());
 }
 
 TEST(WireSizes, ViewPayloads) {
