@@ -20,7 +20,9 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "harness/scenario.hpp"
 #include "harness/testbed.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -34,6 +36,9 @@ struct Options {
   std::string micro;       // optional google-benchmark JSON to fold in
   std::string append_to;   // optional existing BENCH_core.json to extend
   std::string label = "local";
+  std::string trace;       // Chrome-trace output path ("" = tracing off)
+  std::string metrics;     // metrics-snapshot output path ("" = none)
+  double qps = 0;          // client query rate; 0 keeps the stock workload
 };
 
 std::string read_file(const std::string& path) {
@@ -99,14 +104,26 @@ int main(int argc, char** argv) {
       opt.append_to = next();
     } else if (arg == "--label") {
       opt.label = next();
+    } else if (arg == "--trace") {
+      opt.trace = next();
+    } else if (arg == "--metrics") {
+      opt.metrics = next();
+    } else if (arg == "--qps") {
+      opt.qps = std::stod(next());
     } else {
       std::fprintf(stderr,
                    "usage: scenario_throughput [--nodes N] [--seed S]\n"
                    "  [--sim-seconds T] [--out bench.json] [--micro gb.json]\n"
-                   "  [--append existing.json] [--label name]\n");
+                   "  [--append existing.json] [--label name]\n"
+                   "  [--trace trace.json] [--metrics metrics.json] [--qps Q]\n");
       return 2;
     }
   }
+
+  // Span recording must be on before the Testbed resets the observability
+  // buffers (the reset keeps the enabled flag, mirroring the FOCUS_TRACE
+  // environment hook).
+  if (!opt.trace.empty()) obs::tracer().set_enabled(true);
 
   harness::TestbedConfig config;
   config.num_nodes = opt.nodes;
@@ -119,10 +136,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Optional client query load (--qps): placement queries on a dedicated
+  // stream seeded off the scenario seed, so the stock workload (--qps 0)
+  // executes the exact event sequence of earlier entries and the digest
+  // stays comparable across the BENCH_core.json trajectory.
+  sim::TimerId query_timer = 0;
+  std::uint64_t queries_issued = 0;
+  std::uint64_t queries_answered = 0;
+  Rng qrng(opt.seed ^ 0x51e57);
+  if (opt.qps > 0) {
+    const auto interval = static_cast<Duration>(1e6 / opt.qps);
+    query_timer = bed.simulator().every(interval, [&] {
+      ++queries_issued;
+      bed.client().query(
+          harness::make_placement_query(qrng, 5),
+          [&queries_answered](Result<core::QueryResult>) { ++queries_answered; });
+    });
+  }
+
   const std::uint64_t events_before = bed.simulator().executed();
   const auto wall_start = std::chrono::steady_clock::now();
   bed.run_for(opt.sim_seconds * kSecond);
   const auto wall_end = std::chrono::steady_clock::now();
+  if (query_timer != 0) bed.simulator().cancel(query_timer);
 
   const std::uint64_t events =
       bed.simulator().executed() - events_before;
@@ -142,6 +178,20 @@ int main(int argc, char** argv) {
   run["peak_rss_kb"] = static_cast<std::int64_t>(peak_rss_kb());
   run["digest"] = std::to_string(bed.simulator().digest());
   if (!opt.micro.empty()) run["micro"] = summarize_micro(opt.micro);
+  // Non-default observability knobs are recorded only when used, so stock
+  // entries keep their schema and --compare sees like-for-like runs.
+  if (opt.qps > 0) {
+    run["qps"] = opt.qps;
+    run["queries_issued"] = static_cast<std::int64_t>(queries_issued);
+    run["queries_answered"] = static_cast<std::int64_t>(queries_answered);
+  }
+  if (!opt.trace.empty()) {
+    run["trace_spans"] =
+        static_cast<std::int64_t>(obs::tracer().spans().size());
+  }
+
+  if (!opt.trace.empty()) bed.write_trace(opt.trace);
+  if (!opt.metrics.empty()) bed.write_metrics(opt.metrics);
 
   Json doc = Json::object();
   doc["schema"] = "focus-bench-core-v1";

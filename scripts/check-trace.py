@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate a FOCUS Chrome-trace export (obs/export.hpp).
+
+Checks, in order:
+  1. The file is well-formed JSON with the Chrome trace-event envelope
+     ({"displayTimeUnit": ..., "traceEvents": [...]}).
+  2. Every complete ("X") event has the fields Perfetto needs (name, pid,
+     tid, ts, dur) and non-negative timestamps/durations.
+  3. Spans link causally: every span's parent_id refers to a recorded span
+     of the same trace, and no child starts before its parent starts
+     (cause precedes effect). Lifetime *containment* is deliberately not
+     required in either direction: a hop span for a message sent as its
+     parent closes ends later, and the gossip epidemic keeps delivering a
+     query event (late member.eval / swim.event retransmissions) after the
+     representative's group.collect window has already closed.
+  4. Every span's trace id maps to a submitted query: each trace contains
+     exactly one root span (parent_id == 0) and its name is one of the
+     query entry points (client.query, query.internal, router.query).
+
+Exits 0 and prints a one-line summary when the trace passes; prints every
+violation and exits 1 otherwise.
+
+Usage: check-trace.py TRACE.json
+"""
+
+import json
+import sys
+
+# Span names that may root a causal tree. client.query roots app-client
+# queries, query.internal roots view-refresh queries issued by the service
+# to itself, and router.query roots traces for queries whose sender did not
+# stamp a context (the router synthesizes the root).
+ROOT_SPAN_NAMES = {"client.query", "query.internal", "router.query"}
+
+
+def fail(errors):
+    for err in errors[:50]:
+        print(f"check-trace: {err}", file=sys.stderr)
+    if len(errors) > 50:
+        print(f"check-trace: ... and {len(errors) - 50} more", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail([f"cannot load {sys.argv[1]}: {exc}"])
+
+    errors = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(["missing traceEvents envelope"])
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(["traceEvents is not a list"])
+
+    # Pass 1: structural validity of complete events; index spans by id.
+    spans = {}  # span_id -> event
+    traces = {}  # trace_id -> [span_id, ...]
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue  # metadata (process/thread names)
+        if ph != "X":
+            errors.append(f"event #{i}: unexpected phase {ph!r}")
+            continue
+        for field in ("name", "pid", "tid", "ts", "dur"):
+            if field not in ev:
+                errors.append(f"event #{i} ({ev.get('name')}): missing {field}")
+        ts, dur = ev.get("ts", 0), ev.get("dur", 0)
+        if ts < 0 or dur < 0:
+            errors.append(f"event #{i} ({ev.get('name')}): negative ts/dur")
+        args = ev.get("args", {})
+        trace_id = args.get("trace_id")
+        span_id = args.get("span_id")
+        if trace_id is None or span_id is None:
+            errors.append(f"event #{i} ({ev.get('name')}): missing trace/span id")
+            continue
+        if span_id in spans:
+            errors.append(f"span {span_id}: duplicate span id")
+        spans[span_id] = ev
+        traces.setdefault(trace_id, []).append(span_id)
+
+    if errors:
+        fail(errors)
+    if not spans:
+        fail(["trace contains no spans (was tracing enabled?)"])
+
+    # Pass 2: parents exist, share the trace, and precede their children.
+    for span_id, ev in spans.items():
+        parent_id = ev.get("args", {}).get("parent_id", 0)
+        if parent_id == 0:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            errors.append(
+                f"span {span_id} ({ev['name']}): parent {parent_id} not recorded"
+            )
+            continue
+        if parent["args"]["trace_id"] != ev["args"]["trace_id"]:
+            errors.append(
+                f"span {span_id} ({ev['name']}): parent in a different trace"
+            )
+            continue
+        if ev["ts"] < parent["ts"]:
+            errors.append(
+                f"span {span_id} ({ev['name']}): starts at {ev['ts']}, "
+                f"before parent {parent_id} ({parent['name']}) "
+                f"at {parent['ts']}"
+            )
+
+    # Pass 3: every trace is rooted by exactly one submitted query.
+    for trace_id, members in traces.items():
+        roots = [
+            s for s in members if spans[s].get("args", {}).get("parent_id", 0) == 0
+        ]
+        if len(roots) != 1:
+            names = sorted({spans[s]["name"] for s in roots})
+            errors.append(
+                f"trace {trace_id}: expected exactly 1 root span, "
+                f"got {len(roots)} ({names})"
+            )
+            continue
+        root_name = spans[roots[0]]["name"]
+        if root_name not in ROOT_SPAN_NAMES:
+            errors.append(
+                f"trace {trace_id}: root span {root_name!r} is not a "
+                f"query entry point {sorted(ROOT_SPAN_NAMES)}"
+            )
+
+    if errors:
+        fail(errors)
+    print(
+        f"check-trace: OK — {len(spans)} spans across {len(traces)} traces, "
+        f"all rooted at query entry points"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace focus::agent {
 
@@ -11,6 +12,13 @@ using namespace focus::core;
 namespace {
 /// Command port of every node agent (p2p agents use ports >= 100).
 constexpr std::uint16_t kCommandPort = 1;
+
+const obs::Name kSpanGroupCollect = obs::Name::intern("group.collect");
+const obs::Name kSpanMemberEval = obs::Name::intern("member.eval");
+const obs::Name kSpanDirectPull = obs::Name::intern("node.direct_pull");
+const obs::Name kArgExpected = obs::Name::intern("expected");
+const obs::Name kArgHeard = obs::Name::intern("heard");
+const obs::Name kArgMatched = obs::Name::intern("matched");
 }  // namespace
 
 NodeManager::NodeManager(sim::Simulator& simulator, net::Transport& transport,
@@ -259,8 +267,8 @@ void NodeManager::handle_group_query(const net::Message& msg) {
     payload->query_id = gq.query_id;
     payload->group = gq.group;
     payload->complete = false;
-    transport_.send(
-        net::Message{command_addr_, gq.reply_to, kGroupResponse, std::move(payload)});
+    transport_.send(net::Message{command_addr_, gq.reply_to, kGroupResponse,
+                                 std::move(payload), msg.trace});
     return;
   }
 
@@ -277,6 +285,16 @@ void NodeManager::handle_group_query(const net::Message& msg) {
       simulator_.schedule_after(window, [this, alive = alive_flag_, collect_id] {
         if (*alive) finish_collect(collect_id, /*window_expired=*/true);
       });
+  obs::Tracer& tr = obs::tracer();
+  if (tr.enabled() && msg.trace) {
+    collect.trace = msg.trace;
+    collect.span = tr.begin_span(msg.trace.trace_id, msg.trace.span_id,
+                                 kSpanGroupCollect, node(), simulator_.now());
+    tr.set_arg(collect.span, kArgExpected,
+               static_cast<double>(collect.expected));
+    collect.trace.span_id = collect.span;
+  }
+  const obs::TraceContext ctx = collect.trace;
   collects_.emplace(collect_id, std::move(collect));
   ++stats_.queries_coordinated;
 
@@ -284,7 +302,8 @@ void NodeManager::handle_group_query(const net::Message& msg) {
   body->collect_id = collect_id;
   body->query = gq.query;
   body->coordinator = command_addr_;
-  agent->broadcast(kQueryEventTopic, std::move(body), /*deliver_locally=*/true);
+  agent->broadcast(kQueryEventTopic, std::move(body), /*deliver_locally=*/true,
+                   ctx);
 }
 
 void NodeManager::on_gossip_event(core::AttrId attr,
@@ -303,17 +322,26 @@ void NodeManager::on_gossip_event(core::AttrId attr,
     }
     return;
   }
-  send_member_state(body.collect_id, body.coordinator);
+  const obs::TraceContext ctx = event.core ? event.core->trace
+                                           : obs::TraceContext{};
+  obs::Tracer& tr = obs::tracer();
+  if (tr.enabled() && ctx) {
+    // Mark the local evaluation of the disseminated query on this member.
+    tr.instant(ctx.trace_id, ctx.span_id, kSpanMemberEval, node(),
+               simulator_.now());
+  }
+  send_member_state(body.collect_id, body.coordinator, ctx);
   ++stats_.member_responses;
 }
 
 void NodeManager::send_member_state(std::uint64_t collect_id,
-                                    const net::Address& coordinator) {
+                                    const net::Address& coordinator,
+                                    const obs::TraceContext& trace) {
   auto payload = std::make_shared<MemberStatePayload>();
   payload->query_id = collect_id;
   payload->state = resources_.state();
-  transport_.send(
-      net::Message{command_addr_, coordinator, kMemberState, std::move(payload)});
+  transport_.send(net::Message{command_addr_, coordinator, kMemberState,
+                               std::move(payload), trace});
 }
 
 void NodeManager::handle_member_state(const net::Message& msg) {
@@ -351,8 +379,16 @@ void NodeManager::finish_collect(std::uint64_t collect_id, bool window_expired) 
       break;  // bound the response size by the query limit
     }
   }
-  transport_.send(
-      net::Message{command_addr_, collect.reply_to, kGroupResponse, std::move(payload)});
+  obs::Tracer& tr = obs::tracer();
+  if (collect.span != 0) {
+    tr.set_arg(collect.span, kArgHeard,
+               static_cast<double>(collect.heard.size()));
+    tr.set_arg(collect.span, kArgMatched,
+               static_cast<double>(payload->entries.size()));
+    tr.end_span(collect.span, simulator_.now());
+  }
+  transport_.send(net::Message{command_addr_, collect.reply_to, kGroupResponse,
+                               std::move(payload), collect.trace});
   collects_.erase(it);
 }
 
@@ -387,11 +423,17 @@ void NodeManager::evaluate_views() {
 
 void NodeManager::handle_node_query(const net::Message& msg) {
   const auto& nq = msg.as<NodeQueryPayload>();
+  obs::Tracer& tr = obs::tracer();
+  if (tr.enabled() && msg.trace) {
+    // Direct pull of a transitioning node (§V-C): mark that we answered.
+    tr.instant(msg.trace.trace_id, msg.trace.span_id, kSpanDirectPull, node(),
+               simulator_.now());
+  }
   auto payload = std::make_shared<NodeStatePayload>();
   payload->query_id = nq.query_id;
   payload->state = resources_.state();
-  transport_.send(
-      net::Message{command_addr_, nq.reply_to, kNodeState, std::move(payload)});
+  transport_.send(net::Message{command_addr_, nq.reply_to, kNodeState,
+                               std::move(payload), msg.trace});
   ++stats_.direct_pulls_answered;
 }
 

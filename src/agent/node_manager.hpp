@@ -85,6 +85,8 @@ class NodeManager {
     std::size_t expected = 0;
     std::map<NodeId, core::NodeState> heard;
     sim::TimerId window_timer = 0;
+    obs::TraceContext trace;  ///< query's trace; rides the gossip + response
+    std::uint64_t span = 0;   ///< the group.collect span (0 = untraced)
   };
 
   void on_command(const net::Message& msg);
@@ -104,7 +106,8 @@ class NodeManager {
   void request_suggestion(core::AttrId attr, double value);
   void send_reports();
   void finish_collect(std::uint64_t collect_id, bool window_expired);
-  void send_member_state(std::uint64_t collect_id, const net::Address& coordinator);
+  void send_member_state(std::uint64_t collect_id, const net::Address& coordinator,
+                         const obs::TraceContext& trace);
 
   sim::Simulator& simulator_;
   net::Transport& transport_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.hpp"
+
 namespace focus {
 
 void Histogram::add(double value) {
@@ -71,6 +73,77 @@ std::string Histogram::summary() const {
   os << "n=" << count() << " mean=" << mean() << " p50=" << percentile(50)
      << " p99=" << percentile(99) << " max=" << max();
   return os.str();
+}
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    FOCUS_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "FixedHistogram bounds must be strictly ascending";
+  }
+}
+
+void FixedHistogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (counts_.empty()) return;  // bucket-less histogram: side stats only
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+double FixedHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (counts_.empty()) return q < 1.0 ? min_ : max_;
+  // Rank of the sample we want (nearest-rank, 1-based), then interpolate
+  // linearly across the covering bucket's width.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t in_bucket = counts_[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (i == bounds_.size()) return max_;  // overflow bucket
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? std::min(min_, hi) : bounds_[i - 1];
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      const double est = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(est, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+void FixedHistogram::merge(const FixedHistogram& other) {
+  FOCUS_CHECK(bounds_ == other.bounds_)
+      << "FixedHistogram::merge requires identical bucket bounds";
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+void FixedHistogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
 }
 
 }  // namespace focus

@@ -1,8 +1,11 @@
 #pragma once
 // Value-recording histogram with exact percentiles, used by every benchmark
-// and by the metrics layer to report latency distributions.
+// and by the metrics layer to report latency distributions; plus the
+// fixed-bucket FixedHistogram the interned-metrics hot path records into
+// (constant memory, O(buckets) quantiles, no per-sample allocation).
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,6 +57,62 @@ class Histogram {
   mutable std::vector<double> sorted_;  // lazily rebuilt cache
   mutable bool sorted_valid_ = false;
   double sum_ = 0;
+};
+
+/// Fixed-bucket histogram: counts per bucket plus an overflow bucket, with
+/// exact count/sum/min/max side stats. Unlike Histogram it never stores
+/// samples, so observe() is a bounded search plus one increment — cheap
+/// enough for always-on hot-path metrics — and quantiles are estimated by
+/// linear interpolation inside the covering bucket.
+class FixedHistogram {
+ public:
+  /// Empty histogram with no buckets (observe() counts into overflow only).
+  FixedHistogram() = default;
+
+  /// `upper_bounds` are inclusive bucket upper edges, strictly ascending
+  /// (FOCUS_CHECK). A sample lands in the first bucket whose bound is >= the
+  /// sample; samples above the last bound land in the overflow bucket.
+  explicit FixedHistogram(std::vector<double> upper_bounds);
+
+  /// Record one sample.
+  void observe(double value);
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double sum() const noexcept { return sum_; }
+  /// Smallest / largest observed sample (exact); 0 when empty.
+  double min() const noexcept { return count_ == 0 ? 0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0 : max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Bucket geometry access (overflow excluded from num_buckets()).
+  std::size_t num_buckets() const noexcept { return bounds_.size(); }
+  double upper_bound(std::size_t i) const { return bounds_[i]; }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t overflow_count() const noexcept {
+    return counts_.empty() ? count_ : counts_.back();
+  }
+
+  /// Estimated value at quantile q in [0, 1] (q=0.5 is the median): linear
+  /// interpolation within the covering bucket, clamped to the exact observed
+  /// [min, max]. 0 when empty.
+  double quantile(double q) const;
+
+  /// Merge another histogram with identical bucket bounds (FOCUS_CHECK).
+  void merge(const FixedHistogram& other);
+
+  /// Zero every count; bucket geometry is kept.
+  void clear();
+
+ private:
+  std::vector<double> bounds_;          // inclusive upper edges, ascending
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 (last = overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
 };
 
 }  // namespace focus

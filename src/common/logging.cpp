@@ -2,23 +2,13 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <string_view>
 
 namespace focus {
 namespace {
 
-LogLevel parse_level(std::string_view s) {
-  if (s == "trace") return LogLevel::Trace;
-  if (s == "debug") return LogLevel::Debug;
-  if (s == "info") return LogLevel::Info;
-  if (s == "warn") return LogLevel::Warn;
-  if (s == "error") return LogLevel::Error;
-  return LogLevel::Off;
-}
-
 LogLevel initial_level() {
   const char* env = std::getenv("FOCUS_LOG");
-  return env ? parse_level(env) : LogLevel::Off;
+  return env ? Logger::parse_level(env) : LogLevel::Off;
 }
 
 LogLevel& level_ref() {
@@ -38,16 +28,51 @@ const char* level_name(LogLevel l) {
   return "?";
 }
 
+struct TimeSourceSlot {
+  Logger::TimeSource source = nullptr;
+  const void* ctx = nullptr;
+};
+
+TimeSourceSlot& time_source() {
+  static TimeSourceSlot slot;
+  return slot;
+}
+
 }  // namespace
 
 void Logger::set_level(LogLevel level) { level_ref() = level; }
 
 LogLevel Logger::level() { return level_ref(); }
 
+LogLevel Logger::parse_level(std::string_view name, LogLevel fallback) {
+  if (name == "trace") return LogLevel::Trace;
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return fallback;
+}
+
+void Logger::set_time_source(TimeSource source, const void* ctx) {
+  time_source() = TimeSourceSlot{source, ctx};
+}
+
+void Logger::clear_time_source(const void* ctx) {
+  TimeSourceSlot& slot = time_source();
+  if (slot.ctx == ctx) slot = TimeSourceSlot{};
+}
+
+bool Logger::has_time_source() { return time_source().source != nullptr; }
+
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
-  std::clog << "[" << level_name(level) << "] " << component << ": " << message
-            << '\n';
+  const TimeSourceSlot& slot = time_source();
+  std::clog << "[" << level_name(level) << "]";
+  if (slot.source != nullptr) {
+    std::clog << "[t=" << slot.source(slot.ctx) << "us]";
+  }
+  std::clog << " " << component << ": " << message << '\n';
 }
 
 }  // namespace focus

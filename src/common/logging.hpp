@@ -1,9 +1,14 @@
 #pragma once
 // Minimal leveled logger. Silent by default (benches and tests produce a lot
 // of simulated traffic); enable with Logger::set_level or FOCUS_LOG env var.
+// When a simulation is running (sim::Simulator installs itself as the time
+// source), every line is prefixed with the sim-time microsecond stamp so log
+// output is reproducible across runs of the same seeded scenario.
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace focus {
 
@@ -19,15 +24,30 @@ class Logger {
   /// variable on first use ("trace".."error"); defaults to Off.
   static LogLevel level();
 
+  /// Parse a FOCUS_LOG level name; anything unrecognized yields `fallback`.
+  static LogLevel parse_level(std::string_view name,
+                              LogLevel fallback = LogLevel::Off);
+
   /// Emit one line (used by the LOG macro below).
   static void write(LogLevel level, const std::string& component,
                     const std::string& message);
+
+  /// Sim-time hook. While a source is installed, write() prefixes lines with
+  /// `t=<µs>`. `ctx` identifies the installer: clear_time_source() is a no-op
+  /// unless called with the same ctx, so nested simulators (a scenario
+  /// constructing a sub-sim) follow last-created-wins without a destructor
+  /// of an outer simulator silencing the inner one's timestamps.
+  using TimeSource = std::int64_t (*)(const void* ctx);
+  static void set_time_source(TimeSource source, const void* ctx);
+  static void clear_time_source(const void* ctx);
+  static bool has_time_source();
 };
 
 }  // namespace focus
 
 /// Log a message at `lvl` (a focus::LogLevel member name) for `component`.
 /// Usage: FOCUS_LOG(Info, "dgm", "forked group " << name);
+/// `expr` is evaluated only when the level passes the filter.
 #define FOCUS_LOG(lvl, component, expr)                                      \
   do {                                                                       \
     if (::focus::Logger::level() <= ::focus::LogLevel::lvl) {                \

@@ -2,30 +2,56 @@
 
 namespace focus {
 
-void Metrics::add(const std::string& name, double delta) { values_[name] += delta; }
+obs::MetricId Metrics::scalar_id(const std::string& name) const {
+  auto it = scalar_ids_.find(name);
+  if (it == scalar_ids_.end()) {
+    it = scalar_ids_.emplace(name, obs::MetricId::counter(name)).first;
+  }
+  return it->second;
+}
 
-void Metrics::set(const std::string& name, double value) { values_[name] = value; }
+obs::MetricId Metrics::histo_id(const std::string& name) const {
+  auto it = histo_ids_.find(name);
+  if (it == histo_ids_.end()) {
+    it = histo_ids_.emplace(name, obs::MetricId::histogram(name)).first;
+  }
+  return it->second;
+}
+
+void Metrics::add(const std::string& name, double delta) {
+  set_.add(scalar_id(name), delta);
+}
+
+void Metrics::set(const std::string& name, double value) {
+  set_.set(scalar_id(name), value);
+}
 
 double Metrics::get(const std::string& name) const {
-  auto it = values_.find(name);
-  return it == values_.end() ? 0.0 : it->second;
+  return set_.value(scalar_id(name));
 }
 
-bool Metrics::has(const std::string& name) const { return values_.count(name) > 0; }
+bool Metrics::has(const std::string& name) const {
+  return set_.touched(scalar_id(name));
+}
 
 void Metrics::observe(const std::string& name, double sample) {
-  histograms_[name].add(sample);
+  set_.observe(histo_id(name), sample);
 }
 
-const Histogram& Metrics::histogram(const std::string& name) const {
-  static const Histogram kEmpty;
-  auto it = histograms_.find(name);
-  return it == histograms_.end() ? kEmpty : it->second;
+const FixedHistogram& Metrics::histogram(const std::string& name) const {
+  return set_.histogram(histo_id(name));
 }
 
-void Metrics::clear() {
-  values_.clear();
-  histograms_.clear();
+std::map<std::string, double> Metrics::values() const {
+  std::map<std::string, double> out;
+  set_.for_each(
+      [&](obs::MetricId id, double value) {
+        out.emplace(std::string(id.name()), value);
+      },
+      [](obs::MetricId, const FixedHistogram&) {});
+  return out;
 }
+
+void Metrics::clear() { set_.reset(); }
 
 }  // namespace focus

@@ -1,17 +1,23 @@
 #pragma once
-// Named counters, gauges and histograms. Each scenario owns a Metrics
-// registry; components record into it and benches/tests read it out.
+// String-keyed compatibility view over the interned metrics core
+// (obs/metrics.hpp). Hot paths record through dense obs::MetricId handles;
+// this class keeps the old ad-hoc API — name strings at every call — for
+// tests and one-off tooling, memoizing each name's MetricId so repeated use
+// of the same name costs one map lookup rather than a registry walk.
 
 #include <cstdint>
 #include <map>
 #include <string>
 
 #include "common/histogram.hpp"
+#include "obs/metrics.hpp"
 
 namespace focus {
 
 /// Registry of named metrics. Keys are flat dotted strings, e.g.
-/// "focus.queries.cache_hit" or "net.server.bytes_rx".
+/// "focus.queries.cache_hit" or "net.server.bytes_rx". Each instance records
+/// into its own obs::MetricSet (names and bucket layouts are process-global;
+/// values are per-instance).
 class Metrics {
  public:
   /// Add `delta` to the named counter (creating it at 0 on first touch).
@@ -29,23 +35,28 @@ class Metrics {
   /// Record a sample into the named histogram.
   void observe(const std::string& name, double sample);
 
-  /// Read-only access to a named histogram (empty histogram if absent).
-  const Histogram& histogram(const std::string& name) const;
+  /// Read-only access to a named histogram (an empty histogram if absent).
+  const FixedHistogram& histogram(const std::string& name) const;
 
-  /// All counter/gauge values (for dumping in benches).
-  const std::map<std::string, double>& values() const noexcept { return values_; }
+  /// Snapshot of all touched counter/gauge values (for dumping in benches).
+  std::map<std::string, double> values() const;
 
-  /// All histograms.
-  const std::map<std::string, Histogram>& histograms() const noexcept {
-    return histograms_;
-  }
+  /// The underlying recording surface (for export via obs::metrics_json).
+  const obs::MetricSet& set() const noexcept { return set_; }
 
-  /// Reset every metric.
+  /// Reset every metric value (name registrations are process-global and
+  /// survive, as with any interned id).
   void clear();
 
  private:
-  std::map<std::string, double> values_;
-  std::map<std::string, Histogram> histograms_;
+  obs::MetricId scalar_id(const std::string& name) const;
+  obs::MetricId histo_id(const std::string& name) const;
+
+  obs::MetricSet set_;
+  // Name -> id memos, split by kind because the registry enforces one kind
+  // per name and the compat API infers kind from the method called.
+  mutable std::map<std::string, obs::MetricId> scalar_ids_;
+  mutable std::map<std::string, obs::MetricId> histo_ids_;
 };
 
 }  // namespace focus

@@ -23,9 +23,10 @@ namespace focus {
 class UniqueTask {
  public:
   /// Closures up to this size (and nothrow-movable) are stored inline. Sized
-  /// for the transport's delivery closure (Message + capture words) with
-  /// room to spare; measured against the gossip/agent lambdas, which all fit.
-  static constexpr std::size_t kInlineBytes = 72;
+  /// for the transport's delivery closure (Message with its trace tag, the
+  /// send timestamp, and capture words); measured against the gossip/agent
+  /// lambdas, which all fit.
+  static constexpr std::size_t kInlineBytes = 88;
 
   UniqueTask() noexcept = default;
 

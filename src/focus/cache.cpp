@@ -3,34 +3,50 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace focus::core {
+
+namespace {
+const obs::MetricId kHitMetric = obs::MetricId::counter("focus.cache.hit");
+const obs::MetricId kMissMetric = obs::MetricId::counter("focus.cache.miss");
+const obs::MetricId kExpiredMetric =
+    obs::MetricId::counter("focus.cache.expired");
+}  // namespace
 
 const QueryCache::Entry* QueryCache::lookup(std::uint64_t hash,
                                             const Query& query, SimTime now,
                                             Duration freshness) {
   if (freshness <= 0) {
     ++misses_;
+    obs::metrics().add(kMissMetric, 1);
     return nullptr;
   }
   auto it = map_.find(hash);
   if (it == map_.end()) {
     ++misses_;
+    obs::metrics().add(kMissMetric, 1);
     return nullptr;
   }
   Slot& slot = *it->second;
   if (!slot.query.same_cache_identity(query)) {
     ++collisions_;
     ++misses_;
+    obs::metrics().add(kMissMetric, 1);
     return nullptr;
   }
   if (now - slot.entry.fetched_at > freshness) {
+    // Still a miss for hit-rate purposes; expired_ refines the reason.
+    ++expired_;
     ++misses_;
+    obs::metrics().add(kMissMetric, 1);
+    obs::metrics().add(kExpiredMetric, 1);
     return nullptr;
   }
   // Move to front of the LRU list.
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
+  obs::metrics().add(kHitMetric, 1);
   return &lru_.front().entry;
 }
 
@@ -64,6 +80,7 @@ void QueryCache::clear() {
   hits_ = 0;
   misses_ = 0;
   collisions_ = 0;
+  expired_ = 0;
 }
 
 }  // namespace focus::core

@@ -46,6 +46,9 @@ class QueryCache {
   std::uint64_t misses() const noexcept { return misses_; }
   /// Probes whose hash matched but whose stored query did not.
   std::uint64_t collisions() const noexcept { return collisions_; }
+  /// Misses where an entry existed but was older than the query's freshness
+  /// bound (a subset of misses(): expired entries still count as misses).
+  std::uint64_t expired() const noexcept { return expired_; }
 
   /// Visit every cached entry in LRU order (most recent first) without
   /// touching recency or counters. Audit support (focus/audit.hpp).
@@ -69,6 +72,7 @@ class QueryCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t collisions_ = 0;
+  std::uint64_t expired_ = 0;
 };
 
 }  // namespace focus::core

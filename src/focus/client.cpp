@@ -1,6 +1,19 @@
 #include "focus/client.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace focus::core {
+
+namespace {
+const obs::Name kSpanClientQuery = obs::Name::intern("client.query");
+const obs::Name kLabelTimeout = obs::Name::intern("timeout");
+const obs::Name kLabelDelegated = obs::Name::intern("delegated");
+const obs::MetricId kClientLatency =
+    obs::MetricId::histogram("client.query.latency_us");
+const obs::MetricId kClientTimeouts =
+    obs::MetricId::counter("client.query.timeout");
+}  // namespace
 
 Client::Client(sim::Simulator& simulator, net::Transport& transport,
                net::Address self, net::Address service_north, Duration timeout)
@@ -20,10 +33,23 @@ void Client::query(Query query, Callback cb) {
   pending.query = query;
   pending.cb = std::move(cb);
   pending.issued_at = simulator_.now();
+  obs::Tracer& tr = obs::tracer();
+  if (tr.enabled()) {
+    pending.trace.trace_id = obs::make_trace_id(self_.node, id);
+    pending.span = tr.begin_span(pending.trace.trace_id, /*parent_id=*/0,
+                                 kSpanClientQuery, self_.node, pending.issued_at);
+    pending.trace.span_id = pending.span;
+  }
   pending.timeout_timer = simulator_.schedule_after(timeout_, [this, id] {
     ++stats_.timeouts;
+    obs::metrics().add(kClientTimeouts, 1);
+    const auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      obs::tracer().set_label(it->second.span, kLabelTimeout);
+    }
     finish(id, make_error(Errc::Timeout, "no response from FOCUS"));
   });
+  const obs::TraceContext trace = pending.trace;
   pending_.emplace(id, std::move(pending));
   ++stats_.queries_sent;
 
@@ -31,7 +57,8 @@ void Client::query(Query query, Callback cb) {
   payload->query_id = id;
   payload->query = std::move(query);
   payload->reply_to = self_;
-  transport_.send(net::Message{self_, service_, kQuery, std::move(payload)});
+  transport_.send(
+      net::Message{self_, service_, kQuery, std::move(payload), trace});
 }
 
 void Client::on_message(const net::Message& msg) {
@@ -92,6 +119,7 @@ void Client::handle_response(const net::Message& msg) {
   if (it == pending_.end()) return;
   if (resp.delegated) {
     ++stats_.delegations_handled;
+    obs::tracer().set_label(it->second.span, kLabelDelegated);
     start_delegated(it->second, resp.query_id, resp.targets);
     return;
   }
@@ -113,7 +141,8 @@ void Client::start_delegated(Pending& pending, std::uint64_t id,
     payload->query = pending.query;
     payload->reply_to = self_;
     payload->collect_window = target.collect_window;
-    transport_.send(net::Message{self_, target.member, kGroupQuery, std::move(payload)});
+    transport_.send(net::Message{self_, target.member, kGroupQuery,
+                                 std::move(payload), pending.trace});
   }
   if (pending.awaiting == 0) {
     QueryResult result;
@@ -155,6 +184,12 @@ void Client::finish(std::uint64_t id, Result<QueryResult> result) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   simulator_.cancel(it->second.timeout_timer);
+  if (result.ok()) {
+    obs::metrics().observe(
+        kClientLatency,
+        static_cast<double>(simulator_.now() - it->second.issued_at));
+  }
+  obs::tracer().end_span(it->second.span, simulator_.now());
   Callback cb = std::move(it->second.cb);
   pending_.erase(it);
   cb(std::move(result));

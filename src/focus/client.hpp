@@ -68,6 +68,8 @@ class Client {
     Callback cb;
     SimTime issued_at = 0;
     sim::TimerId timeout_timer = 0;
+    obs::TraceContext trace;  ///< root context; rides every outgoing message
+    std::uint64_t span = 0;   ///< the client.query root span (0 = untraced)
     // Delegated-collection state:
     bool delegated = false;
     int awaiting = 0;

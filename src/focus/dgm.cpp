@@ -5,10 +5,26 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace focus::core {
 
 namespace {
+// Mirrors of the DgmStats counters in the process-wide metric set, so DGM
+// dynamics (Fig. 5's group churn) show up in exported metric snapshots.
+const obs::MetricId kGroupsCreated =
+    obs::MetricId::counter("focus.dgm.groups_created");
+const obs::MetricId kForksCreated =
+    obs::MetricId::counter("focus.dgm.forks_created");
+const obs::MetricId kSuggestions =
+    obs::MetricId::counter("focus.dgm.suggestions");
+const obs::MetricId kTransitions =
+    obs::MetricId::counter("focus.dgm.transitions");
+const obs::MetricId kReportsProcessed =
+    obs::MetricId::counter("focus.dgm.reports_processed");
+const obs::MetricId kGeoSplits = obs::MetricId::counter("focus.dgm.geo_splits");
+const obs::MetricId kRepAssignments =
+    obs::MetricId::counter("focus.dgm.rep_assignments");
 /// Maximum entry points included in a suggestion.
 constexpr std::size_t kMaxEntryPoints = 8;
 /// A full group reopens to new members once it shrinks below this fraction
@@ -319,7 +335,11 @@ Dgm::GroupInfo& Dgm::get_or_create(const GroupKey& key, const AttributeSchema& a
       << "empty value range for group " << info.name;
   info.created_at = simulator_.now();
   ++stats_.groups_created;
-  if (key.fork > 0) ++stats_.forks_created;
+  obs::metrics().add(kGroupsCreated, 1);
+  if (key.fork > 0) {
+    ++stats_.forks_created;
+    obs::metrics().add(kForksCreated, 1);
+  }
 
   const auto slab_index = static_cast<std::uint32_t>(slab_.size());
   slab_.push_back(std::move(info));
@@ -342,6 +362,8 @@ GroupSuggestion Dgm::suggest(NodeId node, Region region,
                              const net::Address& command_addr,
                              const AttributeSchema& attr, double value) {
   ++stats_.suggestions;
+  obs::metrics().add(kSuggestions, 1);
+  obs::metrics().add(kTransitions, 1);
   transition_[node] =
       TransitionEntry{command_addr, simulator_.now() + config_.transition_ttl};
 
@@ -442,6 +464,7 @@ void Dgm::on_left(const LeftGroupPayload& left) {
 
 void Dgm::on_report(const GroupReportPayload& report) {
   ++stats_.reports_processed;
+  obs::metrics().add(kReportsProcessed, 1);
   auto key = GroupKey::parse(report.group);
   if (!key) return;
   const AttributeSchema* attr = config_.schema.find(key->attr);
@@ -492,6 +515,7 @@ void Dgm::update_policies(GroupInfo& group) {
         std::make_pair(group.key.attr.value(), group.key.bucket_lo);
     if (geo_split_buckets_.insert(bucket).second) {
       ++stats_.geo_splits;
+      obs::metrics().add(kGeoSplits, 1);
       FOCUS_LOG(Info, "dgm", "geo-splitting bucket " << group.name);
     }
   }
@@ -529,6 +553,7 @@ void Dgm::send_rep_assign(const GroupInfo& group, NodeId node, bool assign) {
   transport_.send(
       net::Message{south_addr_, entry->command_addr, kRepAssign, std::move(payload)});
   ++stats_.rep_assignments;
+  obs::metrics().add(kRepAssignments, 1);
 }
 
 void Dgm::persist_group(const GroupInfo& group) {

@@ -4,8 +4,34 @@
 #include <limits>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace focus::core {
+
+namespace {
+// Interned once at static init; recording sites touch only dense handles.
+const obs::Name kSpanRouterQuery = obs::Name::intern("router.query");
+const obs::Name kLabelCache = obs::Name::intern("cache");
+const obs::Name kLabelDelegated = obs::Name::intern("delegated");
+const obs::Name kLabelEmpty = obs::Name::intern("empty");
+const obs::Name kLabelTimeout = obs::Name::intern("timeout");
+const obs::Name kArgEntries = obs::Name::intern("entries");
+const obs::Name kArgGroups = obs::Name::intern("groups");
+const obs::MetricId kQueryCount = obs::MetricId::counter("focus.query.count");
+const obs::MetricId kQueryDelegated =
+    obs::MetricId::counter("focus.query.delegated");
+const obs::MetricId kQueryEmpty =
+    obs::MetricId::counter("focus.query.empty_route");
+const obs::MetricId kQueryTimeout =
+    obs::MetricId::counter("focus.query.timeout");
+const obs::MetricId kQueryLatency =
+    obs::MetricId::histogram("focus.query.latency_us");
+const obs::MetricId kQueryStaleness =
+    obs::MetricId::histogram("focus.query.staleness_us");
+const obs::MetricId kGroupsQueried =
+    obs::MetricId::histogram("focus.query.groups_queried");
+}  // namespace
 
 QueryRouter::QueryRouter(sim::Simulator& simulator, net::Transport& transport,
                          net::Address north_addr, const ServiceConfig& config,
@@ -27,6 +53,7 @@ QueryRouter::QueryRouter(sim::Simulator& simulator, net::Transport& transport,
 void QueryRouter::handle_query(const net::Message& msg) {
   const auto& qp = msg.as<QueryPayload>();
   ++stats_.queries;
+  obs::metrics().add(kQueryCount, 1);
   charge_(cost_.query_route_cpu);
 
   Pending pending;
@@ -37,6 +64,21 @@ void QueryRouter::handle_query(const net::Message& msg) {
   pending.reply_to = qp.reply_to;
   pending.issued_at = simulator_.now();
 
+  obs::Tracer& tr = obs::tracer();
+  if (tr.enabled()) {
+    pending.trace = msg.trace;
+    if (!pending.trace) {
+      // Untraced sender (e.g. a raw payload in a test): derive the same root
+      // id a traced client would have used, so ids stay deterministic.
+      pending.trace.trace_id = obs::make_trace_id(qp.reply_to.node, qp.query_id);
+    }
+    pending.span = tr.begin_span(pending.trace.trace_id, msg.trace.span_id,
+                                 kSpanRouterQuery, north_addr_.node,
+                                 simulator_.now());
+    // Work we fan out (group/node pulls) parents under the router span.
+    pending.trace.span_id = pending.span;
+  }
+
   // Step 1: the cache (checked first, §VI). The probe is an integer-keyed
   // lookup on the precomputed hash — no strings touched.
   if (const auto* hit = cache_.lookup(pending.query_hash, pending.query,
@@ -44,6 +86,7 @@ void QueryRouter::handle_query(const net::Message& msg) {
                                       pending.query.freshness)) {
     charge_(cost_.cache_hit_cpu);
     ++stats_.cache_served;
+    tr.set_label(pending.span, kLabelCache);
     QueryResult result = hit->result;
     result.source = ResponseSource::Cache;
     result.issued_at = pending.issued_at;
@@ -116,6 +159,8 @@ void QueryRouter::route_dynamic(Pending pending) {
     }
     if (!targets.empty()) {
       ++stats_.delegated;
+      obs::metrics().add(kQueryDelegated, 1);
+      obs::tracer().set_label(pending.span, kLabelDelegated);
       respond_delegated(pending, std::move(targets));
       return;
     }
@@ -140,7 +185,7 @@ void QueryRouter::route_dynamic(Pending pending) {
     payload->reply_to = north_addr_;
     payload->collect_window = config_.collect_window(group->members.size());
     transport_.send(net::Message{north_addr_, entry->command_addr, kGroupQuery,
-                                 std::move(payload)});
+                                 std::move(payload), pending.trace});
     ++groups_sent;
     ++stats_.group_queries_sent;
   }
@@ -150,8 +195,8 @@ void QueryRouter::route_dynamic(Pending pending) {
     auto payload = std::make_shared<NodeQueryPayload>();
     payload->query_id = pending.id;
     payload->reply_to = north_addr_;
-    transport_.send(
-        net::Message{north_addr_, command_addr, kNodeQuery, std::move(payload)});
+    transport_.send(net::Message{north_addr_, command_addr, kNodeQuery,
+                                 std::move(payload), pending.trace});
     ++nodes_sent;
     ++stats_.node_pulls_sent;
   }
@@ -164,6 +209,8 @@ void QueryRouter::route_dynamic(Pending pending) {
     // Nothing can match (no populated candidate groups, nobody in
     // transition): answer empty immediately.
     ++stats_.empty_routes;
+    obs::metrics().add(kQueryEmpty, 1);
+    obs::tracer().set_label(pending.span, kLabelEmpty);
     QueryResult result;
     result.source = ResponseSource::Groups;
     result.issued_at = pending.issued_at;
@@ -262,7 +309,11 @@ void QueryRouter::finalize(std::uint64_t id, bool timed_out) {
   if (it == pending_.end()) return;
   Pending& pending = it->second;
   simulator_.cancel(pending.timeout_timer);
-  if (timed_out) ++stats_.timeouts;
+  if (timed_out) {
+    ++stats_.timeouts;
+    obs::metrics().add(kQueryTimeout, 1);
+    obs::tracer().set_label(pending.span, kLabelTimeout);
+  }
 
   QueryResult result;
   result.entries = std::move(pending.entries);
@@ -288,10 +339,37 @@ void QueryRouter::finalize(std::uint64_t id, bool timed_out) {
 void QueryRouter::respond(const Pending& pending, QueryResult result) {
   // Model the service-stack overhead (REST/JSON/JVM) on the response path.
   result.completed_at = simulator_.now() + cost_.api_latency;
+
+  // Always-on metrics: per-query latency, result staleness (age of the
+  // oldest entry served — the paper's freshness/bandwidth trade-off axis),
+  // and the directed-pull fanout.
+  obs::metrics().observe(
+      kQueryLatency, static_cast<double>(result.completed_at - result.issued_at));
+  if (!result.entries.empty()) {
+    SimTime oldest = result.entries.front().timestamp;
+    for (const auto& entry : result.entries) {
+      oldest = std::min(oldest, entry.timestamp);
+    }
+    obs::metrics().observe(
+        kQueryStaleness, static_cast<double>(result.completed_at - oldest));
+  }
+  obs::metrics().observe(kGroupsQueried,
+                         static_cast<double>(result.groups_queried));
+
+  obs::Tracer& tr = obs::tracer();
+  if (pending.span != 0) {
+    tr.set_arg(pending.span, kArgEntries,
+               static_cast<double>(result.entries.size()));
+    tr.set_arg(pending.span, kArgGroups,
+               static_cast<double>(result.groups_queried));
+    tr.end_span(pending.span, result.completed_at);
+  }
+
   auto payload = std::make_shared<QueryResponsePayload>();
   payload->query_id = pending.client_id;
   payload->result = std::move(result);
-  net::Message msg{north_addr_, pending.reply_to, kQueryResponse, std::move(payload)};
+  net::Message msg{north_addr_, pending.reply_to, kQueryResponse,
+                   std::move(payload), pending.trace};
   simulator_.schedule_after(cost_.api_latency, [this, msg = std::move(msg)]() mutable {
     transport_.send(std::move(msg));
   });
@@ -299,14 +377,15 @@ void QueryRouter::respond(const Pending& pending, QueryResult result) {
 
 void QueryRouter::respond_delegated(const Pending& pending,
                                     std::vector<DelegateTarget> targets) {
+  obs::tracer().end_span(pending.span, simulator_.now());
   auto payload = std::make_shared<QueryResponsePayload>();
   payload->query_id = pending.client_id;
   payload->delegated = true;
   payload->targets = std::move(targets);
   payload->result.issued_at = pending.issued_at;
   payload->result.completed_at = simulator_.now();
-  transport_.send(
-      net::Message{north_addr_, pending.reply_to, kQueryResponse, std::move(payload)});
+  transport_.send(net::Message{north_addr_, pending.reply_to, kQueryResponse,
+                               std::move(payload), pending.trace});
 }
 
 }  // namespace focus::core

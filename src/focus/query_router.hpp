@@ -63,6 +63,8 @@ class QueryRouter {
     std::uint64_t id = 0;           ///< router-local id used on the wire
     std::uint64_t client_id = 0;    ///< client's query id, echoed back
     std::uint64_t query_hash = 0;   ///< Query::cache_hash(), computed once
+    obs::TraceContext trace;        ///< stamped on every pull we fan out
+    std::uint64_t span = 0;         ///< the router.query span (0 = untraced)
     Query query;
     net::Address reply_to;
     SimTime issued_at = 0;

@@ -2,7 +2,13 @@
 
 #include <memory>
 
+#include "obs/trace.hpp"
+
 namespace focus::core {
+
+namespace {
+const obs::Name kSpanInternalQuery = obs::Name::intern("query.internal");
+}  // namespace
 
 Service::Service(sim::Simulator& simulator, net::Transport& transport,
                  store::Cluster& store, NodeId server_node, ServiceConfig config,
@@ -91,13 +97,29 @@ void Service::on_internal(const net::Message& msg) {
 void Service::issue_internal_query(const Query& query,
                                    std::function<void(QueryResult)> cb) {
   const std::uint64_t id = internal_seq_++;
+  obs::Tracer& tr = obs::tracer();
+  obs::TraceContext trace;
+  if (tr.enabled()) {
+    // Internal queries (view refreshes) get their own root, keyed off the
+    // internal port's node + sequence so ids stay deterministic.
+    trace.trace_id = obs::make_trace_id(internal_addr_.node, id);
+    const std::uint64_t root =
+        tr.begin_span(trace.trace_id, /*parent_id=*/0, kSpanInternalQuery,
+                      internal_addr_.node, simulator_.now());
+    trace.span_id = root;
+    // Close the root when the stored completion callback fires.
+    cb = [this, root, inner = std::move(cb)](QueryResult result) {
+      obs::tracer().end_span(root, simulator_.now());
+      inner(std::move(result));
+    };
+  }
   internal_pending_.emplace(id, std::move(cb));
   auto payload = std::make_shared<QueryPayload>();
   payload->query_id = id;
   payload->query = query;
   payload->reply_to = internal_addr_;
-  router_->handle_query(
-      net::Message{internal_addr_, north_addr_, kQuery, std::move(payload)});
+  router_->handle_query(net::Message{internal_addr_, north_addr_, kQuery,
+                                     std::move(payload), trace});
 }
 
 void Service::handle_register(const net::Message& msg) {

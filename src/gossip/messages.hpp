@@ -8,6 +8,7 @@
 
 #include "common/types.hpp"
 #include "net/message.hpp"
+#include "obs/trace_context.hpp"
 
 namespace focus::gossip {
 
@@ -111,6 +112,11 @@ struct EventCore {
   EventId id;
   std::string topic;
   std::shared_ptr<const net::Payload> body;
+  /// Causal-trace tag of the broadcast that originated the event. Travels
+  /// with the core across every hop and retransmit round (receivers adopt
+  /// the received core), so traced queries stay stitched through gossip.
+  /// Observability metadata only — not part of wire_size().
+  obs::TraceContext trace;
 
   std::size_t wire_size() const {
     return 16 + topic.size() + (body ? body->wire_size() : 0);

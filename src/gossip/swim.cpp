@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace focus::gossip {
 
@@ -97,12 +98,13 @@ void GroupAgent::leave() {
 
 void GroupAgent::broadcast(std::string topic,
                            std::shared_ptr<const net::Payload> body,
-                           bool deliver_locally) {
+                           bool deliver_locally, obs::TraceContext trace) {
   FOCUS_CHECK(running_) << "GroupAgent not started";
   auto core = std::make_shared<EventCore>();
   core->id = EventId{self_.node, next_event_seq_++};
   core->topic = std::move(topic);
   core->body = std::move(body);
+  core->trace = trace;
   const std::shared_ptr<const EventCore> shared = std::move(core);
   ++counters_.events_originated;
   // Register with one round of budget already consumed: we transmit the
@@ -170,7 +172,8 @@ void GroupAgent::refresh_probe_order() {
 
 void GroupAgent::start_probe(const MemberInfo& target) {
   const std::uint64_t seq = next_seq_++;
-  outstanding_.emplace(seq, OutstandingPing{target.id, false});
+  outstanding_.emplace(seq,
+                       OutstandingPing{target.id, simulator_.now(), false});
   send_ping(target.addr, seq, self_);
   ++counters_.pings_sent;
 
@@ -232,7 +235,9 @@ std::size_t GroupAgent::send_event_burst(
   piggyback_.take_into(payload->updates, config_.max_piggyback);
   const std::shared_ptr<const net::Payload> shared = std::move(payload);
   for (const auto& addr : targets) {
-    transport_.send(net::Message{self_, addr, kEvent, shared});
+    // Envelopes inherit the core's trace tag so per-hop spans stitch into
+    // the originating query's tree even on forward/retransmit bursts.
+    transport_.send(net::Message{self_, addr, kEvent, shared, core->trace});
   }
   return targets.size();
 }
@@ -287,7 +292,14 @@ void GroupAgent::handle_ping(const net::Message& msg) {
 void GroupAgent::handle_ack(const net::Message& msg) {
   const auto& ack = msg.as<AckPayload>();
   apply_updates(ack.updates);
-  if (ack.seq != 0) outstanding_.erase(ack.seq);
+  if (ack.seq == 0) return;
+  const auto it = outstanding_.find(ack.seq);
+  if (it == outstanding_.end()) return;  // late duplicate ack
+  static const obs::MetricId kProbeRtt =
+      obs::MetricId::histogram("gossip.probe_rtt_us");
+  obs::metrics().observe(
+      kProbeRtt, static_cast<double>(simulator_.now() - it->second.sent_at));
+  outstanding_.erase(it);
 }
 
 void GroupAgent::handle_ping_req(const net::Message& msg) {
@@ -435,6 +447,11 @@ void GroupAgent::declare_dead(NodeId id, MemberState terminal) {
   info->changed_epoch = ++member_epoch_;
   members_.note_transition(before, terminal);
   ++counters_.members_declared_dead;
+  if (before == MemberState::Suspect && terminal == MemberState::Dead) {
+    static const obs::MetricId kSuspectToDead =
+        obs::MetricId::counter("gossip.suspect_to_dead");
+    obs::metrics().add(kSuspectToDead, 1);
+  }
   queue_update(update_for(*info));
   FOCUS_LOG(Debug, "swim", to_string(self_.node) << " declares "
                                                  << to_string(id) << " "

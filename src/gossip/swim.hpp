@@ -84,8 +84,11 @@ class GroupAgent {
 
   /// Originate an application event to the whole group.
   /// When `deliver_locally` is set the handler also fires on this agent.
+  /// `trace` (optional) stitches the dissemination into a causal query
+  /// trace: it is stored on the event core, so forwards and retransmits by
+  /// any member keep carrying it.
   void broadcast(std::string topic, std::shared_ptr<const net::Payload> body,
-                 bool deliver_locally = false);
+                 bool deliver_locally = false, obs::TraceContext trace = {});
 
   /// Peers this agent currently believes alive (excluding self).
   std::vector<MemberInfo> alive_members() const;
@@ -185,6 +188,7 @@ class GroupAgent {
 
   struct OutstandingPing {
     NodeId target;
+    SimTime sent_at = 0;  ///< probe departure, for the RTT metric
     bool indirect_sent = false;
   };
   std::unordered_map<std::uint64_t, OutstandingPing> outstanding_;

@@ -1,6 +1,19 @@
 #include "harness/scenario.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace focus::harness {
+
+namespace {
+// Load-harness view of the query stream, alongside the per-component metrics
+// the client/router record themselves.
+const obs::MetricId kLoadIssued = obs::MetricId::counter("load.queries_issued");
+const obs::MetricId kLoadCompleted =
+    obs::MetricId::counter("load.queries_completed");
+const obs::MetricId kLoadFailed = obs::MetricId::counter("load.queries_failed");
+const obs::MetricId kLoadLatency =
+    obs::MetricId::histogram("load.query_latency_us");
+}  // namespace
 
 World::World(WorldConfig config) : config_(std::move(config)) {
   Rng rng(config_.seed);
@@ -88,14 +101,19 @@ LoadResult run_query_load(sim::Simulator& simulator, net::SimTransport& transpor
                                                         &simulator] {
     const core::Query query = gen(*rng);
     ++result->issued;
+    obs::metrics().add(kLoadIssued, 1);
     const SimTime issued_at = simulator.now();
     finder.find(query, [result, issued_at, &simulator](Result<core::QueryResult> r) {
       ++result->completed;
+      obs::metrics().add(kLoadCompleted, 1);
       if (!r.ok()) {
         ++result->failed;
+        obs::metrics().add(kLoadFailed, 1);
         return;
       }
-      result->latency_ms.add(to_millis(simulator.now() - issued_at));
+      const SimTime latency = simulator.now() - issued_at;
+      result->latency_ms.add(to_millis(latency));
+      obs::metrics().observe(kLoadLatency, static_cast<double>(latency));
     });
   });
 

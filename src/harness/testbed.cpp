@@ -1,6 +1,14 @@
 #include "harness/testbed.hpp"
 
+#include <cstdlib>
+#include <fstream>
+
 #include "common/check.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace focus::harness {
 
@@ -21,6 +29,17 @@ void TestbedConfig::sync_agent_config() {
 }
 
 Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  // Fresh observability state per world (tests and benches build many
+  // testbeds per process). FOCUS_TRACE=path turns span recording on before
+  // the reset; reset() clears buffers but keeps the enabled flag.
+  if (const char* path = std::getenv("FOCUS_TRACE");
+      path != nullptr && *path != '\0') {
+    trace_path_ = path;
+    obs::tracer().set_enabled(true);
+  }
+  obs::tracer().reset();
+  obs::metrics().reset();
+
   config_.sync_agent_config();
   Rng rng(config_.seed);
 
@@ -66,6 +85,36 @@ Testbed::~Testbed() {
   if (audit_timer_ != 0) simulator_.cancel(audit_timer_);
   // Stop agents before the transport/service go away.
   for (auto& agent : agents_) agent->stop();
+  if (!trace_path_.empty()) write_trace(trace_path_);
+}
+
+void Testbed::write_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    FOCUS_LOG(Warn, "testbed", "cannot open trace output " << path);
+    return;
+  }
+  out << obs::chrome_trace_json(obs::tracer());
+}
+
+void Testbed::write_metrics(const std::string& path) const {
+  Json doc = obs::metrics_json(obs::metrics());
+  Json traffic = Json::object();
+  transport_->stats().for_each_kind(
+      [&traffic](std::string_view kind, const net::MsgKindStats& s) {
+        Json entry = Json::object();
+        entry["msgs"] = s.msgs;
+        entry["payload_builds"] = s.payload_builds;
+        entry["bytes"] = s.bytes;
+        traffic[std::string(kind)] = std::move(entry);
+      });
+  doc["traffic_by_kind"] = std::move(traffic);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    FOCUS_LOG(Warn, "testbed", "cannot open metrics output " << path);
+    return;
+  }
+  out << doc.pretty() << '\n';
 }
 
 void Testbed::start() {

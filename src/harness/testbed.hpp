@@ -5,6 +5,7 @@
 // benches and examples.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "agent/node_manager.hpp"
@@ -104,6 +105,15 @@ class Testbed {
   /// Periodic audits executed so far (0 unless audit_interval > 0).
   std::uint64_t audits_run() const noexcept { return audits_run_; }
 
+  /// Write recorded spans as Chrome trace-event JSON (obs/export.hpp) to
+  /// `path`. Also done automatically at destruction when the FOCUS_TRACE
+  /// environment variable named a path at construction.
+  void write_trace(const std::string& path) const;
+
+  /// Write a metrics snapshot to `path`: every touched obs metric plus the
+  /// per-message-kind traffic table of this world's transport.
+  void write_metrics(const std::string& path) const;
+
  private:
   TestbedConfig config_;
   sim::Simulator simulator_;
@@ -115,6 +125,7 @@ class Testbed {
   std::vector<std::unique_ptr<agent::NodeManager>> agents_;
   sim::TimerId audit_timer_ = 0;
   std::uint64_t audits_run_ = 0;
+  std::string trace_path_;  ///< from FOCUS_TRACE; written at destruction
 };
 
 }  // namespace focus::harness

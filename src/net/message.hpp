@@ -12,6 +12,7 @@
 
 #include "common/types.hpp"
 #include "net/msg_kind.hpp"
+#include "obs/trace_context.hpp"
 
 namespace focus::net {
 
@@ -55,8 +56,13 @@ struct Message {
   Address to;
   MsgKind kind;                            ///< dispatch tag, e.g. "swim.ping"
   std::shared_ptr<const Payload> payload;  ///< may be null for empty-body messages
+  /// Causal-trace tag; zero = untraced. Defaulted so the many aggregate
+  /// initializations that predate tracing stay warning-clean under -Wextra.
+  obs::TraceContext trace = {};
 
-  /// Total accounted bytes: overhead plus payload body.
+  /// Total accounted bytes: overhead plus payload body. The trace tag is
+  /// sim-only observability metadata and is deliberately NOT charged (see
+  /// obs/trace_context.hpp).
   std::size_t wire_bytes() const {
     return kWireOverheadBytes + (payload ? payload->wire_size() : 0);
   }

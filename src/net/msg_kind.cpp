@@ -43,6 +43,12 @@ std::string_view MsgKind::name() const {
   return registry().names[value_];
 }
 
+std::string_view kind_spelling(std::uint16_t value) {
+  const Registry& reg = registry();
+  FOCUS_CHECK_LT(value, reg.names.size()) << "unknown message-kind value";
+  return reg.names[value];
+}
+
 std::string to_string(MsgKind kind) { return std::string(kind.name()); }
 
 std::ostream& operator<<(std::ostream& os, MsgKind kind) {

@@ -43,6 +43,10 @@ class MsgKind {
   std::uint16_t value_ = 0;
 };
 
+/// Spelling of an interned kind by raw table value, for tables indexed by
+/// MsgKind::value() (per-kind traffic stats). FOCUS_CHECKs range.
+std::string_view kind_spelling(std::uint16_t value);
+
 /// Render the interned spelling (for logs and test failure messages).
 std::string to_string(MsgKind kind);
 std::ostream& operator<<(std::ostream& os, MsgKind kind);

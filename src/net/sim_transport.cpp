@@ -3,12 +3,23 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace focus::net {
 
 namespace {
 /// Loopback (same-node) delivery latency: kernel-bypass, not WAN.
 constexpr Duration kLoopbackDelay = 50;
+
+/// Record a zero-duration "net.drop" event for a traced message that the
+/// network swallowed (dead endpoint, datagram loss, unbound port).
+void trace_drop(const Message& msg, SimTime at) {
+  static const obs::Name kDrop = obs::Name::intern("net.drop");
+  obs::Tracer& tr = obs::tracer();
+  if (msg.trace && tr.enabled()) {
+    tr.instant(msg.trace.trace_id, msg.trace.span_id, kDrop, msg.to.node, at);
+  }
+}
 }  // namespace
 
 SimTransport::SimTransport(sim::Simulator& simulator, Topology& topology, Rng rng)
@@ -32,7 +43,8 @@ void SimTransport::send(Message msg) {
   if (down_.count(msg.from.node) > 0) {
     return;  // a dead node transmits nothing
   }
-  stats_.record_send(msg.kind, msg.payload.get());
+  const std::size_t bytes = msg.wire_bytes();
+  stats_.record_send(msg.kind, msg.payload, bytes);
   // Loopback (same-node) messages never touch the NIC: deliver almost
   // immediately, charge no bandwidth, and skip datagram loss. This matters
   // for colocated deployments (e.g. a broker on the controller host).
@@ -40,10 +52,10 @@ void SimTransport::send(Message msg) {
     deliver_at(kLoopbackDelay, std::move(msg), /*rx_bytes=*/0);
     return;
   }
-  const std::size_t bytes = msg.wire_bytes();
   stats_.record_tx(msg.from.node, bytes);
   if (down_.count(msg.to.node) > 0 || (loss_rate_ > 0 && rng_.chance(loss_rate_))) {
     stats_.count_dropped();
+    trace_drop(msg, simulator_.now());
     return;
   }
   const Duration latency =
@@ -62,9 +74,12 @@ void SimTransport::deliver_at(Duration delay, Message msg, std::size_t rx_bytes)
 #else
   const std::size_t sent_bytes = 0;
 #endif
+  // Captured unconditionally (not only when tracing) so the closure's size
+  // and behavior are identical with tracing on or off.
+  const SimTime sent_at = simulator_.now();
   // One move of the Message into the closure; the closure itself fits the
   // kernel's inline task storage, so a send schedules without allocating.
-  simulator_.schedule_after(delay, [this, rx_bytes, sent_bytes,
+  simulator_.schedule_after(delay, [this, rx_bytes, sent_bytes, sent_at,
                                     m = std::move(msg)]() {
     FOCUS_DCHECK_EQ(m.wire_bytes(), sent_bytes)
         << "payload mutated between send and delivery: " << to_string(m.kind);
@@ -73,10 +88,21 @@ void SimTransport::deliver_at(Duration delay, Message msg, std::size_t rx_bytes)
     const auto it = handlers_.find(m.to);
     if (down_.count(m.to.node) > 0 || it == handlers_.end()) {
       stats_.count_dropped();
+      trace_drop(m, simulator_.now());
       return;
     }
     if (rx_bytes > 0) stats_.record_rx(m.to.node, rx_bytes);
     stats_.count_delivered();
+    // Traced hop: one span per network traversal, named after the message
+    // kind, from send to delivery on the receiving node.
+    obs::Tracer& tr = obs::tracer();
+    if (m.trace && tr.enabled()) {
+      const std::uint64_t hop =
+          tr.begin_span(m.trace.trace_id, m.trace.span_id,
+                        obs::kind_name(m.kind.value(), m.kind.name()),
+                        m.to.node, sent_at);
+      tr.end_span(hop, simulator_.now());
+    }
     // Pin the handler (it may unbind/rebind itself while running) with a
     // refcount bump instead of copying the std::function.
     const HandlerPtr handler = it->second;

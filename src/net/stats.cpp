@@ -14,17 +14,25 @@ void NetStats::record_rx(NodeId to, std::size_t bytes) {
   rx.msgs_rx += 1;
 }
 
-void NetStats::record_send(MsgKind kind, const void* payload) {
+void NetStats::record_send(MsgKind kind,
+                           const std::shared_ptr<const Payload>& payload,
+                           std::size_t wire_bytes) {
   const std::size_t i = kind.value();
   if (per_kind_.size() <= i) per_kind_.resize(i + 1);
   MsgKindStats& s = per_kind_[i];
   ++s.msgs;
+  s.bytes += wire_bytes;
   if (payload != nullptr &&
       (payload != last_payload_ || kind.value() != last_kind_value_)) {
     ++s.payload_builds;
   }
   last_payload_ = payload;
   last_kind_value_ = kind.value();
+}
+
+void NetStats::end_burst() {
+  last_payload_.reset();
+  last_kind_value_ = 0;
 }
 
 MsgKindStats NetStats::of_kind(MsgKind kind) const {
@@ -46,8 +54,7 @@ EndpointStats NetStats::total() const {
 void NetStats::reset() {
   per_node_.clear();
   per_kind_.clear();
-  last_payload_ = nullptr;
-  last_kind_value_ = 0;
+  end_burst();
   delivered_ = 0;
   dropped_ = 0;
 }

@@ -4,6 +4,7 @@
 // come from.
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "net/msg_kind.hpp"
 
 namespace focus::net {
+
+struct Payload;
 
 /// Byte/message counters for one node (all ports combined).
 struct EndpointStats {
@@ -43,6 +46,7 @@ struct EndpointStats {
 struct MsgKindStats {
   std::uint64_t msgs = 0;            ///< messages sent of this kind
   std::uint64_t payload_builds = 0;  ///< distinct payload objects sent
+  std::uint64_t bytes = 0;           ///< wire bytes sent (incl. overhead)
 };
 
 /// Traffic counters for every node that sent or received a message.
@@ -52,14 +56,35 @@ class NetStats {
   /// message is later dropped).
   void record_tx(NodeId from, std::size_t bytes);
 
-  /// Per-kind send accounting. Counts the message always; counts a payload
-  /// build when `payload` is non-null and differs from the payload of the
-  /// immediately preceding send — so consecutive sends sharing one payload
-  /// (a fanout burst) are charged a single build.
-  void record_send(MsgKind kind, const void* payload);
+  /// Per-kind send accounting. Counts the message and its wire bytes always;
+  /// counts a payload build when `payload` is non-null and (kind, address)
+  /// differs from the immediately preceding send — so consecutive sends
+  /// sharing one payload (a fanout burst) are charged a single build. The
+  /// shared_ptr is retained until the next send (or end_burst()), which pins
+  /// the payload's address while it serves as the dedup key: a freed payload
+  /// whose address the allocator reuses can therefore never masquerade as
+  /// "same payload, still the same burst".
+  void record_send(MsgKind kind, const std::shared_ptr<const Payload>& payload,
+                   std::size_t wire_bytes);
+
+  /// Explicit burst boundary: forget the last-seen payload so the next send
+  /// is charged a build even if it reuses the same object. Also releases the
+  /// pin on the last payload.
+  void end_burst();
 
   /// Per-kind counters (zeroes for kinds never sent).
   MsgKindStats of_kind(MsgKind kind) const;
+
+  /// Visit the counters of every kind that has actually been sent, in
+  /// kind-value (interning) order: fn(spelling, stats).
+  template <typename Fn>
+  void for_each_kind(Fn&& fn) const {
+    for (std::size_t v = 1; v < per_kind_.size(); ++v) {
+      const MsgKindStats& s = per_kind_[v];
+      if (s.msgs == 0) continue;
+      fn(kind_spelling(static_cast<std::uint16_t>(v)), s);
+    }
+  }
 
   /// Charge reception (at delivery to a bound handler).
   void record_rx(NodeId to, std::size_t bytes);
@@ -87,7 +112,10 @@ class NetStats {
  private:
   std::unordered_map<NodeId, EndpointStats> per_node_;
   std::vector<MsgKindStats> per_kind_;  // indexed by MsgKind::value()
-  const void* last_payload_ = nullptr;  // consecutive-send dedup for builds
+  // Consecutive-send dedup for builds. Held as a shared_ptr (not a raw
+  // address) so the dedup key's address cannot be recycled by the allocator
+  // while it is still being compared against.
+  std::shared_ptr<const Payload> last_payload_;
   std::uint16_t last_kind_value_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

@@ -1,0 +1,177 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace focus::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// One metadata event: {"ph":"M","name":...,"pid":..,"tid":..,"args":{"name":..}}.
+void append_metadata(std::string& out, const char* what, std::uint64_t pid,
+                     std::uint64_t tid, const std::string& name, bool with_tid) {
+  out += "{\"ph\":\"M\",\"name\":\"";
+  out += what;
+  out += "\",\"pid\":";
+  append_u64(out, pid);
+  if (with_tid) {
+    out += ",\"tid\":";
+    append_u64(out, tid);
+  }
+  out += ",\"args\":{\"name\":\"";
+  append_escaped(out, name);
+  out += "\"}},\n";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const std::vector<SpanRecord>& spans = tracer.spans();
+
+  // Dense per-trace track index, assigned in first-appearance order (which is
+  // recording order, hence deterministic for a deterministic run).
+  std::map<std::uint64_t, std::uint64_t> tid_by_trace;
+  for (const SpanRecord& s : spans) {
+    tid_by_trace.emplace(s.trace_id, tid_by_trace.size());
+  }
+
+  std::string out;
+  out.reserve(160 * spans.size() + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  // Metadata: name each node's process track and each (node, trace) thread.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen_threads;
+  for (const SpanRecord& s : spans) {
+    seen_threads.emplace_back(static_cast<std::uint64_t>(s.node.value),
+                              tid_by_trace[s.trace_id]);
+  }
+  std::sort(seen_threads.begin(), seen_threads.end());
+  seen_threads.erase(std::unique(seen_threads.begin(), seen_threads.end()),
+                     seen_threads.end());
+  std::uint64_t last_pid = ~0ull;
+  for (const auto& [pid, tid] : seen_threads) {
+    if (pid != last_pid) {
+      append_metadata(out, "process_name", pid, 0, "node-" + std::to_string(pid),
+                      /*with_tid=*/false);
+      last_pid = pid;
+    }
+  }
+  for (const auto& [trace_id, tid] : tid_by_trace) {
+    std::string label = "trace ";
+    append_hex(label, trace_id);
+    for (const auto& [pid, thread_tid] : seen_threads) {
+      if (thread_tid == tid) {
+        append_metadata(out, "thread_name", pid, tid, label, /*with_tid=*/true);
+      }
+    }
+  }
+
+  for (const SpanRecord& s : spans) {
+    out += "{\"name\":\"";
+    append_escaped(out, s.name.spelling());
+    out += "\",\"cat\":\"focus\",\"ph\":\"X\",\"ts\":";
+    append_u64(out, static_cast<std::uint64_t>(s.start));
+    out += ",\"dur\":";
+    const std::uint64_t dur =
+        s.end >= s.start ? static_cast<std::uint64_t>(s.end - s.start) : 0;
+    append_u64(out, dur);
+    out += ",\"pid\":";
+    append_u64(out, static_cast<std::uint64_t>(s.node.value));
+    out += ",\"tid\":";
+    append_u64(out, tid_by_trace[s.trace_id]);
+    out += ",\"args\":{\"trace_id\":\"";
+    append_hex(out, s.trace_id);
+    out += "\",\"span_id\":";
+    append_u64(out, s.span_id);
+    out += ",\"parent_id\":";
+    append_u64(out, s.parent_id);
+    if (s.end < s.start) out += ",\"open\":true";
+    if (s.label) {
+      out += ",\"label\":\"";
+      append_escaped(out, s.label.spelling());
+      out += "\"";
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (!s.arg_key[i]) break;
+      out += ",\"";
+      append_escaped(out, s.arg_key[i].spelling());
+      out += "\":";
+      append_double(out, s.arg_val[i]);
+    }
+    out += "}},\n";
+  }
+
+  // Trailing-comma cleanup: the writer appends ",\n" after every event.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return out;
+}
+
+Json metrics_json(const MetricSet& set) {
+  Json counters = Json::object();
+  Json histograms = Json::object();
+  set.for_each(
+      [&](MetricId id, double value) {
+        counters[std::string(id.name())] = value;
+      },
+      [&](MetricId id, const FixedHistogram& h) {
+        Json entry = Json::object();
+        entry["count"] = h.count();
+        entry["sum"] = h.sum();
+        entry["min"] = h.min();
+        entry["max"] = h.max();
+        entry["mean"] = h.mean();
+        entry["p50"] = h.quantile(0.50);
+        entry["p90"] = h.quantile(0.90);
+        entry["p99"] = h.quantile(0.99);
+        histograms[std::string(id.name())] = std::move(entry);
+      });
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+}  // namespace focus::obs

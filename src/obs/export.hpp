@@ -1,0 +1,28 @@
+#pragma once
+// Exporters for the observability layer: Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing) and a metrics snapshot as a Json document.
+// Harness wiring (FOCUS_TRACE env hook, file writing) lives in
+// harness/testbed; these functions only format.
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace focus::obs {
+
+/// Serialize recorded spans as Chrome trace-event JSON. Timestamps are sim
+/// time in microseconds; pid = simulated node id, tid = a dense per-trace
+/// index so each query's causal tree renders as one named track. Spans still
+/// open at export time get dur=0 and args.open=true (distinguishing them
+/// from genuine instants for trace validators). Written with a manual string builder (a
+/// 400-node scenario records tens of thousands of spans; building a Json
+/// object tree would dominate export time).
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Snapshot every touched metric in `set` as {"counters": {name: value},
+/// "histograms": {name: {count,sum,min,max,mean,p50,p90,p99}}}.
+Json metrics_json(const MetricSet& set);
+
+}  // namespace focus::obs

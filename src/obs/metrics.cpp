@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace focus::obs {
+
+namespace {
+
+/// Registration record for one metric. Bounds only meaningful for histograms.
+struct MetricInfo {
+  Name name;
+  MetricKind kind = MetricKind::Scalar;
+  std::vector<double> bounds;
+};
+
+struct Registry {
+  std::vector<MetricInfo> infos;
+  // Name -> id, via the Name interner's dense values.
+  std::vector<std::uint32_t> id_by_name{0};  // index 0 = "(none)", unused
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+constexpr std::uint32_t kUnregistered = 0xffffffffu;
+
+/// The 1-2-5 decade ladder used when a histogram is registered without
+/// explicit bounds: 1, 2, 5, 10, ... 5e7. Covers sub-µs to 50 s in µs units.
+std::vector<double> default_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1; decade <= 1e7; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+MetricId MetricId::counter(std::string_view name) {
+  Registry& reg = registry();
+  const Name interned = Name::intern(name);
+  if (interned.value() >= reg.id_by_name.size()) {
+    reg.id_by_name.resize(interned.value() + 1, kUnregistered);
+  }
+  std::uint32_t& slot = reg.id_by_name[interned.value()];
+  if (slot == kUnregistered) {
+    slot = static_cast<std::uint32_t>(reg.infos.size());
+    reg.infos.push_back(MetricInfo{interned, MetricKind::Scalar, {}});
+  } else {
+    FOCUS_CHECK(reg.infos[slot].kind == MetricKind::Scalar)
+        << "metric '" << name << "' re-registered with a different kind";
+  }
+  return MetricId(slot);
+}
+
+MetricId MetricId::gauge(std::string_view name) { return counter(name); }
+
+MetricId MetricId::histogram(std::string_view name,
+                             std::vector<double> upper_bounds) {
+  Registry& reg = registry();
+  const Name interned = Name::intern(name);
+  if (interned.value() >= reg.id_by_name.size()) {
+    reg.id_by_name.resize(interned.value() + 1, kUnregistered);
+  }
+  std::uint32_t& slot = reg.id_by_name[interned.value()];
+  if (slot == kUnregistered) {
+    slot = static_cast<std::uint32_t>(reg.infos.size());
+    reg.infos.push_back(MetricInfo{
+        interned, MetricKind::Histogram,
+        upper_bounds.empty() ? default_bounds() : std::move(upper_bounds)});
+  } else {
+    FOCUS_CHECK(reg.infos[slot].kind == MetricKind::Histogram)
+        << "metric '" << name << "' re-registered with a different kind";
+  }
+  return MetricId(slot);
+}
+
+std::string_view MetricId::name() const {
+  const Registry& reg = registry();
+  FOCUS_DCHECK_LT(value_, reg.infos.size());
+  return reg.infos[value_].name.spelling();
+}
+
+MetricKind MetricId::kind() const {
+  const Registry& reg = registry();
+  FOCUS_DCHECK_LT(value_, reg.infos.size());
+  return reg.infos[value_].kind;
+}
+
+MetricSet::Scalar& MetricSet::scalar_slot(MetricId id) {
+  FOCUS_DCHECK(id.kind() == MetricKind::Scalar);
+  if (id.value() >= scalars_.size()) scalars_.resize(id.value() + 1);
+  return scalars_[id.value()];
+}
+
+FixedHistogram& MetricSet::histo_slot(MetricId id) {
+  FOCUS_DCHECK(id.kind() == MetricKind::Histogram);
+  if (id.value() >= histos_.size()) histos_.resize(id.value() + 1);
+  FixedHistogram& slot = histos_[id.value()];
+  if (slot.num_buckets() == 0) {
+    slot = FixedHistogram(registry().infos[id.value()].bounds);
+  }
+  return slot;
+}
+
+void MetricSet::add(MetricId id, double delta) {
+  Scalar& slot = scalar_slot(id);
+  slot.value += delta;
+  slot.touched = true;
+}
+
+void MetricSet::set(MetricId id, double value) {
+  Scalar& slot = scalar_slot(id);
+  slot.value = value;
+  slot.touched = true;
+}
+
+void MetricSet::observe(MetricId id, double sample) {
+  histo_slot(id).observe(sample);
+}
+
+double MetricSet::value(MetricId id) const {
+  FOCUS_DCHECK(id.kind() == MetricKind::Scalar);
+  if (id.value() >= scalars_.size()) return 0;
+  return scalars_[id.value()].value;
+}
+
+bool MetricSet::touched(MetricId id) const {
+  if (id.kind() == MetricKind::Histogram) {
+    return id.value() < histos_.size() && !histos_[id.value()].empty();
+  }
+  return id.value() < scalars_.size() && scalars_[id.value()].touched;
+}
+
+const FixedHistogram& MetricSet::histogram(MetricId id) const {
+  return const_cast<MetricSet*>(this)->histo_slot(id);
+}
+
+void MetricSet::reset() {
+  scalars_.clear();
+  histos_.clear();
+}
+
+MetricSet& metrics() {
+  static MetricSet instance;
+  return instance;
+}
+
+}  // namespace focus::obs

@@ -1,0 +1,122 @@
+#pragma once
+// Interned hot-path metrics. Call sites pre-register a metric once (typically
+// as a function-local static or a member initialized at construction) and
+// record through the resulting dense MetricId — an index into plain arrays —
+// so the steady-state cost of a counter bump is one vector index and one add,
+// with no string hashing or map lookups. Same interning idiom as
+// core::AttrId / net::MsgKind / obs::Name.
+//
+//   static const obs::MetricId kHits = obs::MetricId::counter("focus.cache.hit");
+//   obs::metrics().add(kHits, 1);
+//
+// Recording is always on (it is deterministic pure observation and costs a
+// couple of array slots), unlike span tracing which is gated — see
+// obs/trace.hpp and DESIGN.md §8.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "obs/name.hpp"
+
+namespace focus::obs {
+
+/// What a metric slot holds. Counters and gauges share one representation (a
+/// double plus a touched bit) so the string-keyed compatibility layer can mix
+/// add() and set() on the same name without tripping a kind mismatch.
+enum class MetricKind : std::uint8_t {
+  Scalar,     ///< counter or gauge: one double
+  Histogram,  ///< fixed-bucket distribution
+};
+
+/// Dense handle for one registered metric. Registration is idempotent per
+/// spelling; re-registering a name with a different kind is a FOCUS_CHECK
+/// failure (one name, one meaning).
+class MetricId {
+ public:
+  constexpr MetricId() noexcept = default;
+
+  /// Register a monotonically-added scalar.
+  static MetricId counter(std::string_view name);
+  /// Register a last-value-wins scalar. Same slot type as counter().
+  static MetricId gauge(std::string_view name);
+  /// Register a fixed-bucket histogram. `upper_bounds` empty picks the
+  /// default 1-2-5 decade ladder (1 .. 5e7), suitable for microsecond
+  /// latencies. Bounds are fixed by the first registration of the name.
+  static MetricId histogram(std::string_view name,
+                            std::vector<double> upper_bounds = {});
+
+  std::string_view name() const;
+  MetricKind kind() const;
+
+  /// Dense slot index (0 is a valid id; use operator bool only to detect a
+  /// default-constructed handle via the registry size — default ids are
+  /// registered, so callers normally never need it).
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  friend constexpr bool operator==(MetricId, MetricId) noexcept = default;
+
+ private:
+  friend class MetricSet;
+  constexpr explicit MetricId(std::uint32_t value) noexcept : value_(value) {}
+
+  std::uint32_t value_ = 0;
+};
+
+/// One recording surface: dense arrays indexed by MetricId. The process-wide
+/// instance is obs::metrics(); tests can build private sets. Arrays grow
+/// lazily to the highest id recorded, so constructing a set is free even when
+/// many metrics are registered.
+class MetricSet {
+ public:
+  /// Counter-style accumulate (also usable on gauges).
+  void add(MetricId id, double delta);
+  /// Gauge-style overwrite.
+  void set(MetricId id, double value);
+  /// Histogram sample.
+  void observe(MetricId id, double sample);
+
+  /// Current scalar value; 0 when never recorded. FOCUS_DCHECKs the kind.
+  double value(MetricId id) const;
+  /// True once add()/set()/observe() has touched the id in this set.
+  bool touched(MetricId id) const;
+  /// Histogram slot (created on first access if needed).
+  const FixedHistogram& histogram(MetricId id) const;
+
+  /// Visit every touched metric, in id order. Scalar metrics invoke
+  /// `scalar_fn(id, value)`; histograms invoke `histo_fn(id, histogram)`.
+  template <typename ScalarFn, typename HistoFn>
+  void for_each(ScalarFn&& scalar_fn, HistoFn&& histo_fn) const;
+
+  /// Zero every slot (registration survives; this set just forgets values).
+  void reset();
+
+ private:
+  struct Scalar {
+    double value = 0;
+    bool touched = false;
+  };
+
+  Scalar& scalar_slot(MetricId id);
+  FixedHistogram& histo_slot(MetricId id);
+
+  std::vector<Scalar> scalars_;           // indexed by id.value()
+  mutable std::vector<FixedHistogram> histos_;  // indexed by id.value()
+};
+
+/// The process-wide metric set hot paths record into. Testbed resets it at
+/// construction so each harness run starts from zero.
+MetricSet& metrics();
+
+template <typename ScalarFn, typename HistoFn>
+void MetricSet::for_each(ScalarFn&& scalar_fn, HistoFn&& histo_fn) const {
+  for (std::uint32_t i = 0; i < scalars_.size(); ++i) {
+    if (scalars_[i].touched) scalar_fn(MetricId(i), scalars_[i].value);
+  }
+  for (std::uint32_t i = 0; i < histos_.size(); ++i) {
+    if (!histos_[i].empty()) histo_fn(MetricId(i), histos_[i]);
+  }
+}
+
+}  // namespace focus::obs

@@ -1,0 +1,44 @@
+#include "obs/name.hpp"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace focus::obs {
+
+namespace {
+
+/// Process-wide intern table. Stored strings live in a deque so they never
+/// move (the by_name keys are views into them); the function-local static
+/// removes any initialization-order dependence between translation units
+/// that intern names during static init.
+struct Registry {
+  std::deque<std::string> spellings{"(none)"};  // index 0 = default tag
+  std::unordered_map<std::string_view, std::uint16_t> by_name;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+Name Name::intern(std::string_view spelling) {
+  FOCUS_CHECK(!spelling.empty()) << "observability names need a spelling";
+  Registry& reg = registry();
+  if (const auto it = reg.by_name.find(spelling); it != reg.by_name.end()) {
+    return Name(it->second);
+  }
+  FOCUS_CHECK_LT(reg.spellings.size(), 65536u) << "obs name table exhausted";
+  const auto value = static_cast<std::uint16_t>(reg.spellings.size());
+  reg.spellings.emplace_back(spelling);
+  reg.by_name.emplace(reg.spellings.back(), value);
+  return Name(value);
+}
+
+std::string_view Name::spelling() const { return registry().spellings[value_]; }
+
+}  // namespace focus::obs

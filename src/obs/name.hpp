@@ -1,0 +1,39 @@
+#pragma once
+// Interned observability names (span names, metric names, label values,
+// argument keys). Same idiom as net::MsgKind / focus::core::AttrId: each
+// distinct spelling is interned once in a process-wide table at static-init
+// time and carried as a 16-bit index, so recording a span or metric never
+// touches a string — hot paths compare and copy two bytes.
+
+#include <cstdint>
+#include <string_view>
+
+namespace focus::obs {
+
+class Name {
+ public:
+  /// The "no name" tag; never equal to any interned name.
+  constexpr Name() noexcept = default;
+
+  /// Intern `spelling` (idempotent). Empty spellings are rejected by
+  /// FOCUS_CHECK.
+  static Name intern(std::string_view spelling);
+
+  /// The interned spelling ("(none)" for a default-constructed tag).
+  std::string_view spelling() const;
+
+  /// Raw table index (0 for the default tag). Assigned in interning order —
+  /// stable within a process, not across runs.
+  constexpr std::uint16_t value() const noexcept { return value_; }
+
+  constexpr explicit operator bool() const noexcept { return value_ != 0; }
+
+  friend constexpr bool operator==(Name, Name) noexcept = default;
+
+ private:
+  constexpr explicit Name(std::uint16_t value) noexcept : value_(value) {}
+
+  std::uint16_t value_ = 0;
+};
+
+}  // namespace focus::obs

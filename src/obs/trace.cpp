@@ -1,0 +1,60 @@
+#include "obs/trace.hpp"
+
+namespace focus::obs {
+
+std::uint64_t Tracer::begin_span(std::uint64_t trace_id,
+                                 std::uint64_t parent_id, Name name,
+                                 NodeId node, SimTime start) {
+  if (!enabled()) return 0;
+  SpanRecord& rec = spans_.emplace_back();
+  rec.trace_id = trace_id;
+  rec.parent_id = parent_id;
+  rec.name = name;
+  rec.node = node;
+  rec.start = start;
+  rec.span_id = static_cast<std::uint64_t>(spans_.size());  // index + 1
+  return rec.span_id;
+}
+
+void Tracer::end_span(std::uint64_t span_id, SimTime end) {
+  if (span_id == 0) return;
+  spans_[span_id - 1].end = end;
+}
+
+void Tracer::instant(std::uint64_t trace_id, std::uint64_t parent_id,
+                     Name name, NodeId node, SimTime at) {
+  const std::uint64_t id = begin_span(trace_id, parent_id, name, node, at);
+  end_span(id, at);
+}
+
+void Tracer::set_label(std::uint64_t span_id, Name label) {
+  if (span_id == 0) return;
+  spans_[span_id - 1].label = label;
+}
+
+void Tracer::set_arg(std::uint64_t span_id, Name key, double value) {
+  if (span_id == 0) return;
+  SpanRecord& rec = spans_[span_id - 1];
+  for (auto i = 0; i < 2; ++i) {
+    if (!rec.arg_key[i]) {
+      rec.arg_key[i] = key;
+      rec.arg_val[i] = value;
+      return;
+    }
+  }
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+Name kind_name(std::uint16_t kind_value, std::string_view spelling) {
+  static std::vector<Name> cache;
+  if (kind_value >= cache.size()) cache.resize(kind_value + 1);
+  Name& slot = cache[kind_value];
+  if (!slot) slot = Name::intern(spelling);
+  return slot;
+}
+
+}  // namespace focus::obs

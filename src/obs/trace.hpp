@@ -1,0 +1,95 @@
+#pragma once
+// Deterministic causal span tracing over sim time. Spans are flat records in
+// one growable vector; causality is expressed by (trace_id, span_id,
+// parent_id) triples that ride net::Message envelopes as obs::TraceContext,
+// so spans recorded on different simulated nodes stitch into one tree per
+// query. Export to Chrome trace-event JSON lives in obs/export.hpp.
+//
+// Determinism contract (DESIGN.md §8): recording is pure observation — it
+// never draws randomness, schedules events, or alters messages — so scenario
+// digests are byte-identical with tracing enabled or disabled. All
+// instrumentation sites gate on tracer().enabled(), which is a compiled-in
+// flag (FOCUS_OBS_TRACING) ANDed with a runtime bool; with the flag compiled
+// out the disabled path is a single always-false branch.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/name.hpp"
+#include "obs/trace_context.hpp"
+
+// Compile-time master switch for span recording. Defined to 1 by default so
+// the default build can trace; building with -DFOCUS_OBS_TRACING=0 reduces
+// every instrumentation site to a dead branch.
+#ifndef FOCUS_OBS_TRACING
+#define FOCUS_OBS_TRACING 1
+#endif
+
+namespace focus::obs {
+
+/// One recorded span. `end < start` (the initial -1) marks a still-open span;
+/// instants have end == start. Up to two typed arguments travel inline so the
+/// hot path never allocates.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;    ///< unique within the tracer buffer (index+1)
+  std::uint64_t parent_id = 0;  ///< 0 = root
+  Name name;                    ///< span taxonomy entry, e.g. "router.query"
+  Name label;                   ///< outcome refinement, e.g. "cache"/"timeout"
+  NodeId node{0};               ///< where the work ran (exported as pid)
+  SimTime start = 0;
+  SimTime end = -1;
+  Name arg_key[2];
+  double arg_val[2] = {0, 0};
+};
+
+/// Span sink. The process-wide instance is obs::tracer(); Testbed resets its
+/// buffer each run and enables it when FOCUS_TRACE is set.
+class Tracer {
+ public:
+  /// True when spans are being recorded. Instrumentation sites branch on this
+  /// before touching the buffer (begin_span also re-checks, so a site may
+  /// call it unconditionally when convenient).
+  bool enabled() const noexcept {
+    return FOCUS_OBS_TRACING != 0 && runtime_enabled_;
+  }
+  void set_enabled(bool on) noexcept { runtime_enabled_ = on; }
+
+  /// Open a span. Returns its span id (buffer index + 1) for end_span /
+  /// child-parenting, or 0 when disabled (all other calls ignore id 0).
+  std::uint64_t begin_span(std::uint64_t trace_id, std::uint64_t parent_id,
+                           Name name, NodeId node, SimTime start);
+
+  /// Close an open span. No-op for id 0.
+  void end_span(std::uint64_t span_id, SimTime end);
+
+  /// Zero-duration event (message drops, member evaluations).
+  void instant(std::uint64_t trace_id, std::uint64_t parent_id, Name name,
+               NodeId node, SimTime at);
+
+  /// Attach an outcome label / a typed argument to an open span. No-ops for
+  /// id 0; set_arg keeps the first two arguments and drops the rest.
+  void set_label(std::uint64_t span_id, Name label);
+  void set_arg(std::uint64_t span_id, Name key, double value);
+
+  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+
+  /// Drop recorded spans. Does NOT change the enabled flag (Testbed resets
+  /// buffers at construction after the FOCUS_TRACE hook may have enabled us).
+  void reset() { spans_.clear(); }
+
+ private:
+  bool runtime_enabled_ = false;
+  std::vector<SpanRecord> spans_;
+};
+
+/// Process-wide tracer.
+Tracer& tracer();
+
+/// Interned name for a net::MsgKind value, cached densely by kind value so
+/// per-hop spans don't re-intern on every delivery.
+Name kind_name(std::uint16_t kind_value, std::string_view spelling);
+
+}  // namespace focus::obs

@@ -1,0 +1,38 @@
+#pragma once
+// TraceContext: the causal-tracing correlation tag that rides the
+// net::Message envelope. A context names one query's trace (trace_id) and the
+// span that caused the message (span_id), so spans recorded on different
+// simulated nodes stitch into a single causal tree per query.
+//
+// Determinism contract: trace ids are derived from simulation state (the
+// issuing node id and its per-node query sequence number), NEVER from wall
+// clocks or addresses, so the same seeded scenario produces the same ids.
+// The context is in-process metadata only — it does not contribute to
+// Message::wire_bytes(), mirroring how a production system would ship a
+// 16-byte trace header whose cost is negligible next to the payloads the
+// bandwidth model tracks (documented in DESIGN.md §8).
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace focus::obs {
+
+/// Correlation tag carried by every traced message. A zero trace_id means
+/// "untraced": instrumentation sites test `if (ctx)` and fall through.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< which query's causal tree this belongs to
+  std::uint64_t span_id = 0;   ///< parent span for work caused by the message
+
+  constexpr explicit operator bool() const noexcept { return trace_id != 0; }
+};
+
+/// Deterministic trace id: issuing node in the high 32 bits, the node-local
+/// query sequence number in the low 32. Distinct issuing nodes (app client,
+/// service-internal port) can never collide, and ids are reproducible across
+/// runs of the same seeded scenario.
+constexpr std::uint64_t make_trace_id(NodeId node, std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(node.value) << 32) | (seq & 0xffffffffull);
+}
+
+}  // namespace focus::obs

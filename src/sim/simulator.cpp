@@ -4,8 +4,20 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/logging.hpp"
 
 namespace focus::sim {
+
+Simulator::Simulator() {
+  Logger::set_time_source(
+      [](const void* ctx) {
+        return static_cast<std::int64_t>(
+            static_cast<const Simulator*>(ctx)->now());
+      },
+      this);
+}
+
+Simulator::~Simulator() { Logger::clear_time_source(this); }
 
 // ---------------------------------------------------------------------------
 // Slab management

@@ -44,6 +44,15 @@ class Simulator {
  public:
   using Task = UniqueTask;
 
+  /// Construction installs this simulator as the Logger's sim-time source so
+  /// log lines carry reproducible timestamps; destruction uninstalls it.
+  /// With several live simulators the last-constructed one wins (the usual
+  /// case — one kernel per testbed — has exactly one).
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   /// Current simulated time (microseconds since scenario start).
   SimTime now() const noexcept { return now_; }
 

@@ -3,13 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iostream>
+#include <memory>
+#include <sstream>
 
 #include "common/histogram.hpp"
 #include "common/json.hpp"
+#include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/simulator.hpp"
 
 namespace focus {
 namespace {
@@ -290,6 +295,91 @@ TEST(Metrics, Histograms) {
   EXPECT_EQ(m.histogram("absent").count(), 0u);
   m.clear();
   EXPECT_EQ(m.histogram("lat").count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+TEST(Logger, ParseLevelRecognizesEveryName) {
+  EXPECT_EQ(Logger::parse_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(Logger::parse_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(Logger::parse_level("info"), LogLevel::Info);
+  EXPECT_EQ(Logger::parse_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(Logger::parse_level("error"), LogLevel::Error);
+  EXPECT_EQ(Logger::parse_level("off"), LogLevel::Off);
+}
+
+TEST(Logger, ParseLevelFallsBackOnGarbage) {
+  EXPECT_EQ(Logger::parse_level(""), LogLevel::Off);
+  EXPECT_EQ(Logger::parse_level("INFO"), LogLevel::Off);  // case-sensitive
+  EXPECT_EQ(Logger::parse_level("verbose"), LogLevel::Off);
+  EXPECT_EQ(Logger::parse_level("warn ", LogLevel::Error), LogLevel::Error);
+  EXPECT_EQ(Logger::parse_level("42", LogLevel::Debug), LogLevel::Debug);
+}
+
+/// RAII guard: capture std::clog into a buffer and restore level on exit.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel level)
+      : old_level_(Logger::level()), old_buf_(std::clog.rdbuf(buffer_.rdbuf())) {
+    Logger::set_level(level);
+  }
+  ~LogCapture() {
+    std::clog.rdbuf(old_buf_);
+    Logger::set_level(old_level_);
+  }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  LogLevel old_level_;
+  std::streambuf* old_buf_;
+};
+
+TEST(Logger, FilteredMessageDoesNotEvaluateExpression) {
+  LogCapture capture(LogLevel::Warn);
+  int evaluations = 0;
+  const auto count = [&evaluations] { return ++evaluations; };
+  FOCUS_LOG(Debug, "test", "side effect " << count());
+  EXPECT_EQ(evaluations, 0);  // below the level: expression never ran
+  FOCUS_LOG(Error, "test", "side effect " << count());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(capture.text().find("[ERROR] test: side effect 1"),
+            std::string::npos)
+      << capture.text();
+}
+
+TEST(Logger, PlainFormatWithoutTimeSource) {
+  ASSERT_FALSE(Logger::has_time_source());
+  LogCapture capture(LogLevel::Info);
+  FOCUS_LOG(Info, "component", "hello " << 7);
+  EXPECT_EQ(capture.text(), "[INFO] component: hello 7\n");
+}
+
+TEST(Logger, SimTimePrefixWhileSimulatorExists) {
+  sim::Simulator simulator;
+  EXPECT_TRUE(Logger::has_time_source());
+  simulator.schedule_at(1500, [] {});
+  simulator.run();
+  {
+    LogCapture capture(LogLevel::Info);
+    FOCUS_LOG(Info, "component", "stamped");
+    EXPECT_EQ(capture.text(), "[INFO][t=1500us] component: stamped\n");
+  }
+}
+
+TEST(Logger, TimeSourceClearsWithItsSimulator) {
+  {
+    sim::Simulator simulator;
+    EXPECT_TRUE(Logger::has_time_source());
+  }
+  EXPECT_FALSE(Logger::has_time_source());
+  // Nested lifetimes: destroying an outer simulator must not silence the
+  // most recently constructed one (last-created-wins, ctx-matched clear).
+  auto outer = std::make_unique<sim::Simulator>();
+  sim::Simulator inner;
+  outer.reset();
+  EXPECT_TRUE(Logger::has_time_source());
 }
 
 // ---------------------------------------------------------------------------

@@ -180,6 +180,94 @@ TEST(NetStats, DeltaSubtraction) {
   EXPECT_EQ(d.bytes_total(), 90u);
 }
 
+// ---------------------------------------------------------------------------
+// Per-kind send accounting and the payload-build dedup.
+
+TEST(NetStats, RecordSendCountsMsgsBuildsAndBytes) {
+  NetStats stats;
+  const MsgKind kind = MsgKind::intern("stats.kind");
+  auto payload = std::make_shared<const Fixed>();
+  stats.record_send(kind, payload, 160);
+  stats.record_send(kind, payload, 160);  // same burst: one build
+  stats.record_send(kind, payload, 160);
+  const MsgKindStats s = stats.of_kind(kind);
+  EXPECT_EQ(s.msgs, 3u);
+  EXPECT_EQ(s.payload_builds, 1u);
+  EXPECT_EQ(s.bytes, 480u);
+}
+
+TEST(NetStats, EndBurstSplitsBuildsOfTheSamePayload) {
+  NetStats stats;
+  const MsgKind kind = MsgKind::intern("stats.kind");
+  auto payload = std::make_shared<const Fixed>();
+  stats.record_send(kind, payload, 100);
+  stats.end_burst();
+  stats.record_send(kind, payload, 100);  // same object, new burst: new build
+  EXPECT_EQ(stats.of_kind(kind).payload_builds, 2u);
+}
+
+TEST(NetStats, DifferentKindSamePayloadIsANewBuild) {
+  NetStats stats;
+  auto payload = std::make_shared<const Fixed>();
+  stats.record_send(MsgKind::intern("stats.a"), payload, 100);
+  stats.record_send(MsgKind::intern("stats.b"), payload, 100);
+  EXPECT_EQ(stats.of_kind(MsgKind::intern("stats.a")).payload_builds, 1u);
+  EXPECT_EQ(stats.of_kind(MsgKind::intern("stats.b")).payload_builds, 1u);
+}
+
+// Regression for the freed-address aliasing bug: the dedup key used to be a
+// raw pointer captured from a payload the caller could free, so a fresh
+// payload allocated at the recycled address was mistaken for "same burst"
+// and its build went uncounted. The fix pins the last payload via shared_ptr
+// until the next send or an explicit end_burst().
+TEST(NetStats, DedupKeyPinsThePayloadAgainstAddressReuse) {
+  NetStats stats;
+  const MsgKind kind = MsgKind::intern("stats.kind");
+  auto payload = std::make_shared<const Fixed>();
+  const std::weak_ptr<const Fixed> watch = payload;
+  stats.record_send(kind, payload, 100);
+  payload.reset();
+  // The stats object keeps the payload alive while it is the dedup key, so
+  // the allocator cannot hand its address to the next payload.
+  EXPECT_FALSE(watch.expired());
+  // A genuinely new payload in the same burst window is a new build even if
+  // the allocator would have liked to recycle the old address.
+  auto fresh = std::make_shared<const Fixed>();
+  stats.record_send(kind, fresh, 100);
+  EXPECT_EQ(stats.of_kind(kind).payload_builds, 2u);
+  EXPECT_TRUE(watch.expired());  // pin moved on to the new payload
+}
+
+TEST(NetStats, EndBurstReleasesThePin) {
+  NetStats stats;
+  auto payload = std::make_shared<const Fixed>();
+  const std::weak_ptr<const Fixed> watch = payload;
+  stats.record_send(MsgKind::intern("stats.kind"), payload, 100);
+  payload.reset();
+  EXPECT_FALSE(watch.expired());
+  stats.end_burst();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(NetStats, ResetClearsDedupStateAndCounters) {
+  NetStats stats;
+  const MsgKind kind = MsgKind::intern("stats.kind");
+  auto payload = std::make_shared<const Fixed>();
+  stats.record_send(kind, payload, 100);
+  stats.reset();
+  EXPECT_EQ(stats.of_kind(kind).msgs, 0u);
+  // Post-reset the dedup state is forgotten: the same payload counts as a
+  // fresh build, not a continuation of a burst from before the reset.
+  stats.record_send(kind, payload, 100);
+  EXPECT_EQ(stats.of_kind(kind).payload_builds, 1u);
+}
+
+TEST(MsgKind, SpellingByValueRoundTrips) {
+  const MsgKind kind = MsgKind::intern("spelling.roundtrip");
+  EXPECT_EQ(kind_spelling(kind.value()), "spelling.roundtrip");
+  EXPECT_EQ(kind_spelling(0), "(none)");
+}
+
 TEST(Message, WireBytesIncludesOverhead) {
   auto payload = std::make_shared<Fixed>();
   payload->bytes = 10;

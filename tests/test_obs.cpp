@@ -1,0 +1,516 @@
+// Unit and integration tests for the observability layer: interned names,
+// the fixed-bucket histogram, the interned-metrics core, the causal tracer,
+// the Chrome-trace/JSON exporters, and the determinism contract (tracing
+// on/off must not perturb the simulation digest).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/json.hpp"
+#include "harness/testbed.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/name.hpp"
+#include "obs/trace.hpp"
+
+namespace focus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// obs::Name interning
+
+TEST(ObsName, InternIsIdempotent) {
+  const obs::Name a = obs::Name::intern("span.alpha");
+  const obs::Name b = obs::Name::intern("span.alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.spelling(), "span.alpha");
+}
+
+TEST(ObsName, DistinctSpellingsGetDistinctValues) {
+  const obs::Name a = obs::Name::intern("span.alpha");
+  const obs::Name b = obs::Name::intern("span.beta");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(ObsName, DefaultIsFalsyAndSpellsNone) {
+  const obs::Name none;
+  EXPECT_FALSE(none);
+  EXPECT_EQ(none.value(), 0);
+  EXPECT_EQ(none.spelling(), "(none)");
+  EXPECT_TRUE(obs::Name::intern("span.alpha"));
+}
+
+// ---------------------------------------------------------------------------
+// FixedHistogram
+
+TEST(FixedHistogram, BucketBoundariesAreInclusiveUpperEdges) {
+  FixedHistogram h({1.0, 2.0, 5.0});
+  h.observe(1.0);  // lands in bucket 0 (bound is inclusive)
+  h.observe(1.5);  // bucket 1
+  h.observe(2.0);  // bucket 1
+  h.observe(5.0);  // bucket 2
+  h.observe(7.0);  // overflow
+  EXPECT_EQ(h.num_buckets(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+}
+
+TEST(FixedHistogram, EmptyReportsZeroes) {
+  FixedHistogram h({1.0, 10.0});
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(FixedHistogram, QuantileInterpolatesWithinTheCoveringBucket) {
+  // 100 samples spread evenly over (0, 100]; bucket edges every 10.
+  FixedHistogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  // Interpolation is exact at bucket edges and within half a bucket inside.
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 5.0);
+  EXPECT_NEAR(h.quantile(0.90), 90.0, 5.0);
+  EXPECT_NEAR(h.quantile(0.10), 10.0, 5.0);
+  // Quantiles are clamped to the exact observed range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(FixedHistogram, QuantileOfConstantSamplesIsExact) {
+  FixedHistogram h({1, 10, 100});
+  for (int i = 0; i < 42; ++i) h.observe(7.0);
+  // Every quantile clamps into [min, max] = [7, 7].
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.0);
+}
+
+TEST(FixedHistogram, OverflowSamplesKeepExactStatsAndQuantiles) {
+  FixedHistogram h({10.0});
+  h.observe(5.0);
+  h.observe(1000.0);  // overflow bucket
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // The top quantile reaches into the overflow bucket, bounded by max.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  EXPECT_GE(h.quantile(0.75), 5.0);
+  EXPECT_LE(h.quantile(0.75), 1000.0);
+}
+
+TEST(FixedHistogram, MergeAddsCountsAndWidensRange) {
+  FixedHistogram a({10.0, 100.0});
+  FixedHistogram b({10.0, 100.0});
+  a.observe(5.0);
+  b.observe(50.0);
+  b.observe(500.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.overflow_count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 500.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 555.0);
+}
+
+TEST(FixedHistogram, MergeRejectsMismatchedBounds) {
+  FixedHistogram a({10.0});
+  FixedHistogram b({20.0});
+  b.observe(1.0);
+  EXPECT_DEATH({ a.merge(b); }, "bounds");
+}
+
+TEST(FixedHistogram, BoundsMustStrictlyAscend) {
+  EXPECT_DEATH({ FixedHistogram h({10.0, 10.0}); }, "ascending");
+}
+
+TEST(FixedHistogram, ClearKeepsGeometry) {
+  FixedHistogram h({1.0, 2.0});
+  h.observe(1.5);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.num_buckets(), 2u);
+  h.observe(1.5);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricId / MetricSet
+
+TEST(MetricId, RegistrationIsIdempotentPerSpelling) {
+  const obs::MetricId a = obs::MetricId::counter("test.metric.counter");
+  const obs::MetricId b = obs::MetricId::counter("test.metric.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.name(), "test.metric.counter");
+  EXPECT_EQ(a.kind(), obs::MetricKind::Scalar);
+}
+
+TEST(MetricId, CounterAndGaugeShareTheScalarKind) {
+  // The string-keyed compat layer mixes add() and set() on one name, so
+  // gauge() re-registering a counter spelling must not be a kind mismatch.
+  const obs::MetricId c = obs::MetricId::counter("test.metric.mixed");
+  const obs::MetricId g = obs::MetricId::gauge("test.metric.mixed");
+  EXPECT_EQ(c, g);
+}
+
+TEST(MetricId, HistogramRegistrationConflictsWithScalar) {
+  obs::MetricId::counter("test.metric.kindclash");
+  EXPECT_DEATH({ obs::MetricId::histogram("test.metric.kindclash"); },
+               "kind");
+}
+
+TEST(MetricSet, CountersAccumulateAndGaugesOverwrite) {
+  const obs::MetricId id = obs::MetricId::counter("test.set.scalar");
+  obs::MetricSet set;
+  EXPECT_FALSE(set.touched(id));
+  EXPECT_DOUBLE_EQ(set.value(id), 0.0);
+  set.add(id, 2);
+  set.add(id, 0.5);
+  EXPECT_DOUBLE_EQ(set.value(id), 2.5);
+  set.set(id, 7);
+  EXPECT_DOUBLE_EQ(set.value(id), 7.0);
+  EXPECT_TRUE(set.touched(id));
+  set.reset();
+  EXPECT_FALSE(set.touched(id));
+  EXPECT_DOUBLE_EQ(set.value(id), 0.0);
+}
+
+TEST(MetricSet, HistogramUsesRegisteredBounds) {
+  const obs::MetricId id =
+      obs::MetricId::histogram("test.set.histo", {10.0, 100.0});
+  obs::MetricSet set;
+  set.observe(id, 5);
+  set.observe(id, 50);
+  set.observe(id, 5000);
+  const FixedHistogram& h = set.histogram(id);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.num_buckets(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+}
+
+TEST(MetricSet, DefaultHistogramBoundsCoverMicrosecondLatencies) {
+  const obs::MetricId id = obs::MetricId::histogram("test.set.histo_default");
+  obs::MetricSet set;
+  set.observe(id, 1);        // bottom of the 1-2-5 ladder
+  set.observe(id, 12'000);   // a 12 ms latency
+  set.observe(id, 4.9e7);    // just under the 5e7 top bound
+  const FixedHistogram& h = set.histogram(id);
+  EXPECT_GE(h.num_buckets(), 20u);  // 1-2-5 per decade over 1..5e7
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(MetricSet, ForEachVisitsOnlyTouchedMetricsInIdOrder) {
+  const obs::MetricId a = obs::MetricId::counter("test.set.visit_a");
+  const obs::MetricId b = obs::MetricId::counter("test.set.visit_b");
+  const obs::MetricId h = obs::MetricId::histogram("test.set.visit_h");
+  obs::MetricSet set;
+  set.add(b, 1);
+  set.add(a, 2);
+  set.observe(h, 3);
+  std::vector<std::string> scalars;
+  std::size_t histos = 0;
+  set.for_each(
+      [&](obs::MetricId id, double) { scalars.emplace_back(id.name()); },
+      [&](obs::MetricId, const FixedHistogram&) { ++histos; });
+  ASSERT_EQ(scalars.size(), 2u);
+  EXPECT_EQ(scalars[0], "test.set.visit_a");  // id order == registration order
+  EXPECT_EQ(scalars[1], "test.set.visit_b");
+  EXPECT_EQ(histos, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+/// RAII guard: save/restore the global tracer's state around a test.
+class TracerGuard {
+ public:
+  explicit TracerGuard(bool enabled) {
+    obs::tracer().reset();
+    obs::tracer().set_enabled(enabled);
+  }
+  ~TracerGuard() {
+    obs::tracer().reset();
+    obs::tracer().set_enabled(false);
+  }
+};
+
+TEST(Tracer, DisabledRecordingIsAFullNoOp) {
+  TracerGuard guard(false);
+  obs::Tracer& tr = obs::tracer();
+  const std::uint64_t id = tr.begin_span(1, 0, obs::Name::intern("span.alpha"),
+                                         NodeId{1}, 100);
+  EXPECT_EQ(id, 0u);
+  tr.end_span(id, 200);        // no-ops on id 0
+  tr.set_label(id, obs::Name::intern("span.beta"));
+  tr.set_arg(id, obs::Name::intern("span.beta"), 1.0);
+  tr.instant(1, 0, obs::Name::intern("span.alpha"), NodeId{1}, 100);
+  EXPECT_TRUE(tr.spans().empty());
+}
+
+TEST(Tracer, RecordsSpansWithCausalLinks) {
+  TracerGuard guard(true);
+  obs::Tracer& tr = obs::tracer();
+  const std::uint64_t root =
+      tr.begin_span(0xab, 0, obs::Name::intern("client.query"), NodeId{2}, 100);
+  ASSERT_NE(root, 0u);
+  const std::uint64_t child = tr.begin_span(
+      0xab, root, obs::Name::intern("router.query"), NodeId{0}, 120);
+  tr.set_label(child, obs::Name::intern("cache"));
+  tr.set_arg(child, obs::Name::intern("entries"), 4);
+  tr.instant(0xab, child, obs::Name::intern("member.eval"), NodeId{7}, 130);
+  tr.end_span(child, 150);
+  tr.end_span(root, 180);
+
+  ASSERT_EQ(tr.spans().size(), 3u);
+  const obs::SpanRecord& r = tr.spans()[0];
+  const obs::SpanRecord& c = tr.spans()[1];
+  const obs::SpanRecord& i = tr.spans()[2];
+  EXPECT_EQ(r.span_id, root);
+  EXPECT_EQ(r.parent_id, 0u);
+  EXPECT_EQ(r.start, 100);
+  EXPECT_EQ(r.end, 180);
+  EXPECT_EQ(c.parent_id, root);
+  EXPECT_EQ(c.label.spelling(), "cache");
+  EXPECT_EQ(c.arg_key[0].spelling(), "entries");
+  EXPECT_DOUBLE_EQ(c.arg_val[0], 4.0);
+  EXPECT_EQ(i.parent_id, child);
+  EXPECT_EQ(i.start, i.end);  // instants are zero-duration
+}
+
+TEST(Tracer, ResetDropsSpansButKeepsEnabled) {
+  TracerGuard guard(true);
+  obs::Tracer& tr = obs::tracer();
+  tr.begin_span(1, 0, obs::Name::intern("span.alpha"), NodeId{1}, 0);
+  tr.reset();
+  EXPECT_TRUE(tr.spans().empty());
+  EXPECT_TRUE(tr.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(Export, ChromeTraceJsonIsWellFormedAndCarriesSpanArgs) {
+  TracerGuard guard(true);
+  obs::Tracer& tr = obs::tracer();
+  const std::uint64_t root =
+      tr.begin_span(0xc1, 0, obs::Name::intern("client.query"), NodeId{2}, 10);
+  const std::uint64_t child = tr.begin_span(
+      0xc1, root, obs::Name::intern("router.query"), NodeId{0}, 20);
+  tr.set_label(child, obs::Name::intern("cache"));
+  tr.end_span(child, 30);
+  tr.end_span(root, 40);
+  // A second, still-open trace exercises the open-span marker.
+  tr.begin_span(0xc2, 0, obs::Name::intern("query.internal"), NodeId{0}, 35);
+
+  const std::string text = obs::chrome_trace_json(tr);
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Json& doc = parsed.value();
+  ASSERT_TRUE(doc["traceEvents"].is_array());
+
+  std::size_t complete = 0;
+  bool saw_root = false;
+  bool saw_open = false;
+  for (const Json& ev : doc["traceEvents"].as_array()) {
+    if (ev["ph"].as_string() != "X") continue;
+    ++complete;
+    if (ev["name"].as_string() == "client.query") {
+      saw_root = true;
+      EXPECT_EQ(ev["ts"].as_int(), 10);
+      EXPECT_EQ(ev["dur"].as_int(), 30);
+      EXPECT_EQ(ev["pid"].as_int(), 2);
+      EXPECT_EQ(ev["args"]["span_id"].as_int(),
+                static_cast<std::int64_t>(root));
+      EXPECT_EQ(ev["args"]["parent_id"].as_int(), 0);
+      EXPECT_EQ(ev["args"]["trace_id"].as_string(), "0xc1");
+    }
+    if (ev["name"].as_string() == "query.internal") {
+      saw_open = ev["args"]["open"].bool_or(false);
+      EXPECT_EQ(ev["dur"].as_int(), 0);
+    }
+  }
+  EXPECT_EQ(complete, 3u);
+  EXPECT_TRUE(saw_root);
+  EXPECT_TRUE(saw_open);
+}
+
+TEST(Export, MetricsJsonSnapshotsTouchedMetrics) {
+  const obs::MetricId counter = obs::MetricId::counter("test.export.counter");
+  const obs::MetricId histo =
+      obs::MetricId::histogram("test.export.histo", {10.0, 100.0});
+  obs::MetricSet set;
+  set.add(counter, 3);
+  set.observe(histo, 5);
+  set.observe(histo, 50);
+  const Json doc = obs::metrics_json(set);
+  EXPECT_DOUBLE_EQ(doc["counters"]["test.export.counter"].as_number(), 3.0);
+  const Json& h = doc["histograms"]["test.export.histo"];
+  EXPECT_EQ(h["count"].as_int(), 2);
+  EXPECT_DOUBLE_EQ(h["sum"].as_number(), 55.0);
+  EXPECT_DOUBLE_EQ(h["min"].as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(h["max"].as_number(), 50.0);
+  EXPECT_TRUE(h.contains("p50"));
+  EXPECT_TRUE(h.contains("p99"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced testbed runs, metric population, and the determinism
+// contract (acceptance criteria: digests byte-identical with tracing on/off).
+
+struct ScenarioOutcome {
+  std::uint64_t digest = 0;
+  std::uint64_t executed = 0;
+  std::size_t results = 0;
+  std::size_t spans = 0;
+};
+
+ScenarioOutcome run_traced_scenario(bool traced) {
+  obs::tracer().set_enabled(traced);
+  harness::TestbedConfig config;
+  config.num_nodes = 25;
+  config.seed = 42;
+  config.agent.dynamics.volatility = 0.02;
+  harness::Testbed bed(config);
+  bed.start();
+  EXPECT_TRUE(bed.settle());
+
+  core::Query query;
+  query.terms.push_back(core::QueryTerm{"ram_mb", 0, 1e9});
+  query.limit = 10;
+  const auto result = bed.query_and_wait(query);
+  EXPECT_TRUE(result.ok());
+  bed.run_for(10 * kSecond);
+
+  ScenarioOutcome out;
+  out.digest = bed.simulator().digest();
+  out.executed = bed.simulator().executed();
+  out.results = result.ok() ? result.value().entries.size() : 0;
+  out.spans = obs::tracer().spans().size();
+
+  if (traced) {
+    // Acceptance criteria: the query metrics must be populated by a run.
+    obs::MetricSet& m = obs::metrics();
+    EXPECT_GE(m.value(obs::MetricId::counter("focus.query.count")), 1.0);
+    EXPECT_GE(
+        m.histogram(obs::MetricId::histogram("focus.query.latency_us")).count(),
+        1u);
+    EXPECT_GE(m.histogram(obs::MetricId::histogram("focus.query.staleness_us"))
+                  .count(),
+              1u);
+    EXPECT_GE(
+        m.histogram(obs::MetricId::histogram("client.query.latency_us")).count(),
+        1u);
+    // The cache saw the query (a first probe is a miss; hits may follow).
+    EXPECT_GE(m.value(obs::MetricId::counter("focus.cache.miss")) +
+                  m.value(obs::MetricId::counter("focus.cache.hit")),
+              1.0);
+    EXPECT_GE(m.value(obs::MetricId::counter("focus.dgm.groups_created")), 1.0);
+  }
+  return out;
+}
+
+TEST(ObsDeterminism, TracingOnAndOffProduceIdenticalDigests) {
+  const ScenarioOutcome off = run_traced_scenario(false);
+  const ScenarioOutcome on = run_traced_scenario(true);
+  obs::tracer().set_enabled(false);
+  obs::tracer().reset();
+
+  EXPECT_EQ(off.spans, 0u);
+  EXPECT_GT(on.spans, 0u);  // the traced run actually recorded spans
+  // The simulation itself must be bit-identical either way.
+  EXPECT_EQ(off.digest, on.digest);
+  EXPECT_EQ(off.executed, on.executed);
+  EXPECT_EQ(off.results, on.results);
+}
+
+TEST(ObsDeterminism, TracedRunsAreReproducible) {
+  const ScenarioOutcome a = run_traced_scenario(true);
+  const ScenarioOutcome b = run_traced_scenario(true);
+  obs::tracer().set_enabled(false);
+  obs::tracer().reset();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.spans, b.spans);  // span capture replays exactly too
+}
+
+TEST(Harness, FocusTraceEnvWritesAChromeTraceFile) {
+  const std::string path = ::testing::TempDir() + "focus_trace_env_test.json";
+  std::remove(path.c_str());
+  ::setenv("FOCUS_TRACE", path.c_str(), /*overwrite=*/1);
+  {
+    harness::TestbedConfig config;
+    config.num_nodes = 8;
+    config.seed = 3;
+    harness::Testbed bed(config);
+    bed.start();
+    bed.settle(10 * kSecond);
+    core::Query query;
+    query.terms.push_back(core::QueryTerm{"ram_mb", 0, 1e9});
+    query.limit = 5;
+    EXPECT_TRUE(bed.query_and_wait(query).ok());
+  }  // destructor writes the trace
+  ::unsetenv("FOCUS_TRACE");
+  obs::tracer().set_enabled(false);
+  obs::tracer().reset();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = Json::parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_TRUE(parsed.value()["traceEvents"].is_array());
+  EXPECT_GT(parsed.value()["traceEvents"].size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Harness, WriteMetricsSnapshotsQueryAndTrafficTables) {
+  const std::string path = ::testing::TempDir() + "focus_metrics_test.json";
+  std::remove(path.c_str());
+  {
+    harness::TestbedConfig config;
+    config.num_nodes = 8;
+    config.seed = 3;
+    harness::Testbed bed(config);
+    bed.start();
+    bed.settle(10 * kSecond);
+    core::Query query;
+    query.terms.push_back(core::QueryTerm{"ram_mb", 0, 1e9});
+    query.limit = 5;
+    EXPECT_TRUE(bed.query_and_wait(query).ok());
+    bed.write_metrics(path);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "metrics file not written: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = Json::parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Json& doc = parsed.value();
+  EXPECT_TRUE(doc["counters"].contains("focus.query.count"));
+  EXPECT_TRUE(doc["histograms"].contains("focus.query.latency_us"));
+  // The per-kind traffic table covers the wire protocol actually used.
+  EXPECT_GT(doc["traffic_by_kind"].size(), 0u);
+  EXPECT_TRUE(doc["traffic_by_kind"].contains("focus.query"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace focus
