@@ -3,14 +3,20 @@
 # compile database of an existing build directory. Usage:
 #   scripts/run-tidy.sh [build-dir]
 # Exits 0 with a notice when clang-tidy is not installed so that local
-# environments without LLVM tooling are not blocked; CI installs the tool and
-# enforces zero warnings from the .clang-tidy check set.
+# environments without LLVM tooling are not blocked, unless
+# FOCUS_TIDY_REQUIRE=1 (set in CI, where the job is blocking) makes the
+# missing tool fatal; CI installs the tool and enforces zero warnings from
+# the .clang-tidy check set.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$TIDY" >/dev/null 2>&1; then
+  if [[ "${FOCUS_TIDY_REQUIRE:-0}" == "1" ]]; then
+    echo "run-tidy: $TIDY not found and FOCUS_TIDY_REQUIRE=1" >&2
+    exit 1
+  fi
   echo "run-tidy: $TIDY not found; skipping (CI enforces this)" >&2
   exit 0
 fi

@@ -37,7 +37,7 @@ void ResourceModel::rebuild_step_plan() {
   plan_dirty_ = false;
 }
 
-void ResourceModel::step(SimTime now) {
+FOCUS_HOT void ResourceModel::step(SimTime now) {
   state_.timestamp = now;
   if (dynamics_.frozen) return;
   if (plan_dirty_) rebuild_step_plan();

@@ -24,6 +24,19 @@
 #include <string>
 #include <utility>
 
+/// Marks a scheduling/dissemination/query hot path. Expands to the compiler's
+/// `hot` attribute, and — the real teeth — opts the function body into
+/// focus-lint's hot-path-hygiene check (tools/focus-lint, DESIGN.md §9): no
+/// std::string construction, no std::function, no string-keyed container
+/// lookups, no heap allocation. Violations that are deliberate (e.g. the one
+/// shared payload built per fanout burst) carry an inline
+/// `// focus-lint: allow(hot-path-hygiene): <reason>` marker.
+#if defined(__GNUC__) || defined(__clang__)
+#define FOCUS_HOT [[gnu::hot]]
+#else
+#define FOCUS_HOT
+#endif
+
 namespace focus::detail {
 
 /// Collects streamed context for a failing check and aborts on destruction.

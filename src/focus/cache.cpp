@@ -14,9 +14,8 @@ const obs::MetricId kExpiredMetric =
     obs::MetricId::counter("focus.cache.expired");
 }  // namespace
 
-const QueryCache::Entry* QueryCache::lookup(std::uint64_t hash,
-                                            const Query& query, SimTime now,
-                                            Duration freshness) {
+FOCUS_HOT const QueryCache::Entry* QueryCache::lookup(
+    std::uint64_t hash, const Query& query, SimTime now, Duration freshness) {
   if (freshness <= 0) {
     ++misses_;
     obs::metrics().add(kMissMetric, 1);

@@ -577,8 +577,8 @@ void Dgm::persist_group(const GroupInfo& group) {
   });
 }
 
-Dgm::Candidates Dgm::candidate_groups(const QueryTerm& term,
-                                      std::optional<Region> location) const {
+FOCUS_HOT Dgm::Candidates Dgm::candidate_groups(
+    const QueryTerm& term, std::optional<Region> location) const {
   Candidates out;
   const std::uint16_t attr = term.attr.value();
   if (attr >= attr_index_.size()) return out;
@@ -637,18 +637,25 @@ Dgm::Candidates Dgm::candidate_groups(const QueryTerm& term,
 std::vector<Dgm::TransitionView> Dgm::transition_entries() const {
   std::vector<TransitionView> out;
   out.reserve(transition_.size());
+  // focus-lint: order-independent(dgm-transition-snapshot)
   for (const auto& [node, entry] : transition_) {
     out.push_back(TransitionView{node, entry.command_addr, entry.expires_at});
   }
+  std::sort(out.begin(), out.end(),
+            [](const TransitionView& a, const TransitionView& b) {
+              return a.node < b.node;
+            });
   return out;
 }
 
 std::vector<std::pair<NodeId, net::Address>> Dgm::transition_nodes() const {
   std::vector<std::pair<NodeId, net::Address>> out;
   out.reserve(transition_.size());
+  // focus-lint: order-independent(dgm-transition-snapshot)
   for (const auto& [node, entry] : transition_) {
     out.emplace_back(node, entry.command_addr);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

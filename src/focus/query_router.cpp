@@ -104,7 +104,8 @@ void QueryRouter::handle_query(const net::Message& msg) {
   route_dynamic(std::move(pending));
 }
 
-Dgm::Candidates QueryRouter::pick_smallest(const Query& query) const {
+FOCUS_HOT Dgm::Candidates QueryRouter::pick_smallest(
+    const Query& query) const {
   if (config_.route_all_terms) {
     // Ablation: union of every term's candidate groups — the degenerate
     // routing §VI warns about. Dedup keys on the packed GroupId, which is

@@ -6,8 +6,8 @@
 
 namespace focus::gossip {
 
-bool EventBuffer::add(std::shared_ptr<const EventCore> core,
-                      int retransmit_rounds) {
+FOCUS_HOT bool EventBuffer::add(std::shared_ptr<const EventCore> core,
+                                int retransmit_rounds) {
   FOCUS_DCHECK(core != nullptr) << "EventBuffer::add null core";
   if (!seen_.insert(core->id).second) return false;
   if (retransmit_rounds > 0) {
@@ -16,7 +16,7 @@ bool EventBuffer::add(std::shared_ptr<const EventCore> core,
   return true;
 }
 
-void EventBuffer::take_round_into(
+FOCUS_HOT void EventBuffer::take_round_into(
     std::vector<std::shared_ptr<const EventCore>>& out) {
   out.clear();
   out.reserve(pending_.size());
@@ -27,7 +27,7 @@ void EventBuffer::take_round_into(
   std::erase_if(pending_, [](const Entry& e) { return e.rounds_left <= 0; });
 }
 
-void PiggybackBuffer::add(const MemberUpdate& update, int copies) {
+FOCUS_HOT void PiggybackBuffer::add(const MemberUpdate& update, int copies) {
   // A newer assertion about the same node replaces the buffered one: the
   // protocol only needs the latest state to converge. The refresh happens in
   // place; if the bumped budget now exceeds a predecessor's, the descending
@@ -65,8 +65,8 @@ void PiggybackBuffer::ensure_sorted() {
   needs_sort_ = false;
 }
 
-void PiggybackBuffer::take_into(std::vector<MemberUpdate>& out,
-                                std::size_t max) {
+FOCUS_HOT void PiggybackBuffer::take_into(std::vector<MemberUpdate>& out,
+                                          std::size_t max) {
   ensure_sorted();
   const std::size_t n = std::min(max, entries_.size());
   if (n == 0) return;

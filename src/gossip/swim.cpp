@@ -68,9 +68,11 @@ void GroupAgent::join(std::span<const net::Address> entry_points) {
   FOCUS_CHECK(running_) << "GroupAgent not started";
   for (const auto& entry : entry_points) {
     if (entry == self_) continue;
-    auto msg = net::make_message<JoinPayload>(self_, entry, kJoin);
-    const_cast<JoinPayload&>(msg.as<JoinPayload>()).self = self_update(MemberState::Alive);
-    transport_.send(std::move(msg));
+    // Fill the payload before it is wrapped as const — never const_cast a
+    // payload that already sits inside a Message (focus-lint enforces this).
+    auto payload = std::make_shared<JoinPayload>();
+    payload->self = self_update(MemberState::Alive);
+    transport_.send(net::Message{self_, entry, kJoin, std::move(payload)});
   }
 }
 
@@ -143,7 +145,7 @@ const GroupAgent::MemberInfo* GroupAgent::member(NodeId id) const {
 
 void GroupAgent::tick() { dissemination_round(); }
 
-void GroupAgent::probe_round() {
+FOCUS_HOT void GroupAgent::probe_round() {
   // Garbage-collect expired tombstones (piggybacked on the slow timer; a
   // no-op unless a Dead/Left member actually exists). Delta-sync cursors for
   // forgotten peers go with them.
@@ -215,8 +217,11 @@ void GroupAgent::start_probe(const MemberInfo& target) {
   });
 }
 
-void GroupAgent::send_ping(const net::Address& target, std::uint64_t seq,
-                           const net::Address& reply_to) {
+FOCUS_HOT void GroupAgent::send_ping(const net::Address& target,
+                                     std::uint64_t seq,
+                                     const net::Address& reply_to) {
+  // focus-lint: allow(hot-path-hygiene): one payload per ping is the protocol
+  // unit — each probe carries a distinct seq, so nothing can be shared.
   auto payload = std::make_shared<PingPayload>();
   payload->seq = seq;
   payload->reply_to = reply_to;
@@ -224,12 +229,14 @@ void GroupAgent::send_ping(const net::Address& target, std::uint64_t seq,
   transport_.send(net::Message{self_, target, kPing, std::move(payload)});
 }
 
-std::size_t GroupAgent::send_event_burst(
+FOCUS_HOT std::size_t GroupAgent::send_event_burst(
     const std::shared_ptr<const EventCore>& core) {
   const auto targets = sample_alive(static_cast<std::size_t>(config_.fanout));
   if (targets.empty()) return 0;
   // One payload for the whole burst: the event core is already shared, the
   // piggyback batch is drawn once and rides to every recipient.
+  // focus-lint: allow(hot-path-hygiene): exactly ONE allocation per fanout
+  // burst (not per recipient) — this is the PR4 shared-payload design.
   auto payload = std::make_shared<EventPayload>();
   payload->core = core;
   piggyback_.take_into(payload->updates, config_.max_piggyback);
@@ -242,7 +249,7 @@ std::size_t GroupAgent::send_event_burst(
   return targets.size();
 }
 
-void GroupAgent::dissemination_round() {
+FOCUS_HOT void GroupAgent::dissemination_round() {
   events_.take_round_into(round_scratch_);
   for (const auto& core : round_scratch_) {
     counters_.events_forwarded += send_event_burst(core);
@@ -470,7 +477,7 @@ void GroupAgent::schedule_suspicion_check(NodeId id, std::uint32_t incarnation) 
       });
 }
 
-void GroupAgent::queue_update(const MemberUpdate& update) {
+FOCUS_HOT void GroupAgent::queue_update(const MemberUpdate& update) {
   piggyback_.add(update, config_.piggyback_copies);
 }
 
@@ -494,7 +501,8 @@ MemberUpdate GroupAgent::update_for(const MemberInfo& info) {
   return u;
 }
 
-void GroupAgent::fill_member_list(MemberListPayload& out, NodeId peer,
+FOCUS_HOT void GroupAgent::fill_member_list(MemberListPayload& out,
+                                            NodeId peer,
                                   bool force_full) {
   SyncCursor& cursor = sync_sent_[peer];
   const bool full = force_full || cursor.epoch == 0 ||
@@ -520,7 +528,8 @@ void GroupAgent::fill_member_list(MemberListPayload& out, NodeId peer,
   cursor.epoch = member_epoch_;
 }
 
-std::span<const net::Address> GroupAgent::sample_alive(std::size_t k) {
+FOCUS_HOT std::span<const net::Address> GroupAgent::sample_alive(
+    std::size_t k) {
   sample_scratch_.clear();
   const auto& alive = members_.alive_slots();
   if (alive.empty() || k == 0) return {};

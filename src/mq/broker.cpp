@@ -1,7 +1,6 @@
 #include "mq/broker.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace focus::mq {
 

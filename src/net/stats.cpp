@@ -47,6 +47,7 @@ EndpointStats NetStats::of(NodeId node) const {
 
 EndpointStats NetStats::total() const {
   EndpointStats sum;
+  // focus-lint: order-independent(netstats-total-sum)
   for (const auto& [node, stats] : per_node_) sum += stats;
   return sum;
 }

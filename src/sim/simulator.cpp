@@ -257,7 +257,7 @@ std::uint32_t Simulator::index_find(SimTime t) const noexcept {
 // ---------------------------------------------------------------------------
 // Public API
 
-TimerId Simulator::schedule_at(SimTime t, Task task) {
+FOCUS_HOT TimerId Simulator::schedule_at(SimTime t, Task task) {
   const std::uint32_t slot = alloc_slot();
   Event& ev = record(slot);
   ev.task = std::move(task);
@@ -268,12 +268,13 @@ TimerId Simulator::schedule_at(SimTime t, Task task) {
   return make_id(slot, states_[slot].gen);
 }
 
-TimerId Simulator::schedule_after(Duration delay, Task task) {
+FOCUS_HOT TimerId Simulator::schedule_after(Duration delay, Task task) {
   FOCUS_CHECK_GE(delay, 0) << "schedule_after cannot reach into the past";
   return schedule_at(now_ + delay, std::move(task));
 }
 
-TimerId Simulator::every(Duration interval, Task task, Duration first_delay) {
+FOCUS_HOT TimerId Simulator::every(Duration interval, Task task,
+                                   Duration first_delay) {
   // A zero/negative interval would re-arm at the current instant forever and
   // pin the virtual clock; this must hold in Release builds too.
   FOCUS_CHECK_GT(interval, 0) << "periodic task would never advance the clock";
@@ -288,7 +289,7 @@ TimerId Simulator::every(Duration interval, Task task, Duration first_delay) {
   return make_id(slot, states_[slot].gen);
 }
 
-void Simulator::cancel(TimerId id) {
+FOCUS_HOT void Simulator::cancel(TimerId id) {
   const auto slot = static_cast<std::uint32_t>(id);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
   if (gen == 0) return;  // 0 / small sentinel values: never an issued id
@@ -315,7 +316,7 @@ void Simulator::mix_digest(SimTime time, std::uint64_t digest_id) noexcept {
   digest_ = (digest_ ^ digest_id) * kFnvPrime;
 }
 
-bool Simulator::step() {
+FOCUS_HOT bool Simulator::step() {
   if (heap_.empty()) return false;
   const SimTime time = heap_[0].time;
   const std::uint32_t b = heap_[0].bucket;

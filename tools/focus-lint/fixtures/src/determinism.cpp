@@ -1,0 +1,35 @@
+// Seeded violations for the determinism check: wall clocks and ambient
+// randomness outside the allowlisted rng.hpp edge.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+long wall_clock_now() {
+  auto t = std::chrono::steady_clock::now();  // finding: std::chrono clock
+  return t.time_since_epoch().count();
+}
+
+int ambient_random() {
+  return rand();  // finding: ambient rand()
+}
+
+long epoch_seconds() {
+  return time(nullptr);  // finding: wall-clock time()
+}
+
+unsigned reseed() {
+  std::random_device rd;  // finding: ambient entropy
+  return rd();
+}
+
+// focus-lint: allow(determinism): fixture proves the inline allow marker
+long blessed_clock() { return time(nullptr); }
+
+struct Widget {
+  int rand() { return 4; }
+  long time(long t) { return t; }
+};
+
+int member_lookalikes(Widget& w) {
+  return w.rand() + static_cast<int>(w.time(0));  // no finding: member calls
+}

@@ -1,0 +1,44 @@
+// Seeded violations for the digest-iteration check. This file is listed
+// under digest_feeding in the fixture lint_config.json, so iteration over
+// unordered containers must either be sorted first or carry a registered
+// order-independent marker.
+#include <cstdint>
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<uint64_t, uint64_t> cells;
+};
+
+uint64_t leak_hash_order(const Table& t) {
+  uint64_t digest = 0;
+  for (const auto& [k, v] : t.cells) {  // finding: order leaks into digest
+    digest = digest * 31 + k + v;
+  }
+  return digest;
+}
+
+uint64_t commutative_sum(const Table& t) {
+  uint64_t total = 0;
+  // focus-lint: order-independent(fixture-commutative-sum)
+  for (const auto& [k, v] : t.cells) {  // suppressed: registered key
+    total += v;
+  }
+  return total;
+}
+
+uint64_t unknown_key(const Table& t) {
+  uint64_t total = 0;
+  // focus-lint: order-independent(no-such-key)
+  for (const auto& [k, v] : t.cells) {  // finding + marker error: bad key
+    total ^= v;
+  }
+  return total;
+}
+
+uint64_t iterator_walk(Table& t) {
+  uint64_t digest = 0;
+  for (auto it = t.cells.begin(); it != t.cells.end(); ++it) {
+    digest += it->second;  // finding: iterator loop leaks order too
+  }
+  return digest;
+}

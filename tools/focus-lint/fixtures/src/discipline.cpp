@@ -1,0 +1,21 @@
+// Seeded violations for the check-discipline check: bare assert vanishes in
+// Release (the tier-1 test configuration), and FOCUS_DCHECK arguments are
+// never evaluated under NDEBUG, so side effects inside them disappear.
+#include <cassert>  // finding: <cassert> include
+
+#define FOCUS_CHECK(cond) ((void)0)
+#define FOCUS_DCHECK(cond) ((void)0)
+
+void guard(int items) {
+  assert(items > 0);          // finding: bare assert
+  FOCUS_DCHECK(items-- > 0);  // finding: side effect in DCHECK arg
+  // focus-lint: allow(check-discipline)
+  FOCUS_CHECK(items++ < 64);
+  // focus-lint: allow(check-discipline): fixture proves allow suppression
+  FOCUS_DCHECK((items += 0) == items);
+  FOCUS_CHECK(items < 128);   // no finding: pure condition
+}
+
+void lambda_capture_ok(int items) {
+  FOCUS_DCHECK([total = items] { return total >= 0; }());  // no finding
+}

@@ -1,0 +1,42 @@
+// Seeded violations for the hot-path-hygiene check: every body annotated
+// FOCUS_HOT must stay free of string machinery and heap allocation.
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#define FOCUS_HOT
+
+FOCUS_HOT void hot_burst(int n) {
+  std::string label = "burst";          // finding: string construction
+  std::function<void(int)> cb;          // finding: std::function
+  std::map<std::string, int> index;     // finding: string-keyed map
+  auto shared = std::make_shared<int>(n);  // finding: heap allocation
+  int* raw = new int(n);                // finding: operator new
+  delete raw;
+  (void)label;
+  (void)cb;
+  (void)index;
+  (void)shared;
+}
+
+FOCUS_HOT int hot_lookup(const std::map<std::string, int>& m) {
+  auto it = m.find("cpu");  // finding: lookup by string literal
+  return it == m.end() ? 0 : it->second;
+}
+
+FOCUS_HOT int hot_allowed(int n) {
+  // focus-lint: allow(hot-path-hygiene): one shared payload per burst
+  auto shared = std::make_shared<int>(n);
+  return *shared;
+}
+
+FOCUS_HOT void hot_grandfathered() {
+  std::string legacy = "baselined";
+  (void)legacy;
+}
+
+void cold_path() {
+  std::string fine = "cold code may allocate freely";  // no finding
+  (void)fine;
+}

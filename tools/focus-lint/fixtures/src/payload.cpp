@@ -1,0 +1,30 @@
+// Seeded violations for the payload-immutability check: payload subclasses
+// are discovered by walking base clauses from the configured payload_bases.
+#include <memory>
+
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+struct PingPayload : Payload {
+  unsigned seq = 0;
+  mutable unsigned hops = 0;  // finding: mutable member in a payload
+};
+
+void mutate_after_send(const std::shared_ptr<const PingPayload>& sent) {
+  auto& editable = const_cast<PingPayload&>(*sent);  // finding: const_cast
+  editable.seq += 1;
+}
+
+void blessed_mutation(const PingPayload* p) {
+  // focus-lint: allow(payload-immutability): fixture proves allow suppression
+  const_cast<PingPayload*>(p)->seq = 9;
+}
+
+struct Counter {
+  mutable unsigned hits = 0;  // no finding: Counter is not a payload
+};
+
+void unrelated_cast(const Counter* c) {
+  const_cast<Counter*>(c)->hits = 1;  // no finding: not a payload type
+}

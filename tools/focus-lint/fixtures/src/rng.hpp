@@ -1,0 +1,10 @@
+#pragma once
+// The allowlisted seeded-randomness edge (fixture mirror of
+// src/common/rng.hpp): ambient entropy is legal here and nowhere else.
+// The determinism check must report nothing for this file.
+#include <random>
+
+inline unsigned ambient_seed() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,841 @@
+#!/usr/bin/env python3
+"""focus-lint: FOCUS-specific contract checks the generic clang-tidy set
+cannot express.
+
+The simulator's determinism digests, the shared-fanout-payload send path, and
+the interned hot paths all rest on contracts that used to be enforced only at
+runtime (digest ctests, FOCUS_DCHECK audits). This pass enforces them at
+lint time, before a 25k-node sharded run turns a violation into an
+undebuggable digest mismatch:
+
+  determinism           no wall clocks or ambient randomness in src/; all
+                        randomness flows through the seeded Rng
+                        (src/common/rng.hpp is the single allowlisted edge).
+  digest-iteration      no iteration over std::unordered_{map,set} in files
+                        that feed Simulator::digest(), the audit layer, or
+                        the obs exporters, unless the loop carries a
+                        `// focus-lint: order-independent(<key>)` marker whose
+                        key is registered (with a justification) in
+                        justifications.json.
+  payload-immutability  net::Payload subclasses are frozen once sent (one
+                        shared payload per fanout burst): no const_cast /
+                        const_pointer_cast targeting a payload type or the
+                        shared EventCore, no `mutable` members in payloads.
+  hot-path-hygiene      functions annotated FOCUS_HOT (src/common/check.hpp)
+                        must not construct std::string, use std::function,
+                        key containers by string, or heap-allocate.
+  check-discipline      no bare assert()/<cassert> (FOCUS_CHECK stays on in
+                        Release; assert silently vanishes), and no
+                        side-effecting expressions inside FOCUS_CHECK /
+                        FOCUS_DCHECK arguments (DCHECK args are never
+                        evaluated under NDEBUG).
+
+Deliberately dependency-free: the pass runs its own C++ lexer (comments,
+strings, raw strings, two-char operators) instead of requiring libclang,
+so it works on any box with python3 — including CI images that only carry
+stock LLVM. Translation units come from compile_commands.json (the build's
+ground truth for what is compiled); headers are walked from the scoped
+directories since they never appear in the database.
+
+Suppressions, tightest first:
+  * `// focus-lint: allow(<check>): <reason>` on the offending line or the
+    line above — inline, reason required.
+  * `// focus-lint: order-independent(<key>)` for digest-iteration only;
+    <key> must exist in the justification registry, and every registry entry
+    must be used (stale entries are errors).
+  * baseline.txt for grandfathered findings: `check|path|normalized-line`
+    entries; stale entries are errors so the baseline can only shrink.
+
+Usage:
+  focus_lint.py --compile-commands build/compile_commands.json [--github]
+  focus_lint.py --self-test           # fixture corpus vs golden diagnostics
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+TOOL_DIR = os.path.dirname(os.path.abspath(__file__))
+
+# ---------------------------------------------------------------------------
+# Lexer
+
+
+class Token(NamedTuple):
+    kind: str  # id | num | str | chr | punct
+    text: str
+    line: int  # 1-based
+    col: int  # 1-based
+
+
+# Longest-match-first operator list so `<<=` never lexes as `<<` `=`.
+_OPERATORS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<rawstr>R"(?P<delim>[^()\s\\]{0,16})\(.*?\)(?P=delim)")
+  | (?P<str>(?:u8|u|U|L)?"(?:[^"\\\n]|\\.)*")
+  | (?P<chr>(?:u8|u|U|L)?'(?:[^'\\\n]|\\.)*')
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<num>\.?\d(?:[\w.]|[eEpP][+-])*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+  | (?P<punct>[^\s\w])
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+
+class FileLex:
+    """Token stream plus per-line comment text for one source file."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.tokens: List[Token] = []
+        self.comments: Dict[int, str] = {}  # line -> concatenated comments
+        self.code_lines: Set[int] = set()  # lines holding non-comment tokens
+        line, line_start = 1, 0
+        for m in _TOKEN_RE.finditer(text):
+            start = m.start()
+            line += text.count("\n", line_start, start)
+            nl = text.rfind("\n", line_start, start)
+            if nl != -1:
+                line_start = nl + 1
+            col = start - line_start + 1
+            if m.lastgroup == "comment":
+                comment = m.group("comment")
+                for off, part in enumerate(comment.split("\n")):
+                    if part.strip("/* \t"):
+                        key = line + off
+                        self.comments[key] = (
+                            self.comments.get(key, "") + " " + part)
+                continue
+            kind = m.lastgroup
+            if kind == "delim":  # raw string: the inner group matched last
+                kind = "str"
+            elif kind == "op":
+                kind = "punct"
+            self.tokens.append(Token(kind, m.group(), line, col))
+            self.code_lines.add(line)
+
+    def comment_near(self, line: int) -> str:
+        """Comment text on `line` plus the contiguous block of comment-only
+        lines directly above it, so a marker's justification may wrap over
+        several lines. Trailing comments on earlier *code* lines do not
+        count — they belong to those statements, not to this one."""
+        parts = [self.comments.get(line, "")]
+        above = line - 1
+        while above in self.comments and above not in self.code_lines:
+            parts.append(self.comments[above])
+            above -= 1
+        return " ".join(reversed(parts))
+
+
+def match_paren(tokens: Sequence[Token], open_index: int,
+                open_text: str = "(", close_text: str = ")") -> int:
+    """Index of the token closing tokens[open_index], or -1."""
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        t = tokens[i].text
+        if t == open_text:
+            depth += 1
+        elif t == close_text:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def match_angle(tokens: Sequence[Token], open_index: int) -> int:
+    """Index of the `>` closing a template-argument `<`, or -1. Treats `>>`
+    as two closers and bails out on tokens that cannot appear in a
+    template-argument list (so `a < b` comparisons terminate the scan)."""
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i
+        elif t in (";", "{", "}") or depth == 0:
+            return -1
+    return -1
+
+
+# ---------------------------------------------------------------------------
+# Findings and suppression
+
+
+class Finding(NamedTuple):
+    check: str
+    path: str  # root-relative, forward slashes
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.check}] {self.message}"
+
+
+_MARKER_RE = re.compile(r"focus-lint:\s*(order-independent|allow)\s*\(([^)]*)\)\s*:?\s*(.*)")
+
+
+class Suppressions:
+    """Inline markers + the order-independent justification registry +
+    the grandfathered-findings baseline."""
+
+    def __init__(self, registry: Dict[str, str], baseline: List[str]):
+        self.registry = registry
+        self.used_keys: Set[str] = set()
+        self.baseline = baseline
+        self.used_baseline: Set[str] = set()
+        self.marker_errors: List[Finding] = []
+
+    def try_suppress(self, finding: Finding, lex: FileLex,
+                     norm_line: str) -> bool:
+        comment = lex.comment_near(finding.line)
+        m = _MARKER_RE.search(comment)
+        if m:
+            kind, arg, reason = m.group(1), m.group(2).strip(), m.group(3)
+            if kind == "order-independent":
+                if finding.check == "digest-iteration":
+                    if arg in self.registry:
+                        self.used_keys.add(arg)
+                        return True
+                    self.marker_errors.append(Finding(
+                        "lint-marker", finding.path, finding.line, 1,
+                        f"order-independent key '{arg}' is not in the "
+                        "justification registry (justifications.json)"))
+                    return False
+            else:  # allow
+                if arg == finding.check:
+                    if reason.strip():
+                        return True
+                    self.marker_errors.append(Finding(
+                        "lint-marker", finding.path, finding.line, 1,
+                        f"allow({arg}) requires a justification after ':'"))
+                    return False
+        entry = f"{finding.check}|{finding.path}|{norm_line}"
+        if entry in self.baseline:
+            self.used_baseline.add(entry)
+            return True
+        return False
+
+    def finish(self) -> Iterator[Finding]:
+        yield from self.marker_errors
+        for key in sorted(self.registry):
+            if key not in self.used_keys:
+                yield Finding(
+                    "lint-marker", "justifications.json", 1, 1,
+                    f"registry key '{key}' is not used by any "
+                    "order-independent marker (stale entry?)")
+        for entry in self.baseline:
+            if entry not in self.used_baseline:
+                yield Finding(
+                    "lint-marker", "baseline.txt", 1, 1,
+                    f"stale baseline entry no longer matches any finding: "
+                    f"{entry}")
+
+
+# ---------------------------------------------------------------------------
+# Project model: which files exist, which are scoped to which check
+
+
+class Project:
+    def __init__(self, root: str, config: dict):
+        self.root = root
+        self.config = config
+        self.files: Dict[str, FileLex] = {}  # rel path -> lex
+        self.payload_classes: Set[str] = set(config.get(
+            "payload_bases", ["Payload", "EventCore"]))
+
+    def add_file(self, rel: str):
+        absolute = os.path.join(self.root, rel)
+        try:
+            with open(absolute, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"focus-lint: cannot read {rel}: {e}", file=sys.stderr)
+            return
+        self.files[rel] = FileLex(rel, text)
+
+    def in_scope(self, rel: str, check: str) -> bool:
+        prefixes = self.config["scopes"].get(check, [])
+        return any(rel.startswith(p) for p in prefixes)
+
+    def is_digest_feeding(self, rel: str) -> bool:
+        return any(rel.startswith(p) for p in self.config.get(
+            "digest_feeding", []))
+
+    def pair_of(self, rel: str) -> Optional[str]:
+        """stats.cpp <-> stats.hpp: member declarations live in the header."""
+        stem, ext = os.path.splitext(rel)
+        other = stem + (".hpp" if ext == ".cpp" else ".cpp")
+        return other if other in self.files else None
+
+
+# ---------------------------------------------------------------------------
+# Check 1: determinism
+
+_WALL_CLOCK_FUNCS = {"time", "clock", "gettimeofday", "clock_gettime",
+                     "localtime", "gmtime", "mktime"}
+_RANDOM_FUNCS = {"rand", "srand", "random", "srandom", "rand_r", "drand48"}
+# Statement keywords lex as identifiers; `return time(nullptr)` is a call,
+# not a declaration like `SimTime time(...)`.
+_STMT_KEYWORDS = {"return", "else", "do", "case", "co_return", "co_yield"}
+
+
+def check_determinism(project: Project, rel: str,
+                      lex: FileLex) -> Iterator[Finding]:
+    if rel in project.config.get("determinism_allowlist", []):
+        return
+    toks = lex.tokens
+    for i, tok in enumerate(toks):
+        if tok.kind != "id":
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        prev2 = toks[i - 2].text if i > 1 else ""
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        if tok.text == "chrono" and prev == "::" and prev2 == "std":
+            yield Finding(
+                "determinism", rel, tok.line, tok.col,
+                "std::chrono is a wall clock; simulated components must use "
+                "sim::Simulator::now() / SimTime (seeded edge: "
+                "src/common/rng.hpp)")
+        elif tok.text == "random_device":
+            yield Finding(
+                "determinism", rel, tok.line, tok.col,
+                "std::random_device is ambient entropy; derive randomness "
+                "from the scenario-seeded common::Rng instead")
+        elif tok.text in _RANDOM_FUNCS and nxt == "(":
+            if prev in (".", "->"):
+                continue  # member named rand() on some other object
+            if prev == "::" and prev2 != "std" and prev2 != "":
+                continue
+            if prev not in ("", "::") and toks[i - 1].kind == "id" \
+                    and prev not in _STMT_KEYWORDS:
+                continue  # a declaration like `int rand() { ... }`
+            yield Finding(
+                "determinism", rel, tok.line, tok.col,
+                f"{tok.text}() draws from ambient global state; use the "
+                "scenario-seeded common::Rng")
+        elif tok.text in _WALL_CLOCK_FUNCS and nxt == "(":
+            if prev in (".", "->"):
+                continue
+            if prev == "::" and prev2 != "std":
+                continue
+            if prev not in ("", "::") and toks[i - 1].kind == "id" \
+                    and prev not in _STMT_KEYWORDS:
+                continue  # a declaration like `SimTime time(...)`
+            yield Finding(
+                "determinism", rel, tok.line, tok.col,
+                f"{tok.text}() reads the wall clock; simulated code must use "
+                "sim::Simulator::now()")
+
+
+# ---------------------------------------------------------------------------
+# Check 2: digest-stable iteration
+
+_UNORDERED_TYPES = {"unordered_map", "unordered_set", "unordered_multimap",
+                    "unordered_multiset"}
+
+
+def _unordered_names(project: Project, rel: str) -> Set[str]:
+    """Names of variables/members/aliases of unordered type declared in this
+    file or its header/source pair. Lexical: `unordered_map<...> name` and
+    `using Alias = ... unordered_map<...>;`, then one fixpoint round so
+    variables of aliased types are tracked too."""
+    names: Set[str] = set()
+    aliases: Set[str] = set()
+    sources = [rel]
+    pair = project.pair_of(rel)
+    if pair:
+        sources.append(pair)
+    for source in sources:
+        toks = project.files[source].tokens
+        for i, tok in enumerate(toks):
+            if tok.text in _UNORDERED_TYPES or tok.text in aliases:
+                # `using Alias = std::unordered_map<..>;`
+                j = i - 1
+                while j >= 0 and toks[j].text in ("::", "std"):
+                    j -= 1
+                if j >= 2 and toks[j].text == "=" \
+                        and toks[j - 1].kind == "id" \
+                        and toks[j - 2].text == "using":
+                    aliases.add(toks[j - 1].text)
+                end = i
+                if i + 1 < len(toks) and toks[i + 1].text == "<":
+                    end = match_angle(toks, i + 1)
+                    if end == -1:
+                        continue
+                k = end + 1
+                while k < len(toks) and toks[k].text in ("&", "*", "const"):
+                    k += 1
+                if k < len(toks) and toks[k].kind == "id":
+                    names.add(toks[k].text)
+    return names
+
+
+def check_digest_iteration(project: Project, rel: str,
+                           lex: FileLex) -> Iterator[Finding]:
+    tracked = _unordered_names(project, rel)
+    toks = lex.tokens
+    for i, tok in enumerate(toks):
+        if tok.text != "for" or i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        close = match_paren(toks, i + 1)
+        if close == -1:
+            continue
+        head = toks[i + 2:close]
+        # Split a range-for at its top-level single `:` (the lexer emits
+        # `::` as one token, so any lone `:` here is the range separator).
+        colon = next((k for k, t in enumerate(head) if t.text == ":"), None)
+        suspect: Optional[str] = None
+        if colon is not None:
+            range_expr = head[colon + 1:]
+            for t in range_expr:
+                if t.text in _UNORDERED_TYPES:
+                    suspect = f"a temporary {t.text}"
+                    break
+                if t.text in tracked:
+                    suspect = f"'{t.text}'"
+                    break
+        else:
+            # Iterator loop: `for (auto it = container.begin(); ...)`.
+            for k, t in enumerate(head):
+                if (t.text in ("begin", "cbegin") and k >= 2
+                        and head[k - 1].text in (".", "->")
+                        and head[k - 2].text in tracked):
+                    suspect = f"'{head[k - 2].text}'"
+                    break
+        if suspect:
+            yield Finding(
+                "digest-iteration", rel, tok.line, tok.col,
+                f"iteration over unordered container {suspect} in a "
+                "digest/audit/exporter-feeding file: hash-table order is not "
+                "part of the determinism contract — iterate a sorted view, "
+                "or annotate `// focus-lint: order-independent(<key>)` and "
+                "register <key> in justifications.json")
+
+
+# ---------------------------------------------------------------------------
+# Check 3: payload immutability
+
+
+def discover_payload_classes(project: Project):
+    """Fixpoint over `struct X : [public] Base` for Base in the payload set."""
+    grew = True
+    while grew:
+        grew = False
+        for lex in project.files.values():
+            toks = lex.tokens
+            for i, tok in enumerate(toks):
+                if tok.text not in ("struct", "class"):
+                    continue
+                if i + 1 >= len(toks) or toks[i + 1].kind != "id":
+                    continue
+                name_index = i + 1
+                j = name_index + 1
+                if j < len(toks) and toks[j].text == "final":
+                    j += 1
+                if j >= len(toks) or toks[j].text != ":":
+                    continue
+                # Base-clause tokens up to the opening brace.
+                k = j + 1
+                bases: List[str] = []
+                while k < len(toks) and toks[k].text not in ("{", ";"):
+                    if toks[k].kind == "id":
+                        bases.append(toks[k].text)
+                    k += 1
+                if any(b in project.payload_classes for b in bases):
+                    if toks[name_index].text not in project.payload_classes:
+                        project.payload_classes.add(toks[name_index].text)
+                        grew = True
+
+
+def check_payload_immutability(project: Project, rel: str,
+                               lex: FileLex) -> Iterator[Finding]:
+    toks = lex.tokens
+    for i, tok in enumerate(toks):
+        if tok.text in ("const_cast", "const_pointer_cast"):
+            if i + 1 < len(toks) and toks[i + 1].text == "<":
+                close = match_angle(toks, i + 1)
+                if close == -1:
+                    continue
+                type_names = [t.text for t in toks[i + 2:close]
+                              if t.kind == "id"]
+                hit = next((n for n in type_names
+                            if n in project.payload_classes), None)
+                if hit:
+                    yield Finding(
+                        "payload-immutability", rel, tok.line, tok.col,
+                        f"{tok.text} to {hit}: payloads are immutable once "
+                        "shared across a fanout burst (one object, N "
+                        "envelopes) — build a new payload instead of "
+                        "un-consting a sent one")
+        elif tok.text in ("struct", "class") and i + 1 < len(toks) \
+                and toks[i + 1].text in project.payload_classes:
+            # `mutable` members inside a payload class body.
+            j = i + 2
+            while j < len(toks) and toks[j].text not in ("{", ";"):
+                j += 1
+            if j >= len(toks) or toks[j].text != "{":
+                continue
+            close = match_paren(toks, j, "{", "}")
+            if close == -1:
+                continue
+            for t in toks[j + 1:close]:
+                if t.text == "mutable":
+                    yield Finding(
+                        "payload-immutability", rel, t.line, t.col,
+                        f"mutable member in payload class "
+                        f"{toks[i + 1].text}: a payload shared by a fanout "
+                        "burst must be deeply immutable after send")
+
+
+# ---------------------------------------------------------------------------
+# Check 4: hot-path hygiene (FOCUS_HOT)
+
+_ALLOC_FUNCS = {"malloc", "calloc", "realloc", "strdup", "make_unique",
+                "make_shared"}
+_STRINGY_FUNCS = {"to_string", "substr"}
+
+
+def _hot_body_findings(rel: str, toks: Sequence[Token], body: range,
+                       fn_name: str) -> Iterator[Finding]:
+    def f(tok: Token, what: str) -> Finding:
+        return Finding(
+            "hot-path-hygiene", rel, tok.line, tok.col,
+            f"{what} in FOCUS_HOT function '{fn_name}' — hot paths must not "
+            "allocate or touch string machinery (see DESIGN.md §9)")
+
+    for i in body:
+        tok = toks[i]
+        prev = toks[i - 1].text if i > 0 else ""
+        prev2 = toks[i - 2].text if i > 1 else ""
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        if tok.text == "string" and prev == "::" and prev2 == "std":
+            if nxt in ("(", "{") or (i + 1 < len(toks)
+                                     and toks[i + 1].kind == "id"):
+                yield f(tok, "std::string construction")
+        elif tok.text in _STRINGY_FUNCS and nxt == "(":
+            yield f(tok, f"{tok.text}() (allocates a std::string)")
+        elif tok.text == "function" and prev == "::" and prev2 == "std":
+            yield f(tok, "std::function (type-erased, heap-allocating; use "
+                         "UniqueTask or a template parameter)")
+        elif tok.text == "map" and prev == "::" and prev2 == "std":
+            j = i + 1
+            if j < len(toks) and toks[j].text == "<":
+                close = match_angle(toks, j)
+                names = [t.text for t in toks[j:close] if t.kind == "id"] \
+                    if close != -1 else []
+                if "string" in names:
+                    yield f(tok, "std::map keyed by string (intern to an id "
+                                 "and index a flat array instead)")
+        elif tok.text in ("find", "at") and prev in (".", "->") \
+                and nxt == "(" and i + 2 < len(toks) \
+                and toks[i + 2].kind == "str":
+            yield f(tok, "container lookup by string literal")
+        elif tok.text == "[" and i + 1 < len(toks) \
+                and toks[i + 1].kind == "str":
+            yield f(tok, "container lookup by string literal")
+        elif tok.text == "new":
+            yield f(tok, "operator new (heap allocation)")
+        elif tok.text in _ALLOC_FUNCS and nxt in ("(", "<"):
+            yield f(tok, f"{tok.text} (heap allocation)")
+
+
+def check_hot_path(project: Project, rel: str,
+                   lex: FileLex) -> Iterator[Finding]:
+    toks = lex.tokens
+    for i, tok in enumerate(toks):
+        if tok.text != "FOCUS_HOT":
+            continue
+        if i >= 2 and toks[i - 1].text == "define" and toks[i - 2].text == "#":
+            continue  # the macro's own definition in check.hpp
+        # Find the function body: first `{` at paren depth 0 before a `;`.
+        depth = 0
+        body_open = -1
+        fn_name = "?"
+        for j in range(i + 1, len(toks)):
+            t = toks[j].text
+            if t == "(":
+                if depth == 0 and j > 0 and toks[j - 1].kind == "id":
+                    fn_name = toks[j - 1].text
+                depth += 1
+            elif t == ")":
+                depth -= 1
+            elif depth == 0:
+                if t == "{":
+                    body_open = j
+                    break
+                if t == ";":
+                    break  # declaration only; the definition is annotated too
+        if body_open == -1:
+            continue
+        body_close = match_paren(toks, body_open, "{", "}")
+        if body_close == -1:
+            continue
+        yield from _hot_body_findings(
+            rel, toks, range(body_open + 1, body_close), fn_name)
+
+
+# ---------------------------------------------------------------------------
+# Check 5: check-macro discipline
+
+_MUTATING_OPS = {"++", "--", "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                 "^=", "<<=", ">>="}
+
+
+def check_discipline(project: Project, rel: str,
+                     lex: FileLex) -> Iterator[Finding]:
+    toks = lex.tokens
+    for i, tok in enumerate(toks):
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        if tok.text == "assert" and nxt == "(":
+            prev = toks[i - 1].text if i > 0 else ""
+            if prev in (".", "->", "::", "define"):
+                continue
+            yield Finding(
+                "check-discipline", rel, tok.line, tok.col,
+                "bare assert() compiles out of Release builds (the tier-1 "
+                "test configuration); use FOCUS_CHECK / FOCUS_DCHECK from "
+                "common/check.hpp")
+        elif tok.text == "cassert" or (tok.text == "assert" and nxt == "."):
+            if i >= 2 and toks[i - 1].text == "<" \
+                    and toks[i - 2].text == "include":
+                yield Finding(
+                    "check-discipline", rel, tok.line, tok.col,
+                    "including <cassert>/<assert.h>: use common/check.hpp "
+                    "(FOCUS_CHECK stays on in Release)")
+        elif tok.text.startswith(("FOCUS_CHECK", "FOCUS_DCHECK")) \
+                and tok.kind == "id" and nxt == "(":
+            prev = toks[i - 1].text if i > 0 else ""
+            if prev == "define":
+                continue
+            close = match_paren(toks, i + 1)
+            if close == -1:
+                continue
+            sq_depth = 0
+            for t in toks[i + 2:close]:
+                if t.text == "[":
+                    sq_depth += 1
+                elif t.text == "]":
+                    sq_depth -= 1
+                elif t.text in _MUTATING_OPS:
+                    if t.text == "=" and sq_depth > 0:
+                        continue  # lambda init-capture, not a side effect
+                    yield Finding(
+                        "check-discipline", rel, t.line, t.col,
+                        f"side-effecting operator '{t.text}' inside "
+                        f"{tok.text}(...): DCHECK arguments are not "
+                        "evaluated under NDEBUG, so the side effect "
+                        "silently disappears in Release")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+CHECKS = [
+    ("determinism", check_determinism),
+    ("digest-iteration", check_digest_iteration),
+    ("payload-immutability", check_payload_immutability),
+    ("hot-path-hygiene", check_hot_path),
+    ("check-discipline", check_discipline),
+]
+
+
+def norm_source_line(root: str, finding: Finding) -> str:
+    try:
+        with open(os.path.join(root, finding.path),
+                  encoding="utf-8", errors="replace") as f:
+            lines = f.read().split("\n")
+        return " ".join(lines[finding.line - 1].split())
+    except (OSError, IndexError):
+        return ""
+
+
+def run_checks(project: Project,
+               suppressions: Suppressions) -> List[Finding]:
+    discover_payload_classes(project)
+    findings: List[Finding] = []
+    for rel in sorted(project.files):
+        lex = project.files[rel]
+        for check_name, check_fn in CHECKS:
+            if check_name == "digest-iteration":
+                if not project.is_digest_feeding(rel):
+                    continue
+            elif not project.in_scope(rel, check_name):
+                continue
+            for finding in check_fn(project, rel, lex):
+                norm = norm_source_line(project.root, finding)
+                if not suppressions.try_suppress(finding, lex, norm):
+                    findings.append(finding)
+    findings.extend(suppressions.finish())
+    findings.sort()
+    return findings
+
+
+def load_json(path: str, default):
+    if not os.path.exists(path):
+        return default
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def load_baseline(path: str) -> List[str]:
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.append(line)
+    return entries
+
+
+def collect_project_files(root: str, config: dict,
+                          compile_commands: Optional[str]) -> List[str]:
+    """TUs from the compile database plus headers walked from scoped dirs."""
+    rels: Set[str] = set()
+    scope_dirs = sorted({p.split("/")[0] for scopes in
+                         config["scopes"].values() for p in scopes})
+    if compile_commands:
+        for entry in load_json(compile_commands, []):
+            path = os.path.normpath(
+                os.path.join(entry.get("directory", ""), entry["file"]))
+            if not path.startswith(root + os.sep):
+                continue
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            if rel.startswith(tuple(d + "/" for d in scope_dirs)):
+                rels.add(rel)
+    for d in scope_dirs:
+        for dirpath, _, filenames in os.walk(os.path.join(root, d)):
+            for name in filenames:
+                if name.endswith((".hpp", ".h", ".cpp", ".cc")):
+                    rel = os.path.relpath(os.path.join(dirpath, name),
+                                          root).replace(os.sep, "/")
+                    rels.add(rel)
+    return sorted(rels)
+
+
+def run(root: str, config_path: str, justifications_path: str,
+        baseline_path: str, compile_commands: Optional[str],
+        github: bool) -> int:
+    config = load_json(config_path, None)
+    if config is None:
+        print(f"focus-lint: missing config {config_path}", file=sys.stderr)
+        return 2
+    registry = load_json(justifications_path, {})
+    baseline = load_baseline(baseline_path)
+    project = Project(root, config)
+    for rel in collect_project_files(root, config, compile_commands):
+        project.add_file(rel)
+    if not project.files:
+        print("focus-lint: no files found (is compile_commands.json "
+              "configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON?)",
+              file=sys.stderr)
+        return 2
+    suppressions = Suppressions(registry, baseline)
+    findings = run_checks(project, suppressions)
+    for finding in findings:
+        print(finding.render())
+        if github:
+            print(f"::error file={finding.path},line={finding.line},"
+                  f"col={finding.col},title=focus-lint "
+                  f"[{finding.check}]::{finding.message}")
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.check] = counts.get(finding.check, 0) + 1
+    summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    print(f"focus-lint: {len(project.files)} files, "
+          f"{len(findings)} finding(s)" + (f" ({summary})" if summary else ""))
+    return 1 if findings else 0
+
+
+def self_test(github: bool) -> int:
+    fixtures = os.path.join(TOOL_DIR, "fixtures")
+    expected_path = os.path.join(fixtures, "expected.txt")
+    config = load_json(os.path.join(fixtures, "lint_config.json"), None)
+    registry = load_json(os.path.join(fixtures, "justifications.json"), {})
+    baseline = load_baseline(os.path.join(fixtures, "baseline.txt"))
+    project = Project(fixtures, config)
+    for rel in collect_project_files(fixtures, config, None):
+        project.add_file(rel)
+    suppressions = Suppressions(registry, baseline)
+    findings = run_checks(project, suppressions)
+    got = [f.render() for f in findings]
+    with open(expected_path, encoding="utf-8") as f:
+        want = [line.rstrip("\n") for line in f if line.strip()]
+    if got == want:
+        print(f"focus-lint --self-test: {len(got)} golden diagnostics "
+              "matched over the fixture corpus")
+        return 0
+    print("focus-lint --self-test: diagnostics diverge from golden "
+          f"{os.path.relpath(expected_path)}", file=sys.stderr)
+    for line in got:
+        if line not in want:
+            print(f"  unexpected: {line}", file=sys.stderr)
+    for line in want:
+        if line not in got:
+            print(f"  missing:    {line}", file=sys.stderr)
+    if github:
+        print("::error title=focus-lint::fixture diagnostics diverge from "
+              "golden expected.txt")
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--compile-commands",
+                        help="path to the build's compile_commands.json")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: tool dir/../..)")
+    parser.add_argument("--config", default=None)
+    parser.add_argument("--justifications", default=None)
+    parser.add_argument("--baseline", default=None)
+    parser.add_argument("--github", action="store_true",
+                        help="also emit GitHub workflow error annotations")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run over the fixture corpus and diff against "
+                             "golden diagnostics")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test(args.github)
+    root = os.path.abspath(args.root or os.path.join(TOOL_DIR, "..", ".."))
+    if not args.compile_commands:
+        for candidate in (os.path.join(root, "build",
+                                       "compile_commands.json"),):
+            if os.path.exists(candidate):
+                args.compile_commands = candidate
+        if not args.compile_commands:
+            print("focus-lint: --compile-commands required (or configure "
+                  "build/ with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+                  file=sys.stderr)
+            return 2
+    return run(
+        root,
+        args.config or os.path.join(TOOL_DIR, "lint_config.json"),
+        args.justifications or os.path.join(TOOL_DIR, "justifications.json"),
+        args.baseline or os.path.join(TOOL_DIR, "baseline.txt"),
+        args.compile_commands,
+        args.github,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
