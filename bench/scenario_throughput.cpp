@@ -11,6 +11,7 @@
 // varies.
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
@@ -39,6 +40,7 @@ struct Options {
   std::string trace;       // Chrome-trace output path ("" = tracing off)
   std::string metrics;     // metrics-snapshot output path ("" = none)
   double qps = 0;          // client query rate; 0 keeps the stock workload
+  unsigned shards = 0;     // 0 = legacy kernel; N >= 1 = region-sharded mode
 };
 
 std::string read_file(const std::string& path) {
@@ -53,6 +55,16 @@ long peak_rss_kb() {
   rusage usage{};
   getrusage(RUSAGE_SELF, &usage);
   return usage.ru_maxrss;
+}
+
+/// Current resident set size in bytes (/proc/self/statm; 0 off-Linux). Used
+/// as a before/after delta around the Testbed build, so the per-node figure
+/// excludes the binary, gtest-free runtime and the bench's own buffers.
+long current_rss_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  long pages_total = 0, pages_resident = 0;
+  if (!(statm >> pages_total >> pages_resident)) return 0;
+  return pages_resident * sysconf(_SC_PAGESIZE);
 }
 
 /// Reduce a google-benchmark JSON document to {name: {real_time_ns,
@@ -110,12 +122,16 @@ int main(int argc, char** argv) {
       opt.metrics = next();
     } else if (arg == "--qps") {
       opt.qps = std::stod(next());
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<unsigned>(std::stoul(next()));
     } else {
       std::fprintf(stderr,
                    "usage: scenario_throughput [--nodes N] [--seed S]\n"
                    "  [--sim-seconds T] [--out bench.json] [--micro gb.json]\n"
                    "  [--append existing.json] [--label name]\n"
-                   "  [--trace trace.json] [--metrics metrics.json] [--qps Q]\n");
+                   "  [--trace trace.json] [--metrics metrics.json] [--qps Q]\n"
+                   "  [--shards N]  (0 = legacy single kernel; N >= 1 =\n"
+                   "   region-sharded mode with N worker threads)\n");
       return 2;
     }
   }
@@ -128,8 +144,15 @@ int main(int argc, char** argv) {
   harness::TestbedConfig config;
   config.num_nodes = opt.nodes;
   config.seed = opt.seed;
+  config.shards = opt.shards;
   config.agent.dynamics.volatility = 0.02;  // steady bucket-crossing churn
+  const long rss_before_build = current_rss_bytes();
   harness::Testbed bed(config);
+  const long rss_after_build = current_rss_bytes();
+  const double bytes_per_node =
+      opt.nodes > 0 ? static_cast<double>(rss_after_build - rss_before_build) /
+                          static_cast<double>(opt.nodes)
+                    : 0;
   bed.start();
   if (!bed.settle()) {
     std::fprintf(stderr, "testbed failed to settle\n");
@@ -154,14 +177,13 @@ int main(int argc, char** argv) {
     });
   }
 
-  const std::uint64_t events_before = bed.simulator().executed();
+  const std::uint64_t events_before = bed.executed();
   const auto wall_start = std::chrono::steady_clock::now();
   bed.run_for(opt.sim_seconds * kSecond);
   const auto wall_end = std::chrono::steady_clock::now();
   if (query_timer != 0) bed.simulator().cancel(query_timer);
 
-  const std::uint64_t events =
-      bed.simulator().executed() - events_before;
+  const std::uint64_t events = bed.executed() - events_before;
   const double wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   const double events_per_sec =
@@ -176,7 +198,11 @@ int main(int argc, char** argv) {
   run["wall_seconds"] = wall_seconds;
   run["events_per_sec"] = events_per_sec;
   run["peak_rss_kb"] = static_cast<std::int64_t>(peak_rss_kb());
-  run["digest"] = std::to_string(bed.simulator().digest());
+  run["bytes_per_node"] = bytes_per_node;
+  run["digest"] = std::to_string(bed.digest());
+  // Recorded only in sharded mode so stock legacy entries keep their schema
+  // (absent == 0; --compare matches baseline entries on this key).
+  if (opt.shards > 0) run["shards"] = static_cast<std::int64_t>(opt.shards);
   if (!opt.micro.empty()) run["micro"] = summarize_micro(opt.micro);
   // Non-default observability knobs are recorded only when used, so stock
   // entries keep their schema and --compare sees like-for-like runs.

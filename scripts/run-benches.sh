@@ -9,9 +9,12 @@
 #   scripts/run-benches.sh --compare [build-dir] [baseline.json]
 #
 # --compare runs the benches into a temporary file (the baseline is NOT
-# appended to) and diffs the fresh numbers against the last trajectory entry
-# of the committed baseline (default: BENCH_core.json). Any tracked micro
-# bench more than 25% slower, or scenario throughput more than 25% lower,
+# appended to) and diffs the fresh numbers against the most recent committed
+# trajectory entry with the SAME workload shape — matching nodes, seed,
+# sim_seconds and shards — in the baseline (default: BENCH_core.json), so
+# pinned large-fleet or sharded entries never get diffed against the stock
+# 400-node run. Any tracked micro bench more than 25% slower, scenario
+# throughput more than 25% lower, or bytes_per_node more than 25% higher,
 # makes the script exit non-zero. Intended as an informational CI gate —
 # shared runners are noisy, so treat failures as a prompt to re-measure, not
 # as ground truth.
@@ -24,6 +27,8 @@
 #   NODES     scenario size (default: 400)
 #   SIM_SECS  simulated seconds to run (default: 60)
 #   SEED      scenario seed (default: 7)
+#   SHARDS    0 = legacy single kernel; N >= 1 = region-sharded mode with N
+#             worker threads (default: 0)
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -47,6 +52,7 @@ min_time=${MIN_TIME:-0.05}
 nodes=${NODES:-400}
 sim_secs=${SIM_SECS:-60}
 seed=${SEED:-7}
+shards=${SHARDS:-0}
 
 cmake --build "$build_dir" -j --target micro_core micro_control micro_gossip scenario_throughput
 
@@ -84,10 +90,14 @@ append_args=()
 if [[ $compare -eq 0 && -f "$out" ]]; then
   append_args=(--append "$out")
 fi
+shard_args=()
+if [[ "$shards" -gt 0 ]]; then
+  shard_args=(--shards "$shards")
+fi
 "$build_dir/bench/scenario_throughput" \
   --nodes "$nodes" --sim-seconds "$sim_secs" --seed "$seed" \
   --micro "$micro_json" --label "$label" \
-  "${append_args[@]}" --out "$out"
+  "${append_args[@]}" "${shard_args[@]}" --out "$out"
 
 if [[ $compare -eq 1 ]]; then
   python3 - "$baseline" "$out" <<'PY'
@@ -96,8 +106,23 @@ import json, sys
 THRESHOLD = 0.25  # fractional regression that fails the check
 
 baseline_path, fresh_path = sys.argv[1], sys.argv[2]
-baseline = json.load(open(baseline_path))["trajectory"][-1]
+trajectory = json.load(open(baseline_path))["trajectory"]
 fresh = json.load(open(fresh_path))["trajectory"][-1]
+
+
+def shape(entry):
+    """Workload identity of a trajectory entry; compare only like-for-like."""
+    return (entry.get("nodes"), entry.get("seed"), entry.get("sim_seconds"),
+            entry.get("shards", 0))
+
+
+matching = [e for e in trajectory if shape(e) == shape(fresh)]
+if not matching:
+    print(f"no baseline entry in {baseline_path} matches workload "
+          f"(nodes, seed, sim_seconds, shards) = {shape(fresh)}; "
+          "nothing to compare")
+    sys.exit(0)
+baseline = matching[-1]
 
 failures = []
 
@@ -125,6 +150,16 @@ if old_eps and new_eps:
           f"({ratio:5.2f}x){marker}")
     if ratio < 1 - THRESHOLD:
         failures.append("scenario_throughput")
+
+old_bpn = baseline.get("bytes_per_node")
+new_bpn = fresh.get("bytes_per_node")
+if old_bpn and new_bpn:
+    ratio = new_bpn / old_bpn
+    marker = " <-- REGRESSION" if ratio > 1 + THRESHOLD else ""
+    print(f"{'scenario bytes/node':40s} {old_bpn:14.1f}    -> {new_bpn:14.1f}     "
+          f"({ratio:5.2f}x){marker}")
+    if ratio > 1 + THRESHOLD:
+        failures.append("bytes_per_node")
 
 if baseline.get("digest") and fresh.get("digest") and \
         baseline["digest"] != fresh["digest"]:

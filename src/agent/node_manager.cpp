@@ -23,16 +23,30 @@ const obs::Name kArgMatched = obs::Name::intern("matched");
 
 NodeManager::NodeManager(sim::Simulator& simulator, net::Transport& transport,
                          NodeId node, Region region, net::Address focus_south,
-                         const core::Schema& schema, AgentConfig config, Rng rng)
+                         const core::Schema& schema,
+                         std::shared_ptr<const AgentConfig> config, Rng rng,
+                         std::shared_ptr<const ResourceModel::StepPlan> step_plan)
     : simulator_(simulator),
       transport_(transport),
       command_addr_{node, kCommandPort},
       focus_south_(focus_south),
       schema_(schema),
-      config_(config),
+      config_(std::move(config)),
       rng_(std::move(rng)),
-      resources_(schema, node, region, rng_.fork(), config.dynamics),
-      p2p_(simulator, transport, node, region, config.gossip, rng_.fork()) {}
+      resources_(schema, node, region, rng_.fork(), config_->dynamics,
+                 std::move(step_plan)),
+      // Aliasing handle: shares ownership of the whole AgentConfig but
+      // points at its gossip sub-struct — no separate gossip::Config copy.
+      p2p_(simulator, transport, node, region,
+           std::shared_ptr<const gossip::Config>(config_, &config_->gossip),
+           rng_.fork()) {}
+
+NodeManager::NodeManager(sim::Simulator& simulator, net::Transport& transport,
+                         NodeId node, Region region, net::Address focus_south,
+                         const core::Schema& schema, AgentConfig config, Rng rng)
+    : NodeManager(simulator, transport, node, region, focus_south, schema,
+                  std::make_shared<const AgentConfig>(std::move(config)),
+                  std::move(rng)) {}
 
 NodeManager::~NodeManager() {
   if (running_) stop();
@@ -51,14 +65,14 @@ void NodeManager::start() {
     return static_cast<Duration>(rng_.uniform(0.0, static_cast<double>(interval)));
   };
   poll_timer_ = simulator_.every(
-      config_.poll_interval, [this, alive = alive_flag_] { if (*alive) poll(); },
-      phase(config_.poll_interval));
+      config_->poll_interval, [this, alive = alive_flag_] { if (*alive) poll(); },
+      phase(config_->poll_interval));
   report_timer_ = simulator_.every(
-      config_.report_interval,
+      config_->report_interval,
       [this, alive = alive_flag_] { if (*alive) send_reports(); },
-      phase(config_.report_interval));
+      phase(config_->report_interval));
   register_timer_ = simulator_.every(
-      config_.register_retry, [this, alive = alive_flag_] {
+      config_->register_retry, [this, alive = alive_flag_] {
         if (*alive && !registered_) send_register();
       });
 }
@@ -143,7 +157,7 @@ void NodeManager::poll() {
                          schema_.find(attr)->kind == AttrKind::Dynamic;
     const SimTime* pending = pending_suggestions_.find(attr);
     const bool already_pending =
-        pending != nullptr && now - *pending < config_.register_retry;
+        pending != nullptr && now - *pending < config_->register_retry;
     if ((out_of_range || missing) && !already_pending) {
       request_suggestion(attr, value);
     }
@@ -225,8 +239,8 @@ void NodeManager::send_reports() {
     auto payload = std::make_shared<GroupReportPayload>();
     payload->group = group;
     const bool want_full =
-        !config_.delta_reports || last_reported_.count(group) == 0 ||
-        now - last_full_report_[group] >= config_.full_report_interval;
+        !config_->delta_reports || last_reported_.count(group) == 0 ||
+        now - last_full_report_[group] >= config_->full_report_interval;
     if (want_full) {
       payload->full = true;
       for (const auto& [id, rec] : current) payload->members.push_back(rec);

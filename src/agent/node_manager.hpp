@@ -45,6 +45,16 @@ struct NodeManagerStats {
 /// The per-node FOCUS agent (node manager + p2p agent pair).
 class NodeManager {
  public:
+  /// The config handle is shared and immutable across the fleet; the gossip
+  /// sub-config reaches the p2p side as an aliased shared_ptr into the same
+  /// instance, so a 25k-node world carries one AgentConfig, not 25k.
+  /// `step_plan` (optional) is the fleet-shared ResourceModel walk plan
+  /// (ResourceModel::make_step_plan).
+  NodeManager(sim::Simulator& simulator, net::Transport& transport, NodeId node,
+              Region region, net::Address focus_south, const core::Schema& schema,
+              std::shared_ptr<const AgentConfig> config, Rng rng,
+              std::shared_ptr<const ResourceModel::StepPlan> step_plan = nullptr);
+  /// Convenience for tests/benches that tune a one-off config.
   NodeManager(sim::Simulator& simulator, net::Transport& transport, NodeId node,
               Region region, net::Address focus_south, const core::Schema& schema,
               AgentConfig config, Rng rng);
@@ -114,7 +124,7 @@ class NodeManager {
   net::Address command_addr_;
   net::Address focus_south_;
   const core::Schema& schema_;
-  AgentConfig config_;
+  std::shared_ptr<const AgentConfig> config_;  // shared across the fleet
   Rng rng_;
   ResourceModel resources_;
   P2PAgent p2p_;

@@ -3,13 +3,19 @@
 namespace focus::agent {
 
 P2PAgent::P2PAgent(sim::Simulator& simulator, net::Transport& transport,
-                   NodeId node, Region region, gossip::Config config, Rng rng)
+                   NodeId node, Region region,
+                   std::shared_ptr<const gossip::Config> config, Rng rng)
     : simulator_(simulator),
       transport_(transport),
       node_(node),
       region_(region),
-      config_(config),
+      config_(std::move(config)),
       rng_(std::move(rng)) {}
+
+P2PAgent::P2PAgent(sim::Simulator& simulator, net::Transport& transport,
+                   NodeId node, Region region, gossip::Config config, Rng rng)
+    : P2PAgent(simulator, transport, node, region,
+               std::make_shared<const gossip::Config>(config), std::move(rng)) {}
 
 gossip::GroupAgent& P2PAgent::join(const core::GroupSuggestion& suggestion,
                                    gossip::GroupAgent::EventHandler on_event) {

@@ -23,6 +23,12 @@ class P2PAgent {
     std::unique_ptr<gossip::GroupAgent> agent;
   };
 
+  /// The gossip config handle is shared and immutable: every membership's
+  /// GroupAgent points at the same instance (typically aliased into the
+  /// fleet-wide AgentConfig), so per-node and per-membership copies vanish.
+  P2PAgent(sim::Simulator& simulator, net::Transport& transport, NodeId node,
+           Region region, std::shared_ptr<const gossip::Config> config, Rng rng);
+  /// Convenience for tests that tune a one-off config.
   P2PAgent(sim::Simulator& simulator, net::Transport& transport, NodeId node,
            Region region, gossip::Config config, Rng rng);
 
@@ -59,7 +65,7 @@ class P2PAgent {
   net::Transport& transport_;
   NodeId node_;
   Region region_;
-  gossip::Config config_;
+  std::shared_ptr<const gossip::Config> config_;  // shared, immutable
   Rng rng_;
   // keyed by attribute, name-ordered (see memberships())
   core::detail::FlatAttrMap<Membership> memberships_;

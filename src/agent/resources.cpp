@@ -4,9 +4,32 @@
 
 namespace focus::agent {
 
+std::shared_ptr<const ResourceModel::StepPlan> ResourceModel::make_step_plan(
+    const core::Schema& schema) {
+  // Mirror the constructor's insertion order exactly: the plan's slots must
+  // match the value layout of any pristine model built from `schema`.
+  core::NodeState probe;
+  for (const auto& attr : schema.dynamic_attrs()) {
+    probe.dynamic_values[attr.id] = 0;
+  }
+  auto plan = std::make_shared<StepPlan>();
+  plan->reserve(schema.dynamic_attrs().size());
+  for (const auto& attr : schema.dynamic_attrs()) {
+    const std::ptrdiff_t slot = probe.dynamic_values.index_of(attr.id);
+    if (slot < 0) continue;
+    plan->push_back(StepEntry{&attr, static_cast<std::size_t>(slot)});
+  }
+  return plan;
+}
+
 ResourceModel::ResourceModel(const core::Schema& schema, NodeId node,
-                             Region region, Rng rng, ResourceDynamics dynamics)
-    : schema_(schema), rng_(std::move(rng)), dynamics_(dynamics) {
+                             Region region, Rng rng, ResourceDynamics dynamics,
+                             std::shared_ptr<const StepPlan> shared_plan)
+    : schema_(schema),
+      rng_(std::move(rng)),
+      dynamics_(dynamics),
+      shared_plan_(std::move(shared_plan)),
+      plan_dirty_(shared_plan_ == nullptr) {
   state_.node = node;
   state_.region = region;
   for (const auto& attr : schema_.dynamic_attrs()) {
@@ -21,7 +44,10 @@ void ResourceModel::set_static(core::StaticValueMap values) {
 
 void ResourceModel::set_value(core::AttrId attr, double value) {
   state_.dynamic_values[attr] = value;
-  plan_dirty_ = true;  // the insert may have shifted value positions
+  // The insert may have shifted value positions: the fleet-shared pristine
+  // plan no longer applies to this node.
+  shared_plan_.reset();
+  plan_dirty_ = true;
 }
 
 void ResourceModel::rebuild_step_plan() {
@@ -41,7 +67,8 @@ FOCUS_HOT void ResourceModel::step(SimTime now) {
   state_.timestamp = now;
   if (dynamics_.frozen) return;
   if (plan_dirty_) rebuild_step_plan();
-  for (const StepEntry& entry : step_plan_) {
+  const StepPlan& plan = shared_plan_ ? *shared_plan_ : step_plan_;
+  for (const StepEntry& entry : plan) {
     const core::AttributeSchema& attr = *entry.attr;
     double& slot = state_.dynamic_values.value_at(entry.slot);
     const double span = attr.max_value - attr.min_value;

@@ -6,6 +6,7 @@
 // §X-A).
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,10 +30,32 @@ struct ResourceDynamics {
 /// Per-node attribute values with bounded-random-walk dynamics.
 class ResourceModel {
  public:
+  /// One random-walk target: the schema entry (bounds, volatility span) and
+  /// the value's position inside state_.dynamic_values. Resolved once, so
+  /// the per-poll step is two array walks instead of a name lookup per
+  /// attribute per tick.
+  struct StepEntry {
+    const core::AttributeSchema* attr;
+    std::size_t slot;
+  };
+
+  /// The resolved walk order. For a freshly built model the plan is a pure
+  /// function of the schema — identical for every node — so a fleet shares
+  /// ONE immutable instance (make_step_plan) instead of a vector per node.
+  using StepPlan = std::vector<StepEntry>;
+
+  /// Build the plan a pristine model of `schema` would resolve. Entries
+  /// point into `schema`, which must outlive the plan.
+  static std::shared_ptr<const StepPlan> make_step_plan(
+      const core::Schema& schema);
+
   /// Initializes every dynamic attribute to a uniform random value in its
-  /// domain.
+  /// domain. `shared_plan` (optional) is a fleet-shared make_step_plan
+  /// result; the model falls back to a private rebuild the moment set_value
+  /// makes its value layout diverge from the pristine one.
   ResourceModel(const core::Schema& schema, NodeId node, Region region, Rng rng,
-                ResourceDynamics dynamics = {});
+                ResourceDynamics dynamics = {},
+                std::shared_ptr<const StepPlan> shared_plan = nullptr);
 
   /// Set static attributes (arch, hypervisor, project id, ...).
   void set_static(core::StaticValueMap values);
@@ -50,23 +73,17 @@ class ResourceModel {
   ResourceDynamics& dynamics() noexcept { return dynamics_; }
 
  private:
-  /// One random-walk target: the schema entry (bounds, volatility span) and
-  /// the value's position inside state_.dynamic_values. Resolved once, so
-  /// the per-poll step is two array walks instead of a name lookup per
-  /// attribute per tick.
-  struct StepEntry {
-    const core::AttributeSchema* attr;
-    std::size_t slot;
-  };
-
   void rebuild_step_plan();
 
   const core::Schema& schema_;
   Rng rng_;
   ResourceDynamics dynamics_;
   core::NodeState state_;
-  std::vector<StepEntry> step_plan_;
-  bool plan_dirty_ = true;  // set_value may insert and shift positions
+  /// Fleet-shared plan while the value layout is pristine; set_value drops
+  /// it and rebuilds into the private step_plan_.
+  std::shared_ptr<const StepPlan> shared_plan_;
+  StepPlan step_plan_;
+  bool plan_dirty_;  // set_value may insert and shift positions
 };
 
 }  // namespace focus::agent

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace focus {
 namespace {
@@ -33,9 +34,18 @@ struct TimeSourceSlot {
   const void* ctx = nullptr;
 };
 
+// Per-thread: each shard worker stamps lines with its own kernel's clock,
+// and installs on one thread never race with (or clobber) another's.
 TimeSourceSlot& time_source() {
-  static TimeSourceSlot slot;
+  thread_local TimeSourceSlot slot;
   return slot;
+}
+
+// Serializes whole lines; std::clog interleaves at the operator<< granularity
+// when several shard workers log at once.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
 }
 
 }  // namespace
@@ -65,9 +75,15 @@ void Logger::clear_time_source(const void* ctx) {
 
 bool Logger::has_time_source() { return time_source().source != nullptr; }
 
+std::int64_t Logger::sim_time_or(std::int64_t fallback) {
+  const TimeSourceSlot& slot = time_source();
+  return slot.source != nullptr ? slot.source(slot.ctx) : fallback;
+}
+
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
   const TimeSourceSlot& slot = time_source();
+  const std::lock_guard<std::mutex> lock(sink_mutex());
   std::clog << "[" << level_name(level) << "]";
   if (slot.source != nullptr) {
     std::clog << "[t=" << slot.source(slot.ctx) << "us]";

@@ -4,6 +4,13 @@
 // When a simulation is running (sim::Simulator installs itself as the time
 // source), every line is prefixed with the sim-time microsecond stamp so log
 // output is reproducible across runs of the same seeded scenario.
+//
+// The time source is a per-thread slot: a sharded run has one live kernel
+// per worker thread, and each worker's log lines must be stamped with the
+// clock of the simulator it is executing — a process-global slot would be
+// both racy and wrong ("last-constructed wins" across shards). The sharded
+// driver (sim::ShardedSimulator) installs the committed window time on the
+// coordinator thread and each shard's clock on its worker.
 
 #include <cstdint>
 #include <sstream>
@@ -14,7 +21,9 @@ namespace focus {
 
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
-/// Process-wide logger configuration and sink.
+/// Process-wide logger configuration and sink. write() is safe to call from
+/// several threads (lines are emitted atomically); the time-source slot is
+/// thread-local, so install/clear only affect the calling thread.
 class Logger {
  public:
   /// Set the minimum level that is emitted.
@@ -32,15 +41,21 @@ class Logger {
   static void write(LogLevel level, const std::string& component,
                     const std::string& message);
 
-  /// Sim-time hook. While a source is installed, write() prefixes lines with
-  /// `t=<µs>`. `ctx` identifies the installer: clear_time_source() is a no-op
-  /// unless called with the same ctx, so nested simulators (a scenario
-  /// constructing a sub-sim) follow last-created-wins without a destructor
-  /// of an outer simulator silencing the inner one's timestamps.
+  /// Sim-time hook for the calling thread. While a source is installed,
+  /// write() on this thread prefixes lines with `t=<µs>`. `ctx` identifies
+  /// the installer: clear_time_source() is a no-op unless called with the
+  /// same ctx, so nested simulators (a scenario constructing a sub-sim)
+  /// follow last-created-wins per thread without a destructor of an outer
+  /// simulator silencing the inner one's timestamps.
   using TimeSource = std::int64_t (*)(const void* ctx);
   static void set_time_source(TimeSource source, const void* ctx);
   static void clear_time_source(const void* ctx);
   static bool has_time_source();
+
+  /// Stamp the calling thread's installed source would emit right now, or
+  /// `fallback` when none is installed. Exists so tests can pin the
+  /// time-source ownership contract without scraping log output.
+  static std::int64_t sim_time_or(std::int64_t fallback);
 };
 
 }  // namespace focus

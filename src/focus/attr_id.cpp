@@ -1,6 +1,7 @@
 #include "focus/attr_id.hpp"
 
 #include <deque>
+#include <mutex>
 #include <ostream>
 #include <unordered_map>
 
@@ -13,8 +14,13 @@ namespace {
 // Process-wide interning table. names[0] is the reserved "no attribute"
 // spelling so that value 0 round-trips through name() like any other id.
 // A deque keeps the stored spellings address-stable, so the string_view
-// keys in by_name (and the views handed out by AttrId::name()) never dangle.
+// keys in by_name (and the views handed out by AttrId::name()) never dangle
+// — and, because appends never move stored spellings, a view returned under
+// the mutex stays valid after it is released. The mutex makes intern/name
+// safe from shard worker threads (attributes are interned lazily on first
+// use, e.g. by queries built mid-run).
 struct Registry {
+  std::mutex mu;
   std::deque<std::string> names{""};
   std::unordered_map<std::string_view, std::uint16_t> by_name;
 };
@@ -29,6 +35,7 @@ Registry& registry() {
 std::uint16_t AttrId::intern_value(std::string_view name) {
   if (name.empty()) return 0;
   Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
   if (auto it = r.by_name.find(name); it != r.by_name.end()) {
     return it->second;
   }
@@ -41,7 +48,8 @@ std::uint16_t AttrId::intern_value(std::string_view name) {
 }
 
 std::string_view AttrId::name() const {
-  const Registry& r = registry();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
   FOCUS_CHECK_LT(value_, r.names.size()) << "AttrId out of range";
   return r.names[value_];
 }

@@ -23,13 +23,21 @@ constexpr Duration kTombstoneTtl = 60 * kSecond;
 }  // namespace
 
 GroupAgent::GroupAgent(sim::Simulator& simulator, net::Transport& transport,
-                       net::Address self, Region region, Config config, Rng rng)
+                       net::Address self, Region region,
+                       std::shared_ptr<const Config> config, Rng rng)
     : simulator_(simulator),
       transport_(transport),
       self_(self),
       region_(region),
-      config_(config),
-      rng_(std::move(rng)) {}
+      config_(std::move(config)),
+      rng_(std::move(rng)) {
+  FOCUS_CHECK(config_ != nullptr);
+}
+
+GroupAgent::GroupAgent(sim::Simulator& simulator, net::Transport& transport,
+                       net::Address self, Region region, Config config, Rng rng)
+    : GroupAgent(simulator, transport, self, region,
+                 std::make_shared<const Config>(config), std::move(rng)) {}
 
 GroupAgent::~GroupAgent() {
   if (running_) {
@@ -51,17 +59,17 @@ void GroupAgent::start() {
   // Desynchronize agents: first tick lands at a random phase of the interval
   // so thousands of agents do not probe in lockstep.
   const Duration phase = static_cast<Duration>(
-      rng_.uniform(0.0, static_cast<double>(config_.interval)));
+      rng_.uniform(0.0, static_cast<double>(config_->interval)));
   tick_timer_ = simulator_.every(
-      config_.interval, [this, alive = alive_flag_] { if (*alive) tick(); }, phase);
+      config_->interval, [this, alive = alive_flag_] { if (*alive) tick(); }, phase);
   probe_timer_ = simulator_.every(
-      config_.probe_interval,
+      config_->probe_interval,
       [this, alive = alive_flag_] { if (*alive) probe_round(); },
-      static_cast<Duration>(rng_.uniform(0.0, static_cast<double>(config_.probe_interval))));
+      static_cast<Duration>(rng_.uniform(0.0, static_cast<double>(config_->probe_interval))));
   sync_timer_ = simulator_.every(
-      config_.sync_interval,
+      config_->sync_interval,
       [this, alive = alive_flag_] { if (*alive) sync_round(); },
-      static_cast<Duration>(rng_.uniform(0.0, static_cast<double>(config_.sync_interval))));
+      static_cast<Duration>(rng_.uniform(0.0, static_cast<double>(config_->sync_interval))));
 }
 
 void GroupAgent::join(std::span<const net::Address> entry_points) {
@@ -80,7 +88,7 @@ void GroupAgent::leave() {
   if (!running_) return;
   // Tell a few peers directly; they disseminate the Left state for us. All
   // recipients share one immutable payload.
-  const auto targets = sample_alive(static_cast<std::size_t>(config_.fanout));
+  const auto targets = sample_alive(static_cast<std::size_t>(config_->fanout));
   if (!targets.empty()) {
     auto payload = std::make_shared<AckPayload>();
     payload->seq = 0;
@@ -111,7 +119,7 @@ void GroupAgent::broadcast(std::string topic,
   ++counters_.events_originated;
   // Register with one round of budget already consumed: we transmit the
   // first round immediately for latency, later rounds ride on ticks.
-  events_.add(shared, config_.event_retransmit_rounds - 1);
+  events_.add(shared, config_->event_retransmit_rounds - 1);
   send_event_burst(shared);
   if (deliver_locally && event_handler_) {
     ++counters_.events_delivered;
@@ -182,14 +190,14 @@ void GroupAgent::start_probe(const MemberInfo& target) {
   const NodeId target_id = target.id;
   const net::Address target_addr = target.addr;
   // Stage 1: direct timeout -> indirect probes through k random peers.
-  simulator_.schedule_after(config_.ping_timeout, [this, alive = alive_flag_, seq,
+  simulator_.schedule_after(config_->ping_timeout, [this, alive = alive_flag_, seq,
                                                    target_id, target_addr] {
     if (!*alive) return;
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // acked
     it->second.indirect_sent = true;
     const auto helpers =
-        sample_alive(static_cast<std::size_t>(config_.indirect_probes));
+        sample_alive(static_cast<std::size_t>(config_->indirect_probes));
     std::shared_ptr<const net::Payload> shared;
     for (const auto& helper : helpers) {
       if (helper == target_addr) continue;
@@ -199,7 +207,7 @@ void GroupAgent::start_probe(const MemberInfo& target) {
         payload->seq = seq;
         payload->reply_to = self_;
         payload->target = target_addr;
-        piggyback_.take_into(payload->updates, config_.max_piggyback);
+        piggyback_.take_into(payload->updates, config_->max_piggyback);
         shared = std::move(payload);
       }
       transport_.send(net::Message{self_, helper, kPingReq, shared});
@@ -207,7 +215,7 @@ void GroupAgent::start_probe(const MemberInfo& target) {
     }
     // Stage 2: end of protocol period without any ack -> suspect.
     simulator_.schedule_after(
-        config_.interval, [this, alive2 = alive_flag_, seq, target_id] {
+        config_->interval, [this, alive2 = alive_flag_, seq, target_id] {
           if (!*alive2) return;
           auto it2 = outstanding_.find(seq);
           if (it2 == outstanding_.end()) return;
@@ -225,13 +233,13 @@ FOCUS_HOT void GroupAgent::send_ping(const net::Address& target,
   auto payload = std::make_shared<PingPayload>();
   payload->seq = seq;
   payload->reply_to = reply_to;
-  piggyback_.take_into(payload->updates, config_.max_piggyback);
+  piggyback_.take_into(payload->updates, config_->max_piggyback);
   transport_.send(net::Message{self_, target, kPing, std::move(payload)});
 }
 
 FOCUS_HOT std::size_t GroupAgent::send_event_burst(
     const std::shared_ptr<const EventCore>& core) {
-  const auto targets = sample_alive(static_cast<std::size_t>(config_.fanout));
+  const auto targets = sample_alive(static_cast<std::size_t>(config_->fanout));
   if (targets.empty()) return 0;
   // One payload for the whole burst: the event core is already shared, the
   // piggyback batch is drawn once and rides to every recipient.
@@ -239,7 +247,7 @@ FOCUS_HOT std::size_t GroupAgent::send_event_burst(
   // burst (not per recipient) — this is the PR4 shared-payload design.
   auto payload = std::make_shared<EventPayload>();
   payload->core = core;
-  piggyback_.take_into(payload->updates, config_.max_piggyback);
+  piggyback_.take_into(payload->updates, config_->max_piggyback);
   const std::shared_ptr<const net::Payload> shared = std::move(payload);
   for (const auto& addr : targets) {
     // Envelopes inherit the core's trace tag so per-hop spans stitch into
@@ -291,7 +299,7 @@ void GroupAgent::handle_ping(const net::Message& msg) {
   apply_updates(ping.updates);
   auto payload = std::make_shared<AckPayload>();
   payload->seq = ping.seq;
-  piggyback_.take_into(payload->updates, config_.max_piggyback);
+  piggyback_.take_into(payload->updates, config_->max_piggyback);
   transport_.send(net::Message{self_, ping.reply_to, kAck, std::move(payload)});
   ++counters_.acks_sent;
 }
@@ -343,7 +351,7 @@ void GroupAgent::handle_event(const net::Message& msg) {
   apply_updates(event.updates);
   // The received immutable core is adopted as-is: no copy of topic or body
   // for local retransmission rounds.
-  if (!events_.add(event.core, config_.event_retransmit_rounds)) {
+  if (!events_.add(event.core, config_->event_retransmit_rounds)) {
     return;  // duplicate
   }
   ++counters_.events_delivered;
@@ -467,7 +475,7 @@ void GroupAgent::declare_dead(NodeId id, MemberState terminal) {
 
 void GroupAgent::schedule_suspicion_check(NodeId id, std::uint32_t incarnation) {
   simulator_.schedule_after(
-      config_.suspicion_timeout, [this, alive = alive_flag_, id, incarnation] {
+      config_->suspicion_timeout, [this, alive = alive_flag_, id, incarnation] {
         if (!*alive) return;
         const MemberInfo* info = members_.find(id);
         if (info != nullptr && info->state == MemberState::Suspect &&
@@ -478,7 +486,7 @@ void GroupAgent::schedule_suspicion_check(NodeId id, std::uint32_t incarnation) 
 }
 
 FOCUS_HOT void GroupAgent::queue_update(const MemberUpdate& update) {
-  piggyback_.add(update, config_.piggyback_copies);
+  piggyback_.add(update, config_->piggyback_copies);
 }
 
 MemberUpdate GroupAgent::self_update(MemberState state) const {
@@ -506,8 +514,8 @@ FOCUS_HOT void GroupAgent::fill_member_list(MemberListPayload& out,
                                   bool force_full) {
   SyncCursor& cursor = sync_sent_[peer];
   const bool full = force_full || cursor.epoch == 0 ||
-                    config_.sync_full_every <= 1 ||
-                    cursor.deltas_since_full + 1 >= config_.sync_full_every;
+                    config_->sync_full_every <= 1 ||
+                    cursor.deltas_since_full + 1 >= config_->sync_full_every;
   out.members.clear();
   // The sender's own Alive assertion leads every list, full or delta: it
   // doubles as the liveness heartbeat of the exchange.

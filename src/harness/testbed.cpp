@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
 
 #include "common/check.hpp"
 #include "common/json.hpp"
@@ -38,13 +39,38 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
     obs::tracer().set_enabled(true);
   }
   obs::tracer().reset();
-  obs::metrics().reset();
+  obs::reset_all_metrics();
 
   config_.sync_agent_config();
   Rng rng(config_.seed);
 
-  transport_ = std::make_unique<net::SimTransport>(simulator_, topology_, rng.fork());
+  const bool sharded = config_.shards > 0;
+  if (sharded) {
+    stager_ = std::make_unique<net::ShardStager>(kNumDataRegions + 1);
+    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
+      region_sims_.push_back(std::make_unique<sim::Simulator>());
+    }
+    // Data-region transports fork the seed rng first, in shard order; the
+    // app edge forks last. Legacy mode performs only the app-edge fork, so
+    // its rng stream — and every pinned legacy digest — is untouched.
+    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
+      region_transports_.push_back(std::make_unique<net::SimTransport>(
+          *region_sims_[r], topology_, rng.fork()));
+    }
+  }
+  transport_ =
+      std::make_unique<net::SimTransport>(simulator_, topology_, rng.fork());
   transport_->set_loss_rate(config_.loss_rate);
+  if (sharded) {
+    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
+      region_transports_[r]->set_loss_rate(config_.loss_rate);
+      region_transports_[r]->enable_sharding(static_cast<Region>(r),
+                                             stager_.get());
+      shard_transports_.push_back(region_transports_[r].get());
+    }
+    transport_->enable_sharding(Region::AppEdge, stager_.get());
+    shard_transports_.push_back(transport_.get());
+  }
 
   topology_.place(kServerNode, Region::AppEdge);
   topology_.place(kAppNode, Region::AppEdge);
@@ -60,32 +86,95 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
                                            net::Address{kAppNode, 10},
                                            service_->north_addr());
 
-  agents_.reserve(config_.num_nodes);
+  // One immutable config and one resource walk plan for the whole fleet
+  // (memory compaction: agents hold handles, not copies).
+  agent_config_ = std::make_shared<const agent::AgentConfig>(config_.agent);
+  step_plan_ = agent::ResourceModel::make_step_plan(config_.service.schema);
+
   for (std::size_t i = 0; i < config_.num_nodes; ++i) {
     const NodeId id{kAgentBase + static_cast<std::uint32_t>(i)};
     const Region region = region_of_index(i);
     topology_.place(id, region);
-    agents_.push_back(std::make_unique<agent::NodeManager>(
-        simulator_, *transport_, id, region, service_->south_addr(),
-        config_.service.schema, config_.agent, rng.fork()));
+    sim::Simulator& sim =
+        sharded ? *region_sims_[static_cast<std::size_t>(region)] : simulator_;
+    net::SimTransport& tr = sharded
+                                ? *region_transports_[static_cast<std::size_t>(region)]
+                                : *transport_;
+    agents_.emplace_back(sim, tr, id, region, service_->south_addr(),
+                         config_.service.schema, agent_config_, rng.fork(),
+                         step_plan_);
+  }
+
+  if (sharded) {
+    std::vector<sim::Simulator*> shards;
+    shards.reserve(kNumDataRegions + 1);
+    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
+      shards.push_back(region_sims_[r].get());
+    }
+    shards.push_back(&simulator_);
+    sharded_ = std::make_unique<sim::ShardedSimulator>(
+        std::move(shards), topology_.lookahead_floor(), config_.shards);
+    sharded_->set_barrier_hook([this](SimTime t) {
+      stager_->merge_at_barrier(t, shard_transports_);
+      if (next_audit_ > 0 && t >= next_audit_) {
+        ++audits_run_;
+        const core::AuditReport report = audit();
+        FOCUS_CHECK(report.ok())
+            << "periodic structural audit #" << audits_run_ << " at t=" << t
+            << "us\n"
+            << report.to_string();
+        next_audit_ = t + config_.audit_interval;
+      }
+    });
   }
 
   if (config_.audit_interval > 0) {
-    audit_timer_ = simulator_.every(config_.audit_interval, [this] {
-      ++audits_run_;
-      const core::AuditReport report = audit();
-      FOCUS_CHECK(report.ok()) << "periodic structural audit #" << audits_run_
-                               << " at t=" << simulator_.now() << "us\n"
-                               << report.to_string();
-    });
+    if (sharded) {
+      next_audit_ = config_.audit_interval;
+    } else {
+      audit_timer_ = simulator_.every(config_.audit_interval, [this] {
+        ++audits_run_;
+        const core::AuditReport report = audit();
+        FOCUS_CHECK(report.ok()) << "periodic structural audit #" << audits_run_
+                                 << " at t=" << simulator_.now() << "us\n"
+                                 << report.to_string();
+      });
+    }
   }
 }
 
 Testbed::~Testbed() {
   if (audit_timer_ != 0) simulator_.cancel(audit_timer_);
-  // Stop agents before the transport/service go away.
-  for (auto& agent : agents_) agent->stop();
+  // Stop agents before the transports/service go away. In sharded mode the
+  // workers are parked (no run is in flight), so touching shard state from
+  // this thread is ordered by the driver's last barrier.
+  for (auto& agent : agents_) agent.stop();
   if (!trace_path_.empty()) write_trace(trace_path_);
+}
+
+void Testbed::run_for(Duration d) {
+  if (sharded_) {
+    sharded_->run_for(d);
+  } else {
+    simulator_.run_for(d);
+  }
+}
+
+SimTime Testbed::now() const noexcept {
+  return sharded_ ? sharded_->now() : simulator_.now();
+}
+
+std::uint64_t Testbed::digest() const noexcept {
+  return sharded_ ? sharded_->digest() : simulator_.digest();
+}
+
+std::uint64_t Testbed::executed() const noexcept {
+  return sharded_ ? sharded_->executed() : simulator_.executed();
+}
+
+net::SimTransport& Testbed::transport_for(NodeId node) {
+  if (!sharded_) return *transport_;
+  return *shard_transports_[static_cast<std::size_t>(topology_.region_of(node))];
 }
 
 void Testbed::write_trace(const std::string& path) const {
@@ -98,16 +187,32 @@ void Testbed::write_trace(const std::string& path) const {
 }
 
 void Testbed::write_metrics(const std::string& path) const {
-  Json doc = obs::metrics_json(obs::metrics());
+  Json doc = obs::metrics_json(obs::aggregated_metrics());
+  // Sum the per-kind traffic tables over every transport (one in legacy
+  // mode, five in sharded mode); std::map keeps the kind order stable.
+  std::map<std::string, net::MsgKindStats> totals;
+  const auto fold = [&totals](const net::SimTransport& t) {
+    t.stats().for_each_kind(
+        [&totals](std::string_view kind, const net::MsgKindStats& s) {
+          net::MsgKindStats& agg = totals[std::string(kind)];
+          agg.msgs += s.msgs;
+          agg.payload_builds += s.payload_builds;
+          agg.bytes += s.bytes;
+        });
+  };
+  if (sharded_) {
+    for (const net::SimTransport* t : shard_transports_) fold(*t);
+  } else {
+    fold(*transport_);
+  }
   Json traffic = Json::object();
-  transport_->stats().for_each_kind(
-      [&traffic](std::string_view kind, const net::MsgKindStats& s) {
-        Json entry = Json::object();
-        entry["msgs"] = s.msgs;
-        entry["payload_builds"] = s.payload_builds;
-        entry["bytes"] = s.bytes;
-        traffic[std::string(kind)] = std::move(entry);
-      });
+  for (const auto& [kind, s] : totals) {
+    Json entry = Json::object();
+    entry["msgs"] = s.msgs;
+    entry["payload_builds"] = s.payload_builds;
+    entry["bytes"] = s.bytes;
+    traffic[kind] = std::move(entry);
+  }
   doc["traffic_by_kind"] = std::move(traffic);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -118,16 +223,16 @@ void Testbed::write_metrics(const std::string& path) const {
 }
 
 void Testbed::start() {
-  for (auto& agent : agents_) agent->start();
+  for (auto& agent : agents_) agent.start();
 }
 
 bool Testbed::settle(Duration max) {
-  const SimTime deadline = simulator_.now() + max;
-  while (simulator_.now() < deadline) {
-    simulator_.run_for(500 * kMillisecond);
+  const SimTime deadline = now() + max;
+  while (now() < deadline) {
+    run_for(500 * kMillisecond);
     bool all_registered = true;
     for (const auto& agent : agents_) {
-      if (!agent->registered()) {
+      if (!agent.registered()) {
         all_registered = false;
         break;
       }
@@ -154,9 +259,9 @@ Result<core::QueryResult> Testbed::query_and_wait(core::Query query,
     out = std::move(r);
     done = true;
   });
-  const SimTime deadline = simulator_.now() + max_wait;
-  while (!done && simulator_.now() < deadline) {
-    simulator_.run_for(10 * kMillisecond);
+  const SimTime deadline = now() + max_wait;
+  while (!done && now() < deadline) {
+    run_for(10 * kMillisecond);
   }
   return out;
 }

@@ -3,16 +3,29 @@
 // (with its data store), N node agents spread over the paper's four regions,
 // and an application client at the app edge. Shared by integration tests,
 // benches and examples.
+//
+// Two execution modes:
+//  - Legacy (shards == 0): one kernel, one transport — the historical
+//    single-threaded world whose event digests are pinned in tests/benches.
+//  - Sharded (shards >= 1): one kernel + transport per region (four data
+//    regions plus the app edge), driven by sim::ShardedSimulator in
+//    conservative windows with cross-region traffic staged through
+//    net::ShardStager. The shard layout is fixed by region; `shards` only
+//    sets the worker-thread count, so digests are byte-identical for any
+//    shards >= 1 (enforced by tests/test_sharded.cpp).
 
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "agent/node_manager.hpp"
+#include "common/slab.hpp"
 #include "focus/audit.hpp"
 #include "focus/client.hpp"
 #include "focus/service.hpp"
+#include "net/shard_stage.hpp"
 #include "net/sim_transport.hpp"
+#include "sim/sharded.hpp"
 #include "store/kvstore.hpp"
 
 namespace focus::harness {
@@ -37,9 +50,17 @@ struct TestbedConfig {
   store::ClusterConfig store;
   double loss_rate = 0;
 
+  /// 0 = legacy single-kernel mode. >= 1 = region-sharded mode with this
+  /// many worker threads (clamped to the shard count); 1 runs the same
+  /// windowed algorithm inline. Sharded digests differ from legacy ones
+  /// (different rng fork layout) but are identical across `shards` values.
+  unsigned shards = 0;
+
   /// When > 0, run the structural-invariant audit (focus/audit.hpp) every
   /// this many microseconds of simulated time and abort (FOCUS_CHECK) on the
   /// first violation. Off by default: benches measure undisturbed costs.
+  /// In sharded mode the audit runs at the first window barrier at or after
+  /// each due time (windows are ~2.7 ms, so the skew is negligible).
   Duration audit_interval = 0;
 
   /// Keep the agent-side reporting settings in lockstep with the service
@@ -60,8 +81,19 @@ class Testbed {
   /// the simulator; call run_for / settle afterwards.
   void start();
 
-  /// Advance simulated time.
-  void run_for(Duration d) { simulator_.run_for(d); }
+  /// Advance simulated time (all shards, in sharded mode).
+  void run_for(Duration d);
+
+  /// Committed simulated time: the legacy kernel's clock, or the sharded
+  /// driver's barrier time.
+  SimTime now() const noexcept;
+
+  /// Order-sensitive event digest of the whole world: the kernel digest in
+  /// legacy mode, the shard-order fold in sharded mode.
+  std::uint64_t digest() const noexcept;
+
+  /// Total events executed across every kernel.
+  std::uint64_t executed() const noexcept;
 
   /// Run until every agent is registered and group reports have flowed at
   /// least once (bounded by `max`). Returns true when settled.
@@ -72,17 +104,33 @@ class Testbed {
   Result<core::QueryResult> query_and_wait(core::Query query,
                                            Duration max_wait = 10 * kSecond);
 
+  /// The app-edge kernel: the sole kernel in legacy mode; in sharded mode
+  /// the shard hosting the service, store, broker and client.
   sim::Simulator& simulator() noexcept { return simulator_; }
+
+  /// The sharded driver, or nullptr in legacy mode.
+  sim::ShardedSimulator* sharded() noexcept { return sharded_.get(); }
+
+  /// The app-edge transport (the sole transport in legacy mode). Server
+  /// traffic counters always live here.
   net::SimTransport& transport() noexcept { return *transport_; }
+
+  /// The transport that owns `node`'s endpoints: its home-region transport
+  /// in sharded mode, the sole transport otherwise.
+  net::SimTransport& transport_for(NodeId node);
+
+  /// Mark a node down/up on its owning transport (works in both modes).
+  void set_node_down(NodeId node, bool down) {
+    transport_for(node).set_node_down(node, down);
+  }
+
   net::Topology& topology() noexcept { return topology_; }
   store::Cluster& store() noexcept { return *store_; }
   core::Service& service() noexcept { return *service_; }
   core::Client& client() noexcept { return *client_; }
-  agent::NodeManager& agent(std::size_t i) { return *agents_.at(i); }
+  agent::NodeManager& agent(std::size_t i) { return agents_[i]; }
   std::size_t num_agents() const noexcept { return agents_.size(); }
-  std::vector<std::unique_ptr<agent::NodeManager>>& agents() noexcept {
-    return agents_;
-  }
+  Slab<agent::NodeManager>& agents() noexcept { return agents_; }
   const TestbedConfig& config() const noexcept { return config_; }
 
   /// Traffic counters of the FOCUS server node.
@@ -91,11 +139,12 @@ class Testbed {
   }
 
   /// Run the structural audit over the service, kernel, and every live
-  /// gossip agent right now.
+  /// gossip agent right now. In sharded mode, call only between run_for
+  /// calls (the barrier hook calls it with workers parked).
   core::AuditReport audit() const {
     core::AuditReport report = core::audit_service(*service_, simulator_);
     for (const auto& agent : agents_) {
-      for (const auto& [attr, membership] : agent->p2p().memberships()) {
+      for (const auto& [attr, membership] : agent.p2p().memberships()) {
         report.merge(core::audit_gossip(*membership.agent, simulator_.now()));
       }
     }
@@ -110,21 +159,38 @@ class Testbed {
   /// environment variable named a path at construction.
   void write_trace(const std::string& path) const;
 
-  /// Write a metrics snapshot to `path`: every touched obs metric plus the
-  /// per-message-kind traffic table of this world's transport.
+  /// Write a metrics snapshot to `path`: every touched obs metric (merged
+  /// across worker threads) plus the per-message-kind traffic table summed
+  /// over this world's transports.
   void write_metrics(const std::string& path) const;
 
  private:
   TestbedConfig config_;
-  sim::Simulator simulator_;
+  sim::Simulator simulator_;  ///< app-edge kernel (sole kernel in legacy mode)
   net::Topology topology_;
-  std::unique_ptr<net::SimTransport> transport_;
+  /// Sharded mode only: the four data-region kernels (shard order; the app
+  /// edge reuses simulator_ as shard 4).
+  std::vector<std::unique_ptr<sim::Simulator>> region_sims_;
+  std::unique_ptr<net::ShardStager> stager_;
+  std::unique_ptr<net::SimTransport> transport_;  ///< app-edge transport
+  std::vector<std::unique_ptr<net::SimTransport>> region_transports_;
+  std::vector<net::SimTransport*> shard_transports_;  ///< all 5, shard order
+  /// Fleet-shared immutable agent state (memory compaction): one config and
+  /// one resource walk plan for every node.
+  std::shared_ptr<const agent::AgentConfig> agent_config_;
+  std::shared_ptr<const agent::ResourceModel::StepPlan> step_plan_;
   std::unique_ptr<store::Cluster> store_;
   std::unique_ptr<core::Service> service_;
   std::unique_ptr<core::Client> client_;
-  std::vector<std::unique_ptr<agent::NodeManager>> agents_;
+  /// Agents live in a chunked arena: stable addresses (closures capture
+  /// `this`), one allocation per 64 agents, contiguous walks.
+  Slab<agent::NodeManager> agents_;
+  /// Declared after everything it drives so its destructor joins the worker
+  /// threads before any shard state is torn down.
+  std::unique_ptr<sim::ShardedSimulator> sharded_;
   sim::TimerId audit_timer_ = 0;
   std::uint64_t audits_run_ = 0;
+  SimTime next_audit_ = 0;  ///< sharded mode: next barrier-audit due time
   std::string trace_path_;  ///< from FOCUS_TRACE; written at destruction
 };
 

@@ -1,6 +1,7 @@
 #include "net/msg_kind.hpp"
 
 #include <deque>
+#include <mutex>
 #include <ostream>
 #include <unordered_map>
 
@@ -11,10 +12,13 @@ namespace focus::net {
 namespace {
 
 /// Process-wide intern table. names is a deque so stored strings never move:
-/// the by_name keys are views into them. Function-local static avoids any
+/// the by_name keys are views into them, and a view returned under the mutex
+/// stays valid after it is released. Function-local static avoids any
 /// initialization-order dependence between the translation units that intern
-/// kinds at static-init time.
+/// kinds at static-init time; the mutex covers the kinds interned lazily
+/// from shard worker threads (function-local statics on gossip paths).
 struct Registry {
+  std::mutex mu;
   std::deque<std::string> names{"(none)"};  // index 0 = the default tag
   std::unordered_map<std::string_view, std::uint16_t> by_name;
 };
@@ -29,6 +33,7 @@ Registry& registry() {
 MsgKind MsgKind::intern(std::string_view name) {
   FOCUS_CHECK(!name.empty()) << "message kinds need a spelling";
   Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
   if (const auto it = reg.by_name.find(name); it != reg.by_name.end()) {
     return MsgKind(it->second);
   }
@@ -40,11 +45,14 @@ MsgKind MsgKind::intern(std::string_view name) {
 }
 
 std::string_view MsgKind::name() const {
-  return registry().names[value_];
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.names[value_];
 }
 
 std::string_view kind_spelling(std::uint16_t value) {
-  const Registry& reg = registry();
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
   FOCUS_CHECK_LT(value, reg.names.size()) << "unknown message-kind value";
   return reg.names[value];
 }

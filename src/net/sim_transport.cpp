@@ -53,6 +53,34 @@ void SimTransport::send(Message msg) {
     return;
   }
   stats_.record_tx(msg.from.node, bytes);
+  if (stager_ != nullptr) {
+    const Region dest_region = topology_.region_of(msg.to.node);
+    if (dest_region != shard_region_) {
+      // Cross-shard: sample loss and latency here (this shard's rng keeps
+      // per-shard randomness self-contained and worker-count independent),
+      // then stage the absolute-time delivery for the barrier merge. The
+      // destination-down check is delivery-time only — the authoritative
+      // down-set lives in the destination shard's transport.
+      if (loss_rate_ > 0 && rng_.chance(loss_rate_)) {
+        stats_.count_dropped();
+        trace_drop(msg, simulator_.now());
+        return;
+      }
+      const Duration latency =
+          topology_.sample_latency(msg.from.node, msg.to.node, rng_);
+      StagedMessage staged;
+      staged.deliver_at = simulator_.now() + latency;
+      staged.sent_at = simulator_.now();
+      staged.rx_bytes = bytes;
+#ifndef NDEBUG
+      staged.sent_bytes = bytes;
+#endif
+      staged.msg = std::move(msg);
+      stager_->stage(static_cast<std::size_t>(shard_region_),
+                     static_cast<std::size_t>(dest_region), std::move(staged));
+      return;
+    }
+  }
   if (down_.count(msg.to.node) > 0 || (loss_rate_ > 0 && rng_.chance(loss_rate_))) {
     stats_.count_dropped();
     trace_drop(msg, simulator_.now());
@@ -61,6 +89,11 @@ void SimTransport::send(Message msg) {
   const Duration latency =
       topology_.sample_latency(msg.from.node, msg.to.node, rng_);
   deliver_at(latency, std::move(msg), bytes);
+}
+
+FOCUS_HOT void SimTransport::accept_staged(StagedMessage staged) {
+  schedule_delivery(staged.deliver_at, std::move(staged.msg), staged.rx_bytes,
+                    staged.sent_bytes, staged.sent_at);
 }
 
 void SimTransport::deliver_at(Duration delay, Message msg, std::size_t rx_bytes) {
@@ -77,10 +110,17 @@ void SimTransport::deliver_at(Duration delay, Message msg, std::size_t rx_bytes)
   // Captured unconditionally (not only when tracing) so the closure's size
   // and behavior are identical with tracing on or off.
   const SimTime sent_at = simulator_.now();
+  schedule_delivery(simulator_.now() + delay, std::move(msg), rx_bytes,
+                    sent_bytes, sent_at);
+}
+
+void SimTransport::schedule_delivery(SimTime at, Message msg,
+                                     std::size_t rx_bytes,
+                                     std::size_t sent_bytes, SimTime sent_at) {
   // One move of the Message into the closure; the closure itself fits the
   // kernel's inline task storage, so a send schedules without allocating.
-  simulator_.schedule_after(delay, [this, rx_bytes, sent_bytes, sent_at,
-                                    m = std::move(msg)]() {
+  simulator_.schedule_at(at, [this, rx_bytes, sent_bytes, sent_at,
+                              m = std::move(msg)]() {
     FOCUS_DCHECK_EQ(m.wire_bytes(), sent_bytes)
         << "payload mutated between send and delivery: " << to_string(m.kind);
     // Receiver may have died or unbound while the message was in flight; rx

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/rng.hpp"
+#include "net/shard_stage.hpp"
 #include "net/stats.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
@@ -43,6 +44,24 @@ class SimTransport final : public Transport {
   /// nodes after construction).
   Topology& topology() noexcept { return topology_; }
 
+  /// Switch this transport into sharded mode: it serves exactly the nodes of
+  /// `shard_region`, and any send to a node in another region is sampled
+  /// locally (latency, loss, bandwidth — all from this transport's rng) and
+  /// staged into `stager` for the window-barrier merge instead of being
+  /// scheduled into a foreign kernel. Destination-down filtering moves
+  /// entirely to delivery time in the owning shard, where the authoritative
+  /// down-set lives. Call before any traffic flows; `stager` must outlive
+  /// the transport.
+  void enable_sharding(Region shard_region, ShardStager* stager) {
+    shard_region_ = shard_region;
+    stager_ = stager;
+  }
+
+  /// Replay one merged cross-shard delivery (coordinator-only, at a window
+  /// barrier): schedules the usual delivery closure at the staged absolute
+  /// time in this shard's kernel.
+  void accept_staged(StagedMessage staged);
+
  private:
   /// Handlers are held behind shared_ptr so a delivery can pin the callable
   /// with a refcount bump instead of deep-copying a std::function, while a
@@ -56,6 +75,13 @@ class SimTransport final : public Transport {
   /// the NIC).
   void deliver_at(Duration delay, Message msg, std::size_t rx_bytes);
 
+  /// The delivery closure itself, at an absolute kernel time: shared by
+  /// deliver_at (local sends) and accept_staged (merged cross-shard sends).
+  /// `sent_bytes`/`sent_at` are the send-time payload stamp and timestamp
+  /// (immutability audit + per-hop trace spans).
+  void schedule_delivery(SimTime at, Message msg, std::size_t rx_bytes,
+                         std::size_t sent_bytes, SimTime sent_at);
+
   sim::Simulator& simulator_;
   Topology& topology_;
   Rng rng_;
@@ -63,6 +89,11 @@ class SimTransport final : public Transport {
   std::unordered_set<NodeId> down_;
   double loss_rate_ = 0;
   NetStats stats_;
+  /// Sharded mode (enable_sharding): the region this transport serves and
+  /// the staging buffers for cross-region sends. Null stager = legacy
+  /// single-kernel mode.
+  Region shard_region_ = Region::AppEdge;
+  ShardStager* stager_ = nullptr;
 };
 
 }  // namespace focus::net

@@ -44,6 +44,22 @@ Duration Topology::sample_latency(NodeId from, NodeId to, Rng& rng) const {
   return std::max<Duration>(1, static_cast<Duration>(static_cast<double>(base) * factor));
 }
 
+Duration Topology::lookahead_floor() const {
+  Duration floor = 0;
+  for (std::size_t a = 0; a < kRegions; ++a) {
+    for (std::size_t b = 0; b < kRegions; ++b) {
+      if (a == b) continue;
+      // Truncate the same way sample_latency does, so the floor is a true
+      // lower bound on every sampled cross-region delay.
+      const auto shrunk = std::max<Duration>(
+          1, static_cast<Duration>(static_cast<double>(latency_[a][b]) *
+                                   (1.0 - jitter_)));
+      floor = (floor == 0) ? shrunk : std::min(floor, shrunk);
+    }
+  }
+  return floor;
+}
+
 void Topology::set_latency(Region a, Region b, Duration one_way) {
   latency_[idx(a)][idx(b)] = one_way;
   latency_[idx(b)][idx(a)] = one_way;

@@ -37,6 +37,15 @@ class Topology {
 
   /// Fractional jitter: sampled latency is base * U(1-j, 1+j). Default 0.1.
   void set_jitter(double fraction) { jitter_ = fraction; }
+  double jitter() const { return jitter_; }
+
+  /// Largest conservative lookahead window (µs) safe for region-sharded
+  /// simulation: the minimum cross-region one-way latency after the
+  /// worst-case jitter shrink, floored at 1µs like sample_latency. Any
+  /// cross-region send made at time s is delivered no earlier than
+  /// s + lookahead_floor(), which is what lets sim::ShardedSimulator run
+  /// each region freely for one window between barriers.
+  Duration lookahead_floor() const;
 
  private:
   static constexpr int kRegions = 5;

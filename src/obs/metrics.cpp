@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "common/check.hpp"
@@ -15,7 +17,12 @@ struct MetricInfo {
   std::vector<double> bounds;
 };
 
+/// Registration is process-wide and may happen lazily from shard worker
+/// threads (function-local statics on gossip paths), so the registry is
+/// mutex-protected. The recording arrays are NOT here — each thread records
+/// into its own MetricSet (see metrics() below), so bumps stay lock-free.
 struct Registry {
+  std::mutex mu;
   std::vector<MetricInfo> infos;
   // Name -> id, via the Name interner's dense values.
   std::vector<std::uint32_t> id_by_name{0};  // index 0 = "(none)", unused
@@ -40,11 +47,24 @@ std::vector<double> default_bounds() {
   return bounds;
 }
 
+/// Every thread-owned recording set, kept alive (shared_ptr) past thread
+/// exit so a finished shard worker's numbers still aggregate.
+struct ThreadSets {
+  std::mutex mu;
+  std::vector<std::shared_ptr<MetricSet>> sets;
+};
+
+ThreadSets& thread_sets() {
+  static ThreadSets instance;
+  return instance;
+}
+
 }  // namespace
 
 MetricId MetricId::counter(std::string_view name) {
-  Registry& reg = registry();
   const Name interned = Name::intern(name);
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
   if (interned.value() >= reg.id_by_name.size()) {
     reg.id_by_name.resize(interned.value() + 1, kUnregistered);
   }
@@ -63,8 +83,9 @@ MetricId MetricId::gauge(std::string_view name) { return counter(name); }
 
 MetricId MetricId::histogram(std::string_view name,
                              std::vector<double> upper_bounds) {
-  Registry& reg = registry();
   const Name interned = Name::intern(name);
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
   if (interned.value() >= reg.id_by_name.size()) {
     reg.id_by_name.resize(interned.value() + 1, kUnregistered);
   }
@@ -82,13 +103,19 @@ MetricId MetricId::histogram(std::string_view name,
 }
 
 std::string_view MetricId::name() const {
-  const Registry& reg = registry();
-  FOCUS_DCHECK_LT(value_, reg.infos.size());
-  return reg.infos[value_].name.spelling();
+  Registry& reg = registry();
+  Name interned;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    FOCUS_DCHECK_LT(value_, reg.infos.size());
+    interned = reg.infos[value_].name;
+  }
+  return interned.spelling();
 }
 
 MetricKind MetricId::kind() const {
-  const Registry& reg = registry();
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
   FOCUS_DCHECK_LT(value_, reg.infos.size());
   return reg.infos[value_].kind;
 }
@@ -104,7 +131,13 @@ FixedHistogram& MetricSet::histo_slot(MetricId id) {
   if (id.value() >= histos_.size()) histos_.resize(id.value() + 1);
   FixedHistogram& slot = histos_[id.value()];
   if (slot.num_buckets() == 0) {
-    slot = FixedHistogram(registry().infos[id.value()].bounds);
+    Registry& reg = registry();
+    std::vector<double> bounds;
+    {
+      const std::lock_guard<std::mutex> lock(reg.mu);
+      bounds = reg.infos[id.value()].bounds;
+    }
+    slot = FixedHistogram(std::move(bounds));
   }
   return slot;
 }
@@ -147,9 +180,42 @@ void MetricSet::reset() {
   histos_.clear();
 }
 
+void MetricSet::merge_from(const MetricSet& other) {
+  for (std::uint32_t i = 0; i < other.scalars_.size(); ++i) {
+    if (!other.scalars_[i].touched) continue;
+    Scalar& slot = scalar_slot(MetricId(i));
+    slot.value += other.scalars_[i].value;
+    slot.touched = true;
+  }
+  for (std::uint32_t i = 0; i < other.histos_.size(); ++i) {
+    if (other.histos_[i].empty()) continue;
+    histo_slot(MetricId(i)).merge(other.histos_[i]);
+  }
+}
+
 MetricSet& metrics() {
-  static MetricSet instance;
-  return instance;
+  thread_local MetricSet* mine = [] {
+    auto set = std::make_shared<MetricSet>();
+    ThreadSets& ts = thread_sets();
+    const std::lock_guard<std::mutex> lock(ts.mu);
+    ts.sets.push_back(set);
+    return set.get();
+  }();
+  return *mine;
+}
+
+MetricSet aggregated_metrics() {
+  MetricSet merged;
+  ThreadSets& ts = thread_sets();
+  const std::lock_guard<std::mutex> lock(ts.mu);
+  for (const auto& set : ts.sets) merged.merge_from(*set);
+  return merged;
+}
+
+void reset_all_metrics() {
+  ThreadSets& ts = thread_sets();
+  const std::lock_guard<std::mutex> lock(ts.mu);
+  for (const auto& set : ts.sets) set->reset();
 }
 
 }  // namespace focus::obs

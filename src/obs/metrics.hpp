@@ -12,6 +12,14 @@
 // Recording is always on (it is deterministic pure observation and costs a
 // couple of array slots), unlike span tracing which is gated — see
 // obs/trace.hpp and DESIGN.md §8.
+//
+// Threading (sharded runs): obs::metrics() is the *calling thread's* set, so
+// shard workers record into private arrays with no synchronization on the
+// bump path. Every thread-owned set is registered process-wide;
+// aggregated_metrics() folds them (counters and histograms merge exactly;
+// a gauge recorded by several threads sums, so keep per-shard gauges under
+// distinct names) and reset_all_metrics() zeroes them. Both must only run
+// while no other thread is recording — i.e. between windows or runs.
 
 #include <cstdint>
 #include <string_view>
@@ -92,6 +100,10 @@ class MetricSet {
   /// Zero every slot (registration survives; this set just forgets values).
   void reset();
 
+  /// Fold another set into this one: scalars add (a gauge touched by exactly
+  /// one thread folds exactly), histograms merge bucket-wise.
+  void merge_from(const MetricSet& other);
+
  private:
   struct Scalar {
     double value = 0;
@@ -105,9 +117,18 @@ class MetricSet {
   mutable std::vector<FixedHistogram> histos_;  // indexed by id.value()
 };
 
-/// The process-wide metric set hot paths record into. Testbed resets it at
-/// construction so each harness run starts from zero.
+/// The calling thread's metric set — what hot paths record into. The set is
+/// created on first use and registered process-wide so aggregation sees it
+/// even after the thread exits (shard workers are per-run).
 MetricSet& metrics();
+
+/// Fold every thread's set into one snapshot. Caller must ensure no thread
+/// is concurrently recording (run the simulation to a barrier first).
+MetricSet aggregated_metrics();
+
+/// Zero every thread's set (Testbed construction). Same quiescence
+/// requirement as aggregated_metrics().
+void reset_all_metrics();
 
 template <typename ScalarFn, typename HistoFn>
 void MetricSet::for_each(ScalarFn&& scalar_fn, HistoFn&& histo_fn) const {

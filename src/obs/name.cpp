@@ -1,6 +1,7 @@
 #include "obs/name.hpp"
 
 #include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -11,10 +12,13 @@ namespace focus::obs {
 namespace {
 
 /// Process-wide intern table. Stored strings live in a deque so they never
-/// move (the by_name keys are views into them); the function-local static
-/// removes any initialization-order dependence between translation units
-/// that intern names during static init.
+/// move (the by_name keys are views into them, and a view returned under the
+/// mutex stays valid after release); the function-local static removes any
+/// initialization-order dependence between translation units that intern
+/// names during static init. The mutex covers names interned lazily from
+/// shard worker threads (function-local statics on delivery/gossip paths).
 struct Registry {
+  std::mutex mu;
   std::deque<std::string> spellings{"(none)"};  // index 0 = default tag
   std::unordered_map<std::string_view, std::uint16_t> by_name;
 };
@@ -29,6 +33,7 @@ Registry& registry() {
 Name Name::intern(std::string_view spelling) {
   FOCUS_CHECK(!spelling.empty()) << "observability names need a spelling";
   Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
   if (const auto it = reg.by_name.find(spelling); it != reg.by_name.end()) {
     return Name(it->second);
   }
@@ -39,6 +44,10 @@ Name Name::intern(std::string_view spelling) {
   return Name(value);
 }
 
-std::string_view Name::spelling() const { return registry().spellings[value_]; }
+std::string_view Name::spelling() const {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.spellings[value_];
+}
 
 }  // namespace focus::obs

@@ -6,6 +6,7 @@ std::uint64_t Tracer::begin_span(std::uint64_t trace_id,
                                  std::uint64_t parent_id, Name name,
                                  NodeId node, SimTime start) {
   if (!enabled()) return 0;
+  const std::lock_guard<std::mutex> lock(mu_);
   SpanRecord& rec = spans_.emplace_back();
   rec.trace_id = trace_id;
   rec.parent_id = parent_id;
@@ -18,6 +19,7 @@ std::uint64_t Tracer::begin_span(std::uint64_t trace_id,
 
 void Tracer::end_span(std::uint64_t span_id, SimTime end) {
   if (span_id == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   spans_[span_id - 1].end = end;
 }
 
@@ -29,11 +31,13 @@ void Tracer::instant(std::uint64_t trace_id, std::uint64_t parent_id,
 
 void Tracer::set_label(std::uint64_t span_id, Name label) {
   if (span_id == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   spans_[span_id - 1].label = label;
 }
 
 void Tracer::set_arg(std::uint64_t span_id, Name key, double value) {
   if (span_id == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   SpanRecord& rec = spans_[span_id - 1];
   for (auto i = 0; i < 2; ++i) {
     if (!rec.arg_key[i]) {
@@ -50,7 +54,12 @@ Tracer& tracer() {
 }
 
 Name kind_name(std::uint16_t kind_value, std::string_view spelling) {
+  // The dense cache is shared across shard worker threads; entries are
+  // write-once (a kind's spelling never changes), so a mutex around the
+  // lookup keeps it race-free without invalidating returned Names.
+  static std::mutex mu;
   static std::vector<Name> cache;
+  const std::lock_guard<std::mutex> lock(mu);
   if (kind_value >= cache.size()) cache.resize(kind_value + 1);
   Name& slot = cache[kind_value];
   if (!slot) slot = Name::intern(spelling);

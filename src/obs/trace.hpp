@@ -12,7 +12,9 @@
 // flag (FOCUS_OBS_TRACING) ANDed with a runtime bool; with the flag compiled
 // out the disabled path is a single always-false branch.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -47,15 +49,25 @@ struct SpanRecord {
 
 /// Span sink. The process-wide instance is obs::tracer(); Testbed resets its
 /// buffer each run and enables it when FOCUS_TRACE is set.
+///
+/// Recording is safe from shard worker threads: the buffer is mutated under
+/// a mutex (span ids stay buffer indices, handed out under the same lock).
+/// Sharded traces are complete but their buffer order is not deterministic
+/// across runs — the exporter keys on (trace_id, span ids) and sim times, so
+/// exported trees are still stable; digests never read the tracer. spans()
+/// must only be read while no simulation is running (between windows/runs).
 class Tracer {
  public:
   /// True when spans are being recorded. Instrumentation sites branch on this
   /// before touching the buffer (begin_span also re-checks, so a site may
   /// call it unconditionally when convenient).
   bool enabled() const noexcept {
-    return FOCUS_OBS_TRACING != 0 && runtime_enabled_;
+    return FOCUS_OBS_TRACING != 0 &&
+           runtime_enabled_.load(std::memory_order_relaxed);
   }
-  void set_enabled(bool on) noexcept { runtime_enabled_ = on; }
+  void set_enabled(bool on) noexcept {
+    runtime_enabled_.store(on, std::memory_order_relaxed);
+  }
 
   /// Open a span. Returns its span id (buffer index + 1) for end_span /
   /// child-parenting, or 0 when disabled (all other calls ignore id 0).
@@ -78,10 +90,14 @@ class Tracer {
 
   /// Drop recorded spans. Does NOT change the enabled flag (Testbed resets
   /// buffers at construction after the FOCUS_TRACE hook may have enabled us).
-  void reset() { spans_.clear(); }
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+  }
 
  private:
-  bool runtime_enabled_ = false;
+  std::atomic<bool> runtime_enabled_{false};
+  mutable std::mutex mu_;  ///< guards spans_ mutation (multi-shard recording)
   std::vector<SpanRecord> spans_;
 };
 

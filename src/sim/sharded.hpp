@@ -1,0 +1,109 @@
+#pragma once
+// Region-sharded parallel simulation driver. One sim::Simulator per WAN
+// region runs on its own worker thread; the fleet advances in conservative
+// time windows no longer than the minimum cross-region one-way latency
+// (net::Topology's latency floor, jitter included). Inside a window each
+// shard executes freely — intra-region events never leave their kernel, and
+// any cross-region send carries at least one window of latency, so it cannot
+// affect another shard until after the next barrier. Cross-shard deliveries
+// are staged during the window (net/shard_stage.hpp) and merged by the
+// coordinator at the barrier in a deterministic order, which keeps every
+// shard's event sequence — and therefore digest() — byte-identical for any
+// worker-thread count. See DESIGN.md §10.
+//
+// Threading model: the coordinator (the thread that calls run_until) parks
+// between windows; `threads` persistent workers each own a fixed round-robin
+// subset of the shards. threads == 1 runs the same windowed algorithm inline
+// on the caller with no worker threads at all — the degenerate case the
+// determinism tests compare against. All shard state is confined: workers
+// touch only their own shards during a window, the coordinator touches
+// shards only while workers are parked (the mutex hand-off orders both).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace focus::sim {
+
+/// Drives N shard kernels through conservative windows. Does not own the
+/// shards; they must outlive the driver. Construction requires all shard
+/// clocks to agree (normally: freshly built kernels at t=0).
+class ShardedSimulator {
+ public:
+  /// Runs at each window barrier, on the coordinator thread, with every
+  /// worker parked: safe to read/mutate any shard (merge staged cross-shard
+  /// messages, run audits, sample state). Receives the committed time.
+  using BarrierHook = std::function<void(SimTime)>;
+
+  /// `window` is the conservative lookahead (µs): at most the minimum
+  /// cross-region one-way latency after worst-case jitter shrink —
+  /// Topology::lookahead_floor(). FOCUS_CHECKed positive.
+  /// `threads` is the worker count (clamped to [1, shards]); 1 = inline.
+  ShardedSimulator(std::vector<Simulator*> shards, Duration window,
+                   unsigned threads = 1);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  void set_barrier_hook(BarrierHook hook) { hook_ = std::move(hook); }
+
+  /// Advance every shard to exactly `t`, one window at a time, invoking the
+  /// barrier hook after each window commits.
+  void run_until(SimTime t);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Committed fleet time: every shard has executed all events <= now() and
+  /// no shard has run past it.
+  SimTime now() const noexcept { return now_; }
+
+  Duration window() const noexcept { return window_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  unsigned threads() const noexcept { return threads_; }
+  Simulator& shard(std::size_t i) { return *shards_[i]; }
+  const Simulator& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Total events executed across all shards. Barrier-time only.
+  std::uint64_t executed() const noexcept;
+
+  /// Order-sensitive FNV-1a fold of the per-shard digests, in shard order.
+  /// Byte-identical across worker-thread counts for the same seed; the
+  /// determinism ctest (tests/test_sharded.cpp) enforces this. Barrier-time
+  /// only (between run_until calls or inside the barrier hook).
+  std::uint64_t digest() const noexcept;
+
+ private:
+  void worker_main(unsigned index);
+  /// Run this worker's shards (round-robin subset `index, index+threads,
+  /// ...`) up to `target`, stamping the thread's log lines with the clock of
+  /// the shard currently executing.
+  void run_assigned(unsigned index, SimTime target);
+  static std::int64_t coordinator_time(const void* ctx);
+
+  std::vector<Simulator*> shards_;
+  Duration window_;
+  unsigned threads_;
+  BarrierHook hook_;
+  SimTime now_ = 0;
+
+  // Window hand-off (threads_ > 1): the coordinator publishes a target and
+  // bumps epoch_; each worker runs its shards to the target and bumps done_.
+  // This mutex is the only cross-thread channel in the driver — shard event
+  // state itself is never shared mid-window.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  SimTime target_ = 0;
+  unsigned done_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace focus::sim

@@ -44,10 +44,13 @@ class Simulator {
  public:
   using Task = UniqueTask;
 
-  /// Construction installs this simulator as the Logger's sim-time source so
-  /// log lines carry reproducible timestamps; destruction uninstalls it.
-  /// With several live simulators the last-constructed one wins (the usual
-  /// case — one kernel per testbed — has exactly one).
+  /// Construction installs this simulator as the *calling thread's* Logger
+  /// sim-time source so log lines carry reproducible timestamps; destruction
+  /// uninstalls it. The slot is per-thread: several live simulators on one
+  /// thread follow last-constructed-wins (the usual case — one kernel per
+  /// testbed — has exactly one), while a sharded run re-installs each
+  /// shard's clock on the worker executing it and the committed window time
+  /// on the coordinator (sim::ShardedSimulator owns those installs).
   Simulator();
   ~Simulator();
   Simulator(const Simulator&) = delete;

@@ -1,0 +1,24 @@
+// shard-confinement fixture: concurrency primitives in a simulation
+// component (not on the allowlist) must be flagged; an inline allow with a
+// justification suppresses a single deliberate use.
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+std::mutex table_guard;
+
+thread_local int worker_slot = 0;
+
+inline int bump() {
+  static std::atomic<int> counter{0};
+  return ++counter;
+}
+
+inline void wait_for_flush() {
+  // focus-lint: allow(shard-confinement): fixture-only justified exception
+  std::condition_variable* cv = nullptr;
+  (void)cv;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// shard-confinement fixture: this file is on the fixture's
+// concurrency_allowlist ("src/driver"), so its primitives are legitimate —
+// it stands in for the real sharded driver. No findings expected.
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex coordinator_mu;
+thread_local int driver_slot = 0;
+
+inline void park(std::thread& worker) {
+  if (worker.joinable()) worker.join();
+}
+
+}  // namespace fixture

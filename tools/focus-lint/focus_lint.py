@@ -29,6 +29,14 @@ undebuggable digest mismatch:
                         side-effecting expressions inside FOCUS_CHECK /
                         FOCUS_DCHECK arguments (DCHECK args are never
                         evaluated under NDEBUG).
+  shard-confinement     the simulation tree is single-threaded per shard:
+                        no std:: concurrency primitives (threads, mutexes,
+                        atomics, condition variables, futures) or
+                        thread_local state in src/ outside the
+                        concurrency_allowlist prefixes — the sharded driver
+                        plus the audited observability/intern edges. New
+                        cross-thread state must be designed into the driver's
+                        window barriers, not sprinkled into components.
 
 Deliberately dependency-free: the pass runs its own C++ lexer (comments,
 strings, raw strings, two-char operators) instead of requiring libclang,
@@ -647,6 +655,60 @@ def check_discipline(project: Project, rel: str,
 
 
 # ---------------------------------------------------------------------------
+# Check 6: shard confinement
+
+_CONCURRENCY_TYPES = {
+    "thread", "jthread", "mutex", "timed_mutex", "recursive_mutex",
+    "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+    "condition_variable", "condition_variable_any", "atomic", "atomic_flag",
+    "atomic_ref", "future", "shared_future", "promise", "packaged_task",
+    "async", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+    "counting_semaphore", "binary_semaphore", "latch", "barrier",
+    "stop_token", "call_once", "once_flag",
+}
+_CONCURRENCY_HEADERS = {
+    "thread", "mutex", "shared_mutex", "condition_variable", "atomic",
+    "future", "semaphore", "latch", "barrier", "stop_token",
+}
+
+
+def check_shard_confinement(project: Project, rel: str,
+                            lex: FileLex) -> Iterator[Finding]:
+    if any(rel.startswith(p) for p in project.config.get(
+            "concurrency_allowlist", [])):
+        return
+    toks = lex.tokens
+    for i, tok in enumerate(toks):
+        if tok.kind != "id":
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        prev2 = toks[i - 2].text if i > 1 else ""
+        if tok.text in _CONCURRENCY_HEADERS and prev == "<" \
+                and prev2 == "include":
+            yield Finding(
+                "shard-confinement", rel, tok.line, tok.col,
+                f"#include <{tok.text}> outside the concurrency allowlist: "
+                "simulation components are single-threaded per shard; "
+                "cross-shard state flows through ShardStager at window "
+                "barriers (driver: src/sim/sharded)")
+        elif tok.text in _CONCURRENCY_TYPES and prev == "::" \
+                and prev2 == "std":
+            yield Finding(
+                "shard-confinement", rel, tok.line, tok.col,
+                f"std::{tok.text} outside the concurrency allowlist: "
+                "simulation components are single-threaded per shard; "
+                "cross-shard state flows through ShardStager at window "
+                "barriers (driver: src/sim/sharded)")
+        elif tok.text == "thread_local":
+            yield Finding(
+                "shard-confinement", rel, tok.line, tok.col,
+                "thread_local state outside the concurrency allowlist: a "
+                "per-thread slot hides shard-crossing state from the "
+                "window-barrier protocol; confine it to the allowlisted "
+                "driver/observability edges")
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 CHECKS = [
@@ -655,6 +717,7 @@ CHECKS = [
     ("payload-immutability", check_payload_immutability),
     ("hot-path-hygiene", check_hot_path),
     ("check-discipline", check_discipline),
+    ("shard-confinement", check_shard_confinement),
 ]
 
 
