@@ -120,9 +120,9 @@ BENCHMARK(BM_FanoutBroadcast);
 void BM_MemberListSync(benchmark::State& state) {
   gossip::MemberTable table;
   for (std::uint32_t i = 1; i <= 400; ++i) {
-    auto& info = table.insert(NodeId{i}, gossip::MemberState::Alive);
-    info.addr = net::Address{NodeId{i}, 100};
-    info.incarnation = i;
+    const std::uint32_t slot = table.insert(NodeId{i}, gossip::MemberState::Alive);
+    table.set_addr(slot, net::Address{NodeId{i}, 100});
+    table.set_incarnation(slot, i);
   }
   gossip::MemberListPayload payload;
   for (auto _ : state) {
@@ -141,6 +141,29 @@ void BM_MemberListSync(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 400);
 }
 BENCHMARK(BM_MemberListSync);
+
+// The protocol-period scan the SoA MemberTable layout exists for: rebuild
+// the alive view over a 25k-member table. The rebuild walks the one-byte
+// state column only; the old AoS slab walked full ~48-byte records with the
+// embedded address dragged through cache for every member.
+void BM_AliveViewRebuild(benchmark::State& state) {
+  gossip::MemberTable table;
+  for (std::uint32_t i = 1; i <= 25000; ++i) {
+    const std::uint32_t slot = table.insert(NodeId{i}, gossip::MemberState::Alive);
+    table.set_addr(slot, net::Address{NodeId{i}, 100});
+  }
+  for (auto _ : state) {
+    // Toggle one member across the alive/dead boundary so every iteration
+    // invalidates the cached view and pays the full column scan.
+    const std::uint32_t slot = table.find_slot(NodeId{2});
+    table.set_state(slot, table.state(slot) == gossip::MemberState::Alive
+                              ? gossip::MemberState::Dead
+                              : gossip::MemberState::Alive);
+    benchmark::DoNotOptimize(table.alive_slots().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 25000);
+}
+BENCHMARK(BM_AliveViewRebuild);
 
 }  // namespace
 

@@ -41,6 +41,8 @@ struct Options {
   std::string metrics;     // metrics-snapshot output path ("" = none)
   double qps = 0;          // client query rate; 0 keeps the stock workload
   unsigned shards = 0;     // 0 = legacy kernel; N >= 1 = region-sharded mode
+  unsigned sub_shards = 1;       // sharded mode: kernels per data region
+  unsigned edge_sub_shards = 1;  // sharded mode: kernels at the app edge
 };
 
 std::string read_file(const std::string& path) {
@@ -124,6 +126,10 @@ int main(int argc, char** argv) {
       opt.qps = std::stod(next());
     } else if (arg == "--shards") {
       opt.shards = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--sub-shards") {
+      opt.sub_shards = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--edge-sub-shards") {
+      opt.edge_sub_shards = static_cast<unsigned>(std::stoul(next()));
     } else {
       std::fprintf(stderr,
                    "usage: scenario_throughput [--nodes N] [--seed S]\n"
@@ -131,7 +137,9 @@ int main(int argc, char** argv) {
                    "  [--append existing.json] [--label name]\n"
                    "  [--trace trace.json] [--metrics metrics.json] [--qps Q]\n"
                    "  [--shards N]  (0 = legacy single kernel; N >= 1 =\n"
-                   "   region-sharded mode with N worker threads)\n");
+                   "   region-sharded mode with N worker threads)\n"
+                   "  [--sub-shards K] [--edge-sub-shards K]  (sharded mode:\n"
+                   "   kernels per data region / at the app edge; default 1)\n");
       return 2;
     }
   }
@@ -145,6 +153,8 @@ int main(int argc, char** argv) {
   config.num_nodes = opt.nodes;
   config.seed = opt.seed;
   config.shards = opt.shards;
+  config.data_sub_shards = opt.sub_shards;
+  config.edge_sub_shards = opt.edge_sub_shards;
   config.agent.dynamics.volatility = 0.02;  // steady bucket-crossing churn
   const long rss_before_build = current_rss_bytes();
   harness::Testbed bed(config);
@@ -167,9 +177,14 @@ int main(int argc, char** argv) {
   std::uint64_t queries_issued = 0;
   std::uint64_t queries_answered = 0;
   Rng qrng(opt.seed ^ 0x51e57);
+  // The query timer ticks on the client's own kernel: with the app edge
+  // split into sub-shards the client may live on a different shard than the
+  // service, and a timer on a foreign kernel would touch client state from
+  // another worker thread.
+  sim::Simulator& client_sim = bed.simulator_for(harness::kAppNode);
   if (opt.qps > 0) {
     const auto interval = static_cast<Duration>(1e6 / opt.qps);
-    query_timer = bed.simulator().every(interval, [&] {
+    query_timer = client_sim.every(interval, [&] {
       ++queries_issued;
       bed.client().query(
           harness::make_placement_query(qrng, 5),
@@ -181,7 +196,7 @@ int main(int argc, char** argv) {
   const auto wall_start = std::chrono::steady_clock::now();
   bed.run_for(opt.sim_seconds * kSecond);
   const auto wall_end = std::chrono::steady_clock::now();
-  if (query_timer != 0) bed.simulator().cancel(query_timer);
+  if (query_timer != 0) client_sim.cancel(query_timer);
 
   const std::uint64_t events = bed.executed() - events_before;
   const double wall_seconds =
@@ -203,6 +218,15 @@ int main(int argc, char** argv) {
   // Recorded only in sharded mode so stock legacy entries keep their schema
   // (absent == 0; --compare matches baseline entries on this key).
   if (opt.shards > 0) run["shards"] = static_cast<std::int64_t>(opt.shards);
+  // Sub-shard split recorded only when non-default (absent == 1), so the
+  // PR7-era 25k entries keep their schema and --compare shape-matching never
+  // gates a split run against an unsplit baseline.
+  if (opt.sub_shards != 1) {
+    run["sub_shards"] = static_cast<std::int64_t>(opt.sub_shards);
+  }
+  if (opt.edge_sub_shards != 1) {
+    run["edge_sub_shards"] = static_cast<std::int64_t>(opt.edge_sub_shards);
+  }
   if (!opt.micro.empty()) run["micro"] = summarize_micro(opt.micro);
   // Non-default observability knobs are recorded only when used, so stock
   // entries keep their schema and --compare sees like-for-like runs.

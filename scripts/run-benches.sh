@@ -11,8 +11,9 @@
 # --compare runs the benches into a temporary file (the baseline is NOT
 # appended to) and diffs the fresh numbers against the most recent committed
 # trajectory entry with the SAME workload shape — matching nodes, seed,
-# sim_seconds and shards — in the baseline (default: BENCH_core.json), so
-# pinned large-fleet or sharded entries never get diffed against the stock
+# sim_seconds, shards and sub-shard split — in the baseline (default:
+# BENCH_core.json), so pinned large-fleet, sharded or sub-sharded entries
+# never get diffed against the stock
 # 400-node run. Any tracked micro bench more than 25% slower, scenario
 # throughput more than 25% lower, or bytes_per_node more than 25% higher,
 # makes the script exit non-zero. Intended as an informational CI gate —
@@ -29,6 +30,8 @@
 #   SEED      scenario seed (default: 7)
 #   SHARDS    0 = legacy single kernel; N >= 1 = region-sharded mode with N
 #             worker threads (default: 0)
+#   SUB_SHARDS       sharded mode: kernels per data region (default: 1)
+#   EDGE_SUB_SHARDS  sharded mode: kernels at the app edge (default: 1)
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -53,6 +56,8 @@ nodes=${NODES:-400}
 sim_secs=${SIM_SECS:-60}
 seed=${SEED:-7}
 shards=${SHARDS:-0}
+sub_shards=${SUB_SHARDS:-1}
+edge_sub_shards=${EDGE_SUB_SHARDS:-1}
 
 cmake --build "$build_dir" -j --target micro_core micro_control micro_gossip scenario_throughput
 
@@ -93,6 +98,12 @@ fi
 shard_args=()
 if [[ "$shards" -gt 0 ]]; then
   shard_args=(--shards "$shards")
+  if [[ "$sub_shards" -ne 1 ]]; then
+    shard_args+=(--sub-shards "$sub_shards")
+  fi
+  if [[ "$edge_sub_shards" -ne 1 ]]; then
+    shard_args+=(--edge-sub-shards "$edge_sub_shards")
+  fi
 fi
 "$build_dir/bench/scenario_throughput" \
   --nodes "$nodes" --sim-seconds "$sim_secs" --seed "$seed" \
@@ -111,16 +122,22 @@ fresh = json.load(open(fresh_path))["trajectory"][-1]
 
 
 def shape(entry):
-    """Workload identity of a trajectory entry; compare only like-for-like."""
+    """Workload identity of a trajectory entry; compare only like-for-like.
+
+    The sub-shard split is part of the shape: a 100k-node sub-sharded run has
+    different windows, kernels and rng layout than an unsplit one, so gating
+    one against the other would be meaningless.
+    """
     return (entry.get("nodes"), entry.get("seed"), entry.get("sim_seconds"),
-            entry.get("shards", 0))
+            entry.get("shards", 0), entry.get("sub_shards", 1),
+            entry.get("edge_sub_shards", 1))
 
 
 matching = [e for e in trajectory if shape(e) == shape(fresh)]
 if not matching:
     print(f"no baseline entry in {baseline_path} matches workload "
-          f"(nodes, seed, sim_seconds, shards) = {shape(fresh)}; "
-          "nothing to compare")
+          f"(nodes, seed, sim_seconds, shards, sub_shards, edge_sub_shards) "
+          f"= {shape(fresh)}; nothing to compare")
     sys.exit(0)
 baseline = matching[-1]
 

@@ -466,29 +466,35 @@ AuditReport audit_gossip(const gossip::GroupAgent& agent, SimTime now) {
   const gossip::MemberTable& members = agent.members();
   std::size_t alive = 0;
   std::size_t gone = 0;
-  members.for_each([&](const gossip::MemberInfo& info) {
-    if (gossip::MemberTable::is_alive(info.state)) ++alive;
-    if (gossip::MemberTable::is_gone(info.state)) ++gone;
-    check.expect(info.id != agent.id(), "gossip", [&](std::ostream& os) {
+  members.for_each_slot([&](std::uint32_t slot) {
+    const gossip::MemberState state = members.state(slot);
+    const NodeId id = members.id(slot);
+    if (gossip::MemberTable::is_alive(state)) ++alive;
+    if (gossip::MemberTable::is_gone(state)) ++gone;
+    check.expect(id != agent.id(), "gossip", [&](std::ostream& os) {
       os << "agent " << focus::to_string(agent.id())
          << " holds itself in its member table";
     });
-    check.expect(info.since <= now, "gossip", [&](std::ostream& os) {
+    check.expect(members.since(slot) <= now, "gossip", [&](std::ostream& os) {
       os << "agent " << focus::to_string(agent.id()) << " member "
-         << focus::to_string(info.id) << " changed at future time " << info.since;
+         << focus::to_string(id) << " changed at future time "
+         << members.since(slot);
     });
-    check.expect(info.changed_epoch <= agent.member_epoch(), "gossip",
+    check.expect(members.changed_epoch(slot) <= agent.member_epoch(), "gossip",
                  [&](std::ostream& os) {
                    os << "agent " << focus::to_string(agent.id()) << " member "
-                      << focus::to_string(info.id) << " changed at epoch "
-                      << info.changed_epoch << ", beyond the member epoch "
-                      << agent.member_epoch();
+                      << focus::to_string(id) << " changed at epoch "
+                      << members.changed_epoch(slot)
+                      << ", beyond the member epoch " << agent.member_epoch();
                  });
-    const gossip::MemberInfo* found = members.find(info.id);
-    check.expect(found == &info, "gossip", [&](std::ostream& os) {
-      os << "agent " << focus::to_string(agent.id()) << " id index resolves "
-         << focus::to_string(info.id) << " to a different slot";
-    });
+    // The id index must resolve every slot's id back to that slot — the SoA
+    // columns and the open-addressing index stay in lockstep.
+    check.expect(members.find_slot(id) == slot, "gossip",
+                 [&](std::ostream& os) {
+                   os << "agent " << focus::to_string(agent.id())
+                      << " id index resolves " << focus::to_string(id)
+                      << " to a different slot";
+                 });
   });
   check.expect(members.gone() == gone, "gossip", [&](std::ostream& os) {
     os << "agent " << focus::to_string(agent.id()) << " counts "
@@ -501,7 +507,7 @@ AuditReport audit_gossip(const gossip::GroupAgent& agent, SimTime now) {
   });
   for (std::uint32_t slot : alive_slots) {
     check.expect(slot < members.size() &&
-                     gossip::MemberTable::is_alive(members.at(slot).state),
+                     gossip::MemberTable::is_alive(members.state(slot)),
                  "gossip", [&](std::ostream& os) {
                    os << "agent " << focus::to_string(agent.id())
                       << " alive cache points at slot " << slot

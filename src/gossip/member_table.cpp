@@ -4,35 +4,30 @@
 
 namespace focus::gossip {
 
-MemberInfo& MemberTable::insert(NodeId id, MemberState initial) {
+std::uint32_t MemberTable::insert(NodeId id, MemberState initial) {
   FOCUS_DCHECK(index_find(id) == kNil)
       << "duplicate member insert " << to_string(id);
-  const auto pos = static_cast<std::uint32_t>(slab_.size());
-  MemberInfo& info = slab_.emplace_back();
-  info.id = id;
-  info.state = initial;
+  const auto pos = static_cast<std::uint32_t>(cold_.size());
+  state_.push_back(initial);
+  incarnation_.push_back(0);
+  since_.push_back(0);
+  Cold& cold = cold_.emplace_back();
+  cold.id = id;
   index_insert(id, pos);
   gone_ += static_cast<std::size_t>(is_gone(initial));
   dirty_ = true;
-  return info;
+  return pos;
 }
 
-MemberInfo* MemberTable::find(NodeId id) noexcept {
-  const std::uint32_t pos = index_find(id);
-  return pos == kNil ? nullptr : &slab_[pos];
-}
-
-const MemberInfo* MemberTable::find(NodeId id) const noexcept {
-  const std::uint32_t pos = index_find(id);
-  return pos == kNil ? nullptr : &slab_[pos];
-}
-
-const std::vector<std::uint32_t>& MemberTable::alive_slots() const {
+// The alive-view rebuild is the protocol-period scan the SoA layout exists
+// for: it reads the one-byte state column only (focus-lint's hot-path
+// hygiene fixture covers this shape).
+FOCUS_HOT const std::vector<std::uint32_t>& MemberTable::alive_slots() const {
   if (dirty_) {
     alive_cache_.clear();
-    alive_cache_.reserve(slab_.size());
-    for (std::uint32_t i = 0; i < slab_.size(); ++i) {
-      if (is_alive(slab_[i].state)) alive_cache_.push_back(i);
+    alive_cache_.reserve(state_.size());
+    for (std::uint32_t i = 0; i < state_.size(); ++i) {
+      if (is_alive(state_[i])) alive_cache_.push_back(i);
     }
     dirty_ = false;
   }
@@ -40,14 +35,20 @@ const std::vector<std::uint32_t>& MemberTable::alive_slots() const {
 }
 
 void MemberTable::erase_slot(std::uint32_t pos) {
-  gone_ -= static_cast<std::size_t>(is_gone(slab_[pos].state));
-  index_erase(slab_[pos].id);
-  const auto last = static_cast<std::uint32_t>(slab_.size() - 1);
+  gone_ -= static_cast<std::size_t>(is_gone(state_[pos]));
+  index_erase(cold_[pos].id);
+  const auto last = static_cast<std::uint32_t>(cold_.size() - 1);
   if (pos != last) {
-    slab_[pos] = std::move(slab_[last]);
-    index_update(slab_[pos].id, pos);
+    state_[pos] = state_[last];
+    incarnation_[pos] = incarnation_[last];
+    since_[pos] = since_[last];
+    cold_[pos] = std::move(cold_[last]);
+    index_update(cold_[pos].id, pos);
   }
-  slab_.pop_back();
+  state_.pop_back();
+  incarnation_.pop_back();
+  since_.pop_back();
+  cold_.pop_back();
   dirty_ = true;
 }
 

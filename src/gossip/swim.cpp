@@ -144,8 +144,10 @@ std::size_t GroupAgent::alive_count() const {
   return members_.alive_slots().size() + 1;  // + self
 }
 
-const GroupAgent::MemberInfo* GroupAgent::member(NodeId id) const {
-  return members_.find(id);
+std::optional<GroupAgent::MemberInfo> GroupAgent::member(NodeId id) const {
+  const std::uint32_t slot = members_.find_slot(id);
+  if (slot == MemberTable::kNoSlot) return std::nullopt;
+  return members_.info(slot);
 }
 
 // ---------------------------------------------------------------------------
@@ -164,9 +166,12 @@ FOCUS_HOT void GroupAgent::probe_round() {
   if (members_.alive_slots().empty()) return;
   if (probe_index_ >= probe_order_.size()) refresh_probe_order();
   while (probe_index_ < probe_order_.size()) {
-    const MemberInfo* info = members_.find(probe_order_[probe_index_++]);
-    if (info == nullptr || !MemberTable::is_alive(info->state)) continue;
-    start_probe(*info);
+    const std::uint32_t slot = members_.find_slot(probe_order_[probe_index_++]);
+    if (slot == MemberTable::kNoSlot ||
+        !MemberTable::is_alive(members_.state(slot))) {
+      continue;
+    }
+    start_probe(members_.id(slot), members_.addr(slot));
     return;
   }
 }
@@ -174,21 +179,20 @@ FOCUS_HOT void GroupAgent::probe_round() {
 void GroupAgent::refresh_probe_order() {
   probe_order_.clear();
   for (const std::uint32_t slot : members_.alive_slots()) {
-    probe_order_.push_back(members_.at(slot).id);
+    probe_order_.push_back(members_.id(slot));
   }
   rng_.shuffle(probe_order_);
   probe_index_ = 0;
 }
 
-void GroupAgent::start_probe(const MemberInfo& target) {
+void GroupAgent::start_probe(NodeId target, const net::Address& addr) {
   const std::uint64_t seq = next_seq_++;
-  outstanding_.emplace(seq,
-                       OutstandingPing{target.id, simulator_.now(), false});
-  send_ping(target.addr, seq, self_);
+  outstanding_.emplace(seq, OutstandingPing{target, simulator_.now(), false});
+  send_ping(addr, seq, self_);
   ++counters_.pings_sent;
 
-  const NodeId target_id = target.id;
-  const net::Address target_addr = target.addr;
+  const NodeId target_id = target;
+  const net::Address target_addr = addr;
   // Stage 1: direct timeout -> indirect probes through k random peers.
   simulator_.schedule_after(config_->ping_timeout, [this, alive = alive_flag_, seq,
                                                    target_id, target_addr] {
@@ -377,17 +381,17 @@ void GroupAgent::apply_update(const MemberUpdate& update) {
     return;
   }
 
-  MemberInfo* existing = members_.find(update.node);
-  if (existing == nullptr) {
+  const std::uint32_t existing = members_.find_slot(update.node);
+  if (existing == MemberTable::kNoSlot) {
     if (update.state == MemberState::Dead || update.state == MemberState::Left) {
       return;  // no need to learn about nodes already gone
     }
-    MemberInfo& info = members_.insert(update.node, update.state);
-    info.addr = update.addr;
-    info.region = update.region;
-    info.incarnation = update.incarnation;
-    info.since = simulator_.now();
-    info.changed_epoch = ++member_epoch_;
+    const std::uint32_t slot = members_.insert(update.node, update.state);
+    members_.set_addr(slot, update.addr);
+    members_.set_region(slot, update.region);
+    members_.set_incarnation(slot, update.incarnation);
+    members_.set_since(slot, simulator_.now());
+    members_.set_changed_epoch(slot, ++member_epoch_);
     queue_update(update);
     if (update.state == MemberState::Suspect) {
       // Start the suspicion clock locally as well.
@@ -396,45 +400,45 @@ void GroupAgent::apply_update(const MemberUpdate& update) {
     return;
   }
 
-  MemberInfo& info = *existing;
+  const std::uint32_t slot = existing;
+  const MemberState held = members_.state(slot);
+  const std::uint32_t held_incarnation = members_.incarnation(slot);
   bool accepted = false;
   switch (update.state) {
     case MemberState::Alive:
       // Alive overrides Suspect at the same incarnation only when newer.
-      if (update.incarnation > info.incarnation ||
-          (update.incarnation == info.incarnation && info.state == MemberState::Dead)) {
+      if (update.incarnation > held_incarnation ||
+          (update.incarnation == held_incarnation && held == MemberState::Dead)) {
         accepted = true;
-      } else if (update.incarnation == info.incarnation &&
-                 info.state == MemberState::Left) {
+      } else if (update.incarnation == held_incarnation &&
+                 held == MemberState::Left) {
         accepted = false;  // leave is final for that incarnation
-      } else if (update.incarnation == info.incarnation &&
-                 info.state == MemberState::Alive) {
-        info.addr = update.addr;  // benign refresh
+      } else if (update.incarnation == held_incarnation &&
+                 held == MemberState::Alive) {
+        members_.set_addr(slot, update.addr);  // benign refresh
       }
       break;
     case MemberState::Suspect:
-      if (update.incarnation >= info.incarnation && info.state == MemberState::Alive) {
+      if (update.incarnation >= held_incarnation && held == MemberState::Alive) {
         accepted = true;
       }
       break;
     case MemberState::Dead:
     case MemberState::Left:
-      if (update.incarnation >= info.incarnation &&
-          info.state != MemberState::Dead && info.state != MemberState::Left) {
+      if (update.incarnation >= held_incarnation &&
+          held != MemberState::Dead && held != MemberState::Left) {
         accepted = true;
       }
       break;
   }
   if (!accepted) return;
 
-  const MemberState before = info.state;
-  info.state = update.state;
-  info.incarnation = update.incarnation;
-  info.addr = update.addr;
-  info.region = update.region;
-  info.since = simulator_.now();
-  info.changed_epoch = ++member_epoch_;
-  members_.note_transition(before, update.state);
+  members_.set_state(slot, update.state);
+  members_.set_incarnation(slot, update.incarnation);
+  members_.set_addr(slot, update.addr);
+  members_.set_region(slot, update.region);
+  members_.set_since(slot, simulator_.now());
+  members_.set_changed_epoch(slot, ++member_epoch_);
   queue_update(update);
   if (update.state == MemberState::Suspect) {
     schedule_suspicion_check(update.node, update.incarnation);
@@ -442,32 +446,32 @@ void GroupAgent::apply_update(const MemberUpdate& update) {
 }
 
 void GroupAgent::suspect_member(NodeId id) {
-  MemberInfo* info = members_.find(id);
-  if (info == nullptr || info->state != MemberState::Alive) return;
-  info->state = MemberState::Suspect;
-  info->since = simulator_.now();
-  info->changed_epoch = ++member_epoch_;
-  members_.note_transition(MemberState::Alive, MemberState::Suspect);
+  const std::uint32_t slot = members_.find_slot(id);
+  if (slot == MemberTable::kNoSlot ||
+      members_.state(slot) != MemberState::Alive) {
+    return;
+  }
+  members_.set_state(slot, MemberState::Suspect);
+  members_.set_since(slot, simulator_.now());
+  members_.set_changed_epoch(slot, ++member_epoch_);
   ++counters_.suspicions_raised;
-  queue_update(update_for(*info));
-  schedule_suspicion_check(id, info->incarnation);
+  queue_update(update_for(members_.info(slot)));
+  schedule_suspicion_check(id, members_.incarnation(slot));
 }
 
 void GroupAgent::declare_dead(NodeId id, MemberState terminal) {
-  MemberInfo* info = members_.find(id);
-  if (info == nullptr) return;
-  const MemberState before = info->state;
-  info->state = terminal;
-  info->since = simulator_.now();
-  info->changed_epoch = ++member_epoch_;
-  members_.note_transition(before, terminal);
+  const std::uint32_t slot = members_.find_slot(id);
+  if (slot == MemberTable::kNoSlot) return;
+  const MemberState before = members_.set_state(slot, terminal);
+  members_.set_since(slot, simulator_.now());
+  members_.set_changed_epoch(slot, ++member_epoch_);
   ++counters_.members_declared_dead;
   if (before == MemberState::Suspect && terminal == MemberState::Dead) {
     static const obs::MetricId kSuspectToDead =
         obs::MetricId::counter("gossip.suspect_to_dead");
     obs::metrics().add(kSuspectToDead, 1);
   }
-  queue_update(update_for(*info));
+  queue_update(update_for(members_.info(slot)));
   FOCUS_LOG(Debug, "swim", to_string(self_.node) << " declares "
                                                  << to_string(id) << " "
                                                  << to_string(terminal));
@@ -477,9 +481,11 @@ void GroupAgent::schedule_suspicion_check(NodeId id, std::uint32_t incarnation) 
   simulator_.schedule_after(
       config_->suspicion_timeout, [this, alive = alive_flag_, id, incarnation] {
         if (!*alive) return;
-        const MemberInfo* info = members_.find(id);
-        if (info != nullptr && info->state == MemberState::Suspect &&
-            info->incarnation == incarnation) {
+        // Hot-column read only: the check touches state + incarnation.
+        const std::uint32_t slot = members_.find_slot(id);
+        if (slot != MemberTable::kNoSlot &&
+            members_.state(slot) == MemberState::Suspect &&
+            members_.incarnation(slot) == incarnation) {
           declare_dead(id, MemberState::Dead);
         }
       });
@@ -551,7 +557,7 @@ FOCUS_HOT std::span<const net::Address> GroupAgent::sample_alive(
         i + static_cast<std::size_t>(rng_.uniform_int(
                 0, static_cast<std::int64_t>(sample_idx_.size() - i) - 1));
     std::swap(sample_idx_[i], sample_idx_[j]);
-    sample_scratch_.push_back(members_.at(alive[sample_idx_[i]]).addr);
+    sample_scratch_.push_back(members_.addr(alive[sample_idx_[i]]));
   }
   return {sample_scratch_.data(), n};
 }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -104,8 +105,9 @@ class GroupAgent {
   /// Alive group size including self.
   std::size_t alive_count() const;
 
-  /// Believed state of one peer, or nullptr when unknown.
-  const MemberInfo* member(NodeId id) const;
+  /// Believed state of one peer (materialized snapshot), or nullopt when
+  /// unknown.
+  std::optional<MemberInfo> member(NodeId id) const;
 
   /// This agent's bound address / node id / region.
   const net::Address& address() const noexcept { return self_; }
@@ -148,7 +150,7 @@ class GroupAgent {
   void sync_round();
   void send_ping(const net::Address& target, std::uint64_t seq,
                  const net::Address& reply_to);
-  void start_probe(const MemberInfo& target);
+  void start_probe(NodeId target, const net::Address& target_addr);
   std::size_t send_event_burst(const std::shared_ptr<const EventCore>& core);
   void on_message(const net::Message& msg);
   void handle_ping(const net::Message& msg);

@@ -44,37 +44,54 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   config_.sync_agent_config();
   Rng rng(config_.seed);
 
-  const bool sharded = config_.shards > 0;
-  if (sharded) {
-    stager_ = std::make_unique<net::ShardStager>(kNumDataRegions + 1);
-    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
-      region_sims_.push_back(std::make_unique<sim::Simulator>());
-    }
-    // Data-region transports fork the seed rng first, in shard order; the
-    // app edge forks last. Legacy mode performs only the app-edge fork, so
-    // its rng stream — and every pinned legacy digest — is untouched.
-    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
-      region_transports_.push_back(std::make_unique<net::SimTransport>(
-          *region_sims_[r], topology_, rng.fork()));
-    }
-  }
-  transport_ =
-      std::make_unique<net::SimTransport>(simulator_, topology_, rng.fork());
-  transport_->set_loss_rate(config_.loss_rate);
-  if (sharded) {
-    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
-      region_transports_[r]->set_loss_rate(config_.loss_rate);
-      region_transports_[r]->enable_sharding(static_cast<Region>(r),
-                                             stager_.get());
-      shard_transports_.push_back(region_transports_[r].get());
-    }
-    transport_->enable_sharding(Region::AppEdge, stager_.get());
-    shard_transports_.push_back(transport_.get());
-  }
-
+  // Placement before any shard lookup; place() never draws randomness, so
+  // hoisting it above the transport forks is digest-neutral for legacy mode.
   topology_.place(kServerNode, Region::AppEdge);
   topology_.place(kAppNode, Region::AppEdge);
   topology_.place(kBrokerNode, Region::AppEdge);
+
+  const bool sharded = config_.shards > 0;
+  if (sharded) {
+    // The sub-shard split is workload config: fix it before any shard index
+    // is computed so Topology::shard_of is stable for the world's lifetime.
+    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
+      topology_.set_sub_shards(static_cast<Region>(r), config_.data_sub_shards);
+    }
+    topology_.set_sub_shards(Region::AppEdge, config_.edge_sub_shards);
+    const std::size_t num_shards = topology_.num_shards();
+    const std::size_t service_shard = topology_.shard_of(kServerNode);
+    stager_ = std::make_unique<net::ShardStager>(num_shards);
+    // Kernels and transports in shard order; the service shard reuses
+    // simulator_ / transport_. Transports fork the seed rng in shard order —
+    // with no sub-shard splits that is the four data regions first and the
+    // app edge (= service shard) last, the exact PR7 fork layout, so the
+    // pinned sharded digests are untouched. Legacy mode performs only the
+    // transport_ fork, so its rng stream is untouched too.
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      sim::Simulator* sim = nullptr;
+      if (s == service_shard) {
+        sim = &simulator_;
+      } else {
+        owned_sims_.push_back(std::make_unique<sim::Simulator>());
+        sim = owned_sims_.back().get();
+      }
+      shard_sims_.push_back(sim);
+      auto transport =
+          std::make_unique<net::SimTransport>(*sim, topology_, rng.fork());
+      transport->set_loss_rate(config_.loss_rate);
+      transport->enable_sharding(s, stager_.get());
+      shard_transports_.push_back(transport.get());
+      if (s == service_shard) {
+        transport_ = std::move(transport);
+      } else {
+        owned_transports_.push_back(std::move(transport));
+      }
+    }
+  } else {
+    transport_ =
+        std::make_unique<net::SimTransport>(simulator_, topology_, rng.fork());
+    transport_->set_loss_rate(config_.loss_rate);
+  }
 
   store_ = std::make_unique<store::Cluster>(simulator_, config_.store,
                                             rng.fork().next_u64());
@@ -82,7 +99,14 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
                                              kServerNode, config_.service,
                                              core::ServerCostModel{},
                                              rng.fork().next_u64());
-  client_ = std::make_unique<core::Client>(simulator_, *transport_,
+  // The app client lives on kAppNode's own shard (an edge sub-shard when the
+  // app edge is split); with no splits that is the service shard, the PR7
+  // layout.
+  sim::Simulator& client_sim =
+      sharded ? *shard_sims_[topology_.shard_of(kAppNode)] : simulator_;
+  net::SimTransport& client_tr =
+      sharded ? *shard_transports_[topology_.shard_of(kAppNode)] : *transport_;
+  client_ = std::make_unique<core::Client>(client_sim, client_tr,
                                            net::Address{kAppNode, 10},
                                            service_->north_addr());
 
@@ -95,25 +119,19 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
     const NodeId id{kAgentBase + static_cast<std::uint32_t>(i)};
     const Region region = region_of_index(i);
     topology_.place(id, region);
-    sim::Simulator& sim =
-        sharded ? *region_sims_[static_cast<std::size_t>(region)] : simulator_;
-    net::SimTransport& tr = sharded
-                                ? *region_transports_[static_cast<std::size_t>(region)]
-                                : *transport_;
+    const std::size_t shard = sharded ? topology_.shard_of(id) : 0;
+    sim::Simulator& sim = sharded ? *shard_sims_[shard] : simulator_;
+    net::SimTransport& tr = sharded ? *shard_transports_[shard] : *transport_;
     agents_.emplace_back(sim, tr, id, region, service_->south_addr(),
                          config_.service.schema, agent_config_, rng.fork(),
                          step_plan_);
   }
 
   if (sharded) {
-    std::vector<sim::Simulator*> shards;
-    shards.reserve(kNumDataRegions + 1);
-    for (std::size_t r = 0; r < kNumDataRegions; ++r) {
-      shards.push_back(region_sims_[r].get());
-    }
-    shards.push_back(&simulator_);
+    // Window bound for the configured layout: the cross-region floor, or a
+    // split region's intra-region floor when that is tighter.
     sharded_ = std::make_unique<sim::ShardedSimulator>(
-        std::move(shards), topology_.lookahead_floor(), config_.shards);
+        shard_sims_, topology_.sharded_lookahead_floor(), config_.shards);
     sharded_->set_barrier_hook([this](SimTime t) {
       stager_->merge_at_barrier(t, shard_transports_);
       if (next_audit_ > 0 && t >= next_audit_) {
@@ -174,7 +192,7 @@ std::uint64_t Testbed::executed() const noexcept {
 
 net::SimTransport& Testbed::transport_for(NodeId node) {
   if (!sharded_) return *transport_;
-  return *shard_transports_[static_cast<std::size_t>(topology_.region_of(node))];
+  return *shard_transports_[topology_.shard_of(node)];
 }
 
 void Testbed::write_trace(const std::string& path) const {

@@ -7,12 +7,17 @@
 // Two execution modes:
 //  - Legacy (shards == 0): one kernel, one transport — the historical
 //    single-threaded world whose event digests are pinned in tests/benches.
-//  - Sharded (shards >= 1): one kernel + transport per region (four data
-//    regions plus the app edge), driven by sim::ShardedSimulator in
-//    conservative windows with cross-region traffic staged through
-//    net::ShardStager. The shard layout is fixed by region; `shards` only
-//    sets the worker-thread count, so digests are byte-identical for any
-//    shards >= 1 (enforced by tests/test_sharded.cpp).
+//  - Sharded (shards >= 1): one kernel + transport per (region, sub-shard)
+//    pair — four data regions plus the app edge, each optionally split into
+//    K sub-shards (data_sub_shards / edge_sub_shards) — driven by
+//    sim::ShardedSimulator in conservative windows with cross-shard traffic
+//    staged through net::ShardStager. The shard layout is fixed by config
+//    and NodeId (Topology::shard_of); `shards` only sets the worker-thread
+//    count, so digests are byte-identical for any shards >= 1 (enforced by
+//    tests/test_sharded.cpp). Splitting the app edge spreads the service
+//    (node 0), broker (node 1) and app client (node 2) across edge
+//    sub-shards by the same consistent NodeId assignment, so the hottest
+//    shard no longer serializes the fleet.
 
 #include <memory>
 #include <string>
@@ -55,6 +60,16 @@ struct TestbedConfig {
   /// windowed algorithm inline. Sharded digests differ from legacy ones
   /// (different rng fork layout) but are identical across `shards` values.
   unsigned shards = 0;
+
+  /// Sharded mode only: split every data region / the app edge into this
+  /// many sub-shards (kernels). Part of the workload config — changing a
+  /// split legitimately changes digests, but the partition is a pure
+  /// function of NodeId (Topology::shard_of), never of `shards`, so digests
+  /// stay byte-identical across worker counts. 1/1 reproduces the PR7
+  /// one-kernel-per-region layout bit for bit. Splitting a region shrinks
+  /// the conservative window to its intra-region lookahead floor.
+  unsigned data_sub_shards = 1;
+  unsigned edge_sub_shards = 1;
 
   /// When > 0, run the structural-invariant audit (focus/audit.hpp) every
   /// this many microseconds of simulated time and abort (FOCUS_CHECK) on the
@@ -104,19 +119,28 @@ class Testbed {
   Result<core::QueryResult> query_and_wait(core::Query query,
                                            Duration max_wait = 10 * kSecond);
 
-  /// The app-edge kernel: the sole kernel in legacy mode; in sharded mode
-  /// the shard hosting the service, store, broker and client.
+  /// The service kernel: the sole kernel in legacy mode; in sharded mode
+  /// the shard hosting the service node and its store (other app-edge
+  /// nodes may live on sibling edge sub-shards — see simulator_for).
   sim::Simulator& simulator() noexcept { return simulator_; }
+
+  /// The kernel that owns `node`: its shard's kernel in sharded mode, the
+  /// sole kernel otherwise. Timers whose callbacks touch a component's
+  /// state must be scheduled on that component's own kernel (e.g. a query
+  /// driver ticks on simulator_for(kAppNode), the client's shard).
+  sim::Simulator& simulator_for(NodeId node) noexcept {
+    return sharded_ ? *shard_sims_[topology_.shard_of(node)] : simulator_;
+  }
 
   /// The sharded driver, or nullptr in legacy mode.
   sim::ShardedSimulator* sharded() noexcept { return sharded_.get(); }
 
-  /// The app-edge transport (the sole transport in legacy mode). Server
-  /// traffic counters always live here.
+  /// The service-shard transport (the sole transport in legacy mode).
+  /// Server traffic counters always live here.
   net::SimTransport& transport() noexcept { return *transport_; }
 
-  /// The transport that owns `node`'s endpoints: its home-region transport
-  /// in sharded mode, the sole transport otherwise.
+  /// The transport that owns `node`'s endpoints: its shard's transport in
+  /// sharded mode, the sole transport otherwise.
   net::SimTransport& transport_for(NodeId node);
 
   /// Mark a node down/up on its owning transport (works in both modes).
@@ -166,15 +190,17 @@ class Testbed {
 
  private:
   TestbedConfig config_;
-  sim::Simulator simulator_;  ///< app-edge kernel (sole kernel in legacy mode)
+  sim::Simulator simulator_;  ///< service kernel (sole kernel in legacy mode)
   net::Topology topology_;
-  /// Sharded mode only: the four data-region kernels (shard order; the app
-  /// edge reuses simulator_ as shard 4).
-  std::vector<std::unique_ptr<sim::Simulator>> region_sims_;
+  /// Sharded mode only: the heap kernels for every shard except the service
+  /// shard, which reuses simulator_ (construction order is shard order, so
+  /// with no sub-shard splits these are the four data-region kernels).
+  std::vector<std::unique_ptr<sim::Simulator>> owned_sims_;
   std::unique_ptr<net::ShardStager> stager_;
-  std::unique_ptr<net::SimTransport> transport_;  ///< app-edge transport
-  std::vector<std::unique_ptr<net::SimTransport>> region_transports_;
-  std::vector<net::SimTransport*> shard_transports_;  ///< all 5, shard order
+  std::unique_ptr<net::SimTransport> transport_;  ///< service-shard transport
+  std::vector<std::unique_ptr<net::SimTransport>> owned_transports_;
+  std::vector<sim::Simulator*> shard_sims_;           ///< all, shard order
+  std::vector<net::SimTransport*> shard_transports_;  ///< all, shard order
   /// Fleet-shared immutable agent state (memory compaction): one config and
   /// one resource walk plan for every node.
   std::shared_ptr<const agent::AgentConfig> agent_config_;

@@ -54,8 +54,8 @@ void SimTransport::send(Message msg) {
   }
   stats_.record_tx(msg.from.node, bytes);
   if (stager_ != nullptr) {
-    const Region dest_region = topology_.region_of(msg.to.node);
-    if (dest_region != shard_region_) {
+    const std::size_t dest_shard = topology_.shard_of(msg.to.node);
+    if (dest_shard != shard_index_) {
       // Cross-shard: sample loss and latency here (this shard's rng keeps
       // per-shard randomness self-contained and worker-count independent),
       // then stage the absolute-time delivery for the barrier merge. The
@@ -76,8 +76,7 @@ void SimTransport::send(Message msg) {
       staged.sent_bytes = bytes;
 #endif
       staged.msg = std::move(msg);
-      stager_->stage(static_cast<std::size_t>(shard_region_),
-                     static_cast<std::size_t>(dest_region), std::move(staged));
+      stager_->stage(shard_index_, dest_shard, std::move(staged));
       return;
     }
   }

@@ -44,16 +44,17 @@ class SimTransport final : public Transport {
   /// nodes after construction).
   Topology& topology() noexcept { return topology_; }
 
-  /// Switch this transport into sharded mode: it serves exactly the nodes of
-  /// `shard_region`, and any send to a node in another region is sampled
-  /// locally (latency, loss, bandwidth — all from this transport's rng) and
-  /// staged into `stager` for the window-barrier merge instead of being
-  /// scheduled into a foreign kernel. Destination-down filtering moves
-  /// entirely to delivery time in the owning shard, where the authoritative
-  /// down-set lives. Call before any traffic flows; `stager` must outlive
-  /// the transport.
-  void enable_sharding(Region shard_region, ShardStager* stager) {
-    shard_region_ = shard_region;
+  /// Switch this transport into sharded mode: it serves exactly the nodes
+  /// whose `Topology::shard_of` equals `shard_index` (a (region, sub-shard)
+  /// pair flattened region-major), and any send to a node in another shard
+  /// is sampled locally (latency, loss, bandwidth — all from this
+  /// transport's rng) and staged into `stager` for the window-barrier merge
+  /// instead of being scheduled into a foreign kernel. Destination-down
+  /// filtering moves entirely to delivery time in the owning shard, where
+  /// the authoritative down-set lives. Call before any traffic flows;
+  /// `stager` must outlive the transport.
+  void enable_sharding(std::size_t shard_index, ShardStager* stager) {
+    shard_index_ = shard_index;
     stager_ = stager;
   }
 
@@ -89,10 +90,10 @@ class SimTransport final : public Transport {
   std::unordered_set<NodeId> down_;
   double loss_rate_ = 0;
   NetStats stats_;
-  /// Sharded mode (enable_sharding): the region this transport serves and
-  /// the staging buffers for cross-region sends. Null stager = legacy
+  /// Sharded mode (enable_sharding): the shard this transport serves and
+  /// the staging buffers for cross-shard sends. Null stager = legacy
   /// single-kernel mode.
-  Region shard_region_ = Region::AppEdge;
+  std::size_t shard_index_ = 0;
   ShardStager* stager_ = nullptr;
 };
 

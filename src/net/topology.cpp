@@ -25,13 +25,27 @@ Topology::Topology() {
       latency_[a][b] = static_cast<Duration>(ms[a][b] * kMillisecond);
     }
   }
+  sub_count_.fill(1);
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    shard_base_[r] = static_cast<std::uint32_t>(r);
+  }
 }
 
-void Topology::place(NodeId node, Region region) { placement_[node] = region; }
+void Topology::place(NodeId node, Region region) {
+  if (node.value >= placement_.size()) {
+    placement_.resize(node.value + 1, Region::AppEdge);
+  }
+  placement_[node.value] = region;
+}
 
-Region Topology::region_of(NodeId node) const {
-  auto it = placement_.find(node);
-  return it == placement_.end() ? Region::AppEdge : it->second;
+void Topology::set_sub_shards(Region r, unsigned k) {
+  sub_count_[idx(r)] = k < 1 ? 1u : k;
+  std::uint32_t base = 0;
+  for (std::size_t i = 0; i < kRegions; ++i) {
+    shard_base_[i] = base;
+    base += sub_count_[i];
+  }
+  num_shards_ = base;
 }
 
 Duration Topology::base_latency(Region a, Region b) const {
@@ -55,6 +69,24 @@ Duration Topology::lookahead_floor() const {
           1, static_cast<Duration>(static_cast<double>(latency_[a][b]) *
                                    (1.0 - jitter_)));
       floor = (floor == 0) ? shrunk : std::min(floor, shrunk);
+    }
+  }
+  return floor;
+}
+
+Duration Topology::intra_lookahead_floor(Region r) const {
+  // Same truncation as sample_latency, so the floor is a true lower bound on
+  // every sampled intra-region (diagonal) delay.
+  return std::max<Duration>(
+      1, static_cast<Duration>(static_cast<double>(latency_[idx(r)][idx(r)]) *
+                               (1.0 - jitter_)));
+}
+
+Duration Topology::sharded_lookahead_floor() const {
+  Duration floor = lookahead_floor();
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    if (sub_count_[r] > 1) {
+      floor = std::min(floor, intra_lookahead_floor(static_cast<Region>(r)));
     }
   }
   return floor;

@@ -1,15 +1,18 @@
 #pragma once
-// Region-sharded parallel simulation driver. One sim::Simulator per WAN
-// region runs on its own worker thread; the fleet advances in conservative
-// time windows no longer than the minimum cross-region one-way latency
-// (net::Topology's latency floor, jitter included). Inside a window each
-// shard executes freely — intra-region events never leave their kernel, and
-// any cross-region send carries at least one window of latency, so it cannot
-// affect another shard until after the next barrier. Cross-shard deliveries
-// are staged during the window (net/shard_stage.hpp) and merged by the
-// coordinator at the barrier in a deterministic order, which keeps every
-// shard's event sequence — and therefore digest() — byte-identical for any
-// worker-thread count. See DESIGN.md §10.
+// Region-sharded parallel simulation driver. One sim::Simulator per shard —
+// a WAN region, or a (region, sub-shard) pair once a region is split
+// (Topology::set_sub_shards) — runs on a worker thread; the fleet advances
+// in conservative time windows no longer than the minimum one-way latency
+// between any two shards (Topology::sharded_lookahead_floor(), jitter
+// included: the cross-region floor, clamped by the intra-region floor of
+// every split region). Inside a window each shard executes freely —
+// same-shard events never leave their kernel, and any cross-shard send
+// carries at least one window of latency, so it cannot affect another shard
+// until after the next barrier. Cross-shard deliveries are staged during the
+// window (net/shard_stage.hpp) and merged by the coordinator at the barrier
+// in a deterministic order, which keeps every shard's event sequence — and
+// therefore digest() — byte-identical for any worker-thread count. See
+// DESIGN.md §10.
 //
 // Threading model: the coordinator (the thread that calls run_until) parks
 // between windows; `threads` persistent workers each own a fixed round-robin

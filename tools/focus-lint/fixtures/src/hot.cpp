@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #define FOCUS_HOT
 
@@ -34,6 +35,29 @@ FOCUS_HOT int hot_allowed(int n) {
 FOCUS_HOT void hot_grandfathered() {
   std::string legacy = "baselined";
   (void)legacy;
+}
+
+// The SoA column scan (gossip::MemberTable::alive_slots shape): a pure walk
+// over a one-byte state column refilling a reused index vector. push_back
+// into amortized capacity is allowed — no finding.
+FOCUS_HOT void hot_soa_scan(const unsigned char* states, unsigned n,
+                            std::vector<unsigned>& out) {
+  out.clear();
+  for (unsigned s = 0; s < n; ++s) {
+    if (states[s] < 2) out.push_back(s);
+  }
+}
+
+// The same scan materializing a per-member label: finding — the column
+// layout's cache win is lost the moment the scan allocates.
+FOCUS_HOT unsigned hot_soa_scan_labeled(const unsigned char* states,
+                                        unsigned n) {
+  unsigned alive = 0;
+  for (unsigned s = 0; s < n; ++s) {
+    auto label = std::to_string(states[s]);  // finding: to_string allocates
+    alive += label.empty() ? 0 : 1;
+  }
+  return alive;
 }
 
 void cold_path() {
