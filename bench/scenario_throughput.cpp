@@ -43,6 +43,8 @@ struct Options {
   unsigned shards = 0;     // 0 = legacy kernel; N >= 1 = region-sharded mode
   unsigned sub_shards = 1;       // sharded mode: kernels per data region
   unsigned edge_sub_shards = 1;  // sharded mode: kernels at the app edge
+  bool per_edge_windows = false;  // sharded mode: per-edge lookahead matrix
+  bool async_store = false;       // message-routed store on its own shard
 };
 
 std::string read_file(const std::string& path) {
@@ -130,6 +132,10 @@ int main(int argc, char** argv) {
       opt.sub_shards = static_cast<unsigned>(std::stoul(next()));
     } else if (arg == "--edge-sub-shards") {
       opt.edge_sub_shards = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--per-edge-windows") {
+      opt.per_edge_windows = true;
+    } else if (arg == "--async-store") {
+      opt.async_store = true;
     } else {
       std::fprintf(stderr,
                    "usage: scenario_throughput [--nodes N] [--seed S]\n"
@@ -139,7 +145,11 @@ int main(int argc, char** argv) {
                    "  [--shards N]  (0 = legacy single kernel; N >= 1 =\n"
                    "   region-sharded mode with N worker threads)\n"
                    "  [--sub-shards K] [--edge-sub-shards K]  (sharded mode:\n"
-                   "   kernels per data region / at the app edge; default 1)\n");
+                   "   kernels per data region / at the app edge; default 1)\n"
+                   "  [--per-edge-windows]  (sharded mode: per-edge lookahead\n"
+                   "   matrix instead of one global conservative window)\n"
+                   "  [--async-store]  (host the store on its own shard behind\n"
+                   "   message-routed completions)\n");
       return 2;
     }
   }
@@ -155,6 +165,8 @@ int main(int argc, char** argv) {
   config.shards = opt.shards;
   config.data_sub_shards = opt.sub_shards;
   config.edge_sub_shards = opt.edge_sub_shards;
+  config.per_edge_windows = opt.per_edge_windows;
+  config.async_store = opt.async_store;
   config.agent.dynamics.volatility = 0.02;  // steady bucket-crossing churn
   const long rss_before_build = current_rss_bytes();
   harness::Testbed bed(config);
@@ -226,6 +238,31 @@ int main(int argc, char** argv) {
   }
   if (opt.edge_sub_shards != 1) {
     run["edge_sub_shards"] = static_cast<std::int64_t>(opt.edge_sub_shards);
+  }
+  // Window-mode knobs recorded only when set (same schema-stability rule);
+  // --compare shape-matches on them, so a per-edge run never gates against a
+  // global-window baseline.
+  if (opt.per_edge_windows) run["per_edge_windows"] = true;
+  if (opt.async_store) run["async_store"] = true;
+  if (const sim::ShardedSimulator* driver = bed.sharded(); driver != nullptr) {
+    // Deterministic coordination counts (sim-time quantities): how many
+    // rounds the coordinator ran and how many windows each shard executed
+    // over the whole bench (settle + measured run). The per-edge acceptance
+    // figure — N-times fewer per-shard wakes for unsplit regions — reads
+    // straight off shard_windows.
+    run["barrier_rounds"] = static_cast<std::int64_t>(driver->rounds());
+    Json windows = Json::array();
+    Json widths = Json::array();
+    for (std::size_t s = 0; s < driver->num_shards(); ++s) {
+      windows.push_back(static_cast<std::int64_t>(driver->shard_windows(s)));
+      const std::uint64_t count = driver->shard_windows(s);
+      widths.push_back(
+          count == 0 ? 0
+                     : static_cast<std::int64_t>(driver->shard_window_width(s) /
+                                                 count));
+    }
+    run["shard_windows"] = std::move(windows);
+    run["avg_window_us"] = std::move(widths);
   }
   if (!opt.micro.empty()) run["micro"] = summarize_micro(opt.micro);
   // Non-default observability knobs are recorded only when used, so stock

@@ -32,6 +32,9 @@
 #             worker threads (default: 0)
 #   SUB_SHARDS       sharded mode: kernels per data region (default: 1)
 #   EDGE_SUB_SHARDS  sharded mode: kernels at the app edge (default: 1)
+#   PER_EDGE         sharded mode: 1 = per-edge lookahead matrix instead of
+#                    one global conservative window (default: 0)
+#   ASYNC_STORE      1 = message-routed store on its own shard (default: 0)
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -58,8 +61,11 @@ seed=${SEED:-7}
 shards=${SHARDS:-0}
 sub_shards=${SUB_SHARDS:-1}
 edge_sub_shards=${EDGE_SUB_SHARDS:-1}
+per_edge=${PER_EDGE:-0}
+async_store=${ASYNC_STORE:-0}
 
-cmake --build "$build_dir" -j --target micro_core micro_control micro_gossip scenario_throughput
+cmake --build "$build_dir" -j --target micro_core micro_control micro_gossip \
+  micro_sharded scenario_throughput
 
 run_micro() {
   local bench_bin=$1 out_json=$2
@@ -73,15 +79,17 @@ run_micro() {
 micro_core_json="$build_dir/micro_core_results.json"
 micro_control_json="$build_dir/micro_control_results.json"
 micro_gossip_json="$build_dir/micro_gossip_results.json"
+micro_sharded_json="$build_dir/micro_sharded_results.json"
 run_micro "$build_dir/bench/micro_core" "$micro_core_json"
 run_micro "$build_dir/bench/micro_control" "$micro_control_json"
 run_micro "$build_dir/bench/micro_gossip" "$micro_gossip_json"
+run_micro "$build_dir/bench/micro_sharded" "$micro_sharded_json"
 
 # Fold the suites into one google-benchmark-shaped document for
 # scenario_throughput's --micro ingestion.
 micro_json="$build_dir/micro_combined_results.json"
 python3 - "$micro_core_json" "$micro_control_json" "$micro_gossip_json" \
-    "$micro_json" <<'PY'
+    "$micro_sharded_json" "$micro_json" <<'PY'
 import json, sys
 inputs, out = sys.argv[1:-1], sys.argv[-1]
 doc = json.load(open(inputs[0]))
@@ -104,6 +112,12 @@ if [[ "$shards" -gt 0 ]]; then
   if [[ "$edge_sub_shards" -ne 1 ]]; then
     shard_args+=(--edge-sub-shards "$edge_sub_shards")
   fi
+  if [[ "$per_edge" -ne 0 ]]; then
+    shard_args+=(--per-edge-windows)
+  fi
+fi
+if [[ "$async_store" -ne 0 ]]; then
+  shard_args+=(--async-store)
 fi
 "$build_dir/bench/scenario_throughput" \
   --nodes "$nodes" --sim-seconds "$sim_secs" --seed "$seed" \
@@ -130,14 +144,16 @@ def shape(entry):
     """
     return (entry.get("nodes"), entry.get("seed"), entry.get("sim_seconds"),
             entry.get("shards", 0), entry.get("sub_shards", 1),
-            entry.get("edge_sub_shards", 1))
+            entry.get("edge_sub_shards", 1),
+            entry.get("per_edge_windows", False),
+            entry.get("async_store", False))
 
 
 matching = [e for e in trajectory if shape(e) == shape(fresh)]
 if not matching:
     print(f"no baseline entry in {baseline_path} matches workload "
-          f"(nodes, seed, sim_seconds, shards, sub_shards, edge_sub_shards) "
-          f"= {shape(fresh)}; nothing to compare")
+          f"(nodes, seed, sim_seconds, shards, sub_shards, edge_sub_shards, "
+          f"per_edge_windows, async_store) = {shape(fresh)}; nothing to compare")
     sys.exit(0)
 baseline = matching[-1]
 

@@ -32,6 +32,7 @@
 #include "net/sim_transport.hpp"
 #include "sim/sharded.hpp"
 #include "store/kvstore.hpp"
+#include "store/remote.hpp"
 
 namespace focus::harness {
 
@@ -39,6 +40,9 @@ namespace focus::harness {
 inline constexpr NodeId kServerNode{0};
 inline constexpr NodeId kBrokerNode{1};
 inline constexpr NodeId kAppNode{2};
+/// Store host when `async_store` is on (app edge, like the service): the
+/// Cluster lives on this node's shard and completions travel as messages.
+inline constexpr NodeId kStoreNode{3};
 inline constexpr std::uint32_t kManagerBase = 10;  ///< hierarchy managers
 inline constexpr std::uint32_t kAgentBase = 100;   ///< end nodes
 
@@ -70,6 +74,25 @@ struct TestbedConfig {
   /// the conservative window to its intra-region lookahead floor.
   unsigned data_sub_shards = 1;
   unsigned edge_sub_shards = 1;
+
+  /// Sharded mode only: drive shards with the per-edge lookahead matrix
+  /// (Topology::lookahead_matrix) instead of one global conservative window.
+  /// Each shard advances to its own horizon — splitting one region no longer
+  /// narrows every other shard's window. Workload config like the sub-shard
+  /// splits: turning it on legitimately changes digests (shards interleave
+  /// same-instant events differently), but the round schedule is a pure
+  /// function of committed times and the matrix, so digests stay
+  /// byte-identical across `shards` worker counts. Ignored in legacy mode.
+  bool per_edge_windows = false;
+
+  /// Host the store cluster on kStoreNode's own shard behind a message-routed
+  /// StoreFrontend/StoreServer pair (store/remote.hpp) instead of running it
+  /// inside the service kernel. Store completions become async transport
+  /// messages, so the service shard no longer serializes every replica round
+  /// trip. Workload config: changes digests (new node, new traffic), but not
+  /// across worker counts. Works in legacy mode too (same kernel, message
+  /// hops only) — useful for differential testing.
+  bool async_store = false;
 
   /// When > 0, run the structural-invariant audit (focus/audit.hpp) every
   /// this many microseconds of simulated time and abort (FOCUS_CHECK) on the
@@ -131,6 +154,9 @@ class Testbed {
   sim::Simulator& simulator_for(NodeId node) noexcept {
     return sharded_ ? *shard_sims_[topology_.shard_of(node)] : simulator_;
   }
+  const sim::Simulator& simulator_for(NodeId node) const noexcept {
+    return sharded_ ? *shard_sims_[topology_.shard_of(node)] : simulator_;
+  }
 
   /// The sharded driver, or nullptr in legacy mode.
   sim::ShardedSimulator* sharded() noexcept { return sharded_.get(); }
@@ -149,7 +175,20 @@ class Testbed {
   }
 
   net::Topology& topology() noexcept { return topology_; }
-  store::Cluster& store() noexcept { return *store_; }
+  /// The replica cluster, wherever it lives: in-kernel (legacy path) or
+  /// behind the StoreServer (async path). Replica inspection for tests.
+  store::Cluster& store() noexcept {
+    return store_ ? *store_ : store_server_->cluster();
+  }
+  /// The store surface the service programs against.
+  store::StoreBackend& store_backend() noexcept {
+    return store_frontend_ ? static_cast<store::StoreBackend&>(*store_frontend_)
+                           : static_cast<store::StoreBackend&>(*store_);
+  }
+  /// The message-routed frontend, or nullptr when async_store is off.
+  store::StoreFrontend* store_frontend() noexcept {
+    return store_frontend_.get();
+  }
   core::Service& service() noexcept { return *service_; }
   core::Client& client() noexcept { return *client_; }
   agent::NodeManager& agent(std::size_t i) { return agents_[i]; }
@@ -168,8 +207,14 @@ class Testbed {
   core::AuditReport audit() const {
     core::AuditReport report = core::audit_service(*service_, simulator_);
     for (const auto& agent : agents_) {
+      // Judge each agent against its own kernel's clock: with per-edge
+      // windows, shards sit at different committed times at a barrier, and
+      // liveness bounds must not charge an agent for time its kernel has
+      // not executed yet. With a global window every shard commits to the
+      // same barrier, so this is behavior-identical there.
+      const SimTime agent_now = simulator_for(agent.node()).now();
       for (const auto& [attr, membership] : agent.p2p().memberships()) {
-        report.merge(core::audit_gossip(*membership.agent, simulator_.now()));
+        report.merge(core::audit_gossip(*membership.agent, agent_now));
       }
     }
     return report;
@@ -205,7 +250,12 @@ class Testbed {
   /// one resource walk plan for every node.
   std::shared_ptr<const agent::AgentConfig> agent_config_;
   std::shared_ptr<const agent::ResourceModel::StepPlan> step_plan_;
+  /// Exactly one of store_ / store_server_ exists: the in-kernel cluster
+  /// (async_store off) or the message-routed pair (on). Declared after the
+  /// transports so the frontend/server unbind before their transports die.
   std::unique_ptr<store::Cluster> store_;
+  std::unique_ptr<store::StoreServer> store_server_;
+  std::unique_ptr<store::StoreFrontend> store_frontend_;
   std::unique_ptr<core::Service> service_;
   std::unique_ptr<core::Client> client_;
   /// Agents live in a chunked arena: stable addresses (closures capture

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace focus::net {
 
 namespace {
@@ -29,6 +31,7 @@ Topology::Topology() {
   for (std::size_t r = 0; r < kRegions; ++r) {
     shard_base_[r] = static_cast<std::uint32_t>(r);
   }
+  rebuild_lookahead_cache();
 }
 
 void Topology::place(NodeId node, Region region) {
@@ -46,6 +49,15 @@ void Topology::set_sub_shards(Region r, unsigned k) {
     base += sub_count_[i];
   }
   num_shards_ = base;
+  rebuild_lookahead_cache();
+}
+
+Region Topology::region_of_shard(std::size_t s) const noexcept {
+  // 5 regions: a reverse scan over shard_base_ beats keeping a parallel map.
+  for (std::size_t r = kRegions; r-- > 1;) {
+    if (s >= shard_base_[r]) return static_cast<Region>(r);
+  }
+  return static_cast<Region>(0);
 }
 
 Duration Topology::base_latency(Region a, Region b) const {
@@ -58,43 +70,70 @@ Duration Topology::sample_latency(NodeId from, NodeId to, Rng& rng) const {
   return std::max<Duration>(1, static_cast<Duration>(static_cast<double>(base) * factor));
 }
 
-Duration Topology::lookahead_floor() const {
-  Duration floor = 0;
+void Topology::rebuild_lookahead_cache() {
+  // Truncate every floor the same way sample_latency does, so each cached
+  // value is a true lower bound on the corresponding sampled delay.
+  const auto shrunk = [this](Duration base) {
+    return std::max<Duration>(
+        1, static_cast<Duration>(static_cast<double>(base) * (1.0 - jitter_)));
+  };
+
+  Duration cross = 0;
   for (std::size_t a = 0; a < kRegions; ++a) {
     for (std::size_t b = 0; b < kRegions; ++b) {
       if (a == b) continue;
-      // Truncate the same way sample_latency does, so the floor is a true
-      // lower bound on every sampled cross-region delay.
-      const auto shrunk = std::max<Duration>(
-          1, static_cast<Duration>(static_cast<double>(latency_[a][b]) *
-                                   (1.0 - jitter_)));
-      floor = (floor == 0) ? shrunk : std::min(floor, shrunk);
+      const Duration s = shrunk(latency_[a][b]);
+      cross = (cross == 0) ? s : std::min(cross, s);
     }
   }
-  return floor;
-}
+  cached_cross_floor_ = cross;
 
-Duration Topology::intra_lookahead_floor(Region r) const {
-  // Same truncation as sample_latency, so the floor is a true lower bound on
-  // every sampled intra-region (diagonal) delay.
-  return std::max<Duration>(
-      1, static_cast<Duration>(static_cast<double>(latency_[idx(r)][idx(r)]) *
-                               (1.0 - jitter_)));
-}
-
-Duration Topology::sharded_lookahead_floor() const {
-  Duration floor = lookahead_floor();
   for (std::size_t r = 0; r < kRegions; ++r) {
-    if (sub_count_[r] > 1) {
-      floor = std::min(floor, intra_lookahead_floor(static_cast<Region>(r)));
+    cached_intra_floor_[r] = shrunk(latency_[r][r]);
+  }
+
+  Duration sharded = cached_cross_floor_;
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    if (sub_count_[r] > 1) sharded = std::min(sharded, cached_intra_floor_[r]);
+  }
+  cached_sharded_floor_ = sharded;
+
+  // Per-edge matrix: per-pair cross-region floors, intra-region floors only
+  // between sibling sub-shards of a split region, and an unconstrained
+  // diagonal (same-shard sends never leave their kernel).
+  lookahead_matrix_.assign(num_shards_ * num_shards_, kNoTrafficLookahead);
+  for (std::size_t src = 0; src < num_shards_; ++src) {
+    const Region rs = region_of_shard(src);
+    for (std::size_t dst = 0; dst < num_shards_; ++dst) {
+      if (src == dst) continue;
+      const Region rd = region_of_shard(dst);
+      lookahead_matrix_[src * num_shards_ + dst] =
+          rs == rd ? cached_intra_floor_[idx(rs)]
+                   : shrunk(latency_[idx(rs)][idx(rd)]);
     }
   }
-  return floor;
+}
+
+void Topology::set_lookahead_override(std::size_t src_shard,
+                                      std::size_t dst_shard,
+                                      Duration lookahead) {
+  FOCUS_CHECK_LT(src_shard, num_shards_);
+  FOCUS_CHECK_LT(dst_shard, num_shards_);
+  FOCUS_CHECK(src_shard != dst_shard)
+      << "the diagonal is always unconstrained; overriding it is a bug";
+  FOCUS_CHECK_GT(lookahead, 0);
+  lookahead_matrix_[src_shard * num_shards_ + dst_shard] = lookahead;
 }
 
 void Topology::set_latency(Region a, Region b, Duration one_way) {
   latency_[idx(a)][idx(b)] = one_way;
   latency_[idx(b)][idx(a)] = one_way;
+  rebuild_lookahead_cache();
+}
+
+void Topology::set_jitter(double fraction) {
+  jitter_ = fraction;
+  rebuild_lookahead_cache();
 }
 
 }  // namespace focus::net

@@ -48,11 +48,13 @@ class Topology {
   Duration sample_latency(NodeId from, NodeId to, Rng& rng) const;
 
   /// Override one region-pair latency (tests / what-if scenarios).
-  /// Sets both directions.
+  /// Sets both directions and rebuilds the lookahead caches (dropping any
+  /// set_lookahead_override entries).
   void set_latency(Region a, Region b, Duration one_way);
 
   /// Fractional jitter: sampled latency is base * U(1-j, 1+j). Default 0.1.
-  void set_jitter(double fraction) { jitter_ = fraction; }
+  /// Rebuilds the lookahead caches (dropping overrides).
+  void set_jitter(double fraction);
   double jitter() const { return jitter_; }
 
   /// Largest conservative lookahead window (µs) safe for region-sharded
@@ -61,20 +63,64 @@ class Topology {
   /// sample_latency. Any cross-region send made at time s is delivered no
   /// earlier than s + lookahead_floor(), which is what lets
   /// sim::ShardedSimulator run each region freely for one window between
-  /// barriers.
-  Duration lookahead_floor() const;
+  /// barriers. Cached at topology build (rebuilt eagerly by every latency /
+  /// jitter / layout mutator — never lazily, because the topology is shared
+  /// read-only across worker threads in sharded mode).
+  Duration lookahead_floor() const noexcept { return cached_cross_floor_; }
 
   /// Intra-region lookahead floor of one region (µs): the region's diagonal
   /// one-way latency after the worst-case jitter shrink, floored at 1µs the
   /// same way sample_latency truncates. This is the window bound that
   /// applies once `r` is split into sub-shards, because two sub-shards of
-  /// the same region exchange traffic at intra-region latency.
-  Duration intra_lookahead_floor(Region r) const;
+  /// the same region exchange traffic at intra-region latency. Cached like
+  /// lookahead_floor().
+  Duration intra_lookahead_floor(Region r) const noexcept {
+    return cached_intra_floor_[static_cast<std::size_t>(r)];
+  }
 
   /// Largest conservative window safe for the *configured* shard layout:
   /// the cross-region floor, further clamped by the intra-region floor of
-  /// every region split into more than one sub-shard.
-  Duration sharded_lookahead_floor() const;
+  /// every region split into more than one sub-shard. Cached like
+  /// lookahead_floor().
+  Duration sharded_lookahead_floor() const noexcept {
+    return cached_sharded_floor_;
+  }
+
+  // -- Per-edge lookahead matrix -------------------------------------------
+
+  /// Minimum possible delivery delay for every ordered shard pair, flattened
+  /// row-major (`entry = matrix[src * num_shards() + dst]`, num_shards()²
+  /// entries). Sibling sub-shards of a split region get that region's
+  /// intra-region floor; shards in different regions get the per-pair
+  /// cross-region floor (base latency after worst-case jitter shrink,
+  /// floored at 1µs); the diagonal is kNoTrafficLookahead (a shard never
+  /// constrains itself — same-shard sends stay in-kernel). This is what the
+  /// per-edge sim::ShardedSimulator mode advances each shard's safe horizon
+  /// with: `min over src of committed[src] + matrix[src][dst]` — so
+  /// splitting one region narrows only that region's sibling edges, not the
+  /// other shards' windows. Rebuilt eagerly by every mutator.
+  const std::vector<Duration>& lookahead_matrix() const noexcept {
+    return lookahead_matrix_;
+  }
+
+  /// One matrix entry (see lookahead_matrix for semantics).
+  Duration lookahead(std::size_t src_shard, std::size_t dst_shard) const {
+    return lookahead_matrix_[src_shard * num_shards_ + dst_shard];
+  }
+
+  /// Declare an ordered shard edge's lookahead explicitly — either a wider
+  /// bound the caller can prove (a scheduled batch channel), or
+  /// kNoTrafficLookahead for a pair that exchanges no messages at all. The
+  /// override is a *claim*: the stager's barrier merge still FOCUS_CHECKs
+  /// every staged delivery against the destination's committed horizon, so a
+  /// wrong claim dies loudly instead of corrupting determinism. Cleared by
+  /// any mutator rebuild (set_sub_shards / set_latency / set_jitter), since
+  /// shard indices and floors change meaning.
+  void set_lookahead_override(std::size_t src_shard, std::size_t dst_shard,
+                              Duration lookahead);
+
+  /// Region that shard index `s` belongs to (inverse of shard_base).
+  Region region_of_shard(std::size_t s) const noexcept;
 
   // -- Shard layout (sub-region sharding) ----------------------------------
 
@@ -123,6 +169,14 @@ class Topology {
 
  private:
   static constexpr int kRegions = 5;
+
+  /// Recompute every cached lookahead quantity (floors + matrix) from the
+  /// current latency table, jitter and shard layout. Called eagerly from the
+  /// ctor and every mutator so the const getters stay pure reads — the
+  /// topology is shared read-only across worker threads in sharded mode, and
+  /// a lazy fill inside a const getter would be a data race.
+  void rebuild_lookahead_cache();
+
   std::array<std::array<Duration, kRegions>, kRegions> latency_{};
   /// Dense NodeId -> Region map (grown on place; AppEdge when out of range).
   std::vector<Region> placement_;
@@ -130,6 +184,13 @@ class Topology {
   std::array<std::uint32_t, kRegions> shard_base_;
   std::size_t num_shards_ = kRegions;
   double jitter_ = 0.1;
+
+  // Lookahead caches (rebuild_lookahead_cache): computed once per mutation,
+  // read lock-free from any thread.
+  Duration cached_cross_floor_ = 0;
+  std::array<Duration, kRegions> cached_intra_floor_{};
+  Duration cached_sharded_floor_ = 0;
+  std::vector<Duration> lookahead_matrix_;  ///< num_shards_² row-major
 };
 
 }  // namespace focus::net

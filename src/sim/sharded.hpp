@@ -1,18 +1,39 @@
 #pragma once
 // Region-sharded parallel simulation driver. One sim::Simulator per shard —
 // a WAN region, or a (region, sub-shard) pair once a region is split
-// (Topology::set_sub_shards) — runs on a worker thread; the fleet advances
-// in conservative time windows no longer than the minimum one-way latency
-// between any two shards (Topology::sharded_lookahead_floor(), jitter
-// included: the cross-region floor, clamped by the intra-region floor of
-// every split region). Inside a window each shard executes freely —
-// same-shard events never leave their kernel, and any cross-shard send
-// carries at least one window of latency, so it cannot affect another shard
-// until after the next barrier. Cross-shard deliveries are staged during the
-// window (net/shard_stage.hpp) and merged by the coordinator at the barrier
-// in a deterministic order, which keeps every shard's event sequence — and
-// therefore digest() — byte-identical for any worker-thread count. See
-// DESIGN.md §10.
+// (Topology::set_sub_shards) — runs on a worker thread. Two conservative
+// window modes:
+//
+//  - Global window (the PR7/PR8 mode): the fleet advances in lock-step
+//    windows no longer than the minimum one-way latency between any two
+//    shards (Topology::sharded_lookahead_floor(), jitter included: the
+//    cross-region floor, clamped by the intra-region floor of every split
+//    region). Every shard runs every window.
+//
+//  - Per-edge windows (Chandy–Misra–Bryant-style safe-time advance): the
+//    driver takes a per-(src,dst) lookahead matrix
+//    (Topology::lookahead_matrix()) and advances each shard to its own safe
+//    horizon `min over incoming edges (committed[src] + lookahead[src][dst])`
+//    instead of a fleet-wide barrier — so splitting one region narrows only
+//    that region's sibling edges, not everyone's window. Naive per-edge
+//    horizons alone would still pace the whole fleet at the tightest edge
+//    (transitive coupling), so the round loop adds hysteresis: a shard runs
+//    only when its available stride is at least `batch_factor` times its
+//    tightest incoming lookahead (or when it can reach the run_until
+//    target). When nothing qualifies, exactly one shard — the lowest-indexed
+//    among those furthest behind — is woken, which staggers sibling
+//    sub-shards half a cycle apart and roughly doubles their effective
+//    stride on top of the batching. Every decision is a pure function of the
+//    committed-time vector and the matrix, never of worker count, so digests
+//    stay byte-identical across --shards values.
+//
+// In both modes, same-shard events never leave their kernel, and any
+// cross-shard send carries at least its edge's lookahead of latency, so it
+// cannot affect another shard before that shard's next horizon. Cross-shard
+// deliveries are staged during the window (net/shard_stage.hpp) and merged
+// by the coordinator at the barrier/round hook in a deterministic order,
+// which keeps every shard's event sequence — and therefore digest() —
+// byte-identical for any worker-thread count. See DESIGN.md §10.
 //
 // Threading model: the coordinator (the thread that calls run_until) parks
 // between windows; `threads` persistent workers each own a fixed round-robin
@@ -39,17 +60,32 @@ namespace focus::sim {
 /// clocks to agree (normally: freshly built kernels at t=0).
 class ShardedSimulator {
  public:
-  /// Runs at each window barrier, on the coordinator thread, with every
-  /// worker parked: safe to read/mutate any shard (merge staged cross-shard
-  /// messages, run audits, sample state). Receives the committed time.
+  /// Runs at each window barrier (global mode) or round (per-edge mode), on
+  /// the coordinator thread, with every worker parked: safe to read/mutate
+  /// any shard (merge staged cross-shard messages, run audits, sample
+  /// state). Receives the committed fleet time — in per-edge mode the
+  /// minimum committed time; per-shard commit times are in
+  /// committed_times().
   using BarrierHook = std::function<void(SimTime)>;
 
-  /// `window` is the conservative lookahead (µs): at most the minimum
-  /// cross-region one-way latency after worst-case jitter shrink —
-  /// Topology::lookahead_floor(). FOCUS_CHECKed positive.
+  /// Global-window mode. `window` is the conservative lookahead (µs): at
+  /// most the minimum cross-region one-way latency after worst-case jitter
+  /// shrink — Topology::sharded_lookahead_floor(). FOCUS_CHECKed positive.
   /// `threads` is the worker count (clamped to [1, shards]); 1 = inline.
   ShardedSimulator(std::vector<Simulator*> shards, Duration window,
                    unsigned threads = 1);
+
+  /// Per-edge-window mode. `lookahead` is the flattened row-major
+  /// per-(src,dst)-shard minimum-delay matrix (shards²  entries —
+  /// Topology::lookahead_matrix()); entries equal to kNoTrafficLookahead
+  /// are skipped (no constraint). `batch_factor` is the hysteresis
+  /// multiplier: a shard runs only once it can stride at least
+  /// `batch_factor × (its tightest incoming lookahead)` — 1.0 disables
+  /// batching (classic CMB), larger values trade commit granularity for
+  /// fewer, wider windows.
+  ShardedSimulator(std::vector<Simulator*> shards,
+                   std::vector<Duration> lookahead, unsigned threads = 1,
+                   double batch_factor = 2.0);
   ~ShardedSimulator();
 
   ShardedSimulator(const ShardedSimulator&) = delete;
@@ -63,14 +99,46 @@ class ShardedSimulator {
   void run_for(Duration d) { run_until(now_ + d); }
 
   /// Committed fleet time: every shard has executed all events <= now() and
-  /// no shard has run past it.
+  /// no shard has run before it. In per-edge mode this is the minimum
+  /// per-shard committed time; individual shards may be ahead (see
+  /// committed_times()), but at the end of every run_until all shards have
+  /// converged to the target.
   SimTime now() const noexcept { return now_; }
 
   Duration window() const noexcept { return window_; }
   std::size_t num_shards() const noexcept { return shards_.size(); }
   unsigned threads() const noexcept { return threads_; }
+  bool per_edge() const noexcept { return !lookahead_.empty(); }
   Simulator& shard(std::size_t i) { return *shards_[i]; }
   const Simulator& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Per-shard committed times (both modes; in global mode all entries equal
+  /// now()). Barrier-time only — read from the hook or between run_until
+  /// calls. This is what a per-destination stager merge checks deliveries
+  /// against.
+  const std::vector<SimTime>& committed_times() const noexcept {
+    return committed_;
+  }
+
+  // -- Window statistics (deterministic, sim-time based; barrier-time only) --
+
+  /// Coordinator rounds so far: windows in global mode, horizon rounds in
+  /// per-edge mode. Each round costs one worker wake/park cycle plus one
+  /// hook (merge) invocation.
+  std::uint64_t rounds() const noexcept { return rounds_; }
+
+  /// Windows shard `i` actually executed (in global mode every shard runs
+  /// every window, so this equals rounds()). events/shard_windows is the
+  /// events-per-window figure the per-edge mode exists to raise.
+  std::uint64_t shard_windows(std::size_t i) const {
+    return windows_run_[i];
+  }
+
+  /// Total simulated width (µs) of the windows shard `i` executed; divide by
+  /// shard_windows(i) for the mean window width.
+  Duration shard_window_width(std::size_t i) const {
+    return window_width_sum_[i];
+  }
 
   /// Total events executed across all shards. Barrier-time only.
   std::uint64_t executed() const noexcept;
@@ -82,18 +150,47 @@ class ShardedSimulator {
   std::uint64_t digest() const noexcept;
 
  private:
+  /// Common ctor both public ctors delegate to; an empty `lookahead` selects
+  /// global-window mode.
+  ShardedSimulator(std::vector<Simulator*> shards, Duration window,
+                   std::vector<Duration> lookahead, unsigned threads,
+                   double batch_factor);
+
   void worker_main(unsigned index);
   /// Run this worker's shards (round-robin subset `index, index+threads,
-  /// ...`) up to `target`, stamping the thread's log lines with the clock of
-  /// the shard currently executing.
+  /// ...`) up to `target` (global mode) or to each shard's entry in
+  /// round_targets_ (per-edge mode, target ignored), stamping the thread's
+  /// log lines with the clock of the shard currently executing.
   void run_assigned(unsigned index, SimTime target);
   static std::int64_t coordinator_time(const void* ctx);
+
+  /// Safe horizon of shard `i` clamped to `t`: min over incoming edges with
+  /// finite lookahead of committed_[src] + lookahead_[src][i].
+  SimTime horizon(std::size_t i, SimTime t) const;
+  /// One coordinator round of the per-edge mode: pick the shards to run
+  /// (hysteresis eligibility, or the single-lowest-index fallback), publish
+  /// round_targets_, execute, commit, hook. Pure function of committed_ and
+  /// the matrix — never of worker count.
+  void run_round(SimTime t);
+  /// Dispatch one round/window to the workers (or run inline) and wait.
+  void execute_round(SimTime target);
 
   std::vector<Simulator*> shards_;
   Duration window_;
   unsigned threads_;
   BarrierHook hook_;
   SimTime now_ = 0;
+
+  // Per-edge mode state (empty / unused in global mode except committed_ and
+  // the stats, which both modes maintain).
+  std::vector<Duration> lookahead_;   ///< shards² row-major; empty = global
+  double batch_factor_ = 1.0;
+  std::vector<Duration> min_incoming_;  ///< tightest finite incoming edge
+  std::vector<SimTime> committed_;      ///< per-shard committed time
+  std::vector<SimTime> round_targets_;  ///< per-edge worker hand-off targets
+  std::uint64_t rounds_ = 0;
+  std::vector<std::uint64_t> windows_run_;
+  std::vector<Duration> window_width_sum_;
 
   // Window hand-off (threads_ > 1): the coordinator publishes a target and
   // bumps epoch_; each worker runs its shards to the target and bumps done_.

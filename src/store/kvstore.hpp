@@ -61,6 +61,41 @@ class ReplicaData {
   std::map<std::string, std::map<std::string, Cell>> tables_;
 };
 
+/// Abstract store surface the FOCUS service programs against. All
+/// operations are asynchronous: results arrive through callbacks after some
+/// simulated delay. Two implementations:
+///  - Cluster: the replicas live in the caller's own kernel and completions
+///    are in-kernel callbacks (the historical, callback-coupled path).
+///  - StoreFrontend (store/remote.hpp): requests and completions travel as
+///    transport messages to a StoreServer hosting the Cluster on its own
+///    node — which may sit on a different shard kernel entirely, so the
+///    service no longer drags the store onto its shard.
+class StoreBackend {
+ public:
+  using PutCallback = std::function<void(Result<bool>)>;
+  using GetCallback = std::function<void(Result<Row>)>;
+  using ScanCallback =
+      std::function<void(Result<std::vector<std::pair<std::string, Row>>>)>;
+
+  virtual ~StoreBackend() = default;
+
+  /// Quorum write of a full row (columns replace the previous row).
+  virtual void put(const std::string& table, const std::string& key,
+                   std::map<std::string, Json> columns, PutCallback cb) = 0;
+
+  /// Quorum delete.
+  virtual void erase(const std::string& table, const std::string& key,
+                     PutCallback cb) = 0;
+
+  /// Quorum read. The freshest replica row among the quorum wins.
+  virtual void get(const std::string& table, const std::string& key,
+                   GetCallback cb) = 0;
+
+  /// Full-table scan served by one up replica (Cassandra range scan
+  /// analogue). Fails Unavailable when every replica is down.
+  virtual void scan(const std::string& table, ScanCallback cb) = 0;
+};
+
 /// Cluster configuration.
 struct ClusterConfig {
   int replicas = 3;           ///< number of store nodes
@@ -74,27 +109,28 @@ struct ClusterConfig {
 /// Replicated store cluster. All operations are asynchronous: results arrive
 /// through callbacks after simulated replica round trips, so callers
 /// experience realistic ordering (a read racing a write can miss it).
-class Cluster {
+/// Completions run as closures in the owning kernel — callers therefore
+/// share that kernel. To decouple (service on one shard, store on another),
+/// front it with store/remote.hpp.
+class Cluster final : public StoreBackend {
  public:
   Cluster(sim::Simulator& simulator, ClusterConfig config, std::uint64_t seed);
 
-  using PutCallback = std::function<void(Result<bool>)>;
-  using GetCallback = std::function<void(Result<Row>)>;
-  using ScanCallback = std::function<void(Result<std::vector<std::pair<std::string, Row>>>)>;
-
   /// Quorum write of a full row (columns replace the previous row).
   void put(const std::string& table, const std::string& key,
-           std::map<std::string, Json> columns, PutCallback cb);
+           std::map<std::string, Json> columns, PutCallback cb) override;
 
   /// Quorum delete.
-  void erase(const std::string& table, const std::string& key, PutCallback cb);
+  void erase(const std::string& table, const std::string& key,
+             PutCallback cb) override;
 
   /// Quorum read. The freshest replica row among the quorum wins.
-  void get(const std::string& table, const std::string& key, GetCallback cb);
+  void get(const std::string& table, const std::string& key,
+           GetCallback cb) override;
 
   /// Full-table scan served by one up replica (Cassandra range scan
   /// analogue). Fails Unavailable when every replica is down.
-  void scan(const std::string& table, ScanCallback cb);
+  void scan(const std::string& table, ScanCallback cb) override;
 
   /// Take a replica down / bring it back (recovering replicas miss writes
   /// made while down — exactly the staleness quorums exist to mask).

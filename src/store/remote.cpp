@@ -1,0 +1,201 @@
+#include "store/remote.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace focus::store {
+
+namespace {
+
+/// Envelope a fully-built payload (payloads are immutable after send; both
+/// sides construct theirs completely before handing it to the transport).
+template <typename P>
+net::Message envelope(net::Address from, net::Address to, net::MsgKind kind,
+                      P payload) {
+  return net::Message{from, to, kind,
+                      std::make_shared<const P>(std::move(payload))};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StoreFrontend
+
+StoreFrontend::StoreFrontend(net::Transport& transport, net::Address self,
+                             net::Address server)
+    : transport_(transport), self_(self), server_(server) {
+  transport_.bind(self_, [this](const net::Message& msg) { on_reply(msg); });
+}
+
+StoreFrontend::~StoreFrontend() { transport_.unbind(self_); }
+
+std::uint64_t StoreFrontend::send_request(net::MsgKind kind,
+                                          const std::string& table,
+                                          const std::string& key,
+                                          std::map<std::string, Json> columns) {
+  const std::uint64_t op = next_op_++;
+  StoreRequestPayload req;
+  req.op_id = op;
+  req.table = table;
+  req.key = key;
+  req.columns = std::move(columns);
+  req.reply_to = self_;
+  transport_.send(envelope(self_, server_, kind, std::move(req)));
+  return op;
+}
+
+void StoreFrontend::put(const std::string& table, const std::string& key,
+                        std::map<std::string, Json> columns, PutCallback cb) {
+  const std::uint64_t op =
+      send_request(kStorePut, table, key, std::move(columns));
+  pending_put_.emplace(op, std::move(cb));
+}
+
+void StoreFrontend::erase(const std::string& table, const std::string& key,
+                          PutCallback cb) {
+  const std::uint64_t op = send_request(kStoreErase, table, key, {});
+  pending_put_.emplace(op, std::move(cb));
+}
+
+void StoreFrontend::get(const std::string& table, const std::string& key,
+                        GetCallback cb) {
+  const std::uint64_t op = send_request(kStoreGet, table, key, {});
+  pending_get_.emplace(op, std::move(cb));
+}
+
+void StoreFrontend::scan(const std::string& table, ScanCallback cb) {
+  const std::uint64_t op = send_request(kStoreScan, table, /*key=*/"", {});
+  pending_scan_.emplace(op, std::move(cb));
+}
+
+void StoreFrontend::on_reply(const net::Message& msg) {
+  if (msg.kind != kStoreReply) return;  // stray datagram on our port
+  const auto& reply = msg.as<StoreReplyPayload>();
+  // The op-id names exactly one pending map (ids are globally sequential);
+  // completions are point-erased so unordered visit order never matters.
+  if (const auto it = pending_put_.find(reply.op_id);
+      it != pending_put_.end()) {
+    PutCallback cb = std::move(it->second);
+    pending_put_.erase(it);
+    if (reply.ok) {
+      cb(Result<bool>(true));
+    } else {
+      cb(Result<bool>(make_error(reply.errc, reply.error)));
+    }
+    return;
+  }
+  if (const auto it = pending_get_.find(reply.op_id);
+      it != pending_get_.end()) {
+    GetCallback cb = std::move(it->second);
+    pending_get_.erase(it);
+    if (reply.ok) {
+      cb(reply.found
+             ? Result<Row>(reply.row)
+             : Result<Row>(make_error(Errc::NotFound, "no such row")));
+    } else {
+      cb(Result<Row>(make_error(reply.errc, reply.error)));
+    }
+    return;
+  }
+  if (const auto it = pending_scan_.find(reply.op_id);
+      it != pending_scan_.end()) {
+    ScanCallback cb = std::move(it->second);
+    pending_scan_.erase(it);
+    if (reply.ok) {
+      cb(Result<std::vector<std::pair<std::string, Row>>>(reply.rows));
+    } else {
+      cb(Result<std::vector<std::pair<std::string, Row>>>(
+          make_error(reply.errc, reply.error)));
+    }
+    return;
+  }
+  // Duplicate or late reply for an op that already completed: drop, matching
+  // datagram at-most-once semantics.
+}
+
+// ---------------------------------------------------------------------------
+// StoreServer
+
+StoreServer::StoreServer(sim::Simulator& simulator, net::Transport& transport,
+                         net::Address addr, ClusterConfig config,
+                         std::uint64_t seed)
+    : transport_(transport),
+      addr_(addr),
+      cluster_(simulator, config, seed) {
+  transport_.bind(addr_, [this](const net::Message& msg) { on_request(msg); });
+}
+
+StoreServer::~StoreServer() { transport_.unbind(addr_); }
+
+void StoreServer::on_request(const net::Message& msg) {
+  const auto& req = msg.as<StoreRequestPayload>();
+  const std::uint64_t op = req.op_id;
+  const net::Address reply_to = req.reply_to;
+  // Each completion closure builds one reply payload and sends it from the
+  // store node; the closure runs inside the store shard's kernel, so the
+  // reply crosses shards through the regular staging path like any message.
+  if (msg.kind == kStorePut || msg.kind == kStoreErase) {
+    auto done = [this, op, reply_to](Result<bool> result) {
+      StoreReplyPayload reply;
+      reply.op_id = op;
+      reply.ok = result.ok();
+      if (!result.ok()) {
+        reply.errc = result.error().code;
+        reply.error = result.error().message;
+      }
+      transport_.send(envelope(addr_, reply_to, kStoreReply, std::move(reply)));
+    };
+    if (msg.kind == kStorePut) {
+      cluster_.put(req.table, req.key, req.columns, std::move(done));
+    } else {
+      cluster_.erase(req.table, req.key, std::move(done));
+    }
+    return;
+  }
+  if (msg.kind == kStoreGet) {
+    cluster_.get(req.table, req.key, [this, op, reply_to](Result<Row> result) {
+      StoreReplyPayload reply;
+      reply.op_id = op;
+      if (result.ok()) {
+        reply.ok = true;
+        reply.found = true;
+        reply.row = std::move(result).take();
+      } else if (result.error().code == Errc::NotFound) {
+        // Absence is a successful read of "no row" — carry it as data so the
+        // frontend can re-raise NotFound without conflating it with replica
+        // unavailability.
+        reply.ok = true;
+        reply.found = false;
+      } else {
+        reply.errc = result.error().code;
+        reply.error = result.error().message;
+      }
+      transport_.send(
+          envelope(addr_, reply_to, kStoreReply, std::move(reply)));
+    });
+    return;
+  }
+  if (msg.kind == kStoreScan) {
+    cluster_.scan(req.table, [this, op, reply_to](
+                                 Result<std::vector<std::pair<std::string, Row>>>
+                                     result) {
+      StoreReplyPayload reply;
+      reply.op_id = op;
+      reply.ok = result.ok();
+      if (result.ok()) {
+        reply.rows = std::move(result).take();
+      } else {
+        reply.errc = result.error().code;
+        reply.error = result.error().message;
+      }
+      transport_.send(
+          envelope(addr_, reply_to, kStoreReply, std::move(reply)));
+    });
+    return;
+  }
+  // Unknown kind on the store port: drop (datagram semantics).
+}
+
+}  // namespace focus::store

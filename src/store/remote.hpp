@@ -1,0 +1,158 @@
+#pragma once
+// Message-routed store access: the async-completion path that lets the FOCUS
+// service and its data store live on different shard kernels.
+//
+// The plain store::Cluster runs its replicas inside the caller's kernel and
+// invokes completion callbacks in-process, which pins the service and the
+// store to the same shard (PR8's known serial bottleneck: the pair dominated
+// one edge sub-shard's window). This header splits the pair:
+//
+//   StoreFrontend (service side)  --store.put/erase/get/scan-->  StoreServer
+//        ^                                                          |
+//        +-------------------- store.reply -----------------------+
+//
+// StoreServer hosts the Cluster on the store node's own kernel/transport and
+// answers each request with a completion message; StoreFrontend implements
+// StoreBackend by mapping op-ids to pending callbacks, so Registrar / Dgm /
+// QueryRouter are oblivious to whether completions are in-kernel closures or
+// transport messages. With the app edge split into sub-shards the store node
+// hash-lands on its own Topology::shard_of kernel like every other edge
+// actor, and store traffic crosses shards through the regular staging path.
+//
+// Delivery semantics: no retransmission. A lost request or reply (transport
+// loss, node down) silently drops the completion — the same contract a
+// crashed coordinator gives real Cassandra clients; callers needing
+// delivery guarantees retry at their layer. The stock testbed runs the
+// service<->store link loss-free.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "store/kvstore.hpp"
+
+namespace focus::store {
+
+// Store protocol kinds (interned once at static init, like focus/messages).
+inline const net::MsgKind kStorePut = net::MsgKind::intern("store.put");
+inline const net::MsgKind kStoreErase = net::MsgKind::intern("store.erase");
+inline const net::MsgKind kStoreGet = net::MsgKind::intern("store.get");
+inline const net::MsgKind kStoreScan = net::MsgKind::intern("store.scan");
+inline const net::MsgKind kStoreReply = net::MsgKind::intern("store.reply");
+
+/// One store request. `columns` is used by put only.
+struct StoreRequestPayload final : net::Payload {
+  std::uint64_t op_id = 0;
+  std::string table;
+  std::string key;  ///< empty for scan
+  std::map<std::string, Json> columns;
+  net::Address reply_to;
+
+  std::size_t wire_size() const override {
+    std::size_t bytes = 28 + table.size() + key.size();  // op id, addr, framing
+    for (const auto& [col, val] : columns) bytes += col.size() + val.wire_size();
+    return bytes;
+  }
+};
+
+/// One store completion. Which optional fields are meaningful follows from
+/// the op the id names on the frontend: put/erase read `ok`; get reads
+/// `found`/`row`; scan reads `rows`.
+struct StoreReplyPayload final : net::Payload {
+  std::uint64_t op_id = 0;
+  bool ok = false;              ///< operation-level success
+  Errc errc = Errc::Ok;         ///< meaningful when !ok
+  std::string error;            ///< meaningful when !ok
+  bool found = false;          ///< get: row present
+  Row row;                     ///< get result
+  std::vector<std::pair<std::string, Row>> rows;  ///< scan result
+
+  std::size_t wire_size() const override {
+    std::size_t bytes = 20 + error.size();  // op id, status, framing
+    const auto row_bytes = [](const Row& r) {
+      std::size_t b = 16;  // timestamp + framing
+      for (const auto& [col, val] : r.columns) b += col.size() + val.wire_size();
+      return b;
+    };
+    if (found) bytes += row_bytes(row);
+    for (const auto& [key, r] : rows) bytes += key.size() + row_bytes(r);
+    return bytes;
+  }
+};
+
+/// Service-side StoreBackend over the transport: every operation sends one
+/// request message and parks its callback under a fresh op-id until the
+/// matching store.reply arrives. Op-ids are sequential, so the pending maps
+/// and the wire traffic are deterministic.
+class StoreFrontend final : public StoreBackend {
+ public:
+  /// Binds `self` for replies; `server` is the StoreServer's address.
+  StoreFrontend(net::Transport& transport, net::Address self,
+                net::Address server);
+  ~StoreFrontend() override;
+
+  StoreFrontend(const StoreFrontend&) = delete;
+  StoreFrontend& operator=(const StoreFrontend&) = delete;
+
+  void put(const std::string& table, const std::string& key,
+           std::map<std::string, Json> columns, PutCallback cb) override;
+  void erase(const std::string& table, const std::string& key,
+             PutCallback cb) override;
+  void get(const std::string& table, const std::string& key,
+           GetCallback cb) override;
+  void scan(const std::string& table, ScanCallback cb) override;
+
+  /// Completions still parked (requests or replies in flight — or dropped).
+  std::size_t pending() const noexcept {
+    return pending_put_.size() + pending_get_.size() + pending_scan_.size();
+  }
+
+ private:
+  void on_reply(const net::Message& msg);
+  std::uint64_t send_request(net::MsgKind kind, const std::string& table,
+                             const std::string& key,
+                             std::map<std::string, Json> columns);
+
+  net::Transport& transport_;
+  net::Address self_;
+  net::Address server_;
+  std::uint64_t next_op_ = 1;
+  // Point-lookup only (erased on completion); never iterated, so the
+  // unordered maps cannot leak visit order into behavior.
+  std::unordered_map<std::uint64_t, PutCallback> pending_put_;
+  std::unordered_map<std::uint64_t, GetCallback> pending_get_;
+  std::unordered_map<std::uint64_t, ScanCallback> pending_scan_;
+};
+
+/// Store-side host: owns the Cluster on the store node's kernel, answers
+/// request messages with completion messages.
+class StoreServer {
+ public:
+  StoreServer(sim::Simulator& simulator, net::Transport& transport,
+              net::Address addr, ClusterConfig config, std::uint64_t seed);
+  ~StoreServer();
+
+  StoreServer(const StoreServer&) = delete;
+  StoreServer& operator=(const StoreServer&) = delete;
+
+  Cluster& cluster() noexcept { return cluster_; }
+  const Cluster& cluster() const noexcept { return cluster_; }
+  const net::Address& addr() const noexcept { return addr_; }
+
+ private:
+  void on_request(const net::Message& msg);
+
+  net::Transport& transport_;
+  net::Address addr_;
+  Cluster cluster_;
+};
+
+}  // namespace focus::store
