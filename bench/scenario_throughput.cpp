@@ -45,6 +45,9 @@ struct Options {
   unsigned edge_sub_shards = 1;  // sharded mode: kernels at the app edge
   bool per_edge_windows = false;  // sharded mode: per-edge lookahead matrix
   bool async_store = false;       // message-routed store on its own shard
+  long record_ms = 0;      // telemetry sampling cadence (0 = recording off)
+  std::string timeseries;  // recorded-series output path ("" = none)
+  std::string slo;         // SLO spec path; violations fail the bench
 };
 
 std::string read_file(const std::string& path) {
@@ -136,6 +139,12 @@ int main(int argc, char** argv) {
       opt.per_edge_windows = true;
     } else if (arg == "--async-store") {
       opt.async_store = true;
+    } else if (arg == "--record-ms") {
+      opt.record_ms = std::stol(next());
+    } else if (arg == "--timeseries") {
+      opt.timeseries = next();
+    } else if (arg == "--slo") {
+      opt.slo = next();
     } else {
       std::fprintf(stderr,
                    "usage: scenario_throughput [--nodes N] [--seed S]\n"
@@ -149,7 +158,12 @@ int main(int argc, char** argv) {
                    "  [--per-edge-windows]  (sharded mode: per-edge lookahead\n"
                    "   matrix instead of one global conservative window)\n"
                    "  [--async-store]  (host the store on its own shard behind\n"
-                   "   message-routed completions)\n");
+                   "   message-routed completions)\n"
+                   "  [--record-ms N]  (sample metric time-series every N ms of\n"
+                   "   sim time; sharded mode also turns on wall profiling)\n"
+                   "  [--timeseries ts.json]  (write the recorded series)\n"
+                   "  [--slo spec.json]  (evaluate SLO assertions; any\n"
+                   "   violation or spec error exits non-zero)\n");
       return 2;
     }
   }
@@ -167,6 +181,12 @@ int main(int argc, char** argv) {
   config.edge_sub_shards = opt.edge_sub_shards;
   config.per_edge_windows = opt.per_edge_windows;
   config.async_store = opt.async_store;
+  config.record_interval = opt.record_ms * kMillisecond;
+  config.slo_path = opt.slo;
+  // Wall profiling rides the recording switch: both are observation-only,
+  // and the per-shard busy/stall/idle counters are only useful when the
+  // recorder is there to turn them into series.
+  config.wall_profiling = opt.shards > 0 && opt.record_ms > 0;
   config.agent.dynamics.volatility = 0.02;  // steady bucket-crossing churn
   const long rss_before_build = current_rss_bytes();
   harness::Testbed bed(config);
@@ -263,6 +283,37 @@ int main(int argc, char** argv) {
     }
     run["shard_windows"] = std::move(windows);
     run["avg_window_us"] = std::move(widths);
+    if (driver->wall_profiling()) {
+      // Wall-clock stall breakdown (scheduler profile): per shard,
+      // busy + stall + idle == wall exactly. The per-edge speedup story
+      // reads straight off stall_ms shrinking relative to the global-window
+      // run (EXPERIMENTS.md §speedup).
+      Json busy = Json::array(), stall = Json::array(), idle = Json::array();
+      for (std::size_t s = 0; s < driver->num_shards(); ++s) {
+        const sim::ShardedSimulator::ShardProfile& p =
+            driver->shard_profiles()[s];
+        busy.push_back(static_cast<double>(p.busy_ns) / 1e6);
+        stall.push_back(static_cast<double>(p.stall_ns) / 1e6);
+        idle.push_back(static_cast<double>(p.idle_ns) / 1e6);
+      }
+      run["shard_busy_ms"] = std::move(busy);
+      run["shard_stall_ms"] = std::move(stall);
+      run["shard_idle_ms"] = std::move(idle);
+    }
+    if (driver->per_edge()) {
+      // Horizon-limiter attribution: row s counts, per incoming edge, how
+      // many of shard s's committed windows that edge bound (last column =
+      // bound by the run target, i.e. unconstrained).
+      Json limited = Json::array();
+      for (std::size_t s = 0; s < driver->num_shards(); ++s) {
+        Json row = Json::array();
+        for (std::size_t src = 0; src <= driver->num_shards(); ++src) {
+          row.push_back(static_cast<std::int64_t>(driver->limited_by(s, src)));
+        }
+        limited.push_back(std::move(row));
+      }
+      run["limited_by"] = std::move(limited);
+    }
   }
   if (!opt.micro.empty()) run["micro"] = summarize_micro(opt.micro);
   // Non-default observability knobs are recorded only when used, so stock
@@ -276,9 +327,25 @@ int main(int argc, char** argv) {
     run["trace_spans"] =
         static_cast<std::int64_t>(obs::tracer().spans().size());
   }
+  if (opt.record_ms > 0) {
+    run["record_ms"] = static_cast<std::int64_t>(opt.record_ms);
+    run["intervals"] = static_cast<std::int64_t>(
+        bed.recorder() != nullptr ? bed.recorder()->num_intervals() : 0);
+  }
+  // The SLO gate: evaluate before writing outputs so a violating run still
+  // leaves its artifacts behind for diagnosis, then exit non-zero.
+  bool slo_pass = true;
+  if (!opt.slo.empty()) {
+    const obs::slo::Report report = bed.check_slos();
+    std::fputs(report.to_string().c_str(), stderr);
+    slo_pass = report.ok();
+    run["slo_pass"] = slo_pass;
+    run["slo"] = report.to_json();
+  }
 
   if (!opt.trace.empty()) bed.write_trace(opt.trace);
   if (!opt.metrics.empty()) bed.write_metrics(opt.metrics);
+  if (!opt.timeseries.empty()) bed.write_timeseries(opt.timeseries);
 
   Json doc = Json::object();
   doc["schema"] = "focus-bench-core-v1";
@@ -301,5 +368,5 @@ int main(int argc, char** argv) {
                 opt.out.c_str(), static_cast<unsigned long long>(events),
                 wall_seconds, events_per_sec);
   }
-  return 0;
+  return slo_pass ? 0 : 1;
 }

@@ -16,6 +16,10 @@ Checks, in order:
   4. Every span's trace id maps to a submitted query: each trace contains
      exactly one root span (parent_id == 0) and its name is one of the
      query entry points (client.query, query.internal, router.query).
+  5. Counter tracks ("C" events, emitted when recording was on): every
+     sample has name/pid/tid/ts and a numeric args.value, lives in the
+     dedicated telemetry pid lane (0xffffffff), and each named track's
+     timestamps are monotone non-decreasing in sim time.
 
 Exits 0 and prints a one-line summary when the trace passes; prints every
 violation and exits 1 otherwise.
@@ -31,6 +35,10 @@ import sys
 # to itself, and router.query roots traces for queries whose sender did not
 # stamp a context (the router synthesizes the root).
 ROOT_SPAN_NAMES = {"client.query", "query.internal", "router.query"}
+
+# The pid lane obs::chrome_trace_json emits Recorder counter tracks under
+# (obs/export.hpp kTelemetryPid) — outside the simulated-node id space.
+TELEMETRY_PID = 0xFFFFFFFF
 
 
 def fail(errors):
@@ -59,13 +67,39 @@ def main():
     if not isinstance(events, list):
         fail(["traceEvents is not a list"])
 
-    # Pass 1: structural validity of complete events; index spans by id.
+    # Pass 1: structural validity of complete events; index spans by id and
+    # counter samples by track name.
     spans = {}  # span_id -> event
     traces = {}  # trace_id -> [span_id, ...]
+    counters = {}  # track name -> [(index, ts, value), ...] in file order
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph == "M":
             continue  # metadata (process/thread names)
+        if ph == "C":
+            for field in ("name", "pid", "tid", "ts"):
+                if field not in ev:
+                    errors.append(
+                        f"counter #{i} ({ev.get('name')}): missing {field}"
+                    )
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(
+                    f"counter #{i} ({ev.get('name')}): args.value is not a "
+                    f"number ({value!r})"
+                )
+            if ev.get("pid") != TELEMETRY_PID:
+                errors.append(
+                    f"counter #{i} ({ev.get('name')}): pid {ev.get('pid')} is "
+                    f"not the telemetry lane {TELEMETRY_PID}"
+                )
+            if ev.get("ts", 0) < 0:
+                errors.append(f"counter #{i} ({ev.get('name')}): negative ts")
+            if "name" in ev:
+                counters.setdefault(ev["name"], []).append(
+                    (i, ev.get("ts", 0), value)
+                )
+            continue
         if ph != "X":
             errors.append(f"event #{i}: unexpected phase {ph!r}")
             continue
@@ -133,12 +167,30 @@ def main():
                 f"query entry point {sorted(ROOT_SPAN_NAMES)}"
             )
 
+    # Pass 4: per-track counter timestamps are monotone non-decreasing (the
+    # exporter walks each track in interval order; a regression here means
+    # the Recorder's interval ends went backwards).
+    for name, samples in counters.items():
+        last_ts = None
+        for i, ts, _value in samples:
+            if last_ts is not None and ts < last_ts:
+                errors.append(
+                    f"counter track {name!r}: ts {ts} at event #{i} goes "
+                    f"backwards (previous sample at {last_ts})"
+                )
+                break
+            last_ts = ts
+
     if errors:
         fail(errors)
-    print(
+    summary = (
         f"check-trace: OK — {len(spans)} spans across {len(traces)} traces, "
         f"all rooted at query entry points"
     )
+    if counters:
+        samples = sum(len(v) for v in counters.values())
+        summary += f"; {len(counters)} counter tracks ({samples} samples)"
+    print(summary)
 
 
 if __name__ == "__main__":

@@ -35,6 +35,12 @@
 #   PER_EDGE         sharded mode: 1 = per-edge lookahead matrix instead of
 #                    one global conservative window (default: 0)
 #   ASYNC_STORE      1 = message-routed store on its own shard (default: 0)
+#   RECORD_MS        telemetry sampling cadence in ms of sim time; 0 = off
+#                    (default: 0). Recording is observation-only: the digest
+#                    gate above holds with it on or off.
+#   SLO              SLO spec path (see obs/slo.hpp). Violations make the
+#                    bench exit non-zero and the trajectory entry records
+#                    slo_pass=false (default: none)
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -63,6 +69,8 @@ sub_shards=${SUB_SHARDS:-1}
 edge_sub_shards=${EDGE_SUB_SHARDS:-1}
 per_edge=${PER_EDGE:-0}
 async_store=${ASYNC_STORE:-0}
+record_ms=${RECORD_MS:-0}
+slo=${SLO:-}
 
 cmake --build "$build_dir" -j --target micro_core micro_control micro_gossip \
   micro_sharded scenario_throughput
@@ -119,10 +127,17 @@ fi
 if [[ "$async_store" -ne 0 ]]; then
   shard_args+=(--async-store)
 fi
+telemetry_args=()
+if [[ "$record_ms" -gt 0 ]]; then
+  telemetry_args+=(--record-ms "$record_ms")
+fi
+if [[ -n "$slo" ]]; then
+  telemetry_args+=(--slo "$slo")
+fi
 "$build_dir/bench/scenario_throughput" \
   --nodes "$nodes" --sim-seconds "$sim_secs" --seed "$seed" \
   --micro "$micro_json" --label "$label" \
-  "${append_args[@]}" "${shard_args[@]}" --out "$out"
+  "${append_args[@]}" "${shard_args[@]}" "${telemetry_args[@]}" --out "$out"
 
 if [[ $compare -eq 1 ]]; then
   python3 - "$baseline" "$out" <<'PY'

@@ -138,6 +138,46 @@ void FixedHistogram::merge(const FixedHistogram& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
 }
 
+FixedHistogram FixedHistogram::delta_since(const FixedHistogram& prev) const {
+  if (prev.count_ == 0) return *this;  // first interval: everything is new
+  FOCUS_CHECK(bounds_ == prev.bounds_)
+      << "delta_since requires a snapshot of the same histogram";
+  FOCUS_CHECK_GE(count_, prev.count_)
+      << "delta_since: snapshot is newer than the current histogram";
+  FixedHistogram delta(bounds_);
+  delta.count_ = count_ - prev.count_;
+  delta.sum_ = sum_ - prev.sum_;
+  if (delta.count_ == 0) {
+    delta.sum_ = 0;  // forgive float drift on an empty interval
+    return delta;
+  }
+  // Bucket deltas, tracking the populated range for the min/max estimate.
+  std::size_t first = counts_.size(), last = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    FOCUS_CHECK_GE(counts_[i], prev.counts_[i])
+        << "delta_since: bucket " << i << " shrank";
+    delta.counts_[i] = counts_[i] - prev.counts_[i];
+    if (delta.counts_[i] > 0) {
+      if (first == counts_.size()) first = i;
+      last = i;
+    }
+  }
+  if (first == counts_.size()) {
+    // Bucket-less histogram (side stats only): fall back to cumulative range.
+    delta.min_ = min_;
+    delta.max_ = max_;
+    return delta;
+  }
+  // Interval extremes from the populated delta buckets: the lower edge of the
+  // first and the upper edge of the last (cumulative [min, max] clamps both;
+  // the overflow bucket's only upper bound is the cumulative max).
+  const double lo = first == 0 ? min_ : bounds_[first - 1];
+  const double hi = last >= bounds_.size() ? max_ : bounds_[last];
+  delta.min_ = std::clamp(lo, min_, max_);
+  delta.max_ = std::clamp(hi, min_, max_);
+  return delta;
+}
+
 void FixedHistogram::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

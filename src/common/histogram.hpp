@@ -103,6 +103,18 @@ class FixedHistogram {
   /// Merge another histogram with identical bucket bounds (FOCUS_CHECK).
   void merge(const FixedHistogram& other);
 
+  /// The samples observed since `prev`, where `prev` is an earlier snapshot
+  /// of *this* histogram (identical bounds, element-wise smaller counts —
+  /// FOCUS_CHECKed). A default-constructed / empty `prev` yields a copy of
+  /// *this. Used by obs::Recorder to turn cumulative histogram snapshots
+  /// into per-interval distributions: counts, count and sum subtract
+  /// exactly; the interval's min/max are not recoverable from bucket deltas
+  /// alone, so they are estimated from the populated delta buckets (clamped
+  /// to the cumulative [min, max]) — quantile() on the result therefore
+  /// interpolates within exact per-interval buckets but clamps to
+  /// bucket-edge extremes rather than exact sample extremes.
+  FixedHistogram delta_since(const FixedHistogram& prev) const;
+
   /// Zero every count; bucket geometry is kept.
   void clear();
 

@@ -41,6 +41,25 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   obs::tracer().reset();
   obs::reset_all_metrics();
 
+  // Continuous telemetry env hooks (all observation-only): FOCUS_RECORD=<ms>
+  // turns on time-series sampling, FOCUS_SLO=<path> arms the assertion spec,
+  // FOCUS_TIMESERIES=<path> dumps the series at destruction.
+  if (const char* ms = std::getenv("FOCUS_RECORD");
+      ms != nullptr && *ms != '\0') {
+    config_.record_interval = std::atoll(ms) * kMillisecond;
+  }
+  if (const char* path = std::getenv("FOCUS_SLO");
+      path != nullptr && *path != '\0') {
+    config_.slo_path = path;
+  }
+  if (const char* path = std::getenv("FOCUS_TIMESERIES");
+      path != nullptr && *path != '\0') {
+    timeseries_path_ = path;
+  }
+  if (config_.record_interval > 0) {
+    recorder_ = std::make_unique<obs::Recorder>(config_.record_interval);
+  }
+
   config_.sync_agent_config();
   Rng rng(config_.seed);
 
@@ -181,7 +200,12 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
             << report.to_string();
         next_audit_ = t + config_.audit_interval;
       }
+      // Telemetry sampling rides the same barrier: workers are parked, so
+      // aggregated_metrics() is quiescent. Windows quantize the cadence —
+      // the recorder stores actual interval ends, so rates stay exact.
+      if (recorder_ && t >= recorder_->next_due()) sample_telemetry(t);
     });
+    if (config_.wall_profiling) sharded_->set_wall_profiling(true);
   }
 
   if (config_.audit_interval > 0) {
@@ -206,13 +230,37 @@ Testbed::~Testbed() {
   // this thread is ordered by the driver's last barrier.
   for (auto& agent : agents_) agent.stop();
   if (!trace_path_.empty()) write_trace(trace_path_);
+  if (!timeseries_path_.empty()) write_timeseries(timeseries_path_);
+  if (!config_.slo_path.empty()) {
+    // Advisory at teardown: gates that must *fail* on violation call
+    // check_slos() themselves (bench/scenario_throughput --slo exits
+    // non-zero; tests assert on the report).
+    const obs::slo::Report report = check_slos();
+    if (!report.ok()) {
+      FOCUS_LOG(Warn, "testbed", "SLO report:\n" << report.to_string());
+    }
+  }
 }
 
 void Testbed::run_for(Duration d) {
   if (sharded_) {
+    // Sampling happens in the barrier hook (workers parked).
     sharded_->run_for(d);
-  } else {
+    return;
+  }
+  if (!recorder_) {
     simulator_.run_for(d);
+    return;
+  }
+  // Chunk the run at each recorder due time. run_until executes the same
+  // events in the same order no matter how the span is subdivided, so the
+  // chunking is digest-neutral (tests/test_telemetry.cpp pins this).
+  const SimTime target = simulator_.now() + d;
+  while (simulator_.now() < target) {
+    simulator_.run_until(std::min<SimTime>(target, recorder_->next_due()));
+    if (simulator_.now() >= recorder_->next_due()) {
+      sample_telemetry(simulator_.now());
+    }
   }
 }
 
@@ -239,11 +287,10 @@ void Testbed::write_trace(const std::string& path) const {
     FOCUS_LOG(Warn, "testbed", "cannot open trace output " << path);
     return;
   }
-  out << obs::chrome_trace_json(obs::tracer());
+  out << obs::chrome_trace_json(obs::tracer(), recorder_.get());
 }
 
-void Testbed::write_metrics(const std::string& path) const {
-  Json doc = obs::metrics_json(obs::aggregated_metrics());
+std::map<std::string, net::MsgKindStats> Testbed::traffic_totals() const {
   // Sum the per-kind traffic tables over every transport (one in legacy
   // mode, five in sharded mode); std::map keeps the kind order stable.
   std::map<std::string, net::MsgKindStats> totals;
@@ -261,6 +308,85 @@ void Testbed::write_metrics(const std::string& path) const {
   } else {
     fold(*transport_);
   }
+  return totals;
+}
+
+obs::MetricSet Testbed::telemetry_snapshot() const {
+  obs::MetricSet snap = obs::aggregated_metrics();
+  // Re-publish the per-kind traffic table as cumulative counters so the
+  // recorder can delta them and SLOs can bound per-kind rates and the
+  // payload-build fanout ratio. The registrations intern; the string work
+  // here runs on the sampling cadence, never on a message hot path.
+  for (const auto& [kind, s] : traffic_totals()) {
+    const std::string prefix = "net." + kind;
+    snap.add(obs::MetricId::counter(prefix + ".msgs"),
+             static_cast<double>(s.msgs));
+    snap.add(obs::MetricId::counter(prefix + ".bytes"),
+             static_cast<double>(s.bytes));
+    snap.add(obs::MetricId::counter(prefix + ".payload_builds"),
+             static_cast<double>(s.payload_builds));
+  }
+  if (sharded_) {
+    for (std::size_t i = 0; i < sharded_->num_shards(); ++i) {
+      const std::string prefix = "sharded.shard" + std::to_string(i);
+      snap.add(obs::MetricId::counter(prefix + ".windows"),
+               static_cast<double>(sharded_->shard_windows(i)));
+      snap.add(obs::MetricId::counter(prefix + ".window_width_us"),
+               static_cast<double>(sharded_->shard_window_width(i)));
+      snap.add(obs::MetricId::counter(prefix + ".events"),
+               static_cast<double>(sharded_->shard(i).executed()));
+      snap.set(obs::MetricId::gauge(prefix + ".committed_us"),
+               static_cast<double>(sharded_->committed_times()[i]));
+      if (sharded_->wall_profiling()) {
+        const sim::ShardedSimulator::ShardProfile& p =
+            sharded_->shard_profiles()[i];
+        snap.add(obs::MetricId::counter(prefix + ".busy_us"),
+                 static_cast<double>(p.busy_ns) / 1000.0);
+        snap.add(obs::MetricId::counter(prefix + ".stall_us"),
+                 static_cast<double>(p.stall_ns) / 1000.0);
+        snap.add(obs::MetricId::counter(prefix + ".idle_us"),
+                 static_cast<double>(p.idle_ns) / 1000.0);
+      }
+    }
+  }
+  return snap;
+}
+
+void Testbed::sample_telemetry(SimTime t) {
+  recorder_->sample(telemetry_snapshot(), t);
+}
+
+obs::slo::Report Testbed::check_slos() const {
+  obs::slo::Report report;
+  if (config_.slo_path.empty()) return report;
+  Result<std::vector<obs::slo::Spec>> specs =
+      obs::slo::load_specs(config_.slo_path);
+  if (!specs.ok()) {
+    report.errors.push_back(specs.error().message);
+    return report;
+  }
+  return obs::slo::evaluate(specs.value(), telemetry_snapshot(),
+                            recorder_.get(), now());
+}
+
+void Testbed::write_timeseries(const std::string& path) const {
+  if (!recorder_) {
+    FOCUS_LOG(Warn, "testbed",
+              "timeseries requested but recording is off "
+              "(set record_interval / FOCUS_RECORD)");
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    FOCUS_LOG(Warn, "testbed", "cannot open timeseries output " << path);
+    return;
+  }
+  out << obs::timeseries_json(*recorder_).pretty() << '\n';
+}
+
+void Testbed::write_metrics(const std::string& path) const {
+  Json doc = obs::metrics_json(obs::aggregated_metrics());
+  const std::map<std::string, net::MsgKindStats> totals = traffic_totals();
   Json traffic = Json::object();
   for (const auto& [kind, s] : totals) {
     Json entry = Json::object();

@@ -19,6 +19,7 @@
 //    sub-shards by the same consistent NodeId assignment, so the hottest
 //    shard no longer serializes the fleet.
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,8 @@
 #include "focus/service.hpp"
 #include "net/shard_stage.hpp"
 #include "net/sim_transport.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "sim/sharded.hpp"
 #include "store/kvstore.hpp"
 #include "store/remote.hpp"
@@ -100,6 +103,25 @@ struct TestbedConfig {
   /// In sharded mode the audit runs at the first window barrier at or after
   /// each due time (windows are ~2.7 ms, so the skew is negligible).
   Duration audit_interval = 0;
+
+  /// When > 0, sample every registered metric into an obs::Recorder on this
+  /// sim-time cadence (legacy mode: run_for chunks at each due time; sharded
+  /// mode: the first barrier at or after each due time). Observation-only —
+  /// digests are byte-identical with recording on or off
+  /// (tests/test_telemetry.cpp pins this). FOCUS_RECORD=<ms> sets it from
+  /// the environment at construction.
+  Duration record_interval = 0;
+
+  /// Path of an SLO spec document (obs/slo.hpp) evaluated by check_slos()
+  /// and — logged, never fatal — at destruction. FOCUS_SLO=<path> sets it
+  /// from the environment; interval-scoped specs additionally need
+  /// record_interval > 0.
+  std::string slo_path;
+
+  /// Sharded mode only: wall-clock scheduler profiling
+  /// (sim::ShardedSimulator::shard_profiles). Observation-only; digests are
+  /// unaffected.
+  bool wall_profiling = false;
 
   /// Keep the agent-side reporting settings in lockstep with the service
   /// config (call after editing `service`).
@@ -233,7 +255,36 @@ class Testbed {
   /// over this world's transports.
   void write_metrics(const std::string& path) const;
 
+  /// The metric time-series recorder, or nullptr when record_interval == 0.
+  const obs::Recorder* recorder() const noexcept { return recorder_.get(); }
+
+  /// Cumulative metrics snapshot the recorder samples and the SLO evaluator
+  /// reads: every obs metric (merged across worker threads) plus per-kind
+  /// traffic totals re-published as net.<kind>.{msgs,bytes,payload_builds}
+  /// counters and, in sharded mode, per-shard scheduler telemetry
+  /// (sharded.shard<i>.{windows,window_width_us,events} counters, a
+  /// committed_us gauge, and busy/stall/idle_us when wall profiling is on).
+  obs::MetricSet telemetry_snapshot() const;
+
+  /// Evaluate the SLO spec at config().slo_path against the current metrics
+  /// and recorded time-series. An empty path yields an empty (passing)
+  /// report; an unreadable or malformed spec yields a failing one (a gate
+  /// must fail on a typo, not skip the assertion). Also evaluated — logged
+  /// at Warn, never fatal — at destruction.
+  obs::slo::Report check_slos() const;
+
+  /// Write the recorded time-series (obs::timeseries_json) to `path`.
+  /// Warns and writes nothing when recording is off. Also done
+  /// automatically at destruction when the FOCUS_TIMESERIES environment
+  /// variable named a path at construction.
+  void write_timeseries(const std::string& path) const;
+
  private:
+  /// Close the recorder interval ending at `t`: sample telemetry_snapshot().
+  void sample_telemetry(SimTime t);
+  /// Per-kind traffic totals summed over this world's transports.
+  std::map<std::string, net::MsgKindStats> traffic_totals() const;
+
   TestbedConfig config_;
   sim::Simulator simulator_;  ///< service kernel (sole kernel in legacy mode)
   net::Topology topology_;
@@ -268,6 +319,10 @@ class Testbed {
   std::uint64_t audits_run_ = 0;
   SimTime next_audit_ = 0;  ///< sharded mode: next barrier-audit due time
   std::string trace_path_;  ///< from FOCUS_TRACE; written at destruction
+  /// Metric time-series (record_interval > 0). Sampled on the coordinator /
+  /// caller thread only, with all shard workers parked.
+  std::unique_ptr<obs::Recorder> recorder_;
+  std::string timeseries_path_;  ///< from FOCUS_TIMESERIES; written at dtor
 };
 
 }  // namespace focus::harness

@@ -63,9 +63,56 @@ void append_metadata(std::string& out, const char* what, std::uint64_t pid,
   out += "\"}},\n";
 }
 
+/// One counter-track sample: {"ph":"C","name":...,"pid":kTelemetryPid,
+/// "tid":0,"ts":...,"args":{"value":v}}.
+void append_counter(std::string& out, std::string_view name,
+                    const char* suffix, SimTime ts, double value) {
+  out += "{\"ph\":\"C\",\"name\":\"";
+  append_escaped(out, name);
+  out += suffix;
+  out += "\",\"cat\":\"telemetry\",\"pid\":";
+  append_u64(out, kTelemetryPid);
+  out += ",\"tid\":0,\"ts\":";
+  append_u64(out, static_cast<std::uint64_t>(ts));
+  out += ",\"args\":{\"value\":";
+  append_double(out, value);
+  out += "}},\n";
+}
+
+/// Append every Recorder track as Perfetto counter events under the
+/// telemetry pid. Interval ends are ascending, and each track is emitted in
+/// interval order, so per-name timestamps are monotone (check-trace.py
+/// enforces this).
+void append_counter_tracks(std::string& out, const Recorder& rec) {
+  append_metadata(out, "process_name", kTelemetryPid, 0, "telemetry",
+                  /*with_tid=*/false);
+  const std::vector<SimTime>& ends = rec.interval_ends();
+  for (const Recorder::ScalarTrack& track : rec.scalars()) {
+    const std::string_view name = track.id.name();
+    for (std::size_t p = 0; p < track.points.size(); ++p) {
+      const std::size_t i = track.first + p;
+      double value = track.points[p];
+      if (!track.gauge) {
+        const double seconds =
+            static_cast<double>(rec.interval_width(i)) / 1e6;
+        value = seconds > 0 ? value / seconds : 0;
+      }
+      append_counter(out, name, track.gauge ? "" : "/s", ends[i], value);
+    }
+  }
+  for (const Recorder::HistoTrack& track : rec.histograms()) {
+    const std::string_view name = track.id.name();
+    for (std::size_t p = 0; p < track.points.size(); ++p) {
+      if (track.points[p].count == 0) continue;  // idle interval: no sample
+      append_counter(out, name, ".p99", ends[track.first + p],
+                     track.points[p].p99);
+    }
+  }
+}
+
 }  // namespace
 
-std::string chrome_trace_json(const Tracer& tracer) {
+std::string chrome_trace_json(const Tracer& tracer, const Recorder* recorder) {
   const std::vector<SpanRecord>& spans = tracer.spans();
 
   // Dense per-trace track index, assigned in first-appearance order (which is
@@ -141,6 +188,10 @@ std::string chrome_trace_json(const Tracer& tracer) {
     out += "}},\n";
   }
 
+  if (recorder != nullptr && recorder->num_intervals() > 0) {
+    append_counter_tracks(out, *recorder);
+  }
+
   // Trailing-comma cleanup: the writer appends ",\n" after every event.
   if (out.size() >= 2 && out[out.size() - 2] == ',') {
     out.erase(out.size() - 2, 1);
@@ -166,10 +217,86 @@ Json metrics_json(const MetricSet& set) {
         entry["p50"] = h.quantile(0.50);
         entry["p90"] = h.quantile(0.90);
         entry["p99"] = h.quantile(0.99);
+        if (h.num_buckets() > 0) {
+          // Raw geometry: lets external consumers (dashboards, the SLO
+          // evaluator's unit tests) re-derive any quantile with the same
+          // interpolation used above.
+          Json bounds = Json::array();
+          Json counts = Json::array();
+          for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+            bounds.push_back(h.upper_bound(i));
+            counts.push_back(h.bucket_count(i));
+          }
+          Json buckets = Json::object();
+          buckets["bounds"] = std::move(bounds);
+          buckets["counts"] = std::move(counts);
+          buckets["overflow"] = h.overflow_count();
+          entry["buckets"] = std::move(buckets);
+        }
         histograms[std::string(id.name())] = std::move(entry);
       });
   Json out = Json::object();
   out["counters"] = std::move(counters);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+Json timeseries_json(const Recorder& rec) {
+  Json ends = Json::array();
+  for (const SimTime end : rec.interval_ends()) {
+    ends.push_back(static_cast<std::int64_t>(end));
+  }
+  Json counters = Json::object();
+  Json gauges = Json::object();
+  for (const Recorder::ScalarTrack& track : rec.scalars()) {
+    Json entry = Json::object();
+    entry["first"] = track.first;
+    if (track.gauge) {
+      Json values = Json::array();
+      for (const double v : track.points) values.push_back(v);
+      entry["value"] = std::move(values);
+      gauges[std::string(track.id.name())] = std::move(entry);
+    } else {
+      Json deltas = Json::array();
+      Json rates = Json::array();
+      for (std::size_t p = 0; p < track.points.size(); ++p) {
+        deltas.push_back(track.points[p]);
+        const double seconds =
+            static_cast<double>(rec.interval_width(track.first + p)) / 1e6;
+        rates.push_back(seconds > 0 ? track.points[p] / seconds : 0);
+      }
+      entry["delta"] = std::move(deltas);
+      entry["rate_per_s"] = std::move(rates);
+      counters[std::string(track.id.name())] = std::move(entry);
+    }
+  }
+  Json histograms = Json::object();
+  for (const Recorder::HistoTrack& track : rec.histograms()) {
+    Json count = Json::array(), sum = Json::array(), p50 = Json::array(),
+         p90 = Json::array(), p99 = Json::array(), max = Json::array();
+    for (const Recorder::HistoPoint& point : track.points) {
+      count.push_back(point.count);
+      sum.push_back(point.sum);
+      p50.push_back(point.p50);
+      p90.push_back(point.p90);
+      p99.push_back(point.p99);
+      max.push_back(point.max);
+    }
+    Json entry = Json::object();
+    entry["first"] = track.first;
+    entry["count"] = std::move(count);
+    entry["sum"] = std::move(sum);
+    entry["p50"] = std::move(p50);
+    entry["p90"] = std::move(p90);
+    entry["p99"] = std::move(p99);
+    entry["max"] = std::move(max);
+    histograms[std::string(track.id.name())] = std::move(entry);
+  }
+  Json out = Json::object();
+  out["interval_us"] = static_cast<std::int64_t>(rec.interval());
+  out["interval_ends_us"] = std::move(ends);
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
   out["histograms"] = std::move(histograms);
   return out;
 }

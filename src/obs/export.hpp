@@ -8,9 +8,15 @@
 
 #include "common/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace focus::obs {
+
+/// The pid lane counter tracks are emitted under (chrome_trace_json with a
+/// Recorder): outside the simulated-node id space, named "telemetry", and
+/// validated by scripts/check-trace.py.
+inline constexpr std::uint64_t kTelemetryPid = 0xffffffffull;
 
 /// Serialize recorded spans as Chrome trace-event JSON. Timestamps are sim
 /// time in microseconds; pid = simulated node id, tid = a dense per-trace
@@ -19,10 +25,32 @@ namespace focus::obs {
 /// from genuine instants for trace validators). Written with a manual string builder (a
 /// 400-node scenario records tens of thousands of spans; building a Json
 /// object tree would dominate export time).
-std::string chrome_trace_json(const Tracer& tracer);
+///
+/// With a non-null `recorder`, its per-interval series are appended as
+/// Perfetto counter tracks ("ph":"C") under the kTelemetryPid lane: counters
+/// as per-second rates over each interval, gauges as last values, histograms
+/// as their per-interval p99 (name suffix ".p99"). Timestamps are the
+/// interval end times, so every track is monotone in sim time.
+std::string chrome_trace_json(const Tracer& tracer,
+                              const Recorder* recorder = nullptr);
 
 /// Snapshot every touched metric in `set` as {"counters": {name: value},
-/// "histograms": {name: {count,sum,min,max,mean,p50,p90,p99}}}.
+/// "histograms": {name: {count,sum,min,max,mean,p50,p90,p99,buckets}}}.
+/// `buckets` carries the raw geometry ({bounds, counts, overflow}) so
+/// external consumers can re-derive any quantile with the same
+/// interpolation FixedHistogram::quantile and the SLO evaluator use.
 Json metrics_json(const MetricSet& set);
+
+/// Export a Recorder's delta-encoded series as a Json document:
+///   {"interval_us": cadence, "interval_ends_us": [...],
+///    "counters": {name: {"first": i, "delta": [...], "rate_per_s": [...]}},
+///    "gauges": {name: {"first": i, "value": [...]}},
+///    "histograms": {name: {"first": i, "count": [...], "sum": [...],
+///                          "p50": [...], "p90": [...], "p99": [...],
+///                          "max": [...]}}}
+/// Series start at their track's first recorded interval (`first`); earlier
+/// intervals are implicitly zero. Rates divide by each interval's actual
+/// width (sharded barriers quantize the cadence).
+Json timeseries_json(const Recorder& recorder);
 
 }  // namespace focus::obs

@@ -14,6 +14,7 @@ namespace {
 struct MetricInfo {
   Name name;
   MetricKind kind = MetricKind::Scalar;
+  bool gauge = false;  ///< any registration used MetricId::gauge()
   std::vector<double> bounds;
 };
 
@@ -61,7 +62,13 @@ ThreadSets& thread_sets() {
 
 }  // namespace
 
-MetricId MetricId::counter(std::string_view name) {
+namespace {
+
+/// Shared counter()/gauge() registration: one Scalar slot per spelling; the
+/// gauge flag is sticky (set once any registration asks for gauge semantics)
+/// so the string-keyed compatibility layer can keep registering via counter()
+/// without demoting a gauge.
+std::uint32_t register_scalar(std::string_view name, bool gauge) {
   const Name interned = Name::intern(name);
   Registry& reg = registry();
   const std::lock_guard<std::mutex> lock(reg.mu);
@@ -71,15 +78,24 @@ MetricId MetricId::counter(std::string_view name) {
   std::uint32_t& slot = reg.id_by_name[interned.value()];
   if (slot == kUnregistered) {
     slot = static_cast<std::uint32_t>(reg.infos.size());
-    reg.infos.push_back(MetricInfo{interned, MetricKind::Scalar, {}});
+    reg.infos.push_back(MetricInfo{interned, MetricKind::Scalar, gauge, {}});
   } else {
     FOCUS_CHECK(reg.infos[slot].kind == MetricKind::Scalar)
         << "metric '" << name << "' re-registered with a different kind";
+    if (gauge) reg.infos[slot].gauge = true;
   }
-  return MetricId(slot);
+  return slot;
 }
 
-MetricId MetricId::gauge(std::string_view name) { return counter(name); }
+}  // namespace
+
+MetricId MetricId::counter(std::string_view name) {
+  return MetricId(register_scalar(name, /*gauge=*/false));
+}
+
+MetricId MetricId::gauge(std::string_view name) {
+  return MetricId(register_scalar(name, /*gauge=*/true));
+}
 
 MetricId MetricId::histogram(std::string_view name,
                              std::vector<double> upper_bounds) {
@@ -93,7 +109,7 @@ MetricId MetricId::histogram(std::string_view name,
   if (slot == kUnregistered) {
     slot = static_cast<std::uint32_t>(reg.infos.size());
     reg.infos.push_back(MetricInfo{
-        interned, MetricKind::Histogram,
+        interned, MetricKind::Histogram, /*gauge=*/false,
         upper_bounds.empty() ? default_bounds() : std::move(upper_bounds)});
   } else {
     FOCUS_CHECK(reg.infos[slot].kind == MetricKind::Histogram)
@@ -118,6 +134,26 @@ MetricKind MetricId::kind() const {
   const std::lock_guard<std::mutex> lock(reg.mu);
   FOCUS_DCHECK_LT(value_, reg.infos.size());
   return reg.infos[value_].kind;
+}
+
+bool MetricId::is_gauge() const {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  FOCUS_DCHECK_LT(value_, reg.infos.size());
+  return reg.infos[value_].gauge;
+}
+
+bool find_metric(std::string_view name, MetricId* out) {
+  // Interning the spelling is harmless when unregistered (the Name table
+  // grows; the metric registry does not).
+  const Name interned = Name::intern(name);
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  if (interned.value() >= reg.id_by_name.size()) return false;
+  const std::uint32_t slot = reg.id_by_name[interned.value()];
+  if (slot == kUnregistered) return false;
+  if (out != nullptr) *out = MetricId(slot);
+  return true;
 }
 
 MetricSet::Scalar& MetricSet::scalar_slot(MetricId id) {

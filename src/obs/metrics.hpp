@@ -47,7 +47,9 @@ class MetricId {
 
   /// Register a monotonically-added scalar.
   static MetricId counter(std::string_view name);
-  /// Register a last-value-wins scalar. Same slot type as counter().
+  /// Register a last-value-wins scalar. Same slot type as counter(), but the
+  /// registration is remembered (is_gauge()) so samplers — obs::Recorder —
+  /// know to record the last value per interval instead of a delta/rate.
   static MetricId gauge(std::string_view name);
   /// Register a fixed-bucket histogram. `upper_bounds` empty picks the
   /// default 1-2-5 decade ladder (1 .. 5e7), suitable for microsecond
@@ -57,6 +59,10 @@ class MetricId {
 
   std::string_view name() const;
   MetricKind kind() const;
+  /// True when any registration of this name used gauge(). Counters and
+  /// gauges share the Scalar slot type (see MetricKind); this flag only
+  /// changes how time-series samplers encode the slot.
+  bool is_gauge() const;
 
   /// Dense slot index (0 is a valid id; use operator bool only to detect a
   /// default-constructed handle via the registry size — default ids are
@@ -67,6 +73,7 @@ class MetricId {
 
  private:
   friend class MetricSet;
+  friend bool find_metric(std::string_view name, MetricId* out);
   constexpr explicit MetricId(std::uint32_t value) noexcept : value_(value) {}
 
   std::uint32_t value_ = 0;
@@ -116,6 +123,13 @@ class MetricSet {
   std::vector<Scalar> scalars_;           // indexed by id.value()
   mutable std::vector<FixedHistogram> histos_;  // indexed by id.value()
 };
+
+/// Look up an already-registered metric by spelling without registering it.
+/// Returns false (and leaves `*out` untouched) when no registration exists —
+/// unlike MetricId::counter()/histogram() this never creates a slot, so the
+/// SLO evaluator can report "unknown metric" instead of minting an empty one
+/// (or crashing on a kind mismatch).
+bool find_metric(std::string_view name, MetricId* out);
 
 /// The calling thread's metric set — what hot paths record into. The set is
 /// created on first use and registered process-wide so aggregation sees it

@@ -1,0 +1,62 @@
+#include "obs/recorder.hpp"
+
+#include "common/check.hpp"
+
+namespace focus::obs {
+
+namespace {
+constexpr std::uint32_t kNoTrack = 0xffffffffu;
+}  // namespace
+
+Recorder::Recorder(Duration interval, SimTime start)
+    : interval_(interval), start_(start) {
+  FOCUS_CHECK_GT(interval_, 0) << "recorder cadence must be positive";
+}
+
+FOCUS_HOT void Recorder::sample(const MetricSet& snapshot, SimTime at) {
+  FOCUS_CHECK_GT(at, ends_.empty() ? start_ : ends_.back())
+      << "recorder samples must advance in sim time";
+  const std::size_t index = ends_.size();  // interval being closed
+  ends_.push_back(at);
+  snapshot.for_each(
+      [&](MetricId id, double value) {
+        if (id.value() >= scalar_track_of_.size()) {
+          scalar_track_of_.resize(id.value() + 1, kNoTrack);
+        }
+        std::uint32_t& slot = scalar_track_of_[id.value()];
+        if (slot == kNoTrack) {
+          slot = static_cast<std::uint32_t>(scalars_.size());
+          scalars_.push_back(ScalarTrack{id, id.is_gauge(), index, 0, {}});
+        }
+        ScalarTrack& track = scalars_[slot];
+        // A touched slot stays touched in every later cumulative snapshot,
+        // so once created a track gains exactly one point per interval.
+        track.points.push_back(track.gauge ? value : value - track.last);
+        track.last = value;
+      },
+      [&](MetricId id, const FixedHistogram& h) {
+        if (id.value() >= histo_track_of_.size()) {
+          histo_track_of_.resize(id.value() + 1, kNoTrack);
+        }
+        std::uint32_t& slot = histo_track_of_[id.value()];
+        if (slot == kNoTrack) {
+          slot = static_cast<std::uint32_t>(histos_.size());
+          histos_.push_back(HistoTrack{id, index, FixedHistogram(), {}});
+        }
+        HistoTrack& track = histos_[slot];
+        const FixedHistogram delta = h.delta_since(track.last);
+        HistoPoint point;
+        point.count = delta.count();
+        point.sum = delta.sum();
+        if (point.count > 0) {
+          point.p50 = delta.quantile(0.50);
+          point.p90 = delta.quantile(0.90);
+          point.p99 = delta.quantile(0.99);
+          point.max = delta.max();
+        }
+        track.points.push_back(point);
+        track.last = h;
+      });
+}
+
+}  // namespace focus::obs

@@ -1,0 +1,385 @@
+#include "obs/slo.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace focus::obs::slo {
+
+namespace {
+
+std::string format_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// The recognized spec keys; anything else is a typo and fails the parse
+/// (a silently-skipped assertion would turn the CI gate into a no-op).
+bool known_key(const std::string& key) {
+  return key == "name" || key == "metric" || key == "denominator" ||
+         key == "aspect" || key == "quantile" || key == "scope" ||
+         key == "min" || key == "max";
+}
+
+Result<Spec> parse_spec(const Json& entry, std::size_t index) {
+  const auto bad = [index](const std::string& why) {
+    return make_error(Errc::InvalidArgument,
+                      "slo[" + std::to_string(index) + "]: " + why);
+  };
+  if (!entry.is_object()) return bad("not an object");
+  for (const auto& [key, value] : entry.as_object()) {
+    (void)value;
+    if (!known_key(key)) return bad("unknown key '" + key + "'");
+  }
+  Spec spec;
+  if (!entry.contains("metric") || !entry["metric"].is_string() ||
+      entry["metric"].as_string().empty()) {
+    return bad("missing/empty 'metric'");
+  }
+  spec.metric = entry["metric"].as_string();
+  spec.name = entry.contains("name") ? entry["name"].string_or(spec.metric)
+                                     : spec.metric;
+
+  // Aspect: explicit string, or implied by the quantile/denominator keys.
+  std::string aspect = entry["aspect"].string_or("");
+  if (entry.contains("quantile")) {
+    if (!aspect.empty() && aspect != "quantile") {
+      return bad("'quantile' given but aspect is '" + aspect + "'");
+    }
+    aspect = "quantile";
+  }
+  if (entry.contains("denominator")) {
+    if (!aspect.empty() && aspect != "ratio") {
+      return bad("'denominator' given but aspect is '" + aspect + "'");
+    }
+    aspect = "ratio";
+  }
+  if (aspect.empty()) aspect = "total";
+  if (aspect == "total") {
+    spec.aspect = Aspect::Total;
+  } else if (aspect == "rate_per_s") {
+    spec.aspect = Aspect::Rate;
+  } else if (aspect == "value") {
+    spec.aspect = Aspect::Value;
+  } else if (aspect == "quantile") {
+    spec.aspect = Aspect::Quantile;
+    if (!entry.contains("quantile") || !entry["quantile"].is_number()) {
+      return bad("quantile aspect needs a numeric 'quantile'");
+    }
+    spec.quantile = entry["quantile"].as_number();
+    if (!(spec.quantile > 0.0 && spec.quantile <= 1.0)) {
+      return bad("quantile must be in (0, 1]");
+    }
+  } else if (aspect == "ratio") {
+    spec.aspect = Aspect::Ratio;
+    if (!entry.contains("denominator") || !entry["denominator"].is_string() ||
+        entry["denominator"].as_string().empty()) {
+      return bad("ratio aspect needs a 'denominator' metric");
+    }
+    spec.denominator = entry["denominator"].as_string();
+  } else {
+    return bad("unknown aspect '" + aspect + "'");
+  }
+
+  const std::string scope = entry["scope"].string_or("run");
+  if (scope == "run") {
+    spec.scope = Scope::Run;
+  } else if (scope == "interval") {
+    spec.scope = Scope::Interval;
+  } else {
+    return bad("unknown scope '" + scope + "'");
+  }
+
+  if (entry.contains("min")) {
+    if (!entry["min"].is_number()) return bad("'min' is not a number");
+    spec.has_min = true;
+    spec.min = entry["min"].as_number();
+  }
+  if (entry.contains("max")) {
+    if (!entry["max"].is_number()) return bad("'max' is not a number");
+    spec.has_max = true;
+    spec.max = entry["max"].as_number();
+  }
+  if (!spec.has_min && !spec.has_max) return bad("no 'min' or 'max' bound");
+  if (spec.has_min && spec.has_max && spec.min > spec.max) {
+    return bad("'min' exceeds 'max'");
+  }
+  return spec;
+}
+
+/// Context for evaluating one spec; collects the first violation.
+struct Eval {
+  const Spec& spec;
+  Report& report;
+  bool violated = false;
+
+  /// Check `observed` against the bounds; record the first violation.
+  void check(double observed, std::ptrdiff_t interval, SimTime interval_end) {
+    if (violated) return;
+    const bool below = spec.has_min && observed < spec.min;
+    const bool above = spec.has_max && observed > spec.max;
+    if (!below && !above && !std::isnan(observed)) return;
+    violated = true;
+    Violation v;
+    v.slo = spec.name;
+    v.metric = spec.aspect == Aspect::Ratio
+                   ? spec.metric + " / " + spec.denominator
+                   : spec.metric;
+    if (spec.aspect == Aspect::Quantile) {
+      v.metric += " p" + format_number(spec.quantile * 100);
+    } else if (spec.aspect == Aspect::Rate) {
+      v.metric += " per second";
+    }
+    v.bound = spec.bound_string();
+    v.observed = observed;
+    v.interval = interval;
+    v.interval_end = interval_end;
+    report.violations.push_back(std::move(v));
+  }
+};
+
+/// Recorded scalar track for `id`, or nullptr when the metric never ticked
+/// while recording (its series is identically zero).
+const Recorder::ScalarTrack* scalar_track(const Recorder& rec, MetricId id) {
+  for (const auto& track : rec.scalars()) {
+    if (track.id == id) return &track;
+  }
+  return nullptr;
+}
+
+const Recorder::HistoTrack* histo_track(const Recorder& rec, MetricId id) {
+  for (const auto& track : rec.histograms()) {
+    if (track.id == id) return &track;
+  }
+  return nullptr;
+}
+
+void evaluate_run_scope(const Spec& spec, const MetricSet& final_set,
+                        Duration elapsed, MetricId id, MetricId den_id,
+                        Eval& eval) {
+  switch (spec.aspect) {
+    case Aspect::Total:
+    case Aspect::Value:
+      eval.check(final_set.value(id), -1, 0);
+      break;
+    case Aspect::Rate: {
+      const double seconds = static_cast<double>(elapsed) / 1e6;
+      eval.check(seconds > 0 ? final_set.value(id) / seconds : 0, -1, 0);
+      break;
+    }
+    case Aspect::Quantile:
+      eval.check(final_set.histogram(id).quantile(spec.quantile), -1, 0);
+      break;
+    case Aspect::Ratio: {
+      const double num = final_set.value(id);
+      const double den = final_set.value(den_id);
+      const double ratio =
+          den > 0 ? num / den
+                  : (num > 0 ? std::numeric_limits<double>::infinity() : 0);
+      eval.check(ratio, -1, 0);
+      break;
+    }
+  }
+}
+
+void evaluate_interval_scope(const Spec& spec, const Recorder& rec,
+                             MetricId id, MetricId den_id, Eval& eval) {
+  const std::size_t n = rec.num_intervals();
+  const Recorder::ScalarTrack* scalars = scalar_track(rec, id);
+  const Recorder::HistoTrack* histos = histo_track(rec, id);
+  const Recorder::ScalarTrack* dens =
+      spec.aspect == Aspect::Ratio ? scalar_track(rec, den_id) : nullptr;
+  for (std::size_t i = 0; i < n && !eval.violated; ++i) {
+    const SimTime end = rec.interval_ends()[i];
+    switch (spec.aspect) {
+      case Aspect::Total:
+      case Aspect::Value: {
+        // Total per interval = the delta; Value = the gauge's last value.
+        const double v = scalars != nullptr ? rec.scalar_point(*scalars, i) : 0;
+        eval.check(v, static_cast<std::ptrdiff_t>(i), end);
+        break;
+      }
+      case Aspect::Rate: {
+        const double delta =
+            scalars != nullptr ? rec.scalar_point(*scalars, i) : 0;
+        const double seconds =
+            static_cast<double>(rec.interval_width(i)) / 1e6;
+        eval.check(seconds > 0 ? delta / seconds : 0,
+                   static_cast<std::ptrdiff_t>(i), end);
+        break;
+      }
+      case Aspect::Quantile: {
+        if (histos == nullptr || i < histos->first) break;
+        const Recorder::HistoPoint& p = histos->points[i - histos->first];
+        if (p.count == 0) break;  // no samples this interval: nothing to bound
+        double observed = 0;
+        if (spec.quantile == 0.50) {
+          observed = p.p50;
+        } else if (spec.quantile == 0.90) {
+          observed = p.p90;
+        } else {
+          observed = p.p99;  // 0.99, guaranteed by the caller's pre-check
+        }
+        eval.check(observed, static_cast<std::ptrdiff_t>(i), end);
+        break;
+      }
+      case Aspect::Ratio: {
+        const double num =
+            scalars != nullptr ? rec.scalar_point(*scalars, i) : 0;
+        const double den = dens != nullptr ? rec.scalar_point(*dens, i) : 0;
+        if (den <= 0) break;  // denominator idle this interval: skip
+        eval.check(num / den, static_cast<std::ptrdiff_t>(i), end);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Spec::bound_string() const {
+  if (has_min && has_max) {
+    return "in [" + format_number(min) + ", " + format_number(max) + "]";
+  }
+  if (has_min) return ">= " + format_number(min);
+  return "<= " + format_number(max);
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const std::string& err : errors) {
+    os << "slo error: " << err << '\n';
+  }
+  for (const Violation& v : violations) {
+    os << "slo VIOLATION '" << v.slo << "': " << v.metric << " = "
+       << v.observed << " violates " << v.bound;
+    if (v.interval >= 0) {
+      os << " (first at interval " << v.interval << ", t=" << v.interval_end
+         << "us)";
+    } else {
+      os << " (whole run)";
+    }
+    os << '\n';
+  }
+  if (ok()) {
+    os << "slo: all " << checked << " assertion(s) pass\n";
+  }
+  return os.str();
+}
+
+Json Report::to_json() const {
+  Json violations_json = Json::array();
+  for (const Violation& v : violations) {
+    Json entry = Json::object();
+    entry["slo"] = v.slo;
+    entry["metric"] = v.metric;
+    entry["bound"] = v.bound;
+    entry["observed"] = v.observed;
+    if (v.interval >= 0) {
+      entry["interval"] = static_cast<std::int64_t>(v.interval);
+      entry["interval_end_us"] = static_cast<std::int64_t>(v.interval_end);
+    }
+    violations_json.push_back(std::move(entry));
+  }
+  Json errors_json = Json::array();
+  for (const std::string& err : errors) errors_json.push_back(err);
+  Json out = Json::object();
+  out["pass"] = ok();
+  out["checked"] = checked;
+  out["violations"] = std::move(violations_json);
+  out["errors"] = std::move(errors_json);
+  return out;
+}
+
+Result<std::vector<Spec>> parse_specs(const Json& doc) {
+  if (!doc.is_object() || !doc["slos"].is_array()) {
+    return make_error(Errc::InvalidArgument,
+                      "slo spec must be an object with an 'slos' array");
+  }
+  std::vector<Spec> specs;
+  const Json::Array& entries = doc["slos"].as_array();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    Result<Spec> spec = parse_spec(entries[i], i);
+    if (!spec.ok()) return spec.error();
+    specs.push_back(std::move(spec.value()));
+  }
+  return specs;
+}
+
+Result<std::vector<Spec>> load_specs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(Errc::NotFound, "cannot open slo spec " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Json> doc = Json::parse(buffer.str());
+  if (!doc.ok()) {
+    return make_error(Errc::InvalidArgument,
+                      path + ": " + doc.error().message);
+  }
+  return parse_specs(doc.value());
+}
+
+Report evaluate(const std::vector<Spec>& specs, const MetricSet& final_set,
+                const Recorder* recorder, Duration elapsed) {
+  Report report;
+  for (const Spec& spec : specs) {
+    MetricId id, den_id;
+    if (!find_metric(spec.metric, &id)) {
+      report.errors.push_back("'" + spec.name + "': metric '" + spec.metric +
+                              "' was never registered");
+      continue;
+    }
+    const bool needs_histogram = spec.aspect == Aspect::Quantile;
+    if (needs_histogram != (id.kind() == MetricKind::Histogram)) {
+      report.errors.push_back(
+          "'" + spec.name + "': metric '" + spec.metric +
+          (needs_histogram ? "' is not a histogram" : "' is a histogram"));
+      continue;
+    }
+    if (spec.aspect == Aspect::Ratio) {
+      if (!find_metric(spec.denominator, &den_id)) {
+        report.errors.push_back("'" + spec.name + "': denominator '" +
+                                spec.denominator + "' was never registered");
+        continue;
+      }
+      if (den_id.kind() != MetricKind::Scalar) {
+        report.errors.push_back("'" + spec.name + "': denominator '" +
+                                spec.denominator + "' is not a counter");
+        continue;
+      }
+    }
+    if (spec.scope == Scope::Interval) {
+      if (recorder == nullptr) {
+        report.errors.push_back(
+            "'" + spec.name +
+            "': interval scope needs recording on (FOCUS_RECORD / "
+            "--record-ms)");
+        continue;
+      }
+      if (spec.aspect == Aspect::Quantile && spec.quantile != 0.50 &&
+          spec.quantile != 0.90 && spec.quantile != 0.99) {
+        report.errors.push_back(
+            "'" + spec.name +
+            "': interval scope records p50/p90/p99 summaries only");
+        continue;
+      }
+    }
+    Eval eval{spec, report};
+    if (spec.scope == Scope::Run) {
+      evaluate_run_scope(spec, final_set, elapsed, id, den_id, eval);
+    } else {
+      evaluate_interval_scope(spec, *recorder, id, den_id, eval);
+    }
+    ++report.checked;
+  }
+  return report;
+}
+
+}  // namespace focus::obs::slo

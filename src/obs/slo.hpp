@@ -1,0 +1,111 @@
+#pragma once
+// Declarative SLO assertions over the observability layer. A JSON spec binds
+// metric names to bounds; the evaluator checks them against a final metrics
+// snapshot (whole-run scope) and/or an obs::Recorder time-series
+// (per-interval scope) and produces a machine- and human-readable report
+// naming, for every violation, the metric, the bound, the observed value and
+// the first violating interval.
+//
+// Spec document shape ({"slos": [ ... ]}), one object per SLO:
+//
+//   {"name": "query-p99",               // optional label (default: metric)
+//    "metric": "focus.query.latency_us",
+//    "aspect": "quantile",              // quantile | total | rate_per_s |
+//                                       //   value | ratio
+//    "quantile": 0.99,                  // quantile aspect only (implies it)
+//    "denominator": "net.x.msgs",       // ratio aspect only (implies it)
+//    "scope": "run",                    // run (default) | interval
+//    "min": 1, "max": 250000}           // at least one bound required
+//
+// Aspects: `total` = cumulative counter value, `rate_per_s` = counter delta
+// per elapsed second, `value` = gauge last-value, `quantile` = interpolated
+// histogram quantile (interval scope supports the recorded 0.5/0.9/0.99
+// summaries only), `ratio` = metric / denominator (counters). Unknown keys,
+// missing bounds and malformed values are hard errors — a gate must fail on
+// a typo, not silently skip the assertion. Unknown *metrics* are evaluation
+// errors for the same reason (obs::find_metric never mints empty slots).
+//
+// Wired as TestbedConfig::slo_path / FOCUS_SLO= (harness/testbed) and
+// `scenario_throughput --slo` (the blocking CI gate); first pinned spec:
+// slo/scenario_400.json.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace focus::obs::slo {
+
+enum class Aspect {
+  Total,     ///< cumulative counter value at end of run
+  Rate,      ///< counter delta per second (of sim time)
+  Value,     ///< gauge: last recorded value
+  Quantile,  ///< histogram quantile (FixedHistogram interpolation)
+  Ratio,     ///< counter / denominator counter
+};
+
+enum class Scope {
+  Run,       ///< one check over the whole run
+  Interval,  ///< checked against every recorded interval (needs a Recorder)
+};
+
+/// One parsed SLO assertion.
+struct Spec {
+  std::string name;         ///< label for reports (defaults to `metric`)
+  std::string metric;       ///< registered metric spelling
+  std::string denominator;  ///< Ratio only
+  Aspect aspect = Aspect::Total;
+  Scope scope = Scope::Run;
+  double quantile = 0.99;  ///< Quantile only
+  bool has_min = false;
+  bool has_max = false;
+  double min = 0;
+  double max = 0;
+
+  /// "<= 100", ">= 5" or "in [5, 100]" for reports.
+  std::string bound_string() const;
+};
+
+/// One bound violation. `interval` is -1 for whole-run checks; otherwise the
+/// 0-based index of the first violating interval and its sim-time end.
+struct Violation {
+  std::string slo;
+  std::string metric;
+  std::string bound;
+  double observed = 0;
+  std::ptrdiff_t interval = -1;
+  SimTime interval_end = 0;
+};
+
+struct Report {
+  std::vector<Violation> violations;
+  std::vector<std::string> errors;  ///< unknown metric / unusable spec
+  std::size_t checked = 0;          ///< specs evaluated without error
+
+  /// A gate passes only when nothing was violated AND nothing errored.
+  bool ok() const noexcept { return violations.empty() && errors.empty(); }
+  std::string to_string() const;
+  Json to_json() const;
+};
+
+/// Parse a spec document. Structural problems (not an object, missing
+/// metric, no bound, unknown key/aspect/scope, quantile out of range) fail
+/// the whole parse with a message naming the offending entry.
+Result<std::vector<Spec>> parse_specs(const Json& doc);
+
+/// Read and parse a spec file.
+Result<std::vector<Spec>> load_specs(const std::string& path);
+
+/// Evaluate `specs` against `final_set` (cumulative metrics at end of run)
+/// and `recorder` (nullptr when recording was off — interval-scoped specs
+/// then report an error). `elapsed` is the total simulated time the metrics
+/// cover, used as the Rate denominator for run-scoped checks.
+Report evaluate(const std::vector<Spec>& specs, const MetricSet& final_set,
+                const Recorder* recorder, Duration elapsed);
+
+}  // namespace focus::obs::slo

@@ -1,6 +1,7 @@
 #include "sim/sharded.hpp"
 
 #include <algorithm>
+#include <chrono>  // focus-lint: allow(determinism): opt-in profiling only
 #include <utility>
 
 #include "common/check.hpp"
@@ -10,13 +11,25 @@
 namespace focus::sim {
 
 namespace {
-// Deterministic coordination counters (sim-time quantities only — wall-clock
-// barrier waits are measured in bench/, never here, to keep src/ clock-free).
+// Deterministic coordination counters (sim-time quantities only — the
+// wall-clock side lives in the opt-in ShardProfile accounting below, which
+// observes but never steers the schedule).
 const obs::MetricId kRoundsMetric = obs::MetricId::counter("sharded.rounds");
 const obs::MetricId kShardWindowsMetric =
     obs::MetricId::counter("sharded.shard_windows");
 const obs::MetricId kWindowWidthMetric =
     obs::MetricId::counter("sharded.window_width_us");
+
+/// Monotonic wall clock for the opt-in scheduler profile. This is the ONE
+/// place src/sim touches a wall clock: the readings feed ShardProfile
+/// accounting only, never a scheduling decision, so digests are identical
+/// with profiling on or off (tests/test_telemetry.cpp pins this).
+std::int64_t wall_now_ns() {
+  // focus-lint: allow(determinism): observation-only profiling clock
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  // focus-lint: allow(determinism): observation-only profiling clock
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t).count();
+}
 }  // namespace
 
 ShardedSimulator::ShardedSimulator(std::vector<Simulator*> shards,
@@ -75,6 +88,12 @@ ShardedSimulator::ShardedSimulator(std::vector<Simulator*> shards,
   round_targets_.assign(n, now_);
   windows_run_.assign(n, 0);
   window_width_sum_.assign(n, 0);
+  profiles_.assign(n, ShardProfile{});
+  round_busy_ns_.assign(n, 0);
+  if (per_edge()) {
+    limited_by_.assign(n * (n + 1), 0);
+    round_limiter_.assign(n, n);
+  }
   // The coordinator thread's log lines carry the committed fleet time; each
   // shard's own install (Simulator ctor) only matters on the thread that
   // executes it, which run_assigned re-establishes per window.
@@ -118,7 +137,17 @@ void ShardedSimulator::run_assigned(unsigned index, SimTime target) {
           return static_cast<const Simulator*>(ctx)->now();
         },
         shard);
-    shard->run_until(shard_target);
+    if (wall_profiling_) {
+      // round_busy_ns_[s] is confined to this worker for the round (the
+      // coordinator reset it before publishing the epoch; it reads it back
+      // only after done_cv_ — both orderings ride the existing mutex
+      // hand-off, so this stays TSan-clean).
+      const std::int64_t t0 = wall_now_ns();
+      shard->run_until(shard_target);
+      round_busy_ns_[s] = wall_now_ns() - t0;
+    } else {
+      shard->run_until(shard_target);
+    }
     Logger::clear_time_source(shard);
   }
 }
@@ -144,6 +173,11 @@ void ShardedSimulator::worker_main(unsigned index) {
 }
 
 void ShardedSimulator::execute_round(SimTime target) {
+  std::int64_t round_start_ns = 0;
+  if (wall_profiling_) {
+    round_start_ns = wall_now_ns();
+    std::fill(round_busy_ns_.begin(), round_busy_ns_.end(), 0);
+  }
   if (workers_.empty()) {
     run_assigned(0, target);
     // run_assigned left the thread's log-time slot cleared; restore the
@@ -162,17 +196,45 @@ void ShardedSimulator::execute_round(SimTime target) {
       done_cv_.wait(lock, [&] { return done_ == workers_.size(); });
     }
   }
+  if (wall_profiling_) {
+    // Fold this round into the per-shard profiles. Runs before run_round /
+    // run_until advance committed_, so `ran` can be derived from the same
+    // targets the workers saw. busy is clamped to the round wall (the worker
+    // and coordinator read the clock at slightly different moments), which
+    // makes busy + stall + idle == wall hold exactly per shard.
+    const std::int64_t round_wall = wall_now_ns() - round_start_ns;
+    const bool edge_mode = per_edge();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ShardProfile& p = profiles_[i];
+      p.wall_ns += round_wall;
+      const SimTime shard_target = edge_mode ? round_targets_[i] : target;
+      if (shard_target > committed_[i]) {
+        const std::int64_t busy = std::min(round_busy_ns_[i], round_wall);
+        p.busy_ns += busy;
+        p.stall_ns += round_wall - busy;
+      } else {
+        p.idle_ns += round_wall;
+      }
+    }
+  }
 }
 
-SimTime ShardedSimulator::horizon(std::size_t i, SimTime t) const {
+SimTime ShardedSimulator::horizon(std::size_t i, SimTime t,
+                                  std::size_t* limiter) const {
   const std::size_t n = shards_.size();
   SimTime h = t;
+  std::size_t bound_by = n;  // n = the run_until target binds
   for (std::size_t src = 0; src < n; ++src) {
     if (src == i) continue;
     const Duration l = lookahead_[src * n + i];
     if (l == kNoTrafficLookahead) continue;  // declared no-traffic edge
-    h = std::min(h, committed_[src] + l);
+    const SimTime edge_h = committed_[src] + l;
+    if (edge_h < h) {
+      h = edge_h;
+      bound_by = src;
+    }
   }
+  if (limiter != nullptr) *limiter = bound_by;
   return h;
 }
 
@@ -185,7 +247,8 @@ void ShardedSimulator::run_round(SimTime t) {
   for (std::size_t i = 0; i < n; ++i) round_targets_[i] = committed_[i];
   for (std::size_t i = 0; i < n; ++i) {
     if (committed_[i] >= t) continue;
-    const SimTime h = horizon(i, t);
+    std::size_t limiter = n;
+    const SimTime h = horizon(i, t, &limiter);
     if (h <= committed_[i]) continue;
     // Hysteresis: without it, per-edge horizons re-couple transitively and
     // the whole fleet paces at the tightest edge. A shard runs only with a
@@ -198,6 +261,7 @@ void ShardedSimulator::run_round(SimTime t) {
             batch_factor_ * static_cast<double>(w);
     if (h == t || batched) {
       round_targets_[i] = h;
+      round_limiter_[i] = limiter;
       any = true;
     }
   }
@@ -215,10 +279,12 @@ void ShardedSimulator::run_round(SimTime t) {
       if (pick == n || committed_[i] < committed_[pick]) pick = i;
     }
     FOCUS_CHECK_LT(pick, n) << "run_round called with all shards at target";
-    const SimTime h = horizon(pick, t);
+    std::size_t limiter = n;
+    const SimTime h = horizon(pick, t, &limiter);
     FOCUS_CHECK_GT(h, committed_[pick])
         << "per-edge deadlock: least-committed shard cannot advance";
     round_targets_[pick] = h;
+    round_limiter_[pick] = limiter;
   }
 
   execute_round(/*target=*/0);  // per-edge: workers read round_targets_
@@ -227,6 +293,7 @@ void ShardedSimulator::run_round(SimTime t) {
     if (round_targets_[i] <= committed_[i]) continue;
     ++windows_run_[i];
     window_width_sum_[i] += round_targets_[i] - committed_[i];
+    ++limited_by_[i * (n + 1) + round_limiter_[i]];
     obs::metrics().add(kShardWindowsMetric, 1);
     obs::metrics().add(
         kWindowWidthMetric,

@@ -143,6 +143,48 @@ class ShardedSimulator {
   /// Total events executed across all shards. Barrier-time only.
   std::uint64_t executed() const noexcept;
 
+  // -- Wall-clock scheduler profiling (opt-in, observation-only) ------------
+
+  /// Wall-clock accounting for one shard, accumulated over every coordinator
+  /// round while wall profiling is enabled. The three parts partition each
+  /// round's wall time exactly: busy_ns + stall_ns + idle_ns == wall_ns.
+  ///  - busy:  this shard's kernel was executing events
+  ///  - stall: the shard ran this round but finished before the round's
+  ///           slowest participant (barrier stall — the cost lock-step
+  ///           windows impose and per-edge windows exist to shrink)
+  ///  - idle:  the shard sat the round out entirely (per-edge hysteresis
+  ///           held it back, or it was already at the target)
+  struct ShardProfile {
+    std::int64_t busy_ns = 0;
+    std::int64_t stall_ns = 0;
+    std::int64_t idle_ns = 0;
+    std::int64_t wall_ns = 0;  ///< total coordinator round wall time
+  };
+
+  /// Enable/disable wall-clock profiling (default off). Observation-only:
+  /// profiling reads a wall clock but never feeds any scheduling decision,
+  /// so digests are byte-identical with it on or off. Barrier-time only.
+  void set_wall_profiling(bool on) noexcept { wall_profiling_ = on; }
+  bool wall_profiling() const noexcept { return wall_profiling_; }
+
+  /// Per-shard profiles (all zero until wall profiling is enabled).
+  /// Barrier-time only.
+  const std::vector<ShardProfile>& shard_profiles() const noexcept {
+    return profiles_;
+  }
+
+  /// Per-edge mode horizon-limiter attribution: how many of `shard`'s
+  /// committed windows had their horizon bound by the incoming edge from
+  /// `src`. `src == num_shards()` counts windows bound by the run_until
+  /// target instead of any edge (the unconstrained case). Always zero in
+  /// global-window mode. Deterministic (sim-time derived), barrier-time
+  /// only.
+  std::uint64_t limited_by(std::size_t shard, std::size_t src) const {
+    return limited_by_.empty()
+               ? 0
+               : limited_by_[shard * (shards_.size() + 1) + src];
+  }
+
   /// Order-sensitive FNV-1a fold of the per-shard digests, in shard order.
   /// Byte-identical across worker-thread counts for the same seed; the
   /// determinism ctest (tests/test_sharded.cpp) enforces this. Barrier-time
@@ -165,8 +207,13 @@ class ShardedSimulator {
   static std::int64_t coordinator_time(const void* ctx);
 
   /// Safe horizon of shard `i` clamped to `t`: min over incoming edges with
-  /// finite lookahead of committed_[src] + lookahead_[src][i].
-  SimTime horizon(std::size_t i, SimTime t) const;
+  /// finite lookahead of committed_[src] + lookahead_[src][i]. `limiter`
+  /// (optional) receives the src index of the binding edge, or
+  /// shards_.size() when the target `t` itself binds (first strictly-smaller
+  /// edge wins ties against t, lowest src wins ties between edges — both
+  /// deterministic).
+  SimTime horizon(std::size_t i, SimTime t,
+                  std::size_t* limiter = nullptr) const;
   /// One coordinator round of the per-edge mode: pick the shards to run
   /// (hysteresis eligibility, or the single-lowest-index fallback), publish
   /// round_targets_, execute, commit, hook. Pure function of committed_ and
@@ -191,6 +238,19 @@ class ShardedSimulator {
   std::uint64_t rounds_ = 0;
   std::vector<std::uint64_t> windows_run_;
   std::vector<Duration> window_width_sum_;
+
+  // Wall-clock profiling (observation-only; see set_wall_profiling). Each
+  // round_busy_ns_ entry is written only by the worker that owns the shard
+  // during a round and read/reset only by the coordinator while workers are
+  // parked — the same confinement discipline as the shards themselves.
+  bool wall_profiling_ = false;
+  std::vector<ShardProfile> profiles_;
+  std::vector<std::int64_t> round_busy_ns_;
+  // Per-edge limiter attribution: shards_ x (shards_+1) counts, written at
+  // commit time by the coordinator; round_limiter_ carries each shard's
+  // binding edge from selection to commit within one round.
+  std::vector<std::uint64_t> limited_by_;
+  std::vector<std::size_t> round_limiter_;
 
   // Window hand-off (threads_ > 1): the coordinator publishes a target and
   // bumps epoch_; each worker runs its shards to the target and bumps done_.

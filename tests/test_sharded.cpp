@@ -295,7 +295,8 @@ ShardedRun run_sharded_scenario(std::uint64_t seed, unsigned shards,
                                 unsigned data_sub_shards = 1,
                                 unsigned edge_sub_shards = 1,
                                 bool per_edge_windows = false,
-                                bool async_store = false) {
+                                bool async_store = false,
+                                Duration record_interval = 0) {
   harness::TestbedConfig config;
   config.num_nodes = 25;
   config.seed = seed;
@@ -304,6 +305,11 @@ ShardedRun run_sharded_scenario(std::uint64_t seed, unsigned shards,
   config.edge_sub_shards = edge_sub_shards;
   config.per_edge_windows = per_edge_windows;
   config.async_store = async_store;
+  // Telemetry is observation-only, so recording runs reuse the
+  // recording-off goldens; wall profiling rides along to get its
+  // cross-thread hand-off under TSan.
+  config.record_interval = record_interval;
+  config.wall_profiling = record_interval > 0;
   config.agent.dynamics.volatility = 0.02;
   harness::Testbed bed(config);
   bed.start();
@@ -639,6 +645,26 @@ TEST(PerEdgeDeterminism, ChurnScenarioMatchesGoldenDigest) {
   const ShardedRun run = run_sharded_scenario(42, 1, 2, 2, /*per_edge=*/true);
   EXPECT_EQ(run.digest, 2463241749083319352ull);
   EXPECT_EQ(run.results, 10u);
+}
+
+// Telemetry recording (100 ms cadence) plus wall profiling must reproduce
+// the recording-off golden digest above byte for byte, at every worker
+// count: sampling happens at barriers with workers parked and reads state
+// without mutating it, and the profiling clock never feeds a scheduling
+// decision. Runs under TSan in CI (the 'Sharded' pre-step), which also
+// pins the recorder's coordinator-only confinement.
+TEST(ShardedTelemetry, RecordingOnMatchesRecordingOffGoldenDigest) {
+  const ShardedRun one = run_sharded_scenario(
+      42, 1, 2, 2, /*per_edge=*/true, /*async=*/false, 100 * kMillisecond);
+  const ShardedRun two = run_sharded_scenario(
+      42, 2, 2, 2, /*per_edge=*/true, /*async=*/false, 100 * kMillisecond);
+  const ShardedRun four = run_sharded_scenario(
+      42, 4, 2, 2, /*per_edge=*/true, /*async=*/false, 100 * kMillisecond);
+  EXPECT_EQ(one.digest, 2463241749083319352ull);
+  EXPECT_EQ(two.digest, one.digest);
+  EXPECT_EQ(four.digest, one.digest);
+  EXPECT_EQ(one.results, 10u);
+  EXPECT_EQ(one.executed, four.executed);
 }
 
 // ---------------------------------------------------------------------------

@@ -33,3 +33,18 @@ struct Widget {
 int member_lookalikes(Widget& w) {
   return w.rand() + static_cast<int>(w.time(0));  // no finding: member calls
 }
+
+// The opt-in profiling clock shape (sim::ShardedSimulator wall profiling):
+// observation-only std::chrono reads behind per-line allow markers. One
+// marker suppresses exactly one line — the unmarked read below still fires.
+long profile_now_ns() {
+  // focus-lint: allow(determinism): observation-only profiling clock
+  auto t = std::chrono::steady_clock::now().time_since_epoch();
+  // focus-lint: allow(determinism): observation-only profiling clock
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t).count();
+}
+
+long profile_now_unmarked() {
+  auto t = std::chrono::steady_clock::now();  // finding: marker absent
+  return t.time_since_epoch().count();
+}

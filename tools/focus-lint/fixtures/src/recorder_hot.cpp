@@ -1,0 +1,42 @@
+// The telemetry sampling shape (obs::Recorder::sample): a FOCUS_HOT walk
+// over dense metric slots closing one interval. The contract is that names
+// are resolved only at export time — the sampling loop indexes by id, so it
+// must stay free of string machinery and per-sample allocation.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#define FOCUS_HOT
+
+struct Track {
+  std::uint32_t id = 0;
+  double last = 0;
+  std::vector<double> points;
+};
+
+// The real sampler: dense id-indexed slots, deltas appended into amortized
+// capacity. push_back into a reused vector is allowed — no finding.
+FOCUS_HOT void sample_interval(const double* slots, unsigned n,
+                               std::vector<Track>& tracks) {
+  for (unsigned i = 0; i < n && i < tracks.size(); ++i) {
+    Track& t = tracks[i];
+    t.points.push_back(slots[t.id] - t.last);
+    t.last = slots[t.id];
+  }
+}
+
+// The anti-pattern the annotation exists to catch: resolving the metric's
+// spelling on every sample drags string construction into the cadence loop.
+FOCUS_HOT double sample_by_name(const double* slots, unsigned n) {
+  double total = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    std::string name = "metric." + std::to_string(i);  // finding: two ways
+    total += name.empty() ? 0 : slots[i];
+  }
+  return total;
+}
+
+// Export-time name resolution is cold code: no annotation, no finding.
+std::string export_name(unsigned id) {
+  return "metric." + std::to_string(id);
+}
